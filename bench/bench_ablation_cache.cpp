@@ -1,0 +1,42 @@
+// Ablation: ads-cache capacity (paper does not bound the cache explicitly;
+// a production deployment must).
+//
+// Sweeps the per-node cache capacity for ASAP(RW) on the crawled topology.
+// Below the working-set size the sampled-LRU eviction discards ads that
+// would later have answered queries, lowering the local-hit rate and
+// pushing searches onto the ads-request fallback.
+#include <iostream>
+
+#include "bench/support.hpp"
+
+int main(int argc, char** argv) {
+  using namespace asap;
+  auto args = bench::BenchArgs::parse(argc, argv);
+  if (args.queries_override == 0) args.queries_override = 2'000;
+
+  const auto cfg = bench::make_config(args, harness::TopologyKind::kCrawled);
+  std::cerr << "[bench] building crawled world...\n";
+  const auto world = harness::build_world(cfg);
+
+  std::cout << "=== Ablation: ads-cache capacity, ASAP(RW), crawled ===\n\n";
+  TextTable table({"capacity (ads/node)", "success %", "local hit %",
+                   "cost/search", "load B/node/s"});
+  for (const std::uint32_t cap : {25u, 50u, 100u, 250u, 500u, 1'500u}) {
+    harness::RunOptions opts;
+    auto p = harness::default_asap_params(harness::AlgoKind::kAsapRw,
+                                          cfg.preset);
+    p.cache_capacity = cap;
+    opts.asap = p;
+    const auto res =
+        harness::run_experiment(world, harness::AlgoKind::kAsapRw, opts);
+    std::cerr << "[bench] capacity=" << cap << " done\n";
+    table.add_row({std::to_string(cap),
+                   TextTable::num(100.0 * res.search.success_rate(), 1),
+                   TextTable::num(100.0 * res.search.local_hit_rate(), 1),
+                   TextTable::bytes(res.search.avg_cost_bytes()),
+                   TextTable::num(res.load.mean_bytes_per_node_per_sec,
+                                  1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

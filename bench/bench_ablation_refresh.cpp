@@ -1,0 +1,68 @@
+// Ablation: refresh-beacon period and the refresh-pull extension.
+//
+// Shorter periods keep remote caches validated (dead/stale entries pruned
+// sooner) at higher background load. The pull extension (an interested
+// node that receives a refresh beacon for an unknown ad fetches the full
+// ad from the source) grows coverage after warm-up for one direct transfer
+// per new cacher.
+#include <iostream>
+
+#include "bench/support.hpp"
+
+int main(int argc, char** argv) {
+  using namespace asap;
+  auto args = bench::BenchArgs::parse(argc, argv);
+  if (args.queries_override == 0) args.queries_override = 2'000;
+
+  const auto cfg = bench::make_config(args, harness::TopologyKind::kCrawled);
+  std::cerr << "[bench] building crawled world...\n";
+  const auto world = harness::build_world(cfg);
+
+  auto run = [&](Seconds period, bool pull) {
+    harness::RunOptions opts;
+    auto p = harness::default_asap_params(harness::AlgoKind::kAsapRw,
+                                          cfg.preset);
+    p.refresh_period = period;
+    p.refresh_pull = pull;
+    opts.asap = p;
+    return harness::run_experiment(world, harness::AlgoKind::kAsapRw, opts);
+  };
+
+  std::cout << "=== Ablation: refresh period, ASAP(RW), crawled ===\n\n";
+  TextTable table({"period (s)", "success %", "local hit %",
+                   "refresh B/node/s", "total load B/node/s"});
+  for (const double period : {30.0, 60.0, 120.0, 300.0, 600.0}) {
+    const auto res = run(period, false);
+    std::cerr << "[bench] period=" << period << " done\n";
+    double refresh_share = 0.0;
+    for (const auto& cs : res.breakdown) {
+      if (cs.category == sim::Traffic::kRefreshAd) {
+        refresh_share = cs.share;
+      }
+    }
+    table.add_row(
+        {TextTable::num(period, 0),
+         TextTable::num(100.0 * res.search.success_rate(), 1),
+         TextTable::num(100.0 * res.search.local_hit_rate(), 1),
+         TextTable::num(refresh_share * res.load.mean_bytes_per_node_per_sec,
+                        1),
+         TextTable::num(res.load.mean_bytes_per_node_per_sec, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n=== Extension: refresh-pull at period 120 s ===\n\n";
+  TextTable pull_table({"refresh-pull", "success %", "local hit %",
+                        "pulls", "load B/node/s"});
+  for (const bool pull : {false, true}) {
+    const auto res = run(120.0, pull);
+    std::cerr << "[bench] pull=" << pull << " done\n";
+    pull_table.add_row(
+        {pull ? "on" : "off",
+         TextTable::num(100.0 * res.search.success_rate(), 1),
+         TextTable::num(100.0 * res.search.local_hit_rate(), 1),
+         std::to_string(res.asap_counters.refresh_pulls),
+         TextTable::num(res.load.mean_bytes_per_node_per_sec, 1)});
+  }
+  pull_table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Figures 8 and 9: average system load (bytes per live node per
+// second over the measurement window) and its standard deviation, for all
+// six systems on the three overlay topologies.
+//
+// Paper shapes: flooding has the highest load with large variation;
+// random walk bounds its load with the smallest variation among baselines;
+// ASAP(RW) holds the lowest load overall (>=81% below the random-walk
+// baseline in the paper) with only minor variation; ASAP(FLD) is the most
+// expensive ASAP variant.
+#include <iostream>
+
+#include "bench/support.hpp"
+
+int main(int argc, char** argv) {
+  using namespace asap;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  auto cells = bench::run_cells(args, bench::all_algos());
+  bench::sort_cells(cells, bench::all_algos());
+
+  std::cout << "=== Fig 8: average system load (bytes/node/s) ===\n";
+  std::cout << "=== Fig 9: system load standard deviation ===\n\n";
+
+  TextTable table({"topology", "algorithm", "load B/node/s (Fig8)",
+                   "stddev (Fig9)", "peak B/node/s"});
+  for (const auto& cell : cells) {
+    const auto& l = cell.result.load;
+    table.add_row({harness::topology_name(cell.topology), cell.result.algo,
+                   TextTable::num(l.mean_bytes_per_node_per_sec, 1),
+                   TextTable::num(l.stddev_bytes_per_node_per_sec, 1),
+                   TextTable::num(l.peak_bytes_per_node_per_sec, 1)});
+  }
+  table.print(std::cout);
+
+  // Headline ratio: ASAP(RW) vs the random-walk baseline (crawled).
+  const harness::RunResult* rw = nullptr;
+  const harness::RunResult* asap_rw = nullptr;
+  for (const auto& cell : cells) {
+    if (cell.topology != harness::TopologyKind::kCrawled) continue;
+    if (cell.algo == harness::AlgoKind::kRandomWalk) rw = &cell.result;
+    if (cell.algo == harness::AlgoKind::kAsapRw) asap_rw = &cell.result;
+  }
+  if (rw != nullptr && asap_rw != nullptr &&
+      rw->load.mean_bytes_per_node_per_sec > 0.0) {
+    const double cut =
+        100.0 * (1.0 - asap_rw->load.mean_bytes_per_node_per_sec /
+                           rw->load.mean_bytes_per_node_per_sec);
+    std::cout << "\ncrawled topology: ASAP(RW) load is "
+              << TextTable::num(cut, 1)
+              << "% below the random-walk baseline (paper: >81%)\n";
+  }
+  return 0;
+}

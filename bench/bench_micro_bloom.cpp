@@ -1,0 +1,94 @@
+// Micro-benchmarks of the Bloom-filter substrate (google-benchmark):
+// the per-probe costs behind every ad match and ads-cache lookup.
+#include <benchmark/benchmark.h>
+
+#include "bloom/bloom.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using asap::Rng;
+using asap::bloom::BloomFilter;
+using asap::bloom::CountingBloomFilter;
+
+void BM_BloomInsert(benchmark::State& state) {
+  BloomFilter f;
+  Rng rng(1);
+  for (auto _ : state) {
+    f.insert(rng.next_u64());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomInsert);
+
+void BM_BloomContainsHit(benchmark::State& state) {
+  BloomFilter f;
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t k = 0; k < n; ++k) f.insert(k);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.contains(k++ % n));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomContainsHit)->Arg(100)->Arg(1'000);
+
+void BM_BloomContainsMiss(benchmark::State& state) {
+  BloomFilter f;
+  for (std::uint64_t k = 0; k < 1'000; ++k) f.insert(k);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.contains(rng.next_u64()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomContainsMiss);
+
+void BM_BloomContainsAll3Terms(benchmark::State& state) {
+  BloomFilter f;
+  for (std::uint64_t k = 0; k < 1'000; ++k) f.insert(k);
+  const asap::KeywordId terms[3] = {10, 500, 999};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.contains_all(terms));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomContainsAll3Terms);
+
+void BM_BloomDiff(benchmark::State& state) {
+  BloomFilter a, b;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) a.insert(rng.next_u64());
+  b = a;
+  for (int i = 0; i < state.range(0); ++i) b.insert(rng.next_u64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BloomFilter::diff(a, b));
+  }
+}
+BENCHMARK(BM_BloomDiff)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_BloomWireBytes(benchmark::State& state) {
+  BloomFilter f;
+  Rng rng(4);
+  for (int i = 0; i < state.range(0); ++i) f.insert(rng.next_u64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.wire_bytes());
+  }
+}
+BENCHMARK(BM_BloomWireBytes)->Arg(10)->Arg(1'000);
+
+void BM_CountingInsertRemove(benchmark::State& state) {
+  CountingBloomFilter c;
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto k = rng.next_u64();
+    c.insert(k);
+    c.remove(k);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_CountingInsertRemove);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Micro-benchmarks of the simulation substrates (google-benchmark): the
+// event heap, the transit-stub latency oracle and the propagation kernels.
+#include <benchmark/benchmark.h>
+
+#include "../tests/support/test_world.hpp"
+#include "search/propagation.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace asap;
+
+void BM_EngineScheduleAndRun(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  for (auto _ : state) {
+    sim::Engine e;
+    for (std::int64_t i = 0; i < n; ++i) {
+      e.schedule_at(rng.uniform(0.0, 1e6), [] {});
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleAndRun)->Arg(1'000)->Arg(100'000);
+
+void BM_TransitStubLatency(benchmark::State& state) {
+  Rng rng(2);
+  const auto net =
+      net::TransitStubNetwork::generate(net::TransitStubParams::small(), rng);
+  Rng pick(3);
+  for (auto _ : state) {
+    const auto a = static_cast<PhysNodeId>(pick.below(net.num_nodes()));
+    const auto b = static_cast<PhysNodeId>(pick.below(net.num_nodes()));
+    benchmark::DoNotOptimize(net.latency(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransitStubLatency);
+
+void BM_TransitStubGenerateSmall(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(4);
+    benchmark::DoNotOptimize(
+        net::TransitStubNetwork::generate(net::TransitStubParams::small(),
+                                          rng));
+  }
+}
+BENCHMARK(BM_TransitStubGenerateSmall)->Unit(benchmark::kMillisecond);
+
+void BM_FloodKernel(benchmark::State& state) {
+  testing::TestWorld w;
+  const auto ttl = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    const auto stats =
+        search::flood(w.ctx, 0, w.engine.now(), ttl, 80,
+                      sim::Traffic::kQuery,
+                      [](NodeId, Seconds, std::uint32_t) {
+                        return search::VisitAction::kContinue;
+                      });
+    msgs += stats.messages;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(msgs));
+}
+BENCHMARK(BM_FloodKernel)->Arg(2)->Arg(6);
+
+void BM_RandomWalkKernel(benchmark::State& state) {
+  testing::TestWorld w;
+  const auto hops = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    const auto stats = search::random_walk(
+        w.ctx, 0, w.engine.now(), 5, hops, 80, sim::Traffic::kQuery,
+        [](NodeId, Seconds, std::uint32_t) {
+          return search::VisitAction::kContinue;
+        });
+    msgs += stats.messages;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(msgs));
+}
+BENCHMARK(BM_RandomWalkKernel)->Arg(64)->Arg(1'024);
+
+void BM_OverlayGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(5);
+    benchmark::DoNotOptimize(
+        overlay::Overlay::crawled_like(2'000, 3.35, rng));
+  }
+  state.SetLabel("crawled-like, 2000 nodes");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OverlayGenerate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+// Shared plumbing for the figure-reproduction benches: command-line
+// parsing, the (algorithm x topology) cell runner, and result tables.
+//
+// Every bench accepts:
+//   --preset small|paper   world scale (default: small; paper = §IV-A)
+//   --seed N               master seed (default 42)
+//   --queries N            override trace query count
+//   --topology t1,t2       subset of random,powerlaw,crawled
+//   --jobs N               parallel cells (default: hardware concurrency)
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "harness/replay.hpp"
+#include "harness/world.hpp"
+
+namespace asap::bench {
+
+struct BenchArgs {
+  harness::Preset preset = harness::Preset::kSmall;
+  std::uint64_t seed = 42;
+  std::uint32_t queries_override = 0;  // 0 = preset default
+  std::vector<harness::TopologyKind> topologies{
+      harness::TopologyKind::kRandom, harness::TopologyKind::kPowerlaw,
+      harness::TopologyKind::kCrawled};
+  std::size_t jobs = 0;  // 0 = hardware concurrency
+
+  static BenchArgs parse(int argc, char** argv);
+};
+
+inline BenchArgs BenchArgs::parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw ConfigError("missing value for flag " + flag);
+      }
+      return argv[++i];
+    };
+    if (flag == "--preset") {
+      const auto v = next();
+      if (v == "paper") {
+        args.preset = harness::Preset::kPaper;
+      } else if (v == "small") {
+        args.preset = harness::Preset::kSmall;
+      } else {
+        throw ConfigError("unknown preset: " + v);
+      }
+    } else if (flag == "--seed") {
+      args.seed = std::stoull(next());
+    } else if (flag == "--queries") {
+      args.queries_override =
+          static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (flag == "--jobs") {
+      args.jobs = std::stoul(next());
+    } else if (flag == "--topology") {
+      args.topologies.clear();
+      std::string list = next();
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const auto comma = list.find(',', pos);
+        const auto item = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (item == "random") {
+          args.topologies.push_back(harness::TopologyKind::kRandom);
+        } else if (item == "powerlaw") {
+          args.topologies.push_back(harness::TopologyKind::kPowerlaw);
+        } else if (item == "crawled") {
+          args.topologies.push_back(harness::TopologyKind::kCrawled);
+        } else {
+          throw ConfigError("unknown topology: " + item);
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (flag == "--help" || flag == "-h") {
+      std::cout << "flags: --preset small|paper --seed N --queries N "
+                   "--topology random,powerlaw,crawled --jobs N\n";
+      std::exit(0);
+    } else {
+      throw ConfigError("unknown flag: " + flag);
+    }
+  }
+  return args;
+}
+
+inline harness::ExperimentConfig make_config(
+    const BenchArgs& args, harness::TopologyKind topology) {
+  auto cfg =
+      harness::ExperimentConfig::make(args.preset, topology, args.seed);
+  if (args.queries_override != 0) {
+    cfg.trace.num_queries = args.queries_override;
+  }
+  return cfg;
+}
+
+/// One completed (topology, algorithm) cell.
+struct Cell {
+  harness::TopologyKind topology;
+  harness::AlgoKind algo;
+  harness::RunResult result;
+};
+
+/// Runs the requested algorithms on each topology. Worlds are built once
+/// per topology and shared (read-only) by its cells; cells run on a thread
+/// pool (degenerates to sequential on a single-core machine).
+inline std::vector<Cell> run_cells(
+    const BenchArgs& args, const std::vector<harness::AlgoKind>& algos,
+    const harness::RunOptions& opts = {}) {
+  std::vector<Cell> cells;
+  std::mutex mu;
+  for (const auto topo : args.topologies) {
+    std::cerr << "[bench] building " << harness::topology_name(topo)
+              << " world...\n";
+    const auto world = harness::build_world(make_config(args, topo));
+    ThreadPool pool(args.jobs == 0 ? 0 : args.jobs);
+    std::vector<std::future<void>> futs;
+    futs.reserve(algos.size());
+    for (const auto algo : algos) {
+      futs.push_back(pool.submit([&, algo] {
+        auto res = harness::run_experiment(world, algo, opts);
+        std::cerr << "[bench] " << harness::topology_name(topo) << " / "
+                  << res.algo << " done in "
+                  << TextTable::num(res.wall_seconds, 1) << " s\n";
+        std::lock_guard lock(mu);
+        cells.push_back(Cell{topo, algo, std::move(res)});
+      }));
+    }
+    for (auto& f : futs) f.get();
+  }
+  return cells;
+}
+
+/// Orders cells for printing: topology-major, algorithm order as requested.
+inline void sort_cells(std::vector<Cell>& cells,
+                       const std::vector<harness::AlgoKind>& algos) {
+  auto algo_rank = [&](harness::AlgoKind k) {
+    for (std::size_t i = 0; i < algos.size(); ++i) {
+      if (algos[i] == k) return i;
+    }
+    return algos.size();
+  };
+  std::sort(cells.begin(), cells.end(), [&](const Cell& a, const Cell& b) {
+    if (a.topology != b.topology) {
+      return static_cast<int>(a.topology) < static_cast<int>(b.topology);
+    }
+    return algo_rank(a.algo) < algo_rank(b.algo);
+  });
+}
+
+inline const std::vector<harness::AlgoKind>& all_algos() {
+  static const std::vector<harness::AlgoKind> algos(
+      std::begin(harness::kAllAlgos), std::end(harness::kAllAlgos));
+  return algos;
+}
+
+}  // namespace asap::bench

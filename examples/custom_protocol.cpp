@@ -1,0 +1,161 @@
+// Extending the library: plugging a custom search protocol into the
+// harness.
+//
+// Implements "expanding-ring" search — a classic Gnutella refinement the
+// paper's related work alludes to: flood with TTL 1, and only on failure
+// re-flood with a doubled TTL (1, 2, 4, ...). Cheap for popular content,
+// but it pays repeated floods for rare content. Running it through the
+// same replayer pits it against flooding and ASAP(RW) on the identical
+// workload.
+//
+// The example shows the full extension surface: derive from
+// search::SearchAlgorithm, drive the propagation kernels, account traffic
+// via the shared BandwidthLedger, and record metrics with SearchStats —
+// then replay the trace by hand (the same loop harness::run_experiment
+// uses internally).
+//
+//   ./custom_protocol [seed]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+
+#include "common/table.hpp"
+#include "harness/replay.hpp"
+#include "harness/world.hpp"
+#include "search/propagation.hpp"
+#include "sim/liveness.hpp"
+
+namespace {
+
+using namespace asap;
+
+class ExpandingRingSearch final : public search::SearchAlgorithm {
+ public:
+  ExpandingRingSearch(search::Ctx& ctx, std::uint32_t max_ttl)
+      : ctx_(ctx), max_ttl_(max_ttl) {}
+
+  std::string name() const override { return "expanding-ring"; }
+
+  void on_trace_event(const trace::TraceEvent& ev) override {
+    if (ev.type != trace::TraceEventType::kQuery) return;
+    auto matching =
+        ctx_.index.matching_nodes(ev.term_span(), ctx_.live, ctx_.model);
+    matching.erase(
+        std::remove(matching.begin(), matching.end(), ev.node),
+        matching.end());
+
+    metrics::SearchRecord rec;
+    Seconds ring_start = ev.time;
+    Seconds best = std::numeric_limits<Seconds>::infinity();
+    for (std::uint32_t ttl = 1; ttl <= max_ttl_; ttl *= 2) {
+      const auto prop = search::flood(
+          ctx_, ev.node, ring_start, ttl, ctx_.sizes.query,
+          sim::Traffic::kQuery,
+          [&](NodeId n, Seconds t, std::uint32_t) {
+            if (std::binary_search(matching.begin(), matching.end(), n)) {
+              const Seconds back = t + ctx_.latency(n, ev.node);
+              ctx_.ledger.deposit(back, sim::Traffic::kResponse,
+                                  ctx_.sizes.response);
+              best = std::min(best, back);
+            }
+            return search::VisitAction::kContinue;
+          });
+      rec.cost_bytes += prop.bytes;
+      rec.messages += prop.messages;
+      if (best < std::numeric_limits<Seconds>::infinity()) break;
+      // Wait out the ring (~ttl hops of latency) before widening it.
+      ring_start += 0.3 * ttl;
+    }
+    rec.success = best < std::numeric_limits<Seconds>::infinity();
+    rec.response_time = rec.success ? best - ev.time : 0.0;
+    stats_.add(rec);
+  }
+
+ private:
+  search::Ctx& ctx_;
+  std::uint32_t max_ttl_;
+};
+
+/// Minimal replay loop for a hand-constructed algorithm (the library's
+/// run_experiment does exactly this for the built-in systems).
+metrics::SearchStats replay(const harness::World& world,
+                            search::SearchAlgorithm& algo,
+                            overlay::Overlay& ov, trace::LiveContent& live,
+                            trace::ContentIndex& index, sim::Engine& engine,
+                            Rng& churn_rng) {
+  const Seconds warmup = world.cfg.warmup;
+  algo.warm_up(warmup);
+  for (const auto& ev : world.trace.events) {
+    const Seconds t = ev.time + warmup;
+    engine.run_until(t);
+    if (ev.type == trace::TraceEventType::kJoin) {
+      ov.attach_new(world.cfg.join_degree, churn_rng);
+    } else if (ev.type == trace::TraceEventType::kLeave) {
+      ov.detach(ev.node);
+    }
+    live.apply(ev, world.model);
+    index.apply(ev, world.model);
+    trace::TraceEvent shifted = ev;
+    shifted.time = t;
+    algo.on_trace_event(shifted);
+  }
+  return algo.stats();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  auto cfg = harness::ExperimentConfig::make(
+      harness::Preset::kSmall, harness::TopologyKind::kCrawled, seed);
+  cfg.trace.num_queries = 2'000;
+  std::cout << "building world...\n";
+  const auto world = harness::build_world(cfg);
+
+  TextTable table(
+      {"algorithm", "success %", "resp ms", "cost/search", "msgs/search"});
+
+  // The custom protocol, replayed by hand.
+  {
+    overlay::Overlay ov = world.base_overlay;
+    trace::LiveContent live(world.model);
+    trace::ContentIndex index(world.model, live);
+    sim::Engine engine;
+    sim::BandwidthLedger ledger(world.cfg.warmup + world.trace.horizon +
+                                30.0);
+    Rng algo_rng(seed);
+    Rng churn_rng(seed ^ 0x2545F4914F6CDD1DULL);
+    search::Ctx ctx(ov, world.phys, world.node_phys, world.model, live,
+                    index, engine, ledger, cfg.sizes, algo_rng);
+    ExpandingRingSearch ring(ctx, 16);
+    std::cout << "running expanding-ring...\n";
+    const auto stats = replay(world, ring, ov, live, index, engine,
+                              churn_rng);
+    table.add_row({ring.name(),
+                   TextTable::num(100.0 * stats.success_rate(), 1),
+                   TextTable::num(1e3 * stats.avg_response_time(), 1),
+                   TextTable::bytes(stats.avg_cost_bytes()),
+                   TextTable::num(stats.avg_messages(), 1)});
+  }
+
+  // Built-in references on the identical workload.
+  for (const auto kind :
+       {harness::AlgoKind::kFlooding, harness::AlgoKind::kAsapRw}) {
+    std::cout << "running " << harness::algo_name(kind) << "...\n";
+    const auto res = harness::run_experiment(world, kind);
+    table.add_row({res.algo,
+                   TextTable::num(100.0 * res.search.success_rate(), 1),
+                   TextTable::num(1e3 * res.search.avg_response_time(), 1),
+                   TextTable::bytes(res.search.avg_cost_bytes()),
+                   TextTable::num(res.search.avg_messages(), 1)});
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nExpanding ring undercuts flooding's cost when content is\n"
+               "popular but re-floods for rare documents; ASAP sidesteps\n"
+               "the dilemma by resolving from cached advertisements.\n";
+  return 0;
+}

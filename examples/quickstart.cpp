@@ -1,0 +1,68 @@
+// Quickstart: build a small world, run ASAP(RW) against the flooding
+// baseline on the crawled-like topology, and print the paper's headline
+// metrics side by side.
+//
+//   ./quickstart [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness/replay.hpp"
+#include "harness/world.hpp"
+
+int main(int argc, char** argv) {
+  using namespace asap;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  // 1. Build the world: transit-stub physical network, crawled-like
+  //    overlay, eDonkey-like content, synthetic query trace.
+  auto cfg = harness::ExperimentConfig::make(
+      harness::Preset::kSmall, harness::TopologyKind::kCrawled, seed);
+  // Keep the quickstart quick: fewer queries than the full bench preset.
+  cfg.trace.num_queries = 2'000;
+  cfg.trace.joins = 60;
+  cfg.trace.leaves = 60;
+
+  std::cout << "building world (" << cfg.content.initial_nodes << " peers, "
+            << cfg.phys.total_nodes() << " physical nodes)...\n";
+  const auto world = harness::build_world(cfg);
+  std::cout << "trace: " << world.trace.num_queries << " queries, "
+            << world.trace.num_changes << " content changes, "
+            << world.trace.num_joins << " joins, " << world.trace.num_leaves
+            << " leaves, horizon " << TextTable::num(world.trace.horizon, 1)
+            << " s\n\n";
+
+  // 2. Replay the identical trace against both systems.
+  TextTable table({"algorithm", "success", "resp time (ms)",
+                   "cost/search", "load (B/node/s)", "load stddev"});
+  for (auto kind : {harness::AlgoKind::kFlooding, harness::AlgoKind::kAsapRw}) {
+    std::cout << "running " << harness::algo_name(kind) << "...\n";
+    const auto res = harness::run_experiment(world, kind);
+    table.add_row({res.algo,
+                   TextTable::num(100.0 * res.search.success_rate(), 1) + "%",
+                   TextTable::num(1e3 * res.search.avg_response_time(), 1),
+                   TextTable::bytes(res.search.avg_cost_bytes()),
+                   TextTable::num(res.load.mean_bytes_per_node_per_sec, 1),
+                   TextTable::num(res.load.stddev_bytes_per_node_per_sec, 1)});
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nASAP(RW) load breakdown over the measurement window:\n";
+  {
+    const auto res = harness::run_experiment(world, harness::AlgoKind::kAsapRw);
+    for (const auto& cs : res.breakdown) {
+      std::cout << "  " << sim::traffic_name(cs.category) << ": "
+                << TextTable::bytes(static_cast<double>(cs.bytes)) << " ("
+                << TextTable::num(100.0 * cs.share, 1) << "%)\n";
+    }
+    std::cout << "  local hit rate: "
+              << TextTable::num(100.0 * res.search.local_hit_rate(), 1)
+              << "%\n";
+  }
+  std::cout << "\nASAP answers searches from locally cached advertisements\n"
+               "(one confirmation round trip), so expect a much lower\n"
+               "response time and a search cost orders of magnitude below\n"
+               "flooding, at the price of background ad traffic.\n";
+  return 0;
+}

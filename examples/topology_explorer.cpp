@@ -1,0 +1,95 @@
+// Topology explorer: exercises the substrate APIs directly — the GT-ITM
+// transit-stub physical network and the three overlay generators — and
+// prints their structural properties (the §IV-A experimental framework).
+//
+//   ./topology_explorer [seed]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "net/transit_stub.hpp"
+#include "overlay/graph_metrics.hpp"
+#include "overlay/overlay.hpp"
+
+int main(int argc, char** argv) {
+  using namespace asap;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  Rng rng(seed);
+
+  // --- physical network -------------------------------------------------
+  const auto params = net::TransitStubParams::small();
+  std::cout << "generating transit-stub network: "
+            << params.transit_domains << " transit domains x "
+            << params.transit_nodes_per_domain << " transit nodes, "
+            << params.stub_domains_per_transit << " stub domains each x "
+            << params.stub_nodes_per_domain << " stub nodes = "
+            << params.total_nodes() << " physical nodes\n";
+  const auto phys = net::TransitStubNetwork::generate(params, rng);
+  std::cout << "links: " << phys.num_links() << "\n\n";
+
+  RunningStats latency;
+  Rng pick(seed + 1);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto a = static_cast<PhysNodeId>(pick.below(phys.num_nodes()));
+    const auto b = static_cast<PhysNodeId>(pick.below(phys.num_nodes()));
+    latency.add(phys.latency(a, b) * 1e3);
+  }
+  std::cout << "pairwise one-way latency (ms): mean "
+            << TextTable::num(latency.mean(), 1) << ", min "
+            << TextTable::num(latency.min(), 1) << ", max "
+            << TextTable::num(latency.max(), 1) << ", stddev "
+            << TextTable::num(latency.stddev(), 1) << "\n\n";
+
+  // --- overlays ----------------------------------------------------------
+  constexpr std::uint32_t kPeers = 2'000;
+  struct Spec {
+    const char* name;
+    overlay::Overlay graph;
+  };
+  std::vector<Spec> overlays;
+  overlays.push_back({"random", overlay::Overlay::random(kPeers, 5.0, rng)});
+  overlays.push_back(
+      {"powerlaw", overlay::Overlay::powerlaw(kPeers, 5.0, 0.74, rng)});
+  overlays.push_back(
+      {"crawled", overlay::Overlay::crawled_like(kPeers, 3.35, rng)});
+
+  TextTable table({"overlay", "nodes", "edges", "avg degree", "max degree",
+                   "% degree<=2", "clustering", "mean hops", "diam >=",
+                   "connected"});
+  for (const auto& spec : overlays) {
+    const auto hist = spec.graph.degree_histogram();
+    std::uint32_t leaves = 0;
+    for (std::size_t d = 0; d <= 2 && d < hist.size(); ++d) {
+      leaves += hist[d];
+    }
+    const auto cc = overlay::clustering_coefficient(spec.graph, 200, pick);
+    const auto paths = overlay::path_stats(spec.graph, 8, pick);
+    table.add_row({spec.name, std::to_string(spec.graph.num_nodes()),
+                   std::to_string(spec.graph.num_edges()),
+                   TextTable::num(spec.graph.avg_degree(), 2),
+                   std::to_string(hist.size() - 1),
+                   TextTable::num(100.0 * leaves / kPeers, 1),
+                   TextTable::num(cc, 3),
+                   TextTable::num(paths.mean_hops, 2),
+                   std::to_string(paths.max_hops),
+                   spec.graph.connected() ? "yes" : "no"});
+  }
+  table.print(std::cout);
+
+  // --- churn demonstration ------------------------------------------------
+  auto& g = overlays.back().graph;
+  std::cout << "\nchurn on the crawled overlay: detaching 100 random nodes "
+               "and attaching 50 fresh ones...\n";
+  for (int i = 0; i < 100; ++i) {
+    g.detach(static_cast<NodeId>(pick.below(kPeers)));
+  }
+  for (int i = 0; i < 50; ++i) g.attach_new(4, pick);
+  std::cout << "after churn: " << g.attached_nodes().size()
+            << " attached nodes, avg degree "
+            << TextTable::num(g.avg_degree(), 2) << '\n';
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "asap/ad.hpp"
+
+namespace asap::ads {
+
+const char* ad_kind_name(AdKind k) {
+  switch (k) {
+    case AdKind::kFull:
+      return "full";
+    case AdKind::kPatch:
+      return "patch";
+    case AdKind::kRefresh:
+      return "refresh";
+  }
+  return "?";
+}
+
+Bytes full_ad_bytes(const AdPayload& ad, const sim::SizeModel& sizes) {
+  return sizes.ad_header + ad.topics.size() + ad.filter.wire_bytes();
+}
+
+Bytes patch_ad_bytes(std::size_t toggled_positions, std::size_t topics,
+                     const sim::SizeModel& sizes) {
+  return sizes.ad_header + topics + sizes.patch_entry * toggled_positions;
+}
+
+Bytes refresh_ad_bytes(const sim::SizeModel& sizes) {
+  return sizes.ad_header;
+}
+
+bool topics_overlap(const std::vector<TopicId>& a,
+                    const std::vector<TopicId>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return true;
+    if (*ia < *ib) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return false;
+}
+
+}  // namespace asap::ads

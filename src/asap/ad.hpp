@@ -1,0 +1,58 @@
+// Advertisement representation (paper §III-B).
+//
+// An ad is a tuple (I, C, T, v): source identity, content information,
+// topic set, and a version number. Three kinds exist:
+//   * full ad    — complete content Bloom filter,
+//   * patch ad   — changed bit positions since the previous version,
+//   * refresh ad — header only (liveness + version beacon).
+//
+// Payloads are immutable and shared: the system keeps exactly one
+// AdPayload object per (source, version); every cache that holds that
+// version of the ad points at the same object (a cacher that applies a
+// patch reconstructs bit-identical content, so it simply adopts the new
+// canonical payload). This keeps memory linear in the number of *versions*
+// rather than the number of cache entries.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bloom/bloom.hpp"
+#include "common/types.hpp"
+#include "sim/size_model.hpp"
+
+namespace asap::ads {
+
+enum class AdKind : std::uint8_t { kFull, kPatch, kRefresh };
+
+const char* ad_kind_name(AdKind k);
+
+struct AdPayload {
+  NodeId source = kInvalidNode;
+  std::uint32_t version = 0;
+  bloom::BloomFilter filter;
+  std::vector<TopicId> topics;  // sorted
+
+  AdPayload(NodeId src, std::uint32_t ver, bloom::BloomFilter f,
+            std::vector<TopicId> t)
+      : source(src), version(ver), filter(std::move(f)), topics(std::move(t)) {}
+};
+
+using AdPayloadPtr = std::shared_ptr<const AdPayload>;
+
+/// Wire size of a full ad: header + topic list + compressed filter.
+Bytes full_ad_bytes(const AdPayload& ad, const sim::SizeModel& sizes);
+
+/// Wire size of a patch ad with the given number of changed positions.
+Bytes patch_ad_bytes(std::size_t toggled_positions, std::size_t topics,
+                     const sim::SizeModel& sizes);
+
+/// Wire size of a refresh ad (header only).
+Bytes refresh_ad_bytes(const sim::SizeModel& sizes);
+
+/// True iff the two sorted topic vectors intersect.
+bool topics_overlap(const std::vector<TopicId>& a,
+                    const std::vector<TopicId>& b);
+
+}  // namespace asap::ads

@@ -1,0 +1,135 @@
+#include "asap/ad_cache.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace asap::ads {
+
+AdCache::AdCache(std::uint32_t capacity) : capacity_(capacity) {
+  ASAP_REQUIRE(capacity >= 1, "ad cache capacity must be positive");
+}
+
+void AdCache::put(AdPayloadPtr ad, double now, Rng& rng) {
+  ASAP_DCHECK(ad != nullptr);
+  const NodeId src = ad->source;
+  if (auto it = pos_.find(src); it != pos_.end()) {
+    auto& entry = entries_[it->second].second;
+    // Never downgrade to an older version (walk revisits can deliver the
+    // same ad twice; late full ads can race a newer patch).
+    if (ad->version >= entry.ad->version) entry.ad = std::move(ad);
+    entry.touch = now;
+    return;
+  }
+  if (entries_.size() >= capacity_) evict_one(rng);
+  pos_.emplace(src, static_cast<std::uint32_t>(entries_.size()));
+  entries_.emplace_back(src, Entry{std::move(ad), now});
+}
+
+bool AdCache::apply_patch(NodeId source, std::uint32_t base_version,
+                          const AdPayloadPtr& next, double now) {
+  auto it = pos_.find(source);
+  if (it == pos_.end()) return false;  // never cached; nothing to patch
+  auto& entry = entries_[it->second].second;
+  if (entry.ad->version == base_version) {
+    entry.ad = next;
+    entry.touch = now;
+    return true;
+  }
+  if (entry.ad->version >= next->version) return false;  // already newer
+  erase_at(it->second);  // stale beyond repair
+  return false;
+}
+
+bool AdCache::on_refresh(NodeId source, std::uint32_t version, double now) {
+  auto it = pos_.find(source);
+  if (it == pos_.end()) return false;
+  auto& entry = entries_[it->second].second;
+  if (entry.ad->version == version) {
+    entry.touch = now;
+    return true;
+  }
+  if (entry.ad->version < version) erase_at(it->second);
+  return false;
+}
+
+bool AdCache::erase(NodeId source) {
+  auto it = pos_.find(source);
+  if (it == pos_.end()) return false;
+  erase_at(it->second);
+  return true;
+}
+
+void AdCache::erase_at(std::size_t idx) {
+  ASAP_DCHECK(idx < entries_.size());
+  pos_.erase(entries_[idx].first);
+  if (idx + 1 != entries_.size()) {
+    entries_[idx] = std::move(entries_.back());
+    pos_[entries_[idx].first] = static_cast<std::uint32_t>(idx);
+  }
+  entries_.pop_back();
+}
+
+const AdCache::Entry* AdCache::find(NodeId source) const {
+  auto it = pos_.find(source);
+  return it == pos_.end() ? nullptr : &entries_[it->second].second;
+}
+
+void AdCache::touch(NodeId source, double now) {
+  auto it = pos_.find(source);
+  if (it != pos_.end()) entries_[it->second].second.touch = now;
+}
+
+void AdCache::evict_one(Rng& rng) {
+  if (entries_.empty()) return;
+  // Sampled LRU: evict the stalest of up to 8 random entries.
+  constexpr std::size_t kSamples = 8;
+  std::size_t victim = rng.below(entries_.size());
+  double oldest = entries_[victim].second.touch;
+  for (std::size_t s = 1; s < kSamples; ++s) {
+    const std::size_t idx = rng.below(entries_.size());
+    if (entries_[idx].second.touch < oldest) {
+      oldest = entries_[idx].second.touch;
+      victim = idx;
+    }
+  }
+  erase_at(victim);
+}
+
+void AdCache::collect_matches(std::span<const KeywordId> terms,
+                              std::vector<AdPayloadPtr>& out) const {
+  out.clear();
+  if (terms.empty()) return;
+  for (const auto& [src, entry] : entries_) {
+    if (entry.ad->filter.contains_all(terms)) out.push_back(entry.ad);
+  }
+}
+
+void AdCache::collect_for_reply(std::span<const KeywordId> terms,
+                                const std::vector<TopicId>& interests,
+                                std::uint32_t max_ads,
+                                std::uint32_t max_topical,
+                                std::vector<AdPayloadPtr>& out) const {
+  out.clear();
+  // Pass 1: ads that already satisfy the query terms.
+  for (const auto& [src, entry] : entries_) {
+    if (out.size() >= max_ads) return;
+    if (!terms.empty() && entry.ad->filter.contains_all(terms)) {
+      out.push_back(entry.ad);
+    }
+  }
+  // Pass 2: up to max_topical ads topically relevant to the requester.
+  std::uint32_t topical = 0;
+  for (const auto& [src, entry] : entries_) {
+    if (out.size() >= max_ads || topical >= max_topical) return;
+    if (!terms.empty() && entry.ad->filter.contains_all(terms)) {
+      continue;  // already included
+    }
+    if (topics_overlap(entry.ad->topics, interests)) {
+      out.push_back(entry.ad);
+      ++topical;
+    }
+  }
+}
+
+}  // namespace asap::ads

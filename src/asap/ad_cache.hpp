@@ -1,0 +1,86 @@
+// Per-node ads repository (paper §III-C).
+//
+// Bounded store of interesting ads keyed by source node. Eviction is
+// sampled-LRU (evict the least-recently-touched of k random entries), an
+// O(1) approximation that avoids both full scans and heavyweight intrusive
+// lists — important because ad deliveries generate millions of inserts.
+//
+// Version discipline:
+//   * a full ad replaces whatever is cached for its source,
+//   * a patch applies only if the cached version equals the patch's base
+//     version (the entry then adopts the new canonical payload); any
+//     mismatch invalidates the entry — it will be re-learned from a later
+//     full ad or an ads request,
+//   * a refresh touches a version-matching entry and invalidates a
+//     mismatching one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "asap/ad.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace asap::ads {
+
+class AdCache {
+ public:
+  struct Entry {
+    AdPayloadPtr ad;
+    double touch = 0.0;  // virtual time of last use
+  };
+
+  explicit AdCache(std::uint32_t capacity = 1'500);
+
+  std::uint32_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Inserts or replaces the ad for its source; evicts if over capacity.
+  void put(AdPayloadPtr ad, double now, Rng& rng);
+
+  /// Applies a patch: swaps to `next` iff the cached version equals
+  /// `base_version`. Returns true on success; a version mismatch erases
+  /// the stale entry and returns false.
+  bool apply_patch(NodeId source, std::uint32_t base_version,
+                   const AdPayloadPtr& next, double now);
+
+  /// Handles a refresh beacon. Returns true if a version-matching entry
+  /// was touched; a mismatching entry is erased.
+  bool on_refresh(NodeId source, std::uint32_t version, double now);
+
+  bool erase(NodeId source);
+  const Entry* find(NodeId source) const;
+  void touch(NodeId source, double now);
+
+  /// All cached ads whose filter claims every term (paper Table I match).
+  void collect_matches(std::span<const KeywordId> terms,
+                       std::vector<AdPayloadPtr>& out) const;
+
+  /// Builds an ads-request reply: term-matching ads first (up to `max_ads`
+  /// total), then at most `max_topical` ads whose topics overlap the
+  /// requester's interests. Term filtering keeps failure-path replies small
+  /// (a handful of candidate ads) while a join-time warm-up request
+  /// (empty terms, large `max_topical`) still transfers a useful bundle.
+  void collect_for_reply(std::span<const KeywordId> terms,
+                         const std::vector<TopicId>& interests,
+                         std::uint32_t max_ads, std::uint32_t max_topical,
+                         std::vector<AdPayloadPtr>& out) const;
+
+  /// Iterate entries (tests / debugging).
+  const std::vector<std::pair<NodeId, Entry>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  void evict_one(Rng& rng);
+  void erase_at(std::size_t idx);
+
+  std::uint32_t capacity_;
+  std::vector<std::pair<NodeId, Entry>> entries_;
+  std::unordered_map<NodeId, std::uint32_t> pos_;  // source -> entries_ index
+};
+
+}  // namespace asap::ads

@@ -1,0 +1,59 @@
+#include "asap/advertiser.hpp"
+
+#include "common/error.hpp"
+
+namespace asap::ads {
+
+Advertiser::Advertiser(NodeId source, bloom::BloomParams params)
+    : source_(source), params_(params) {}
+
+void Advertiser::ensure_filter() {
+  if (!counting_) {
+    counting_ = std::make_unique<bloom::CountingBloomFilter>(params_);
+  }
+}
+
+void Advertiser::add_document(const trace::Document& doc) {
+  ensure_filter();
+  for (KeywordId kw : doc.keywords) counting_->insert(kw);
+  ++class_counts_[doc.topic];
+  ++doc_count_;
+}
+
+void Advertiser::remove_document(const trace::Document& doc) {
+  ASAP_DCHECK(counting_ != nullptr && doc_count_ > 0);
+  if (!counting_ || doc_count_ == 0) return;
+  for (KeywordId kw : doc.keywords) counting_->remove(kw);
+  if (class_counts_[doc.topic] > 0) --class_counts_[doc.topic];
+  --doc_count_;
+}
+
+std::vector<TopicId> Advertiser::topics() const {
+  std::vector<TopicId> out;
+  for (TopicId c = 0; c < trace::kNumClasses; ++c) {
+    if (class_counts_[c] > 0) out.push_back(c);
+  }
+  return out;  // ascending class id == sorted
+}
+
+AdPayloadPtr Advertiser::publish_full() {
+  ensure_filter();
+  ++version_;
+  payload_ = std::make_shared<const AdPayload>(
+      source_, version_, counting_->projection(), topics());
+  return payload_;
+}
+
+std::vector<std::uint32_t> Advertiser::pending_patch() const {
+  if (!payload_) return {};
+  ASAP_DCHECK(counting_ != nullptr);
+  return bloom::BloomFilter::diff(payload_->filter, counting_->projection());
+}
+
+bool Advertiser::dirty() const {
+  if (!counting_) return false;
+  if (!payload_) return doc_count_ > 0;
+  return !(payload_->filter == counting_->projection());
+}
+
+}  // namespace asap::ads

@@ -1,0 +1,72 @@
+// Per-node advertised-content state (paper §III-B/C).
+//
+// Tracks a node's shared keyword multiset in a counting Bloom filter (so
+// removals clear bits), the class histogram that defines the node's ad
+// topics, the last advertised filter snapshot and the version counter.
+// Produces the canonical AdPayload for each new version plus the toggle
+// list a patch ad carries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "asap/ad.hpp"
+#include "bloom/bloom.hpp"
+#include "common/types.hpp"
+#include "trace/classes.hpp"
+#include "trace/content_model.hpp"
+
+namespace asap::ads {
+
+class Advertiser {
+ public:
+  explicit Advertiser(NodeId source,
+                      bloom::BloomParams params = bloom::BloomParams{});
+
+  NodeId source() const { return source_; }
+  std::uint32_t version() const { return version_; }
+  bool has_advertised() const { return payload_ != nullptr; }
+  const AdPayloadPtr& payload() const { return payload_; }
+
+  /// True when the node currently shares anything (free-riders have a null
+  /// content filter and "have nothing to advertise", §III-B).
+  bool has_content() const { return doc_count_ > 0; }
+
+  void add_document(const trace::Document& doc);
+  void remove_document(const trace::Document& doc);
+
+  /// Current topic set (classes of the shared documents), sorted.
+  std::vector<TopicId> topics() const;
+
+  /// Snapshot the current content into a new version and return its
+  /// canonical payload (used for full ads). No-op content still produces a
+  /// new version so cachers can resynchronize.
+  AdPayloadPtr publish_full();
+
+  /// Positions that changed since the last published version — the patch
+  /// body. Empty if nothing changed.
+  std::vector<std::uint32_t> pending_patch() const;
+
+  /// True if any filter bit differs from the advertised snapshot.
+  bool dirty() const;
+
+  const bloom::CountingBloomFilter& counting_filter() const {
+    return *counting_;
+  }
+
+ private:
+  NodeId source_;
+  bloom::BloomParams params_;
+  std::unique_ptr<bloom::CountingBloomFilter> counting_;  // lazily allocated
+  std::array<std::uint16_t, trace::kNumClasses> class_counts_{};
+  std::uint32_t doc_count_ = 0;
+  std::uint32_t version_ = 0;
+  AdPayloadPtr payload_;  // canonical payload at `version_`
+
+  void ensure_filter();
+};
+
+}  // namespace asap::ads

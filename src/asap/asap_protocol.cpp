@@ -1,0 +1,452 @@
+#include "asap/asap_protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "search/propagation.hpp"
+
+namespace asap::ads {
+
+namespace {
+constexpr Seconds kInfTime = std::numeric_limits<Seconds>::infinity();
+}
+
+AsapParams AsapParams::paper(search::Scheme s) {
+  AsapParams p;
+  p.scheme = s;
+  return p;
+}
+
+AsapParams AsapParams::small(search::Scheme s) {
+  AsapParams p;
+  p.scheme = s;
+  // M0 = 3000 on the ~5x smaller population raises per-delivery coverage to
+  // ~95%, which is what gives ASAP its near-local search behaviour. The
+  // maintenance deliveries (join/patch/refresh) are scaled down by the same
+  // 5x population ratio so their per-node background load — and therefore
+  // the ASAP-vs-baseline load ratios of Fig 8/9 — matches the paper-scale
+  // configuration (see EXPERIMENTS.md, calibration notes).
+  p.budget_unit_m0 = 3'000;
+  p.join_budget_scale = 0.01;
+  p.patch_budget_scale = 0.05;
+  p.refresh_budget_scale = 0.016;
+  p.join_reply_max = 16;
+  return p;
+}
+
+AsapProtocol::AsapProtocol(search::Ctx& ctx, AsapParams params)
+    : ctx_(ctx), params_(params) {
+  ASAP_REQUIRE(params.budget_unit_m0 >= 1, "M0 must be positive");
+  ASAP_REQUIRE(params.cache_capacity >= 1, "cache capacity must be positive");
+  const auto slots = ctx.model.total_node_slots();
+  advertisers_.reserve(slots);
+  caches_.reserve(slots);
+  for (NodeId n = 0; n < slots; ++n) {
+    advertisers_.emplace_back(n);
+    caches_.emplace_back(params.cache_capacity);
+  }
+  refresh_scheduled_.assign(slots, 0);
+}
+
+std::string AsapProtocol::name() const {
+  switch (params_.scheme) {
+    case search::Scheme::kFlooding:
+      return "asap(fld)";
+    case search::Scheme::kRandomWalk:
+      return "asap(rw)";
+    case search::Scheme::kGsa:
+      return "asap(gsa)";
+  }
+  return "asap(?)";
+}
+
+std::uint64_t AsapProtocol::delivery_budget(std::size_t num_topics,
+                                            double scale) const {
+  const auto topics = std::max<std::size_t>(1, num_topics);
+  const double raw =
+      scale * static_cast<double>(topics * params_.budget_unit_m0);
+  return std::max<std::uint64_t>(params_.walkers,
+                                 static_cast<std::uint64_t>(std::llround(raw)));
+}
+
+void AsapProtocol::deliver_ad(NodeId src, AdKind kind, Seconds when,
+                              double scale, const AdPayloadPtr& payload,
+                              std::span<const std::uint32_t> patch_positions,
+                              std::uint32_t base_version) {
+  ASAP_DCHECK(payload != nullptr);
+  Bytes msg_size = 0;
+  sim::Traffic cat = sim::Traffic::kFullAd;
+  switch (kind) {
+    case AdKind::kFull:
+      msg_size = full_ad_bytes(*payload, ctx_.sizes);
+      cat = sim::Traffic::kFullAd;
+      ++counters_.full_ads;
+      break;
+    case AdKind::kPatch:
+      msg_size = patch_ad_bytes(patch_positions.size(),
+                                payload->topics.size(), ctx_.sizes);
+      cat = sim::Traffic::kPatchAd;
+      ++counters_.patch_ads;
+      break;
+    case AdKind::kRefresh:
+      msg_size = refresh_ad_bytes(ctx_.sizes);
+      cat = sim::Traffic::kRefreshAd;
+      ++counters_.refresh_ads;
+      break;
+  }
+
+  auto visit = [&](NodeId v, Seconds t, std::uint32_t) {
+    if (v == src) return search::VisitAction::kContinue;
+    // Selective caching: only interested nodes keep the ad (§III-B).
+    if (!topics_overlap(payload->topics, ctx_.model.interests(v))) {
+      return search::VisitAction::kContinue;
+    }
+    AdCache& cache = caches_[v];
+    switch (kind) {
+      case AdKind::kFull:
+        cache.put(payload, t, ctx_.rng);
+        break;
+      case AdKind::kPatch:
+        cache.apply_patch(src, base_version, payload, t);
+        break;
+      case AdKind::kRefresh: {
+        const bool had = cache.on_refresh(src, payload->version, t);
+        if (!had && params_.refresh_pull) {
+          // Extension: pull the full ad straight from the source.
+          const Seconds done = t + 2.0 * ctx_.latency(v, src);
+          ctx_.ledger.deposit(t, sim::Traffic::kFullAd,
+                              ctx_.sizes.confirm_request);
+          ctx_.ledger.deposit(done, sim::Traffic::kFullAd,
+                              full_ad_bytes(*payload, ctx_.sizes));
+          cache.put(payload, done, ctx_.rng);
+          ++counters_.refresh_pulls;
+        }
+        break;
+      }
+    }
+    return search::VisitAction::kContinue;
+  };
+
+  switch (params_.scheme) {
+    case search::Scheme::kFlooding: {
+      const auto ttl = kind == AdKind::kRefresh ? params_.refresh_flood_ttl
+                                                : params_.flood_ttl;
+      search::flood(ctx_, src, when, ttl, msg_size, cat, visit);
+      break;
+    }
+    case search::Scheme::kRandomWalk: {
+      const auto budget = delivery_budget(payload->topics.size(), scale);
+      // Enough walkers that no single walk exceeds max_walk_hops.
+      const auto walkers = std::max<std::uint64_t>(
+          params_.walkers,
+          (budget + params_.max_walk_hops - 1) / params_.max_walk_hops);
+      const auto per_walker = std::max<std::uint64_t>(1, budget / walkers);
+      if (params_.interest_bias > 1.0) {
+        auto weight = [&](NodeId v) {
+          return topics_overlap(payload->topics, ctx_.model.interests(v))
+                     ? params_.interest_bias
+                     : 1.0;
+        };
+        search::biased_walk(ctx_, src, when,
+                            static_cast<std::uint32_t>(walkers), per_walker,
+                            msg_size, cat, weight, visit);
+      } else {
+        search::random_walk(ctx_, src, when,
+                            static_cast<std::uint32_t>(walkers), per_walker,
+                            msg_size, cat, visit);
+      }
+      break;
+    }
+    case search::Scheme::kGsa: {
+      const auto budget = delivery_budget(payload->topics.size(), scale);
+      search::gsa(ctx_, src, when, budget, msg_size, cat, visit);
+      break;
+    }
+  }
+}
+
+void AsapProtocol::warm_up(Seconds duration) {
+  ASAP_REQUIRE(duration > 0.0, "warm-up duration must be positive");
+  // Every initially-online sharer advertises a full ad at a random point in
+  // the first half of the warm-up window; the second half absorbs the walk
+  // durations (a budget/walkers-hop walk takes minutes of virtual time), so
+  // no warm-up traffic lands inside the measurement window.
+  const auto initial = ctx_.model.params().initial_nodes;
+  for (NodeId n = 0; n < initial; ++n) {
+    auto& adv = advertisers_[n];
+    for (DocId d : ctx_.live.docs(n)) adv.add_document(ctx_.model.doc(d));
+    if (!adv.has_content()) continue;  // free-riders advertise nothing
+    const Seconds at = ctx_.rng.uniform(0.0, duration * 0.5);
+    ctx_.engine.schedule_at(at, [this, n] {
+      if (!ctx_.online(n)) return;
+      auto payload = advertisers_[n].publish_full();
+      deliver_ad(n, AdKind::kFull, ctx_.engine.now(), 1.0, payload, {}, 0);
+      schedule_refresh(n);
+    });
+  }
+}
+
+void AsapProtocol::schedule_refresh(NodeId n) {
+  if (refresh_scheduled_[n]) return;
+  refresh_scheduled_[n] = 1;
+  const Seconds delay =
+      params_.refresh_period * ctx_.rng.uniform(0.5, 1.5);
+  ctx_.engine.schedule_in(delay, [this, n] { on_refresh_timer(n); });
+}
+
+void AsapProtocol::on_refresh_timer(NodeId n) {
+  refresh_scheduled_[n] = 0;
+  if (!ctx_.online(n)) return;  // departed: beaconing stops
+  auto& adv = advertisers_[n];
+  if (adv.has_advertised() && adv.has_content()) {
+    deliver_ad(n, AdKind::kRefresh, ctx_.engine.now(),
+               params_.refresh_budget_scale, adv.payload(), {}, 0);
+  }
+  schedule_refresh(n);
+}
+
+void AsapProtocol::on_trace_event(const trace::TraceEvent& ev) {
+  switch (ev.type) {
+    case trace::TraceEventType::kQuery:
+      run_query(ev);
+      break;
+    case trace::TraceEventType::kAddDoc:
+    case trace::TraceEventType::kRemoveDoc:
+      on_content_change(ev);
+      break;
+    case trace::TraceEventType::kJoin:
+      on_join(ev);
+      break;
+    case trace::TraceEventType::kRejoin:
+      on_rejoin(ev);
+      break;
+    case trace::TraceEventType::kLeave:
+      break;  // cached state persists; timers notice the departure lazily
+  }
+}
+
+void AsapProtocol::on_rejoin(const trace::TraceEvent& ev) {
+  const NodeId n = ev.node;
+  auto& adv = advertisers_[n];
+  // The node kept its content across the offline period; its remote
+  // cachers may hold stale versions, so it re-announces with a fresh full
+  // ad. Its own cache "could be mostly out of date" (§III-C), so it runs
+  // the same ads-request flow a brand-new node uses.
+  if (adv.has_content()) {
+    auto payload = adv.publish_full();
+    deliver_ad(n, AdKind::kFull, ev.time, params_.join_budget_scale, payload,
+               {}, 0);
+    schedule_refresh(n);
+  }
+  std::vector<AdPayloadPtr> unused;
+  ads_request_phase(n, ev.time, {}, nullptr, {}, unused);
+}
+
+void AsapProtocol::on_join(const trace::TraceEvent& ev) {
+  const NodeId n = ev.node;
+  ASAP_CHECK(n < advertisers_.size());
+  auto& adv = advertisers_[n];
+  for (DocId d : ctx_.live.docs(n)) adv.add_document(ctx_.model.doc(d));
+  if (adv.has_content()) {
+    auto payload = adv.publish_full();
+    deliver_ad(n, AdKind::kFull, ev.time, params_.join_budget_scale, payload,
+               {}, 0);
+    schedule_refresh(n);
+  }
+  // Warm the joiner's cache with topical ads from its new neighbors — the
+  // same ads-request flow a failed search uses (paper §III-C).
+  std::vector<AdPayloadPtr> unused;
+  ads_request_phase(n, ev.time, {}, nullptr, {}, unused);
+}
+
+void AsapProtocol::on_content_change(const trace::TraceEvent& ev) {
+  const NodeId n = ev.node;
+  auto& adv = advertisers_[n];
+  const auto& doc = ctx_.model.doc(ev.doc);
+  if (ev.type == trace::TraceEventType::kAddDoc) {
+    adv.add_document(doc);
+  } else {
+    adv.remove_document(doc);
+  }
+  if (!ctx_.online(n)) return;
+
+  if (!adv.has_advertised()) {
+    // First-time sharer (e.g. a free-rider that started sharing).
+    if (adv.has_content()) {
+      auto payload = adv.publish_full();
+      deliver_ad(n, AdKind::kFull, ev.time, params_.join_budget_scale,
+                 payload, {}, 0);
+      schedule_refresh(n);
+    }
+    return;
+  }
+
+  auto patch = adv.pending_patch();
+  if (patch.empty()) return;  // shared keywords absorbed the change
+  const std::uint32_t base = adv.version();
+  auto payload = adv.publish_full();  // canonical payload for the new version
+  if (patch.size() > params_.patch_to_full_threshold) {
+    deliver_ad(n, AdKind::kFull, ev.time, params_.join_budget_scale, payload,
+               {}, 0);
+  } else {
+    deliver_ad(n, AdKind::kPatch, ev.time, params_.patch_budget_scale,
+               payload, patch, base);
+  }
+}
+
+Seconds AsapProtocol::confirm_round(NodeId p, Seconds start,
+                                    std::span<const KeywordId> terms,
+                                    std::span<const AdPayloadPtr> candidates,
+                                    metrics::SearchRecord& rec,
+                                    Seconds& resolve,
+                                    std::vector<NodeId>& dead_sources) {
+  Seconds best = kInfTime;
+  std::uint32_t sent = 0;
+  for (const auto& ad : candidates) {
+    if (sent >= params_.max_confirms) break;
+    const NodeId s = ad->source;
+    if (s == p) continue;
+    ++sent;
+    ++counters_.confirm_requests;
+    const Seconds lat = ctx_.latency(p, s);
+    const Seconds t_req = start + lat;
+    ctx_.ledger.deposit(t_req, sim::Traffic::kConfirm,
+                        ctx_.sizes.confirm_request);
+    rec.cost_bytes += ctx_.sizes.confirm_request;
+    ++rec.messages;
+    if (!ctx_.online(s)) {
+      // Connection failure: the requester learns after ~1 RTT and drops
+      // the dead entry from its cache.
+      resolve = std::max(resolve, start + 2.0 * lat);
+      caches_[p].erase(s);
+      dead_sources.push_back(s);
+      continue;
+    }
+    const Seconds t_reply = t_req + lat;
+    ctx_.ledger.deposit(t_reply, sim::Traffic::kConfirm,
+                        ctx_.sizes.confirm_reply);
+    rec.cost_bytes += ctx_.sizes.confirm_reply;
+    ++rec.messages;
+    resolve = std::max(resolve, t_reply);
+    if (ctx_.live.node_matches(s, terms, ctx_.model)) {
+      best = std::min(best, t_reply);
+      caches_[p].touch(s, t_reply);
+      ++rec.results;
+    }
+    // A negative confirmation (cross-document or Bloom false positive)
+    // keeps the entry: the ad honestly summarizes the source's content.
+  }
+  return best;
+}
+
+Seconds AsapProtocol::ads_request_phase(
+    NodeId p, Seconds start, std::span<const KeywordId> terms,
+    metrics::SearchRecord* rec, std::span<const NodeId> skip_sources,
+    std::vector<AdPayloadPtr>& matches_out) {
+  matches_out.clear();
+  if (params_.ads_request_hops == 0) return start;
+  ++counters_.ads_requests;
+  Seconds done = start;
+  const auto& interests = ctx_.model.interests(p);
+
+  const std::uint32_t total_cap =
+      terms.empty() ? params_.join_reply_max : params_.ads_reply_max;
+  const std::uint32_t topical_cap =
+      terms.empty() ? params_.join_reply_max : params_.ads_reply_topical_max;
+  auto visit = [&](NodeId v, Seconds t, std::uint32_t) {
+    caches_[v].collect_for_reply(terms, interests, total_cap, topical_cap,
+                                 reply_scratch_);
+    Bytes reply_bytes = ctx_.sizes.ads_reply_header;
+    for (const auto& ad : reply_scratch_) {
+      reply_bytes +=
+          ctx_.sizes.ads_reply_entry_overhead + full_ad_bytes(*ad, ctx_.sizes);
+    }
+    const Seconds t_back = t + ctx_.latency(v, p);
+    ctx_.ledger.deposit(t_back, sim::Traffic::kAdsRequest, reply_bytes);
+    if (rec != nullptr) {
+      rec->cost_bytes += reply_bytes;
+      ++rec->messages;
+    }
+    done = std::max(done, t_back);
+    for (auto& ad : reply_scratch_) {
+      if (ad->source == p) continue;
+      if (std::find(skip_sources.begin(), skip_sources.end(), ad->source) !=
+          skip_sources.end()) {
+        continue;  // the requester just saw this source dead
+      }
+      caches_[p].put(ad, t_back, ctx_.rng);
+      if (!terms.empty() && ad->filter.contains_all(terms)) {
+        matches_out.push_back(ad);
+      }
+    }
+    return search::VisitAction::kContinue;
+  };
+
+  const auto prop =
+      search::flood(ctx_, p, start, params_.ads_request_hops,
+                    ctx_.sizes.ads_request, sim::Traffic::kAdsRequest, visit);
+  if (rec != nullptr) {
+    rec->cost_bytes += prop.bytes;
+    rec->messages += prop.messages;
+  }
+
+  // Deduplicate by source (two neighbors may return the same ad).
+  std::sort(matches_out.begin(), matches_out.end(),
+            [](const AdPayloadPtr& a, const AdPayloadPtr& b) {
+              if (a->source != b->source) return a->source < b->source;
+              return a->version > b->version;
+            });
+  matches_out.erase(std::unique(matches_out.begin(), matches_out.end(),
+                                [](const AdPayloadPtr& a,
+                                   const AdPayloadPtr& b) {
+                                  return a->source == b->source;
+                                }),
+                    matches_out.end());
+  return done;
+}
+
+void AsapProtocol::run_query(const trace::TraceEvent& ev) {
+  const NodeId p = ev.node;
+  const Seconds t0 = ev.time;
+  const auto terms = ev.term_span();
+  metrics::SearchRecord rec;
+
+  // Phase 1: local ads-cache lookup + confirmations (paper Table I).
+  caches_[p].collect_matches(terms, scratch_ads_);
+  Seconds resolve = t0;
+  std::vector<NodeId> dead;
+  Seconds best =
+      confirm_round(p, t0, terms, scratch_ads_, rec, resolve, dead);
+  const bool local_success = best < kInfTime;
+
+  // Phase 2: if no match was found *or more responses are needed* (paper
+  // Table I), request ads from neighbors within h hops, merge, and retry
+  // the confirmation round once.
+  if (!local_success || rec.results < params_.results_needed) {
+    std::vector<AdPayloadPtr> fresh;
+    const Seconds phase_done =
+        ads_request_phase(p, resolve, terms, &rec, dead, fresh);
+    // Skip sources already confirmed (positively or negatively) in the
+    // local round — their answer is known.
+    std::erase_if(fresh, [&](const AdPayloadPtr& ad) {
+      for (const auto& tried : scratch_ads_) {
+        if (tried->source == ad->source) return true;
+      }
+      return false;
+    });
+    if (!fresh.empty()) {
+      Seconds resolve2 = phase_done;
+      best = std::min(best, confirm_round(p, phase_done, terms, fresh, rec,
+                                          resolve2, dead));
+    }
+  }
+
+  rec.success = best < kInfTime;
+  rec.local_hit = local_success;
+  rec.response_time = rec.success ? best - t0 : 0.0;
+  stats_.add(rec);
+}
+
+}  // namespace asap::ads

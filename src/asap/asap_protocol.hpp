@@ -1,0 +1,151 @@
+// ASAP: the advertisement-based search protocol (paper §III).
+//
+// Nodes proactively advertise their content (full / patch / refresh ads,
+// disseminated by a configurable forwarding scheme — flooding, random walk
+// or GSA, giving the paper's ASAP(FLD)/ASAP(RW)/ASAP(GSA) variants) and
+// selectively cache interesting ads from other peers. A search first scans
+// the local ads cache; every matching ad triggers a one-hop content
+// confirmation with the ad's source. If nothing matches (or nothing
+// confirms), the node requests topical ads from neighbors within h hops,
+// merges the replies, and retries once — the same warm-up path a freshly
+// joined node uses (paper Table I).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "asap/ad.hpp"
+#include "asap/ad_cache.hpp"
+#include "asap/advertiser.hpp"
+#include "search/algorithm.hpp"
+#include "search/baseline.hpp"
+#include "search/context.hpp"
+
+namespace asap::ads {
+
+struct AsapParams {
+  /// Ad forwarding scheme: ASAP(FLD) / ASAP(RW) / ASAP(GSA).
+  search::Scheme scheme = search::Scheme::kRandomWalk;
+  std::uint32_t flood_ttl = 6;        // full/patch ad floods (ASAP(FLD))
+  std::uint32_t refresh_flood_ttl = 3;  // refresh beacons flood shallower
+  std::uint32_t walkers = 5;
+
+  /// Budget unit M0: one full-ad delivery gets |T(a)| * M0 messages
+  /// (paper §IV-A; applies to the RW and GSA schemes).
+  std::uint64_t budget_unit_m0 = 3'000;
+  /// Upper bound on a single ad-delivery walk; larger budgets run more
+  /// walkers in parallel. Bounds the virtual-time span of one delivery
+  /// (~max_walk_hops * mean hop latency) so deliveries finish promptly.
+  std::uint64_t max_walk_hops = 600;
+  /// Budget scale for full ads sent after warm-up (joins, large changes).
+  double join_budget_scale = 0.05;
+  /// Budget scale for patch-ad deliveries.
+  double patch_budget_scale = 0.25;
+  /// Budget scale for refresh-ad deliveries.
+  double refresh_budget_scale = 0.08;
+  /// Refresh beacon period per sharing node (with +-50% jitter).
+  Seconds refresh_period = 120.0;
+
+  std::uint32_t ads_request_hops = 1;  // h (paper default 1)
+  std::uint32_t ads_reply_max = 16;    // cap on ads per failure-path reply
+  /// Topical (non-term-matching) ads per failure-path reply.
+  std::uint32_t ads_reply_topical_max = 8;
+  /// Cap on ads per reply to a join-time warm-up request (no query terms,
+  /// so the whole reply is topical bulk).
+  std::uint32_t join_reply_max = 64;
+  std::uint32_t cache_capacity = 1'500;
+  std::uint32_t max_confirms = 8;      // confirmations per lookup round
+  /// Positive confirmations the requester wants (paper Table I: "if more
+  /// responses needed" widens the search with an ads request even after a
+  /// local hit).
+  std::uint32_t results_needed = 1;
+  /// Patches larger than this many toggled positions ship as full ads.
+  std::uint32_t patch_to_full_threshold = 1'024;
+  /// Extension (off by default, ablation bench): an interested node that
+  /// receives a refresh for an ad it does not cache pulls the full ad
+  /// directly from the source.
+  bool refresh_pull = false;
+  /// Extension (1.0 = off): with the RW scheme, ad-delivery walkers pick
+  /// the next hop with this relative preference for neighbors whose
+  /// interests overlap the ad's topics — steering ads toward their
+  /// consumers, exploiting the interest clustering of §III-A.
+  double interest_bias = 1.0;
+
+  static AsapParams small(search::Scheme s);
+  static AsapParams paper(search::Scheme s);
+};
+
+class AsapProtocol final : public search::SearchAlgorithm {
+ public:
+  AsapProtocol(search::Ctx& ctx, AsapParams params);
+
+  std::string name() const override;
+  void warm_up(Seconds duration) override;
+  void on_trace_event(const trace::TraceEvent& event) override;
+
+  // --- introspection (tests, examples) ---------------------------------
+  const AdCache& cache(NodeId n) const { return caches_[n]; }
+  const Advertiser& advertiser(NodeId n) const { return advertisers_[n]; }
+
+  struct Counters {
+    std::uint64_t full_ads = 0;
+    std::uint64_t patch_ads = 0;
+    std::uint64_t refresh_ads = 0;
+    std::uint64_t ads_requests = 0;
+    std::uint64_t confirm_requests = 0;
+    std::uint64_t refresh_pulls = 0;
+  };
+  const Counters& counters() const { return counters_; }
+  const AsapParams& params() const { return params_; }
+
+ private:
+  std::uint64_t delivery_budget(std::size_t num_topics, double scale) const;
+
+  /// Disseminates an ad from `src` starting at `when`.
+  /// For patches, `patch_positions`/`base_version` describe the delta.
+  void deliver_ad(NodeId src, AdKind kind, Seconds when, double scale,
+                  const AdPayloadPtr& payload,
+                  std::span<const std::uint32_t> patch_positions,
+                  std::uint32_t base_version);
+
+  void on_join(const trace::TraceEvent& ev);
+  void on_rejoin(const trace::TraceEvent& ev);
+  void on_content_change(const trace::TraceEvent& ev);
+  void run_query(const trace::TraceEvent& ev);
+
+  /// Confirms each candidate ad with its source. Returns the earliest
+  /// positive-reply time (infinity if none). `resolve` is advanced to the
+  /// time the whole round is known to have finished; `rec.results` counts
+  /// the positive confirmations.
+  Seconds confirm_round(NodeId p, Seconds start,
+                        std::span<const KeywordId> terms,
+                        std::span<const AdPayloadPtr> candidates,
+                        metrics::SearchRecord& rec, Seconds& resolve,
+                        std::vector<NodeId>& dead_sources);
+
+  /// Requests ads from neighbors within h hops, merges replies into p's
+  /// cache and collects term-matching payloads. Ads from `skip_sources`
+  /// (sources the requester just observed dead) are not merged. Returns
+  /// completion time.
+  Seconds ads_request_phase(NodeId p, Seconds start,
+                            std::span<const KeywordId> terms,
+                            metrics::SearchRecord* rec,
+                            std::span<const NodeId> skip_sources,
+                            std::vector<AdPayloadPtr>& matches_out);
+
+  void schedule_refresh(NodeId n);
+  void on_refresh_timer(NodeId n);
+
+  search::Ctx& ctx_;
+  AsapParams params_;
+  std::vector<Advertiser> advertisers_;
+  std::vector<AdCache> caches_;
+  std::vector<std::uint8_t> refresh_scheduled_;
+  Counters counters_;
+  std::vector<AdPayloadPtr> scratch_ads_;
+  std::vector<AdPayloadPtr> reply_scratch_;
+};
+
+}  // namespace asap::ads

@@ -1,0 +1,170 @@
+#include "bloom/bloom.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace asap::bloom {
+
+namespace {
+
+/// SplitMix64-style finalizer; good avalanche for sequential keyword ids.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint32_t BloomParams::min_bits_for(std::uint32_t capacity,
+                                        std::uint32_t hashes) {
+  const double m = static_cast<double>(capacity) * hashes / std::log(2.0);
+  return static_cast<std::uint32_t>(std::ceil(m));
+}
+
+BloomParams BloomParams::for_capacity(std::uint32_t capacity,
+                                      std::uint32_t hashes) {
+  ASAP_REQUIRE(capacity >= 1, "bloom capacity must be positive");
+  ASAP_REQUIRE(hashes >= 1 && hashes <= 32, "hash count out of range");
+  return BloomParams{min_bits_for(capacity, hashes), hashes};
+}
+
+double BloomParams::false_positive_rate(std::uint32_t n) const {
+  const double exponent =
+      -static_cast<double>(hashes) * n / static_cast<double>(bits);
+  return std::pow(1.0 - std::exp(exponent), static_cast<double>(hashes));
+}
+
+BloomFilter::BloomFilter(BloomParams params)
+    : params_(params), words_((params.bits + 63) / 64, 0) {
+  ASAP_REQUIRE(params.bits >= 64, "filter too small");
+  ASAP_REQUIRE(params.hashes >= 1 && params.hashes <= 32,
+               "hash count out of range");
+}
+
+void BloomFilter::positions(std::uint64_t key,
+                            std::vector<std::uint32_t>& out) const {
+  out.clear();
+  const std::uint64_t h1 = mix(key);
+  std::uint64_t h2 = mix(key ^ 0x9E3779B97F4A7C15ULL) | 1ULL;
+  std::uint64_t h = h1;
+  for (std::uint32_t i = 0; i < params_.hashes; ++i) {
+    out.push_back(static_cast<std::uint32_t>(h % params_.bits));
+    h += h2;
+  }
+}
+
+void BloomFilter::insert(std::uint64_t key) {
+  const std::uint64_t h1 = mix(key);
+  const std::uint64_t h2 = mix(key ^ 0x9E3779B97F4A7C15ULL) | 1ULL;
+  std::uint64_t h = h1;
+  for (std::uint32_t i = 0; i < params_.hashes; ++i) {
+    const auto pos = static_cast<std::uint32_t>(h % params_.bits);
+    words_[pos >> 6] |= 1ULL << (pos & 63);
+    h += h2;
+  }
+}
+
+bool BloomFilter::contains(std::uint64_t key) const {
+  const std::uint64_t h1 = mix(key);
+  const std::uint64_t h2 = mix(key ^ 0x9E3779B97F4A7C15ULL) | 1ULL;
+  std::uint64_t h = h1;
+  for (std::uint32_t i = 0; i < params_.hashes; ++i) {
+    const auto pos = static_cast<std::uint32_t>(h % params_.bits);
+    if ((words_[pos >> 6] & (1ULL << (pos & 63))) == 0) return false;
+    h += h2;
+  }
+  return true;
+}
+
+bool BloomFilter::contains_all(std::span<const KeywordId> keywords) const {
+  for (KeywordId kw : keywords) {
+    if (!contains(kw)) return false;
+  }
+  return true;
+}
+
+bool BloomFilter::bit(std::uint32_t pos) const {
+  ASAP_DCHECK(pos < params_.bits);
+  return (words_[pos >> 6] & (1ULL << (pos & 63))) != 0;
+}
+
+void BloomFilter::toggle(std::uint32_t pos) {
+  ASAP_DCHECK(pos < params_.bits);
+  words_[pos >> 6] ^= 1ULL << (pos & 63);
+}
+
+void BloomFilter::clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+std::uint32_t BloomFilter::popcount() const {
+  std::uint32_t total = 0;
+  for (auto w : words_) total += static_cast<std::uint32_t>(std::popcount(w));
+  return total;
+}
+
+std::vector<std::uint32_t> BloomFilter::set_positions() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(popcount());
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w != 0) {
+      const auto b = static_cast<std::uint32_t>(std::countr_zero(w));
+      out.push_back(static_cast<std::uint32_t>(wi * 64 + b));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> BloomFilter::diff(const BloomFilter& from,
+                                             const BloomFilter& to) {
+  ASAP_REQUIRE(from.params_ == to.params_, "diff of differently-sized filters");
+  std::vector<std::uint32_t> out;
+  for (std::size_t wi = 0; wi < from.words_.size(); ++wi) {
+    std::uint64_t w = from.words_[wi] ^ to.words_[wi];
+    while (w != 0) {
+      const auto b = static_cast<std::uint32_t>(std::countr_zero(w));
+      out.push_back(static_cast<std::uint32_t>(wi * 64 + b));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+void BloomFilter::apply_toggles(std::span<const std::uint32_t> positions) {
+  for (auto pos : positions) toggle(pos);
+}
+
+Bytes BloomFilter::wire_bytes() const {
+  const Bytes bitmap = (params_.bits + 7) / 8;
+  const Bytes sparse = static_cast<Bytes>(popcount()) * 2;  // u16 positions
+  return std::min(bitmap, sparse);
+}
+
+CountingBloomFilter::CountingBloomFilter(BloomParams params)
+    : params_(params), counters_(params.bits, 0), projection_(params) {}
+
+void CountingBloomFilter::insert(std::uint64_t key) {
+  projection_.positions(key, scratch_);
+  for (auto pos : scratch_) {
+    if (counters_[pos]++ == 0) projection_.toggle(pos);
+  }
+}
+
+void CountingBloomFilter::remove(std::uint64_t key) {
+  projection_.positions(key, scratch_);
+  for (auto pos : scratch_) {
+    ASAP_DCHECK(counters_[pos] > 0);
+    if (counters_[pos] > 0 && --counters_[pos] == 0) projection_.toggle(pos);
+  }
+}
+
+bool CountingBloomFilter::contains(std::uint64_t key) const {
+  return projection_.contains(key);
+}
+
+}  // namespace asap::bloom

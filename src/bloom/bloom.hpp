@@ -1,0 +1,112 @@
+// Bloom filters for ad content summaries (paper §III-B).
+//
+// The paper uses fixed-length filters shared system-wide: with a maximum
+// keyword set of |K_max| = 1,000 and k = 8 hash functions, the minimum
+// filter length at the optimal false-positive rate (0.6185^(m/n), i.e.
+// (1/2)^k at m = n*k/ln 2) is 11,542 bits ~= 1.43 KB.
+//
+// Three layers:
+//   * BloomFilter          — plain bitmap, the wire representation,
+//   * CountingBloomFilter  — node-local counters (the paper's (i, x) "bit i
+//                            set x times" tuples) so keyword removal works,
+//   * patches              — toggled-position lists, the paper's "list of
+//                            changed bit locations" carried by patch ads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace asap::bloom {
+
+struct BloomParams {
+  std::uint32_t bits = 11'542;  // paper default (|K_max|=1000, k=8)
+  std::uint32_t hashes = 8;
+
+  /// Minimum filter length for an n-element set at optimal fp: n*k/ln 2,
+  /// rounded up.
+  static std::uint32_t min_bits_for(std::uint32_t capacity,
+                                    std::uint32_t hashes);
+
+  /// Params sized for the given capacity at k hash functions.
+  static BloomParams for_capacity(std::uint32_t capacity,
+                                  std::uint32_t hashes = 8);
+
+  /// Expected false-positive rate with n elements inserted:
+  /// (1 - e^(-k n / m))^k.
+  double false_positive_rate(std::uint32_t n) const;
+
+  bool operator==(const BloomParams&) const = default;
+};
+
+/// Fixed-size Bloom filter over 64-bit keys (keyword ids are widened).
+/// Uses Kirsch-Mitzenmacher double hashing: position_i = h1 + i*h2 (mod m).
+class BloomFilter {
+ public:
+  explicit BloomFilter(BloomParams params = BloomParams{});
+
+  const BloomParams& params() const { return params_; }
+
+  void insert(std::uint64_t key);
+  bool contains(std::uint64_t key) const;
+  /// True iff every keyword maps to set bits (the paper's ad match test).
+  bool contains_all(std::span<const KeywordId> keywords) const;
+
+  bool bit(std::uint32_t pos) const;
+  void toggle(std::uint32_t pos);
+  void clear();
+
+  std::uint32_t popcount() const;
+  std::vector<std::uint32_t> set_positions() const;
+
+  /// Positions whose bits differ between two same-sized filters; applying
+  /// the result to `from` with apply_toggles yields `to`.
+  static std::vector<std::uint32_t> diff(const BloomFilter& from,
+                                         const BloomFilter& to);
+  void apply_toggles(std::span<const std::uint32_t> positions);
+
+  /// Transmitted size: the smaller of the raw bitmap and the compressed
+  /// sparse form (2 bytes per set bit, §III-B).
+  Bytes wire_bytes() const;
+
+  bool operator==(const BloomFilter&) const = default;
+
+  /// The k bit positions a key maps to (exposed for tests).
+  void positions(std::uint64_t key, std::vector<std::uint32_t>& out) const;
+
+ private:
+  BloomParams params_;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Counting filter used node-side so that keyword removals (document
+/// deletions / content changes) can clear bits. Projects to a plain
+/// BloomFilter for transmission.
+class CountingBloomFilter {
+ public:
+  explicit CountingBloomFilter(BloomParams params = BloomParams{});
+
+  const BloomParams& params() const { return params_; }
+
+  void insert(std::uint64_t key);
+  /// Decrements the key's counters; counters saturate at 0 (removing a key
+  /// that was never inserted is a caller bug, flagged in debug builds).
+  void remove(std::uint64_t key);
+
+  bool contains(std::uint64_t key) const;
+
+  /// Plain-bitmap projection (bit set iff counter > 0).
+  const BloomFilter& projection() const { return projection_; }
+
+  std::uint16_t counter(std::uint32_t pos) const { return counters_[pos]; }
+
+ private:
+  BloomParams params_;
+  std::vector<std::uint16_t> counters_;
+  BloomFilter projection_;  // maintained incrementally
+  mutable std::vector<std::uint32_t> scratch_;
+};
+
+}  // namespace asap::bloom

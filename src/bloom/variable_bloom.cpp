@@ -1,0 +1,120 @@
+#include "bloom/variable_bloom.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace asap::bloom {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Geometric ladder: each step ~1.5x, covering light free-rider-adjacent
+// sharers (hundreds of bits) up to heavy sharers (beyond the fixed 11,542).
+constexpr std::array<std::uint32_t, 10> kPool = {
+    512,   768,   1'152,  1'728,  2'592,
+    3'888, 5'832, 8'748,  13'122, 19'683,
+};
+
+}  // namespace
+
+std::span<const std::uint32_t> default_length_pool() {
+  return {kPool.data(), kPool.size()};
+}
+
+std::uint32_t pick_length(std::uint32_t capacity, std::uint32_t hashes,
+                          std::span<const std::uint32_t> pool) {
+  ASAP_REQUIRE(!pool.empty(), "length pool must not be empty");
+  const auto need = BloomParams::min_bits_for(std::max(1u, capacity), hashes);
+  for (const auto l : pool) {
+    if (l >= need) return l;
+  }
+  return pool.back();  // saturate, like the fixed design at |K_max|
+}
+
+VariableBloomFilter::VariableBloomFilter(std::uint32_t capacity,
+                                         std::uint32_t hashes,
+                                         std::span<const std::uint32_t> pool)
+    : bits_(pick_length(capacity, hashes, pool)), hashes_(hashes) {
+  ASAP_REQUIRE(hashes >= 1 && hashes <= 32, "hash count out of range");
+  words_.assign((bits_ + 63) / 64, 0);
+}
+
+void VariableBloomFilter::insert(std::uint64_t key) {
+  const std::uint64_t h1 = mix(key);
+  const std::uint64_t h2 = mix(key ^ 0x9E3779B97F4A7C15ULL) | 1ULL;
+  std::uint64_t h = h1;
+  for (std::uint32_t i = 0; i < hashes_; ++i) {
+    const auto pos = static_cast<std::uint32_t>(h % bits_);
+    words_[pos >> 6] |= 1ULL << (pos & 63);
+    h += h2;
+  }
+}
+
+bool VariableBloomFilter::contains(std::uint64_t key) const {
+  const std::uint64_t h1 = mix(key);
+  const std::uint64_t h2 = mix(key ^ 0x9E3779B97F4A7C15ULL) | 1ULL;
+  std::uint64_t h = h1;
+  for (std::uint32_t i = 0; i < hashes_; ++i) {
+    const auto pos = static_cast<std::uint32_t>(h % bits_);
+    if ((words_[pos >> 6] & (1ULL << (pos & 63))) == 0) return false;
+    h += h2;
+  }
+  return true;
+}
+
+bool VariableBloomFilter::contains_all(
+    std::span<const KeywordId> keywords) const {
+  for (const KeywordId kw : keywords) {
+    if (!contains(kw)) return false;
+  }
+  return true;
+}
+
+std::uint32_t VariableBloomFilter::popcount() const {
+  std::uint32_t total = 0;
+  for (const auto w : words_) {
+    total += static_cast<std::uint32_t>(std::popcount(w));
+  }
+  return total;
+}
+
+Bytes VariableBloomFilter::wire_bytes() const {
+  const Bytes bitmap = (bits_ + 7) / 8;
+  const Bytes sparse = static_cast<Bytes>(popcount()) * 2;
+  return std::min(bitmap, sparse);
+}
+
+double VariableBloomFilter::false_positive_rate(std::uint32_t n) const {
+  const double exponent =
+      -static_cast<double>(hashes_) * n / static_cast<double>(bits_);
+  return std::pow(1.0 - std::exp(exponent), static_cast<double>(hashes_));
+}
+
+FilterSpaceComparison compare_filter_space(
+    std::span<const std::uint32_t> keyword_set_sizes,
+    const BloomParams& fixed_params, std::span<const std::uint32_t> pool) {
+  FilterSpaceComparison out;
+  KeywordId next_key = 0;
+  for (const auto n : keyword_set_sizes) {
+    BloomFilter fixed(fixed_params);
+    VariableBloomFilter variable(n, fixed_params.hashes, pool);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const KeywordId kw = next_key++;
+      fixed.insert(kw);
+      variable.insert(kw);
+    }
+    out.fixed_total += fixed.wire_bytes();
+    out.variable_total += variable.wire_bytes();
+  }
+  return out;
+}
+
+}  // namespace asap::bloom

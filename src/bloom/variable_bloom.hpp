@@ -1,0 +1,76 @@
+// Variable-length Bloom filters (the paper's alternative design, §III-B).
+//
+// Instead of one fixed system-wide length sized for |K_max|, every node
+// picks the smallest length from a shared pool that keeps the optimal
+// false-positive rate for *its* keyword set: l(F) >= |K_p| * k / ln 2.
+// All nodes agree on universal hash functions {h_1..h_k}; mapping or
+// querying an item on a filter of length l uses h'_i = h_i mod l, so any
+// peer can query any ad's filter knowing only its length.
+//
+// Trade-off (discussed in the paper and measured by
+// bench_ablation_filters): variable lengths use space proportionally to
+// each node's content, but complicate the system — e.g. a remote querier
+// must evaluate the hash functions per distinct length.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bloom/bloom.hpp"
+#include "common/types.hpp"
+
+namespace asap::bloom {
+
+/// The shared pool of allowed filter lengths: a geometric ladder from
+/// 512 bits up to (at least) the fixed-size design's 11,542 bits.
+std::span<const std::uint32_t> default_length_pool();
+
+/// Smallest pool length satisfying l >= capacity * hashes / ln 2; returns
+/// the pool maximum if even that is too small (mirrors the fixed design's
+/// |K_max| saturation).
+std::uint32_t pick_length(std::uint32_t capacity, std::uint32_t hashes,
+                          std::span<const std::uint32_t> pool);
+
+/// A Bloom filter whose length is one of the pool lengths. Uses the same
+/// universal double-hashing as BloomFilter, reduced mod the length.
+class VariableBloomFilter {
+ public:
+  /// Sizes the filter for `capacity` keys from the given pool.
+  explicit VariableBloomFilter(
+      std::uint32_t capacity, std::uint32_t hashes = 8,
+      std::span<const std::uint32_t> pool = default_length_pool());
+
+  std::uint32_t bits() const { return bits_; }
+  std::uint32_t hashes() const { return hashes_; }
+
+  void insert(std::uint64_t key);
+  bool contains(std::uint64_t key) const;
+  bool contains_all(std::span<const KeywordId> keywords) const;
+
+  std::uint32_t popcount() const;
+  /// Wire size: min(bitmap, 2 bytes per set bit), like the fixed design.
+  Bytes wire_bytes() const;
+
+  /// Expected false-positive rate with n elements inserted.
+  double false_positive_rate(std::uint32_t n) const;
+
+ private:
+  std::uint32_t bits_;
+  std::uint32_t hashes_;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Population-level space comparison used by the filter ablation: total
+/// wire bytes if every node with the given keyword-set sizes used the
+/// fixed design vs. the variable design.
+struct FilterSpaceComparison {
+  Bytes fixed_total = 0;
+  Bytes variable_total = 0;
+};
+FilterSpaceComparison compare_filter_space(
+    std::span<const std::uint32_t> keyword_set_sizes,
+    const BloomParams& fixed_params,
+    std::span<const std::uint32_t> pool = default_length_pool());
+
+}  // namespace asap::bloom

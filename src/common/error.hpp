@@ -1,0 +1,64 @@
+// Precondition / invariant checking helpers.
+//
+// Following the C++ Core Guidelines (I.6, E.12), wide-contract API entry
+// points validate their inputs and throw std::invalid_argument /
+// std::logic_error; hot inner loops use ASAP_DCHECK which compiles away in
+// release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace asap {
+
+/// Thrown when a simulation configuration is inconsistent.
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is violated (a bug, not a user error).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_config(const std::string& expr,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "configuration error: " << msg << " (violated: " << expr << ")";
+  throw ConfigError(os.str());
+}
+[[noreturn]] inline void throw_invariant(const std::string& expr,
+                                         const char* file, int line) {
+  std::ostringstream os;
+  os << "invariant violated at " << file << ":" << line << ": " << expr;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace asap
+
+/// Validate a user-supplied configuration value; always on.
+#define ASAP_REQUIRE(cond, msg)                         \
+  do {                                                  \
+    if (!(cond)) ::asap::detail::throw_config(#cond, (msg)); \
+  } while (0)
+
+/// Check an internal invariant; always on (cheap checks only).
+#define ASAP_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::asap::detail::throw_invariant(#cond, __FILE__, __LINE__);     \
+  } while (0)
+
+/// Debug-only invariant check for hot paths.
+#ifndef NDEBUG
+#define ASAP_DCHECK(cond) ASAP_CHECK(cond)
+#else
+#define ASAP_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif

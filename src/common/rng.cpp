@@ -1,0 +1,84 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace asap {
+
+double Rng::exponential(double rate) {
+  ASAP_DCHECK(rate > 0.0);
+  // -log(1-u) with u in [0,1) avoids log(0).
+  return -std::log1p(-uniform01()) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Marsaglia polar method; one value per call (the spare is discarded to
+  // keep the generator state a pure function of call count).
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+std::uint64_t Rng::geometric(double p) {
+  ASAP_DCHECK(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  return static_cast<std::uint64_t>(std::log1p(-uniform01()) /
+                                    std::log1p(-p));
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  ASAP_DCHECK(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-mean);
+    double prod = uniform01();
+    std::uint64_t n = 0;
+    while (prod > limit) {
+      prod *= uniform01();
+      ++n;
+    }
+    return n;
+  }
+  // Normal approximation with continuity correction is adequate for the
+  // large-mean case (used only for bulk workload synthesis, never in the
+  // per-event hot path).
+  double x;
+  do {
+    x = normal(mean, std::sqrt(mean));
+  } while (x < 0.0);
+  return static_cast<std::uint64_t>(x + 0.5);
+}
+
+std::vector<std::uint32_t> Rng::sample_indices(std::uint32_t n,
+                                               std::uint32_t k) {
+  ASAP_REQUIRE(k <= n, "sample size exceeds population");
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3ULL >= n) {
+    // Dense case: partial Fisher-Yates over the full index range.
+    std::vector<std::uint32_t> all(n);
+    for (std::uint32_t i = 0; i < n; ++i) all[i] = i;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const auto j = i + static_cast<std::uint32_t>(below(n - i));
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  // Sparse case: rejection sampling against a hash set.
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    const auto idx = static_cast<std::uint32_t>(below(n));
+    if (seen.insert(idx).second) out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace asap

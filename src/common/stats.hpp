@@ -1,0 +1,57 @@
+// Streaming and batch statistics used by the metrics collectors.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace asap {
+
+/// Numerically stable streaming mean/variance (Welford), plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (denominator n); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples clamp to
+/// the boundary bins so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::uint32_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::uint32_t bins() const { return static_cast<std::uint32_t>(counts_.size()); }
+  std::uint64_t bin_count(std::uint32_t i) const { return counts_.at(i); }
+  double bin_lo(std::uint32_t i) const;
+  double bin_hi(std::uint32_t i) const { return bin_lo(i + 1); }
+  std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact percentile of a sample vector (q in [0,1], linear interpolation).
+/// Sorts a copy; intended for end-of-run reporting, not hot paths.
+double percentile(std::vector<double> samples, double q);
+
+}  // namespace asap

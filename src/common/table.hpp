@@ -1,0 +1,33 @@
+// Fixed-width plain-text table printer for bench / example output.
+//
+// Benches reproduce paper figures as text tables; this keeps their output
+// aligned and diff-friendly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace asap {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Formats with engineering suffix (K/M/G) for byte quantities.
+  static std::string bytes(double v);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace asap

@@ -1,0 +1,33 @@
+// Fundamental identifier and quantity types shared by every asap_p2p module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace asap {
+
+/// Identifier of a node in the physical (transit-stub) network.
+using PhysNodeId = std::uint32_t;
+/// Identifier of a peer in the P2P overlay.
+using NodeId = std::uint32_t;
+/// Identifier of a logical document (all replicas share one DocId).
+using DocId = std::uint32_t;
+/// Identifier of a keyword (hashed term).
+using KeywordId = std::uint32_t;
+/// Identifier of a semantic class / ad topic (paper uses 14 classes).
+using TopicId = std::uint8_t;
+
+/// Virtual simulation time, in seconds.
+using Seconds = double;
+/// Quantity of network traffic, in bytes.
+using Bytes = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr PhysNodeId kInvalidPhysNode =
+    std::numeric_limits<PhysNodeId>::max();
+inline constexpr DocId kInvalidDoc = std::numeric_limits<DocId>::max();
+
+/// Milliseconds expressed as Seconds, for latency constants.
+constexpr Seconds ms(double v) { return v / 1000.0; }
+
+}  // namespace asap

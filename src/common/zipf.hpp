@@ -1,0 +1,48 @@
+// Bounded Zipf / discrete power-law samplers.
+//
+// Used for document popularity (eDonkey replication skew) and power-law
+// overlay degree sequences. Sampling is O(log n) via binary search on a
+// precomputed CDF; construction is O(n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace asap {
+
+/// Samples ranks r in [1, n] with P(r) proportional to r^-alpha.
+class ZipfSampler {
+ public:
+  /// @param n      number of ranks (must be >= 1)
+  /// @param alpha  skew exponent (>= 0; 0 degenerates to uniform)
+  ZipfSampler(std::uint32_t n, double alpha);
+
+  /// Draws a rank in [1, n].
+  std::uint32_t sample(Rng& rng) const;
+
+  /// Probability mass of rank r (1-based).
+  double pmf(std::uint32_t rank) const;
+
+  std::uint32_t size() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  std::uint32_t n_;
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i+1); back() == 1.0
+};
+
+/// Draws an integer-valued degree sequence of given length whose values
+/// follow P(d) ~ d^-alpha on [dmin, dmax], then rescales (by resampling)
+/// until the mean lands within `mean_tolerance` of `target_mean` and the
+/// total is even (so a multigraph-free pairing exists).
+std::vector<std::uint32_t> powerlaw_degree_sequence(std::uint32_t count,
+                                                    double alpha,
+                                                    std::uint32_t dmin,
+                                                    std::uint32_t dmax,
+                                                    double target_mean,
+                                                    Rng& rng);
+
+}  // namespace asap

@@ -1,0 +1,40 @@
+#include "harness/config.hpp"
+
+namespace asap::harness {
+
+const char* topology_name(TopologyKind t) {
+  switch (t) {
+    case TopologyKind::kRandom:
+      return "random";
+    case TopologyKind::kPowerlaw:
+      return "powerlaw";
+    case TopologyKind::kCrawled:
+      return "crawled";
+  }
+  return "?";
+}
+
+ExperimentConfig ExperimentConfig::make(Preset preset, TopologyKind topology,
+                                        std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.preset = preset;
+  cfg.topology = topology;
+  cfg.seed = seed;
+  if (preset == Preset::kPaper) {
+    cfg.phys = net::TransitStubParams::paper();
+    cfg.content = trace::ContentModelParams::paper();
+    cfg.trace = trace::TraceParams::paper();
+    cfg.warmup = 480.0;
+  } else {
+    cfg.phys = net::TransitStubParams::small();
+    cfg.content = trace::ContentModelParams::small();
+    cfg.trace = trace::TraceParams::small();
+    // Warm-up must outlast the longest ad walk (budget/walkers hops at
+    // ~0.12 s per hop; GSA walks run budget/degree hops) so warm-up
+    // traffic does not bleed into the measurement window.
+    cfg.warmup = 480.0;
+  }
+  return cfg;
+}
+
+}  // namespace asap::harness

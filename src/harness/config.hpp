@@ -1,0 +1,53 @@
+// Experiment configuration presets (paper §IV-A/B).
+//
+// Two presets:
+//   * kSmall — ~5.2k physical nodes, 2,000 peers, 6,000 queries. Budgets
+//     scale with the population so relative reach matches the paper-scale
+//     setup. This is the default for benches on a laptop-class machine.
+//   * kPaper — the paper's exact framework: 51,984 physical nodes, 10,000
+//     peers, 30,000 queries, TTL 6 floods, 5x1024 walks, GSA budget 8,000,
+//     ad budget unit M0 = 3,000, 1,000 joins + 1,000 leaves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/transit_stub.hpp"
+#include "sim/size_model.hpp"
+#include "trace/content_model.hpp"
+#include "trace/trace.hpp"
+
+namespace asap::harness {
+
+enum class Preset : std::uint8_t { kSmall, kPaper };
+
+enum class TopologyKind : std::uint8_t { kRandom, kPowerlaw, kCrawled };
+
+const char* topology_name(TopologyKind t);
+
+struct ExperimentConfig {
+  Preset preset = Preset::kSmall;
+  TopologyKind topology = TopologyKind::kCrawled;
+  std::uint64_t seed = 42;
+
+  net::TransitStubParams phys;
+  trace::ContentModelParams content;
+  trace::TraceParams trace;
+  sim::SizeModel sizes;
+
+  // Overlay shape (paper §IV-A).
+  double random_avg_degree = 5.0;
+  double powerlaw_avg_degree = 5.0;
+  double powerlaw_alpha = 0.74;  // paper: alpha = -0.74
+  double crawled_avg_degree = 3.35;
+  std::uint32_t join_degree = 4;  // edges a joining node establishes
+
+  /// Ads are disseminated for this long before the trace starts; the
+  /// measurement window begins at `warmup`.
+  Seconds warmup = 60.0;
+
+  static ExperimentConfig make(Preset preset, TopologyKind topology,
+                               std::uint64_t seed = 42);
+};
+
+}  // namespace asap::harness

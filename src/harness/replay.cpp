@@ -1,0 +1,177 @@
+#include "harness/replay.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "search/context.hpp"
+#include "sim/engine.hpp"
+#include "sim/liveness.hpp"
+#include "trace/live_content.hpp"
+
+namespace asap::harness {
+
+const char* algo_name(AlgoKind k) {
+  switch (k) {
+    case AlgoKind::kFlooding:
+      return "flooding";
+    case AlgoKind::kRandomWalk:
+      return "random-walk";
+    case AlgoKind::kGsa:
+      return "gsa";
+    case AlgoKind::kAsapFld:
+      return "asap(fld)";
+    case AlgoKind::kAsapRw:
+      return "asap(rw)";
+    case AlgoKind::kAsapGsa:
+      return "asap(gsa)";
+  }
+  return "?";
+}
+
+bool is_asap(AlgoKind k) {
+  return k == AlgoKind::kAsapFld || k == AlgoKind::kAsapRw ||
+         k == AlgoKind::kAsapGsa;
+}
+
+std::vector<sim::Traffic> load_categories(AlgoKind k) {
+  if (is_asap(k)) {
+    return {sim::Traffic::kConfirm, sim::Traffic::kAdsRequest,
+            sim::Traffic::kFullAd, sim::Traffic::kPatchAd,
+            sim::Traffic::kRefreshAd};
+  }
+  return {sim::Traffic::kQuery};
+}
+
+namespace {
+
+search::Scheme scheme_of(AlgoKind k) {
+  switch (k) {
+    case AlgoKind::kFlooding:
+    case AlgoKind::kAsapFld:
+      return search::Scheme::kFlooding;
+    case AlgoKind::kRandomWalk:
+    case AlgoKind::kAsapRw:
+      return search::Scheme::kRandomWalk;
+    case AlgoKind::kGsa:
+    case AlgoKind::kAsapGsa:
+      return search::Scheme::kGsa;
+  }
+  return search::Scheme::kFlooding;
+}
+
+}  // namespace
+
+search::BaselineParams default_baseline_params(AlgoKind k, Preset preset) {
+  ASAP_REQUIRE(!is_asap(k), "not a baseline algorithm");
+  return preset == Preset::kPaper
+             ? search::BaselineParams::paper(scheme_of(k))
+             : search::BaselineParams::small(scheme_of(k));
+}
+
+ads::AsapParams default_asap_params(AlgoKind k, Preset preset) {
+  ASAP_REQUIRE(is_asap(k), "not an ASAP variant");
+  return preset == Preset::kPaper ? ads::AsapParams::paper(scheme_of(k))
+                                  : ads::AsapParams::small(scheme_of(k));
+}
+
+RunResult run_experiment(const World& world, AlgoKind kind,
+                         const RunOptions& opts) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto& cfg = world.cfg;
+  const Seconds warmup = cfg.warmup;
+  const Seconds horizon = warmup + world.trace.horizon + 30.0;
+
+  // Per-run mutable state.
+  overlay::Overlay ov = world.base_overlay;  // copy: churn mutates it
+  trace::LiveContent live(world.model);
+  trace::ContentIndex index(world.model, live);
+  sim::Liveness liveness(world.model.total_node_slots(),
+                         world.model.params().initial_nodes);
+  sim::Engine engine;
+  sim::BandwidthLedger ledger(horizon);
+  // The algorithm's randomness and the world's churn randomness are kept
+  // in separate streams so every algorithm sees identical churn.
+  Rng algo_rng(cfg.seed ^ 0x517CC1B727220A95ULL ^ opts.seed_salt);
+  Rng churn_rng(cfg.seed ^ 0x2545F4914F6CDD1DULL);
+
+  search::Ctx ctx{ov,     world.phys, world.node_phys, world.model, live,
+                  index,  engine,     ledger,          cfg.sizes,   algo_rng};
+  ASAP_REQUIRE(opts.message_loss >= 0.0 && opts.message_loss < 1.0,
+               "message loss probability out of [0,1)");
+  ctx.message_loss = opts.message_loss;
+
+  std::unique_ptr<search::SearchAlgorithm> algo;
+  if (is_asap(kind)) {
+    const auto params =
+        opts.asap.value_or(default_asap_params(kind, cfg.preset));
+    algo = std::make_unique<ads::AsapProtocol>(ctx, params);
+  } else {
+    const auto params =
+        opts.baseline.value_or(default_baseline_params(kind, cfg.preset));
+    algo = std::make_unique<search::BaselineSearch>(ctx, params);
+  }
+
+  algo->warm_up(warmup);
+
+  for (const auto& ev : world.trace.events) {
+    const Seconds t = ev.time + warmup;
+    engine.run_until(t);
+
+    // World updates first, then the algorithm reacts.
+    switch (ev.type) {
+      case trace::TraceEventType::kJoin: {
+        const NodeId id = ov.attach_new(cfg.join_degree, churn_rng);
+        ASAP_CHECK(id == ev.node);
+        liveness.set_online(ev.node, true, t);
+        break;
+      }
+      case trace::TraceEventType::kLeave:
+        ov.detach(ev.node);
+        liveness.set_online(ev.node, false, t);
+        break;
+      case trace::TraceEventType::kRejoin:
+        ov.reattach(ev.node, cfg.join_degree, churn_rng);
+        liveness.set_online(ev.node, true, t);
+        break;
+      default:
+        break;
+    }
+    live.apply(ev, world.model);
+    index.apply(ev, world.model);
+
+    trace::TraceEvent shifted = ev;
+    shifted.time = t;
+    algo->on_trace_event(shifted);
+  }
+  engine.run_until(horizon);
+
+  // --- reduce -----------------------------------------------------------
+  RunResult res;
+  res.algo = algo_name(kind);
+  res.search = algo->stats();
+  res.measure_start = warmup;
+  res.measure_end = warmup + world.trace.horizon;
+  res.engine_events = engine.executed();
+
+  const auto live_series = liveness.live_count_series(horizon);
+  const auto cats = load_categories(kind);
+  res.load = metrics::reduce_load(
+      ledger, cats, live_series,
+      static_cast<std::uint32_t>(res.measure_start),
+      static_cast<std::uint32_t>(std::ceil(res.measure_end)));
+  res.breakdown = metrics::category_breakdown(
+      ledger, cats, static_cast<std::uint32_t>(res.measure_start),
+      static_cast<std::uint32_t>(std::ceil(res.measure_end)));
+  if (is_asap(kind)) {
+    res.asap_counters =
+        static_cast<ads::AsapProtocol*>(algo.get())->counters();
+  }
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return res;
+}
+
+}  // namespace asap::harness

@@ -1,0 +1,74 @@
+// Trace replay: runs one system under test against a World and reduces
+// the paper's metrics.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asap/asap_protocol.hpp"
+#include "harness/world.hpp"
+#include "metrics/load_series.hpp"
+#include "metrics/search_stats.hpp"
+#include "search/baseline.hpp"
+#include "sim/bandwidth.hpp"
+
+namespace asap::harness {
+
+/// The six systems evaluated in the paper (§IV-A).
+enum class AlgoKind : std::uint8_t {
+  kFlooding,
+  kRandomWalk,
+  kGsa,
+  kAsapFld,
+  kAsapRw,
+  kAsapGsa,
+};
+
+inline constexpr AlgoKind kAllAlgos[] = {
+    AlgoKind::kFlooding, AlgoKind::kRandomWalk, AlgoKind::kGsa,
+    AlgoKind::kAsapFld,  AlgoKind::kAsapRw,     AlgoKind::kAsapGsa,
+};
+
+const char* algo_name(AlgoKind k);
+bool is_asap(AlgoKind k);
+
+/// Traffic categories that count toward system load for this algorithm
+/// (paper §V-B: baselines count query messages; ASAP counts ad deliveries
+/// plus confirmation and ads-request traffic).
+std::vector<sim::Traffic> load_categories(AlgoKind k);
+
+struct RunOptions {
+  /// Override the preset-derived parameters (ablation benches).
+  std::optional<search::BaselineParams> baseline;
+  std::optional<ads::AsapParams> asap;
+  /// Extra salt mixed into the run RNG (for repeated-trial benches).
+  std::uint64_t seed_salt = 0;
+  /// Failure injection: probability any overlay transmission is lost.
+  double message_loss = 0.0;
+};
+
+struct RunResult {
+  std::string algo;
+  metrics::SearchStats search;
+  metrics::LoadSummary load;
+  /// Ad + search traffic shares over the measurement window (Fig 7).
+  std::vector<metrics::CategoryShare> breakdown;
+  /// ASAP event counters (empty-initialized for baselines).
+  ads::AsapProtocol::Counters asap_counters;
+  Seconds measure_start = 0.0;
+  Seconds measure_end = 0.0;
+  std::uint64_t engine_events = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Default parameters for an algorithm under the given preset.
+search::BaselineParams default_baseline_params(AlgoKind k, Preset preset);
+ads::AsapParams default_asap_params(AlgoKind k, Preset preset);
+
+/// Replays the world's trace against one algorithm.
+RunResult run_experiment(const World& world, AlgoKind kind,
+                         const RunOptions& opts = {});
+
+}  // namespace asap::harness

@@ -1,0 +1,66 @@
+#include "harness/world.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "trace/trace_gen.hpp"
+
+namespace asap::harness {
+
+namespace {
+
+overlay::Overlay build_overlay(const ExperimentConfig& cfg,
+                               std::uint32_t nodes, Rng& rng) {
+  switch (cfg.topology) {
+    case TopologyKind::kRandom:
+      return overlay::Overlay::random(nodes, cfg.random_avg_degree, rng);
+    case TopologyKind::kPowerlaw:
+      return overlay::Overlay::powerlaw(nodes, cfg.powerlaw_avg_degree,
+                                        cfg.powerlaw_alpha, rng);
+    case TopologyKind::kCrawled:
+      return overlay::Overlay::crawled_like(nodes, cfg.crawled_avg_degree,
+                                            rng);
+  }
+  throw ConfigError("unknown topology kind");
+}
+
+}  // namespace
+
+World build_world(const ExperimentConfig& cfg) {
+  // Independent generator streams so a change in one stage (say, overlay
+  // construction) does not perturb the others.
+  Rng master(cfg.seed);
+  Rng phys_rng = master.fork();
+  Rng overlay_rng = master.fork();
+  Rng content_rng = master.fork();
+  Rng trace_rng = master.fork();
+  Rng placement_rng = master.fork();
+
+  auto phys = net::TransitStubNetwork::generate(cfg.phys, phys_rng);
+
+  auto model = trace::ContentModel::build(cfg.content, content_rng);
+  const std::uint32_t slots = model.total_node_slots();
+  ASAP_REQUIRE(slots <= phys.num_nodes(),
+               "more P2P peers than physical nodes");
+
+  auto overlay =
+      build_overlay(cfg, model.params().initial_nodes, overlay_rng);
+
+  // Map every node slot (initial + joiners) to a distinct physical node.
+  std::vector<PhysNodeId> node_phys;
+  {
+    auto picks = placement_rng.sample_indices(phys.num_nodes(), slots);
+    node_phys.assign(picks.begin(), picks.end());
+  }
+
+  trace::TraceGenerator gen(model, cfg.trace, trace_rng);
+  auto tr = gen.generate();
+
+  return World{cfg,
+               std::move(phys),
+               std::move(overlay),
+               std::move(node_phys),
+               std::move(model),
+               std::move(tr)};
+}
+
+}  // namespace asap::harness

@@ -1,0 +1,32 @@
+// World construction: physical network, overlay, content model, trace.
+//
+// A World is immutable during replay and shared across all systems under
+// test, so every algorithm faces the identical workload: the same peers,
+// the same content placement, the same queries at the same times, the same
+// churn. Per-run mutable state (overlay churn, live content, liveness,
+// ledgers) is created by the replayer from the World.
+#pragma once
+
+#include <vector>
+
+#include "harness/config.hpp"
+#include "net/transit_stub.hpp"
+#include "overlay/overlay.hpp"
+#include "trace/content_model.hpp"
+#include "trace/trace.hpp"
+
+namespace asap::harness {
+
+struct World {
+  ExperimentConfig cfg;
+  net::TransitStubNetwork phys;
+  overlay::Overlay base_overlay;          // initial nodes only
+  std::vector<PhysNodeId> node_phys;      // one entry per node slot
+  trace::ContentModel model;              // includes mid-trace documents
+  trace::Trace trace;
+};
+
+/// Builds the full world deterministically from cfg.seed.
+World build_world(const ExperimentConfig& cfg);
+
+}  // namespace asap::harness

@@ -1,0 +1,57 @@
+#include "metrics/load_series.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace asap::metrics {
+
+LoadSummary reduce_load(const sim::BandwidthLedger& ledger,
+                        std::span<const sim::Traffic> categories,
+                        std::span<const double> live_counts,
+                        std::uint32_t window_start,
+                        std::uint32_t window_end) {
+  ASAP_REQUIRE(window_end > window_start, "empty load window");
+  window_end = std::min(window_end, ledger.buckets());
+  const auto combined = ledger.combined_series(categories);
+
+  LoadSummary out;
+  RunningStats stats;
+  out.series.reserve(window_end - window_start);
+  for (std::uint32_t s = window_start; s < window_end; ++s) {
+    const double live =
+        s < live_counts.size() ? live_counts[s] : live_counts.back();
+    const double load =
+        live > 0.0 ? static_cast<double>(combined[s]) / live : 0.0;
+    out.series.push_back(load);
+    stats.add(load);
+  }
+  out.mean_bytes_per_node_per_sec = stats.mean();
+  out.stddev_bytes_per_node_per_sec = stats.stddev();
+  out.peak_bytes_per_node_per_sec = stats.max();
+  return out;
+}
+
+std::vector<CategoryShare> category_breakdown(
+    const sim::BandwidthLedger& ledger,
+    std::span<const sim::Traffic> categories, std::uint32_t window_start,
+    std::uint32_t window_end) {
+  window_end = std::min(window_end, ledger.buckets());
+  std::vector<CategoryShare> out;
+  Bytes total = 0;
+  for (sim::Traffic c : categories) {
+    const auto series = ledger.series(c);
+    Bytes sum = 0;
+    for (std::uint32_t s = window_start; s < window_end; ++s) sum += series[s];
+    out.push_back({c, sum, 0.0});
+    total += sum;
+  }
+  if (total > 0) {
+    for (auto& cs : out) {
+      cs.share = static_cast<double>(cs.bytes) / static_cast<double>(total);
+    }
+  }
+  return out;
+}
+
+}  // namespace asap::metrics

@@ -1,0 +1,48 @@
+// System-load reduction (paper §V-B, Figs 7-10).
+//
+// The paper defines system load as all search-triggered P2P traffic,
+// reported as bandwidth per live node per second: baselines count query
+// messages; ASAP counts ad deliveries plus search traffic (confirmations
+// and ads requests). This reducer combines a BandwidthLedger with the live
+// node count series into the per-second load series, its mean and standard
+// deviation, and the per-category breakdown.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "sim/bandwidth.hpp"
+
+namespace asap::metrics {
+
+struct LoadSummary {
+  double mean_bytes_per_node_per_sec = 0.0;
+  double stddev_bytes_per_node_per_sec = 0.0;
+  double peak_bytes_per_node_per_sec = 0.0;
+  std::vector<double> series;  // one value per second in the window
+};
+
+/// Reduces the ledger over [window_start, window_end) seconds.
+/// @param categories   traffic categories that count toward load
+/// @param live_counts  average live node count per second (index = second)
+LoadSummary reduce_load(const sim::BandwidthLedger& ledger,
+                        std::span<const sim::Traffic> categories,
+                        std::span<const double> live_counts,
+                        std::uint32_t window_start, std::uint32_t window_end);
+
+/// Per-category byte totals over the window plus their share of the sum
+/// (Fig 7 breakdown).
+struct CategoryShare {
+  sim::Traffic category;
+  Bytes bytes = 0;
+  double share = 0.0;
+};
+std::vector<CategoryShare> category_breakdown(
+    const sim::BandwidthLedger& ledger,
+    std::span<const sim::Traffic> categories, std::uint32_t window_start,
+    std::uint32_t window_end);
+
+}  // namespace asap::metrics

@@ -1,0 +1,30 @@
+#include "metrics/search_stats.hpp"
+
+namespace asap::metrics {
+
+void SearchStats::add(const SearchRecord& r) {
+  ++total_;
+  cost_.add(static_cast<double>(r.cost_bytes));
+  messages_.add(static_cast<double>(r.messages));
+  results_.add(static_cast<double>(r.results));
+  if (r.success) {
+    ++successes_;
+    response_time_.add(r.response_time);
+    response_samples_.push_back(r.response_time);
+  }
+  if (r.local_hit) ++local_hits_;
+}
+
+double SearchStats::success_rate() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(successes_) /
+                           static_cast<double>(total_);
+}
+
+double SearchStats::local_hit_rate() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(local_hits_) /
+                           static_cast<double>(total_);
+}
+
+}  // namespace asap::metrics

@@ -1,0 +1,65 @@
+// Per-search outcome collection (paper §V-A).
+//
+// Success rate    = fraction of searches with at least one result,
+// response time   = mean over *successful* searches of the time until the
+//                   first result arrives,
+// search cost     = mean bandwidth consumed by a search process (baselines:
+//                   query messages only; ASAP: confirmation + ads-request
+//                   traffic — §V-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace asap::metrics {
+
+struct SearchRecord {
+  bool success = false;
+  Seconds response_time = 0.0;  // valid when success
+  Bytes cost_bytes = 0;
+  std::uint64_t messages = 0;
+  bool local_hit = false;  // ASAP only: answered from the local ads cache
+  /// Number of distinct positive results obtained (ASAP: positive
+  /// confirmations; baselines: responding holders).
+  std::uint32_t results = 0;
+};
+
+class SearchStats {
+ public:
+  void add(const SearchRecord& r);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t successes() const { return successes_; }
+  double success_rate() const;
+  /// Mean response time over successful searches, seconds.
+  double avg_response_time() const { return response_time_.mean(); }
+  /// Mean bandwidth per search process, bytes.
+  double avg_cost_bytes() const { return cost_.mean(); }
+  double avg_messages() const { return messages_.mean(); }
+  /// Fraction of searches resolved from the local ads cache (ASAP only).
+  double local_hit_rate() const;
+  /// Mean number of results per search (all searches).
+  double avg_results() const { return results_.mean(); }
+
+  const RunningStats& response_time_stats() const { return response_time_; }
+  const RunningStats& cost_stats() const { return cost_; }
+  /// Raw response-time samples (successful searches), for percentiles.
+  const std::vector<double>& response_samples() const {
+    return response_samples_;
+  }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::uint64_t successes_ = 0;
+  std::uint64_t local_hits_ = 0;
+  RunningStats response_time_;
+  RunningStats cost_;
+  RunningStats messages_;
+  RunningStats results_;
+  std::vector<double> response_samples_;
+};
+
+}  // namespace asap::metrics

@@ -1,0 +1,84 @@
+#include "overlay/graph_metrics.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace asap::overlay {
+
+std::vector<std::uint32_t> bfs_depths(const Overlay& g, NodeId source) {
+  ASAP_REQUIRE(g.attached(source), "BFS source must be attached");
+  std::vector<std::uint32_t> depth(g.num_nodes(), kUnreachable);
+  std::deque<NodeId> frontier{source};
+  depth[source] = 0;
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (const NodeId nb : g.neighbors(cur)) {
+      if (depth[nb] == kUnreachable) {
+        depth[nb] = depth[cur] + 1;
+        frontier.push_back(nb);
+      }
+    }
+  }
+  return depth;
+}
+
+double clustering_coefficient(const Overlay& g, std::uint32_t samples,
+                              Rng& rng) {
+  const auto nodes = g.attached_nodes();
+  ASAP_REQUIRE(!nodes.empty(), "empty overlay");
+  double total = 0.0;
+  std::uint32_t counted = 0;
+  for (std::uint32_t s = 0; s < samples * 4 && counted < samples; ++s) {
+    const NodeId n = nodes[rng.below(nodes.size())];
+    const auto nbs = g.neighbors(n);
+    if (nbs.size() < 2) continue;
+    // Count links among neighbors.
+    std::uint32_t links = 0;
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      const auto nbs_i = g.neighbors(nbs[i]);
+      for (std::size_t j = i + 1; j < nbs.size(); ++j) {
+        if (std::find(nbs_i.begin(), nbs_i.end(), nbs[j]) != nbs_i.end()) {
+          ++links;
+        }
+      }
+    }
+    const double possible =
+        static_cast<double>(nbs.size()) * (nbs.size() - 1) / 2.0;
+    total += links / possible;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / counted;
+}
+
+PathStats path_stats(const Overlay& g, std::uint32_t sources, Rng& rng) {
+  const auto nodes = g.attached_nodes();
+  ASAP_REQUIRE(!nodes.empty(), "empty overlay");
+  PathStats out;
+  std::uint64_t pairs = 0, reached = 0, hops_total = 0;
+  for (std::uint32_t s = 0; s < sources; ++s) {
+    const NodeId src = nodes[rng.below(nodes.size())];
+    const auto depth = bfs_depths(g, src);
+    for (const NodeId n : nodes) {
+      if (n == src) continue;
+      ++pairs;
+      if (depth[n] != kUnreachable) {
+        ++reached;
+        hops_total += depth[n];
+        out.max_hops = std::max(out.max_hops, depth[n]);
+      }
+    }
+  }
+  out.mean_hops =
+      reached == 0 ? 0.0
+                   : static_cast<double>(hops_total) /
+                         static_cast<double>(reached);
+  out.reachable_fraction =
+      pairs == 0 ? 1.0
+                 : static_cast<double>(reached) / static_cast<double>(pairs);
+  return out;
+}
+
+}  // namespace asap::overlay

@@ -1,0 +1,37 @@
+// Structural metrics of overlay graphs.
+//
+// The paper's three topologies differ exactly in these properties (degree
+// skew, clustering, path lengths) — which drive flood reach, walk mixing
+// and thus every search result. Sampled estimators keep costs at
+// O(samples * (V + E)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "overlay/overlay.hpp"
+
+namespace asap::overlay {
+
+/// BFS hop distances from `source` over attached nodes; kUnreachable for
+/// unreached or detached nodes.
+inline constexpr std::uint32_t kUnreachable = 0xFFFFFFFF;
+std::vector<std::uint32_t> bfs_depths(const Overlay& g, NodeId source);
+
+/// Mean local clustering coefficient over up to `samples` random attached
+/// nodes with degree >= 2.
+double clustering_coefficient(const Overlay& g, std::uint32_t samples,
+                              Rng& rng);
+
+struct PathStats {
+  double mean_hops = 0.0;      // over reachable pairs sampled
+  std::uint32_t max_hops = 0;  // eccentricity lower bound (diameter >= this)
+  double reachable_fraction = 1.0;
+};
+
+/// BFS from up to `sources` random attached nodes; aggregates distances to
+/// every attached node.
+PathStats path_stats(const Overlay& g, std::uint32_t sources, Rng& rng);
+
+}  // namespace asap::overlay

@@ -1,0 +1,108 @@
+// Unstructured P2P overlay graphs.
+//
+// Three generators mirror the paper's logical topologies (§IV-A):
+//   * random     — connected uniform graph, average degree 5,
+//   * power-law  — same average degree, degrees ~ d^-0.74,
+//   * crawled    — Limewire-crawl-like: average degree 3.35 with a heavy
+//                  degree tail (the crawl itself is not available; see
+//                  DESIGN.md substitution #2).
+//
+// The overlay is mutable to support churn: departures detach a node's
+// edges, joins attach a new node to random live peers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace asap::overlay {
+
+class Overlay {
+ public:
+  /// Connected Erdos-Renyi-style G(n, m) graph with the given mean degree.
+  static Overlay random(std::uint32_t n, double avg_degree, Rng& rng);
+
+  /// Degree-sequence (configuration-model) graph with degrees following a
+  /// bounded power law d^-alpha, pinned to the given mean degree.
+  static Overlay powerlaw(std::uint32_t n, double avg_degree, double alpha,
+                          Rng& rng);
+
+  /// Crawled-Limewire-like topology: sparse mean degree (3.35 in the paper)
+  /// with a heavier tail than the power-law topology above.
+  static Overlay crawled_like(std::uint32_t n, double avg_degree, Rng& rng);
+
+  /// Edgeless graph over n node slots; callers add edges themselves (used
+  /// to build derived views such as the superpeer mesh).
+  static Overlay edgeless(std::uint32_t n) { return Overlay(n); }
+
+  /// Semantic-overlay-network-style graph (SON, Crespo & Garcia-Molina —
+  /// the interest-clustering work the paper's observation 4 builds on):
+  /// each node spends `cluster_fraction` of its edges on peers from its
+  /// own group and the rest on uniformly random peers (keeping the graph
+  /// connected and low-diameter). `group_of[n]` assigns each node to a
+  /// group (e.g. its primary interest class).
+  static Overlay interest_clustered(std::uint32_t n, double avg_degree,
+                                    std::span<const std::uint8_t> group_of,
+                                    double cluster_fraction, Rng& rng);
+
+  /// Number of node slots ever allocated (attached or not).
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(adj_.size());
+  }
+  std::uint64_t num_edges() const { return num_edges_; }
+  double avg_degree() const;
+
+  std::span<const NodeId> neighbors(NodeId n) const {
+    ASAP_DCHECK(n < adj_.size());
+    return {adj_[n].data(), adj_[n].size()};
+  }
+  std::uint32_t degree(NodeId n) const {
+    ASAP_DCHECK(n < adj_.size());
+    return static_cast<std::uint32_t>(adj_[n].size());
+  }
+
+  /// True while the node has a slot in the overlay and has not departed.
+  bool attached(NodeId n) const { return n < adj_.size() && attached_[n]; }
+
+  /// Detach a departing node: removes all incident edges.
+  void detach(NodeId n);
+
+  /// Attach a new node (returns its id) with edges to `target_degree`
+  /// distinct attached peers chosen uniformly (fewer if the overlay is
+  /// smaller than requested).
+  NodeId attach_new(std::uint32_t target_degree, Rng& rng);
+
+  /// Re-attach a previously detached node with fresh edges to
+  /// `target_degree` random attached peers (a rejoin).
+  void reattach(NodeId n, std::uint32_t target_degree, Rng& rng);
+
+  /// Adds an undirected edge; ignores duplicates and self-loops.
+  /// Returns true if an edge was added.
+  bool add_edge(NodeId a, NodeId b);
+
+  /// All currently attached node ids (fresh copy).
+  std::vector<NodeId> attached_nodes() const;
+
+  /// True if the attached subgraph is connected (BFS; for tests).
+  bool connected() const;
+
+  /// Degree histogram over attached nodes (index = degree).
+  std::vector<std::uint32_t> degree_histogram() const;
+
+ private:
+  explicit Overlay(std::uint32_t n);
+
+  /// Link all connected components into one by adding bridge edges
+  /// between random members of distinct components.
+  void ensure_connected(Rng& rng);
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::vector<bool> attached_;
+  std::uint64_t num_edges_ = 0;
+};
+
+}  // namespace asap::overlay

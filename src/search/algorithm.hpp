@@ -1,0 +1,37 @@
+// Common interface all systems under test implement.
+//
+// The harness replays the trace: for every event it first updates the
+// shared world state (overlay churn, live content, ground-truth index),
+// then hands the event to the algorithm. Baselines only act on queries;
+// ASAP also reacts to joins (advertise + warm its cache), content changes
+// (patch ads) and timers.
+#pragma once
+
+#include <string>
+
+#include "metrics/search_stats.hpp"
+#include "trace/trace.hpp"
+
+namespace asap::search {
+
+class SearchAlgorithm {
+ public:
+  virtual ~SearchAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before the trace starts, at virtual time 0; the
+  /// measurement window begins after `warmup_duration` seconds.
+  virtual void warm_up(Seconds /*warmup_duration*/) {}
+
+  /// Called for every trace event, after world state has been updated.
+  virtual void on_trace_event(const trace::TraceEvent& event) = 0;
+
+  metrics::SearchStats& stats() { return stats_; }
+  const metrics::SearchStats& stats() const { return stats_; }
+
+ protected:
+  metrics::SearchStats stats_;
+};
+
+}  // namespace asap::search

@@ -1,0 +1,230 @@
+// Propagation kernels: flooding, random walk, and the budgeted hybrid
+// scheme (GSA, Gkantsidis et al. [12]).
+//
+// These expand a message's journey inline (DESIGN.md §3): bytes land in the
+// BandwidthLedger at the virtual time of each hop, and a visitor callback
+// fires per arrival so callers implement query matching (baselines) or ad
+// caching (ASAP) on top. Node liveness is evaluated at propagation start;
+// only online neighbors are forwarded to (peers know neighbor liveness via
+// keep-alives, which the paper excludes from system load).
+//
+// Callback contract: VisitAction fn(NodeId node, Seconds arrival,
+// std::uint32_t hops). Flooding invokes it on a node's *first* arrival;
+// walks invoke it on every arrival (revisits included — caching/matching
+// are idempotent for all callers).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+#include "search/context.hpp"
+#include "sim/bandwidth.hpp"
+
+namespace asap::search {
+
+enum class VisitAction : std::uint8_t {
+  kContinue,    // keep going
+  kStopWalker,  // terminate this walker (no-op for floods)
+  kStopAll,     // terminate the whole propagation
+};
+
+struct PropagationStats {
+  std::uint64_t messages = 0;
+  Bytes bytes = 0;
+  std::uint32_t unique_nodes = 0;  // distinct nodes visited (flood only)
+};
+
+namespace detail {
+
+struct FloodMsg {
+  Seconds time;
+  NodeId node;
+  NodeId from;
+  std::uint32_t ttl;
+  bool operator>(const FloodMsg& other) const { return time > other.time; }
+};
+
+}  // namespace detail
+
+/// Flood with duplicate suppression: a node forwards the first copy it
+/// receives (TTL permitting); later copies still cost bandwidth but are
+/// dropped. `ttl` is the number of overlay hops a message may travel.
+/// `max_messages` optionally caps the total transmissions (the budgeted
+/// flood behind the GSA scheme); forwarding stops once the cap is hit.
+template <typename VisitFn>
+PropagationStats flood(Ctx& ctx, NodeId origin, Seconds start,
+                       std::uint32_t ttl, Bytes msg_size, sim::Traffic cat,
+                       VisitFn&& visit,
+                       std::uint64_t max_messages =
+                           std::numeric_limits<std::uint64_t>::max()) {
+  PropagationStats stats;
+  if (ttl == 0 || max_messages == 0 || !ctx.online(origin)) return stats;
+  ctx.begin_epoch();
+  ctx.mark_visited(origin);
+
+  std::priority_queue<detail::FloodMsg, std::vector<detail::FloodMsg>,
+                      std::greater<>>
+      pq;
+  auto send_to_neighbors = [&](NodeId from_node, NodeId prev, Seconds t,
+                               std::uint32_t remaining) {
+    for (NodeId nb : ctx.graph().neighbors(from_node)) {
+      if (stats.messages >= max_messages) return;
+      if (nb == prev || !ctx.online(nb)) continue;
+      ++stats.messages;
+      stats.bytes += msg_size;
+      if (ctx.transmission_lost()) {
+        // The sender paid for the transmission; nothing arrives.
+        ctx.ledger.deposit(t, cat, msg_size);
+        continue;
+      }
+      pq.push({t + ctx.latency(from_node, nb), nb, from_node, remaining});
+    }
+  };
+  send_to_neighbors(origin, kInvalidNode, start, ttl - 1);
+
+  while (!pq.empty()) {
+    const detail::FloodMsg m = pq.top();
+    pq.pop();
+    ctx.ledger.deposit(m.time, cat, msg_size);
+    if (ctx.visited(m.node)) continue;  // duplicate: paid for, dropped
+    ctx.mark_visited(m.node);
+    ++stats.unique_nodes;
+    const VisitAction action = visit(m.node, m.time, ttl - m.ttl);
+    if (action == VisitAction::kStopAll) break;
+    if (m.ttl > 0) send_to_neighbors(m.node, m.from, m.time, m.ttl - 1);
+  }
+  return stats;
+}
+
+/// `walkers` independent random walks of at most `per_walker_budget` hops
+/// each. A walker moves to a uniformly random online neighbor, avoiding an
+/// immediate backtrack when any other choice exists.
+template <typename VisitFn>
+PropagationStats random_walk(Ctx& ctx, NodeId origin, Seconds start,
+                             std::uint32_t walkers,
+                             std::uint64_t per_walker_budget, Bytes msg_size,
+                             sim::Traffic cat, VisitFn&& visit) {
+  PropagationStats stats;
+  if (per_walker_budget == 0 || !ctx.online(origin)) return stats;
+  std::vector<NodeId> choices;
+  for (std::uint32_t w = 0; w < walkers; ++w) {
+    NodeId cur = origin;
+    NodeId prev = kInvalidNode;
+    Seconds t = start;
+    for (std::uint64_t hop = 1; hop <= per_walker_budget; ++hop) {
+      choices.clear();
+      for (NodeId nb : ctx.graph().neighbors(cur)) {
+        if (ctx.online(nb) && nb != prev) choices.push_back(nb);
+      }
+      if (choices.empty()) {
+        // Dead end: allow the backtrack if the previous node is still up.
+        if (prev != kInvalidNode && ctx.online(prev)) {
+          choices.push_back(prev);
+        } else {
+          break;
+        }
+      }
+      const NodeId next = choices[ctx.rng.below(choices.size())];
+      t += ctx.latency(cur, next);
+      ++stats.messages;
+      stats.bytes += msg_size;
+      ctx.ledger.deposit(t, cat, msg_size);
+      if (ctx.transmission_lost()) continue;  // hop lost: budget spent,
+                                              // walker stays and retries
+      const VisitAction action =
+          visit(next, t, static_cast<std::uint32_t>(hop));
+      if (action == VisitAction::kStopAll) return stats;
+      if (action == VisitAction::kStopWalker) break;
+      prev = cur;
+      cur = next;
+    }
+  }
+  return stats;
+}
+
+/// Weighted random walks: like random_walk, but the next hop is drawn
+/// with probability proportional to `weight(node)` among online
+/// non-backtracking neighbors. Used by the interest-biased ad-delivery
+/// extension (walkers steer toward peers whose interests overlap the ad's
+/// topics, exploiting the interest clustering the paper's design leans
+/// on). A uniform weight reduces to random_walk.
+template <typename VisitFn, typename WeightFn>
+PropagationStats biased_walk(Ctx& ctx, NodeId origin, Seconds start,
+                             std::uint32_t walkers,
+                             std::uint64_t per_walker_budget, Bytes msg_size,
+                             sim::Traffic cat, WeightFn&& weight,
+                             VisitFn&& visit) {
+  PropagationStats stats;
+  if (per_walker_budget == 0 || !ctx.online(origin)) return stats;
+  std::vector<NodeId> choices;
+  std::vector<double> weights;
+  for (std::uint32_t w = 0; w < walkers; ++w) {
+    NodeId cur = origin;
+    NodeId prev = kInvalidNode;
+    Seconds t = start;
+    for (std::uint64_t hop = 1; hop <= per_walker_budget; ++hop) {
+      choices.clear();
+      weights.clear();
+      double total = 0.0;
+      for (NodeId nb : ctx.graph().neighbors(cur)) {
+        if (!ctx.online(nb) || nb == prev) continue;
+        const double wgt = std::max(1e-9, weight(nb));
+        choices.push_back(nb);
+        weights.push_back(wgt);
+        total += wgt;
+      }
+      if (choices.empty()) {
+        if (prev != kInvalidNode && ctx.online(prev)) {
+          choices.push_back(prev);
+          weights.push_back(1.0);
+          total = 1.0;
+        } else {
+          break;
+        }
+      }
+      double u = ctx.rng.uniform01() * total;
+      std::size_t pick = choices.size() - 1;
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        u -= weights[i];
+        if (u <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+      const NodeId next = choices[pick];
+      t += ctx.latency(cur, next);
+      ++stats.messages;
+      stats.bytes += msg_size;
+      ctx.ledger.deposit(t, cat, msg_size);
+      if (ctx.transmission_lost()) continue;  // hop lost: budget spent,
+                                              // walker stays and retries
+      const VisitAction action =
+          visit(next, t, static_cast<std::uint32_t>(hop));
+      if (action == VisitAction::kStopAll) return stats;
+      if (action == VisitAction::kStopWalker) break;
+      prev = cur;
+      cur = next;
+    }
+  }
+  return stats;
+}
+
+/// GSA: the generalized budgeted search of Gkantsidis et al. [12] — a
+/// flood whose total message count is capped by the query's budget. The
+/// expansion proceeds in arrival-time order, so it behaves exactly like
+/// flooding until the budget runs out; response latency is flood-like
+/// (the paper observes GSA response times comparable to flooding) while
+/// cost and reach are bounded by the budget.
+template <typename VisitFn>
+PropagationStats gsa(Ctx& ctx, NodeId origin, Seconds start,
+                     std::uint64_t budget, Bytes msg_size, sim::Traffic cat,
+                     VisitFn&& visit) {
+  return flood(ctx, origin, start,
+               std::numeric_limits<std::uint32_t>::max() - 1, msg_size, cat,
+               std::forward<VisitFn>(visit), budget);
+}
+
+}  // namespace asap::search

@@ -1,0 +1,76 @@
+#include "sim/bandwidth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asap::sim {
+
+const char* traffic_name(Traffic t) {
+  switch (t) {
+    case Traffic::kQuery:
+      return "query";
+    case Traffic::kResponse:
+      return "response";
+    case Traffic::kConfirm:
+      return "confirm";
+    case Traffic::kAdsRequest:
+      return "ads-request";
+    case Traffic::kFullAd:
+      return "full-ad";
+    case Traffic::kPatchAd:
+      return "patch-ad";
+    case Traffic::kRefreshAd:
+      return "refresh-ad";
+    case Traffic::kCount:
+      break;
+  }
+  return "?";
+}
+
+BandwidthLedger::BandwidthLedger(Seconds horizon) {
+  ASAP_REQUIRE(horizon > 0.0, "ledger horizon must be positive");
+  num_buckets_ = static_cast<std::uint32_t>(std::ceil(horizon)) + 1;
+  for (auto& v : per_category_) v.assign(num_buckets_, 0);
+}
+
+void BandwidthLedger::deposit(Seconds t, Traffic category, Bytes bytes) {
+  ASAP_DCHECK(category != Traffic::kCount);
+  const auto c = static_cast<std::size_t>(category);
+  auto bucket = t <= 0.0 ? 0u : static_cast<std::uint32_t>(t);
+  bucket = std::min(bucket, num_buckets_ - 1);
+  per_category_[c][bucket] += bytes;
+  totals_[c] += bytes;
+}
+
+Bytes BandwidthLedger::total(Traffic category) const {
+  return totals_[static_cast<std::size_t>(category)];
+}
+
+Bytes BandwidthLedger::total(std::span<const Traffic> categories) const {
+  Bytes sum = 0;
+  for (Traffic c : categories) sum += total(c);
+  return sum;
+}
+
+Bytes BandwidthLedger::grand_total() const {
+  Bytes sum = 0;
+  for (auto t : totals_) sum += t;
+  return sum;
+}
+
+std::span<const Bytes> BandwidthLedger::series(Traffic category) const {
+  const auto& v = per_category_[static_cast<std::size_t>(category)];
+  return {v.data(), v.size()};
+}
+
+std::vector<Bytes> BandwidthLedger::combined_series(
+    std::span<const Traffic> categories) const {
+  std::vector<Bytes> out(num_buckets_, 0);
+  for (Traffic c : categories) {
+    const auto s = series(c);
+    for (std::uint32_t i = 0; i < num_buckets_; ++i) out[i] += s[i];
+  }
+  return out;
+}
+
+}  // namespace asap::sim

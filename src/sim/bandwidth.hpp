@@ -1,0 +1,62 @@
+// Traffic accounting: who spent how many bytes, when, on what.
+//
+// The paper's metrics (§V-B) need (a) per-category totals — e.g. the
+// ASAP(RW) load breakdown of Fig 7, (b) a per-second system-wide load
+// series — Fig 10 and the mean/stddev of Fig 8/9. The ledger keeps one
+// per-second bucket row per traffic category; deposits are O(1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace asap::sim {
+
+/// Traffic categories, matching the paper's load decomposition.
+enum class Traffic : std::uint8_t {
+  kQuery = 0,    // baseline query / walker messages
+  kResponse,     // baseline response messages (tracked, not in paper's load)
+  kConfirm,      // ASAP content-confirmation request + reply
+  kAdsRequest,   // ASAP ads-request + ads-reply messages
+  kFullAd,       // full advertisements
+  kPatchAd,      // patch advertisements
+  kRefreshAd,    // refresh advertisements
+  kCount
+};
+
+inline constexpr std::size_t kTrafficCount =
+    static_cast<std::size_t>(Traffic::kCount);
+
+const char* traffic_name(Traffic t);
+
+class BandwidthLedger {
+ public:
+  /// @param horizon  simulated duration covered by per-second buckets;
+  ///                 deposits beyond the horizon clamp into the last bucket.
+  explicit BandwidthLedger(Seconds horizon);
+
+  void deposit(Seconds t, Traffic category, Bytes bytes);
+
+  Bytes total(Traffic category) const;
+  /// Sum over a subset of categories.
+  Bytes total(std::span<const Traffic> categories) const;
+  Bytes grand_total() const;
+
+  /// Per-second byte series for one category.
+  std::span<const Bytes> series(Traffic category) const;
+  /// Per-second byte series summed over the given categories.
+  std::vector<Bytes> combined_series(std::span<const Traffic> categories) const;
+
+  std::uint32_t buckets() const { return num_buckets_; }
+
+ private:
+  std::uint32_t num_buckets_;
+  std::array<std::vector<Bytes>, kTrafficCount> per_category_;
+  std::array<Bytes, kTrafficCount> totals_{};
+};
+
+}  // namespace asap::sim

@@ -1,0 +1,70 @@
+#include "sim/engine.hpp"
+
+namespace asap::sim {
+
+namespace {
+constexpr std::size_t kArity = 4;
+}
+
+void Engine::schedule_at(Seconds t, Callback cb) {
+  ASAP_REQUIRE(t >= now_, "cannot schedule an event in the past");
+  heap_.push_back(Item{t, next_seq_++, std::move(cb)});
+  sift_up(heap_.size() - 1);
+}
+
+void Engine::sift_up(std::size_t i) {
+  Item item = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!item.before(heap_[parent])) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(item);
+}
+
+void Engine::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Item item = std::move(heap_[i]);
+  for (;;) {
+    const std::size_t first_child = i * kArity + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_[c].before(heap_[best])) best = c;
+    }
+    if (!heap_[best].before(item)) break;
+    heap_[i] = std::move(heap_[best]);
+    i = best;
+  }
+  heap_[i] = std::move(item);
+}
+
+bool Engine::step() {
+  if (heap_.empty()) return false;
+  Item item = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+
+  ASAP_DCHECK(item.time >= now_);
+  now_ = item.time;
+  ++executed_;
+  item.cb();
+  return true;
+}
+
+void Engine::run_until(Seconds t_end) {
+  while (!heap_.empty() && heap_.front().time <= t_end) {
+    step();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace asap::sim

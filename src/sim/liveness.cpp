@@ -1,0 +1,70 @@
+#include "sim/liveness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace asap::sim {
+
+Liveness::Liveness(std::uint32_t capacity, std::uint32_t initial_online)
+    : online_(capacity, false) {
+  ASAP_REQUIRE(initial_online <= capacity,
+               "more initial-online nodes than capacity");
+  for (std::uint32_t i = 0; i < initial_online; ++i) online_[i] = true;
+  live_count_ = initial_online;
+}
+
+void Liveness::set_online(NodeId n, bool up, Seconds t) {
+  ASAP_REQUIRE(n < online_.size(), "liveness: unknown node");
+  if (online_[n] == up) return;
+  online_[n] = up;
+  const std::int32_t delta = up ? 1 : -1;
+  live_count_ = static_cast<std::uint32_t>(
+      static_cast<std::int64_t>(live_count_) + delta);
+  transitions_.push_back({t, delta});
+}
+
+void Liveness::grow(std::uint32_t new_capacity) {
+  ASAP_REQUIRE(new_capacity >= online_.size(), "liveness cannot shrink");
+  online_.resize(new_capacity, false);
+}
+
+std::vector<double> Liveness::live_count_series(Seconds horizon) const {
+  ASAP_REQUIRE(horizon > 0.0, "horizon must be positive");
+  const auto buckets = static_cast<std::uint32_t>(std::ceil(horizon));
+  std::vector<double> out(buckets, 0.0);
+
+  // Transitions are appended in non-decreasing time order by the engine;
+  // sort defensively anyway (stable so same-time join/leave order holds).
+  auto sorted = transitions_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Transition& a, const Transition& b) {
+                     return a.time < b.time;
+                   });
+
+  // Walk buckets integrating the step function. Start from the count at
+  // t=0: current live count minus all recorded deltas.
+  std::int64_t count = live_count_;
+  for (const auto& tr : sorted) count -= tr.delta;
+
+  std::size_t idx = 0;
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    const Seconds lo = b;
+    const Seconds hi = b + 1;
+    double integral = 0.0;
+    Seconds cursor = lo;
+    while (idx < sorted.size() && sorted[idx].time < hi) {
+      const Seconds at = std::max(sorted[idx].time, lo);
+      integral += static_cast<double>(count) * (at - cursor);
+      count += sorted[idx].delta;
+      cursor = at;
+      ++idx;
+    }
+    integral += static_cast<double>(count) * (hi - cursor);
+    out[b] = integral;  // bucket width is 1 s, so integral == average
+  }
+  return out;
+}
+
+}  // namespace asap::sim

@@ -1,0 +1,47 @@
+// Per-node online/offline tracking plus a live-count step function.
+//
+// System load is reported per *live* node per second (§V-B), so the harness
+// needs the number of live peers in every one-second bucket; Liveness
+// records every transition and can replay them into a per-second series.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace asap::sim {
+
+class Liveness {
+ public:
+  /// All of the first `initial_online` slots start online at t=0.
+  explicit Liveness(std::uint32_t capacity, std::uint32_t initial_online);
+
+  bool online(NodeId n) const { return n < online_.size() && online_[n]; }
+  std::uint32_t live_count() const { return live_count_; }
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(online_.size());
+  }
+
+  /// Marks a node online/offline at virtual time t (idempotent).
+  void set_online(NodeId n, bool up, Seconds t);
+
+  /// Grows capacity (new slots start offline).
+  void grow(std::uint32_t new_capacity);
+
+  /// Average live count within each one-second bucket of [0, horizon),
+  /// computed exactly from the recorded transitions.
+  std::vector<double> live_count_series(Seconds horizon) const;
+
+ private:
+  struct Transition {
+    Seconds time;
+    std::int32_t delta;  // +1 on join, -1 on leave
+  };
+
+  std::vector<bool> online_;
+  std::uint32_t live_count_ = 0;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace asap::sim

@@ -1,0 +1,27 @@
+// Wire sizes of every message type, in bytes.
+//
+// The paper never publishes exact message layouts; these defaults are the
+// conventional sizes used by Gnutella-era simulation studies (a query
+// descriptor plus TCP/IP framing ~ 80 B) and are configurable so
+// sensitivity to the size model can be explored. Full/patch ad payload
+// sizes are computed from the Bloom filter content at send time; the
+// constants here cover fixed headers and per-entry overheads.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace asap::sim {
+
+struct SizeModel {
+  Bytes query = 80;          // flooding / walker query message
+  Bytes response = 100;      // baseline query response
+  Bytes confirm_request = 60;   // ASAP content confirmation request
+  Bytes confirm_reply = 60;     // ASAP content confirmation reply
+  Bytes ad_header = 40;      // identity + topics + version + type
+  Bytes patch_entry = 2;     // one changed bit position (u16, m < 65536)
+  Bytes ads_request = 60;    // ads request to a neighbor
+  Bytes ads_reply_header = 40;
+  Bytes ads_reply_entry_overhead = 8;  // per forwarded ad in a reply
+};
+
+}  // namespace asap::sim

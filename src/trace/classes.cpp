@@ -1,0 +1,36 @@
+#include "trace/classes.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace asap::trace {
+
+namespace {
+constexpr std::array<std::string_view, kNumClasses> kNames = {
+    "video",    "audio",     "archive",  "cd-image", "document",
+    "software", "image",     "game",     "tv-series", "anime",
+    "ebook",    "subtitles", "source",   "misc",
+};
+}  // namespace
+
+std::string_view class_name(TopicId cls) {
+  ASAP_REQUIRE(cls < kNumClasses, "class id out of range");
+  return kNames[cls];
+}
+
+const std::array<double, kNumClasses>& class_weights() {
+  static const std::array<double, kNumClasses> weights = [] {
+    std::array<double, kNumClasses> w{};
+    double total = 0.0;
+    for (std::uint32_t i = 0; i < kNumClasses; ++i) {
+      w[i] = std::pow(static_cast<double>(i + 1), -0.8);
+      total += w[i];
+    }
+    for (auto& v : w) v /= total;
+    return w;
+  }();
+  return weights;
+}
+
+}  // namespace asap::trace

@@ -1,0 +1,27 @@
+// The 14 semantic document classes (paper §IV-B, Fig 2/3).
+//
+// The paper classifies the eDonkey corpus into 14 categories by file name
+// and extension. The crawl is not public, so we model the categories and a
+// skewed popularity profile over them (video/audio-dominated, as every
+// eDonkey study reports); see DESIGN.md substitution #1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace asap::trace {
+
+inline constexpr std::uint32_t kNumClasses = 14;
+
+/// Human-readable class labels, ordered by popularity rank.
+std::string_view class_name(TopicId cls);
+
+/// Relative popularity weight of each class (sums to 1). Follows a
+/// Zipf(0.8) profile over the 14 classes, which matches the
+/// "few classes dominate" shape of Fig 2.
+const std::array<double, kNumClasses>& class_weights();
+
+}  // namespace asap::trace

@@ -1,0 +1,158 @@
+#include "trace/live_content.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace asap::trace {
+
+LiveContent::LiveContent(const ContentModel& model)
+    : docs_(model.total_node_slots()),
+      online_(model.total_node_slots(), false) {
+  const auto initial = model.params().initial_nodes;
+  for (NodeId n = 0; n < initial; ++n) {
+    docs_[n] = model.initial_docs(n);
+    online_[n] = true;
+  }
+  live_count_ = initial;
+}
+
+bool LiveContent::has_doc(NodeId n, DocId d) const {
+  const auto& lst = docs_[n];
+  return std::find(lst.begin(), lst.end(), d) != lst.end();
+}
+
+bool LiveContent::node_matches(NodeId n, std::span<const KeywordId> terms,
+                               const ContentModel& model) const {
+  if (!online_[n] || terms.empty()) return false;
+  for (DocId d : docs_[n]) {
+    const auto& kws = model.doc(d).keywords;
+    bool all = true;
+    for (KeywordId t : terms) {
+      if (std::find(kws.begin(), kws.end(), t) == kws.end()) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+std::uint32_t LiveContent::keyword_count(NodeId n,
+                                         const ContentModel& model) const {
+  std::vector<KeywordId> kws;
+  for (DocId d : docs_[n]) {
+    const auto& dk = model.doc(d).keywords;
+    kws.insert(kws.end(), dk.begin(), dk.end());
+  }
+  std::sort(kws.begin(), kws.end());
+  kws.erase(std::unique(kws.begin(), kws.end()), kws.end());
+  return static_cast<std::uint32_t>(kws.size());
+}
+
+void LiveContent::set_online(NodeId n, bool up) {
+  ASAP_REQUIRE(n < online_.size(), "unknown node");
+  if (online_[n] == up) return;
+  online_[n] = up;
+  live_count_ = static_cast<std::uint32_t>(
+      static_cast<std::int64_t>(live_count_) + (up ? 1 : -1));
+}
+
+void LiveContent::add_doc(NodeId n, DocId d) {
+  ASAP_DCHECK(n < docs_.size());
+  if (!has_doc(n, d)) docs_[n].push_back(d);
+}
+
+void LiveContent::remove_doc(NodeId n, DocId d) {
+  auto& lst = docs_[n];
+  lst.erase(std::remove(lst.begin(), lst.end(), d), lst.end());
+}
+
+void LiveContent::apply(const TraceEvent& ev, const ContentModel& model) {
+  switch (ev.type) {
+    case TraceEventType::kQuery:
+      break;
+    case TraceEventType::kAddDoc:
+      add_doc(ev.node, ev.doc);
+      break;
+    case TraceEventType::kRemoveDoc:
+      remove_doc(ev.node, ev.doc);
+      break;
+    case TraceEventType::kJoin:
+      set_online(ev.node, true);
+      for (DocId d : model.joiner_docs(ev.node)) add_doc(ev.node, d);
+      break;
+    case TraceEventType::kLeave:
+      set_online(ev.node, false);
+      break;
+    case TraceEventType::kRejoin:
+      // The node returns with the content it had when it left.
+      set_online(ev.node, true);
+      break;
+  }
+}
+
+ContentIndex::ContentIndex(const ContentModel& model,
+                           const LiveContent& live) {
+  for (NodeId n = 0; n < live.capacity(); ++n) {
+    for (DocId d : live.docs(n)) on_add(n, d, model);
+  }
+}
+
+void ContentIndex::ensure_keyword(KeywordId kw) {
+  if (kw >= postings_.size()) postings_.resize(kw + 1);
+}
+
+void ContentIndex::on_add(NodeId n, DocId d, const ContentModel& model) {
+  for (KeywordId kw : model.doc(d).keywords) {
+    ensure_keyword(kw);
+    postings_[kw].push_back(Posting{n, d});
+  }
+}
+
+void ContentIndex::apply(const TraceEvent& ev, const ContentModel& model) {
+  switch (ev.type) {
+    case TraceEventType::kAddDoc:
+      on_add(ev.node, ev.doc, model);
+      break;
+    case TraceEventType::kJoin:
+      for (DocId d : model.joiner_docs(ev.node)) on_add(ev.node, d, model);
+      break;
+    default:
+      break;  // removals/leaves are invalidated lazily at query time
+  }
+}
+
+std::vector<NodeId> ContentIndex::matching_nodes(
+    std::span<const KeywordId> terms, const LiveContent& live,
+    const ContentModel& model) const {
+  std::vector<NodeId> out;
+  if (terms.empty()) return out;
+
+  // Drive from the rarest term's posting list.
+  const std::vector<Posting>* driver = nullptr;
+  for (KeywordId t : terms) {
+    if (t >= postings_.size()) return out;  // term never indexed => no match
+    const auto& lst = postings_[t];
+    if (driver == nullptr || lst.size() < driver->size()) driver = &lst;
+  }
+
+  for (const Posting& p : *driver) {
+    if (!live.online(p.node) || !live.has_doc(p.node, p.doc)) continue;
+    const auto& kws = model.doc(p.doc).keywords;
+    bool all = true;
+    for (KeywordId t : terms) {
+      if (std::find(kws.begin(), kws.end(), t) == kws.end()) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.push_back(p.node);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace asap::trace

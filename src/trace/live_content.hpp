@@ -1,0 +1,83 @@
+// Ground-truth content state during a trace replay.
+//
+// Every system under test shares this oracle: it answers "which online
+// nodes currently hold a document containing all query terms" — the truth
+// the search algorithms are measured against — and "does node n hold such a
+// document" — what a node answers when asked directly (flooding hit test,
+// ASAP content confirmation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/content_model.hpp"
+#include "trace/trace.hpp"
+
+namespace asap::trace {
+
+/// Per-node online flag and shared-document list, mutated by trace events.
+class LiveContent {
+ public:
+  explicit LiveContent(const ContentModel& model);
+
+  bool online(NodeId n) const { return online_[n]; }
+  std::uint32_t live_count() const { return live_count_; }
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(online_.size());
+  }
+
+  const std::vector<DocId>& docs(NodeId n) const { return docs_[n]; }
+  bool has_doc(NodeId n, DocId d) const;
+
+  /// True iff node n is online and holds one document containing *all*
+  /// terms (doc-level conjunction — the paper's confirmation semantics).
+  bool node_matches(NodeId n, std::span<const KeywordId> terms,
+                    const ContentModel& model) const;
+
+  /// Number of distinct keywords node n currently shares (|K_p|).
+  std::uint32_t keyword_count(NodeId n, const ContentModel& model) const;
+
+  void set_online(NodeId n, bool up);
+  void add_doc(NodeId n, DocId d);
+  void remove_doc(NodeId n, DocId d);
+
+  /// Applies one trace event (kQuery is a no-op here).
+  void apply(const TraceEvent& ev, const ContentModel& model);
+
+ private:
+  std::vector<std::vector<DocId>> docs_;
+  std::vector<bool> online_;
+  std::uint32_t live_count_ = 0;
+};
+
+/// Global inverted index keyword -> (node, doc) postings with lazy
+/// deletion; used to resolve the true matching-node set of a query in
+/// O(shortest posting list) instead of scanning every node.
+class ContentIndex {
+ public:
+  ContentIndex(const ContentModel& model, const LiveContent& live);
+
+  /// Must be called for every kAddDoc / kJoin placement (postings for
+  /// removals are invalidated lazily).
+  void on_add(NodeId n, DocId d, const ContentModel& model);
+  void apply(const TraceEvent& ev, const ContentModel& model);
+
+  /// All online nodes holding a single document that contains every term.
+  /// Result is sorted and duplicate-free.
+  std::vector<NodeId> matching_nodes(std::span<const KeywordId> terms,
+                                     const LiveContent& live,
+                                     const ContentModel& model) const;
+
+ private:
+  struct Posting {
+    NodeId node;
+    DocId doc;
+  };
+  std::vector<std::vector<Posting>> postings_;  // indexed by KeywordId
+
+  void ensure_keyword(KeywordId kw);
+};
+
+}  // namespace asap::trace

@@ -1,0 +1,83 @@
+// Synthetic query-trace generator (paper §IV-B steps 4-6).
+//
+// Produces a time-stamped event stream with:
+//   * `num_queries` search requests at Poisson(λ) arrival times, each
+//     guaranteed to have at least one live matching document at issue time
+//     (§V-A: "all the search requests are created such that there is at
+//     least one matching document existing in the system"),
+//   * a content change (add/remove) right after `content_change_fraction`
+//     of the queries,
+//   * `joins` node-join and `leaves` node-departure events at uniformly
+//     random trace positions,
+//   * requesters only ask for documents in classes they are interested in
+//     ("a peer only asks for interesting documents").
+//
+// The generator mutates the ContentModel (it mints documents for add
+// events) and tracks live state internally, so the trace is consistent by
+// construction.
+#pragma once
+
+#include <queue>
+
+#include "common/rng.hpp"
+#include "trace/content_model.hpp"
+#include "trace/live_content.hpp"
+#include "trace/trace.hpp"
+
+namespace asap::trace {
+
+class TraceGenerator {
+ public:
+  TraceGenerator(ContentModel& model, TraceParams params, Rng& rng);
+
+  /// Generates the full trace. Call once.
+  Trace generate();
+
+ private:
+  struct Instance {
+    NodeId node;
+    DocId doc;
+  };
+
+  /// Appends and applies an event, keeping live_ and class instance lists
+  /// in sync.
+  void emit(Trace& t, TraceEvent ev);
+
+  /// Picks a live (holder, doc) instance in one of `requester`'s interest
+  /// classes; returns false if none can be found after bounded retries.
+  bool pick_target(NodeId requester, Instance& out);
+
+  /// Chooses query terms from the target document.
+  void pick_terms(const Document& doc, TraceEvent& ev);
+
+  NodeId pick_online_node();
+
+  void make_content_change(Trace& t, Seconds time);
+
+  /// Emits any pending rejoin whose time has come (called while walking
+  /// the main timeline).
+  void flush_rejoins(Trace& t, Seconds upto);
+
+  ContentModel& model_;
+  TraceParams params_;
+  Rng& rng_;
+
+  /// Departed nodes waiting to come back, ordered by rejoin time.
+  struct PendingRejoin {
+    Seconds time;
+    NodeId node;
+    bool operator>(const PendingRejoin& o) const { return time > o.time; }
+  };
+  std::priority_queue<PendingRejoin, std::vector<PendingRejoin>,
+                      std::greater<>>
+      pending_rejoins_;
+
+  LiveContent live_;
+  /// Per-class (node, doc) instance lists with lazy invalidation.
+  std::array<std::vector<Instance>, kNumClasses> class_instances_;
+  std::vector<NodeId> online_pool_;  // lazily compacted
+  std::uint32_t next_joiner_ = 0;
+  bool generated_ = false;
+};
+
+}  // namespace asap::trace

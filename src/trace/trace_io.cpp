@@ -1,0 +1,253 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+
+#include "common/codec.hpp"
+#include "common/error.hpp"
+
+namespace asap::trace {
+
+namespace {
+
+constexpr std::uint32_t kContentMagic = 0xA5A7C0DE;
+constexpr std::uint32_t kTraceMagic = 0xA5A77ACE;
+constexpr std::uint8_t kFormatVersion = 1;
+
+void put_doc_list(wire::Writer& w, const std::vector<DocId>& docs) {
+  w.varint(docs.size());
+  for (const DocId d : docs) w.varint(d);
+}
+
+std::vector<DocId> get_doc_list(wire::Reader& r, std::size_t corpus_size) {
+  const auto count = r.varint();
+  if (count > corpus_size) {
+    throw wire::DecodeError("trace_io: doc list longer than corpus");
+  }
+  std::vector<DocId> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto d = r.varint();
+    if (d >= corpus_size) throw wire::DecodeError("trace_io: doc id range");
+    out.push_back(static_cast<DocId>(d));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_content(const ContentModel& model) {
+  wire::Writer w;
+  w.u32(kContentMagic);
+  w.u8(kFormatVersion);
+
+  const auto& p = model.params_;
+  w.varint(p.initial_nodes);
+  w.varint(p.joiner_nodes);
+  w.varint(static_cast<std::uint64_t>(p.free_rider_fraction * 1e9));
+  w.varint(static_cast<std::uint64_t>(p.mean_docs_per_sharer * 1e6));
+  w.varint(p.max_docs_per_node);
+  w.varint(static_cast<std::uint64_t>(p.single_copy_fraction * 1e9));
+  w.varint(static_cast<std::uint64_t>(p.copy_tail_alpha * 1e6));
+  w.varint(p.copy_tail_max);
+  w.varint(p.popular_terms_per_class);
+  w.varint(static_cast<std::uint64_t>(p.popular_term_alpha * 1e6));
+
+  w.varint(model.corpus_.size());
+  for (const auto& doc : model.corpus_) {
+    w.u8(doc.topic);
+    w.varint(doc.keywords.size());
+    for (const KeywordId kw : doc.keywords) w.varint(kw);
+  }
+  for (const auto& docs : model.initial_docs_) put_doc_list(w, docs);
+  for (const auto& docs : model.joiner_docs_) put_doc_list(w, docs);
+  for (const auto& ints : model.interests_) {
+    w.varint(ints.size());
+    for (const TopicId t : ints) w.u8(t);
+  }
+  w.varint(model.next_keyword_);
+  return w.buffer();
+}
+
+ContentModel deserialize_content(std::span<const std::uint8_t> data) {
+  wire::Reader r(data);
+  if (r.u32() != kContentMagic) {
+    throw wire::DecodeError("trace_io: bad content magic");
+  }
+  if (r.u8() != kFormatVersion) {
+    throw wire::DecodeError("trace_io: unsupported content format version");
+  }
+
+  ContentModel m;
+  auto& p = m.params_;
+  p.initial_nodes = static_cast<std::uint32_t>(r.varint());
+  p.joiner_nodes = static_cast<std::uint32_t>(r.varint());
+  p.free_rider_fraction = static_cast<double>(r.varint()) / 1e9;
+  p.mean_docs_per_sharer = static_cast<double>(r.varint()) / 1e6;
+  p.max_docs_per_node = static_cast<std::uint32_t>(r.varint());
+  p.single_copy_fraction = static_cast<double>(r.varint()) / 1e9;
+  p.copy_tail_alpha = static_cast<double>(r.varint()) / 1e6;
+  p.copy_tail_max = static_cast<std::uint32_t>(r.varint());
+  p.popular_terms_per_class = static_cast<std::uint32_t>(r.varint());
+  p.popular_term_alpha = static_cast<double>(r.varint()) / 1e6;
+
+  const auto corpus_size = r.varint();
+  if (corpus_size > (1ULL << 31)) {
+    throw wire::DecodeError("trace_io: unreasonable corpus size");
+  }
+  m.corpus_.reserve(static_cast<std::size_t>(corpus_size));
+  for (std::uint64_t i = 0; i < corpus_size; ++i) {
+    Document doc;
+    doc.topic = r.u8();
+    if (doc.topic >= kNumClasses) {
+      throw wire::DecodeError("trace_io: topic out of range");
+    }
+    const auto kws = r.varint();
+    if (kws > 64) throw wire::DecodeError("trace_io: keyword count");
+    doc.keywords.reserve(static_cast<std::size_t>(kws));
+    for (std::uint64_t k = 0; k < kws; ++k) {
+      doc.keywords.push_back(static_cast<KeywordId>(r.varint()));
+    }
+    m.corpus_.push_back(std::move(doc));
+  }
+
+  const auto total = p.initial_nodes + p.joiner_nodes;
+  m.initial_docs_.resize(total);
+  for (auto& docs : m.initial_docs_) {
+    docs = get_doc_list(r, m.corpus_.size());
+  }
+  m.joiner_docs_.resize(p.joiner_nodes);
+  for (auto& docs : m.joiner_docs_) {
+    docs = get_doc_list(r, m.corpus_.size());
+  }
+  m.interests_.resize(total);
+  for (auto& ints : m.interests_) {
+    const auto count = r.varint();
+    if (count > kNumClasses) {
+      throw wire::DecodeError("trace_io: interest count");
+    }
+    ints.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto t = r.u8();
+      if (t >= kNumClasses) throw wire::DecodeError("trace_io: interest id");
+      ints.push_back(t);
+    }
+  }
+  m.next_keyword_ = static_cast<KeywordId>(r.varint());
+  if (!r.done()) throw wire::DecodeError("trace_io: trailing bytes");
+
+  // Rebuild the (deterministic) per-class keyword pools.
+  m.class_pools_.resize(kNumClasses);
+  KeywordId next = 0;
+  for (auto& pool : m.class_pools_) {
+    pool.resize(p.popular_terms_per_class);
+    for (auto& kw : pool) kw = next++;
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> serialize_trace(const Trace& trace) {
+  wire::Writer w;
+  w.u32(kTraceMagic);
+  w.u8(kFormatVersion);
+  w.varint(trace.num_queries);
+  w.varint(trace.num_changes);
+  w.varint(trace.num_joins);
+  w.varint(trace.num_leaves);
+  w.varint(trace.num_rejoins);
+  w.varint(trace.events.size());
+  // Times are stored as microsecond deltas (monotone non-decreasing).
+  std::uint64_t prev_us = 0;
+  for (const auto& ev : trace.events) {
+    const auto us = static_cast<std::uint64_t>(ev.time * 1e6 + 0.5);
+    ASAP_CHECK(us >= prev_us);
+    w.varint(us - prev_us);
+    prev_us = us;
+    w.u8(static_cast<std::uint8_t>(ev.type));
+    w.varint(ev.node);
+    w.varint(ev.doc == kInvalidDoc ? 0 : static_cast<std::uint64_t>(ev.doc) + 1);
+    w.u8(ev.num_terms);
+    for (std::uint8_t i = 0; i < ev.num_terms; ++i) w.varint(ev.terms[i]);
+  }
+  return w.buffer();
+}
+
+Trace deserialize_trace(std::span<const std::uint8_t> data) {
+  wire::Reader r(data);
+  if (r.u32() != kTraceMagic) {
+    throw wire::DecodeError("trace_io: bad trace magic");
+  }
+  if (r.u8() != kFormatVersion) {
+    throw wire::DecodeError("trace_io: unsupported trace format version");
+  }
+  Trace t;
+  t.num_queries = static_cast<std::uint32_t>(r.varint());
+  t.num_changes = static_cast<std::uint32_t>(r.varint());
+  t.num_joins = static_cast<std::uint32_t>(r.varint());
+  t.num_leaves = static_cast<std::uint32_t>(r.varint());
+  t.num_rejoins = static_cast<std::uint32_t>(r.varint());
+  const auto count = r.varint();
+  if (count > (1ULL << 31)) {
+    throw wire::DecodeError("trace_io: unreasonable event count");
+  }
+  t.events.reserve(static_cast<std::size_t>(count));
+  std::uint64_t prev_us = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceEvent ev;
+    prev_us += r.varint();
+    ev.time = static_cast<Seconds>(prev_us) / 1e6;
+    const auto type = r.u8();
+    if (type > static_cast<std::uint8_t>(TraceEventType::kRejoin)) {
+      throw wire::DecodeError("trace_io: bad event type");
+    }
+    ev.type = static_cast<TraceEventType>(type);
+    ev.node = static_cast<NodeId>(r.varint());
+    const auto doc_plus1 = r.varint();
+    ev.doc = doc_plus1 == 0 ? kInvalidDoc
+                            : static_cast<DocId>(doc_plus1 - 1);
+    ev.num_terms = r.u8();
+    if (ev.num_terms > ev.terms.size()) {
+      throw wire::DecodeError("trace_io: term count");
+    }
+    for (std::uint8_t k = 0; k < ev.num_terms; ++k) {
+      ev.terms[k] = static_cast<KeywordId>(r.varint());
+    }
+    t.events.push_back(ev);
+  }
+  if (!r.done()) throw wire::DecodeError("trace_io: trailing bytes");
+  t.horizon = t.events.empty() ? 0.0 : t.events.back().time;
+  return t;
+}
+
+void save_bundle(const std::string& path, const ContentModel& model,
+                 const Trace& trace) {
+  const auto content = serialize_content(model);
+  const auto tr = serialize_trace(trace);
+  std::ofstream out(path, std::ios::binary);
+  ASAP_REQUIRE(out.good(), "cannot open bundle file for writing: " + path);
+  wire::Writer header;
+  header.varint(content.size());
+  header.varint(tr.size());
+  out.write(reinterpret_cast<const char*>(header.buffer().data()),
+            static_cast<std::streamsize>(header.size()));
+  out.write(reinterpret_cast<const char*>(content.data()),
+            static_cast<std::streamsize>(content.size()));
+  out.write(reinterpret_cast<const char*>(tr.data()),
+            static_cast<std::streamsize>(tr.size()));
+  ASAP_REQUIRE(out.good(), "failed writing bundle: " + path);
+}
+
+TraceBundle load_bundle(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ASAP_REQUIRE(in.good(), "cannot open bundle file: " + path);
+  std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  wire::Reader r(data);
+  const auto content_size = r.varint();
+  const auto trace_size = r.varint();
+  const auto content = r.bytes(static_cast<std::size_t>(content_size));
+  const auto tr = r.bytes(static_cast<std::size_t>(trace_size));
+  if (!r.done()) throw wire::DecodeError("trace_io: trailing bundle bytes");
+  return TraceBundle{deserialize_content(content), deserialize_trace(tr)};
+}
+
+}  // namespace asap::trace

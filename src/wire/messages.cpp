@@ -1,0 +1,161 @@
+#include "wire/messages.hpp"
+
+#include <algorithm>
+
+namespace asap::wire {
+
+namespace {
+
+constexpr std::uint8_t kMagic = 0xA5;
+
+// Filter body encodings inside a full ad.
+constexpr std::uint8_t kBodyBitmap = 0;
+constexpr std::uint8_t kBodySparse = 1;
+
+void encode_header(Writer& w, ads::AdKind kind, const ads::AdPayload& ad) {
+  w.u8(kMagic);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(ad.source);
+  w.varint(ad.version);
+  w.u8(static_cast<std::uint8_t>(ad.topics.size()));
+  for (const TopicId t : ad.topics) w.u8(t);
+}
+
+AdHeader decode_header(Reader& r) {
+  if (r.u8() != kMagic) throw DecodeError("wire: bad magic");
+  AdHeader h;
+  const auto kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(ads::AdKind::kRefresh)) {
+    throw DecodeError("wire: unknown ad kind");
+  }
+  h.kind = static_cast<ads::AdKind>(kind);
+  h.source = r.u32();
+  h.version = static_cast<std::uint32_t>(r.varint());
+  const auto topics = r.u8();
+  h.topics.reserve(topics);
+  for (std::uint8_t i = 0; i < topics; ++i) h.topics.push_back(r.u8());
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_full_ad(const ads::AdPayload& ad) {
+  Writer w;
+  encode_header(w, ads::AdKind::kFull, ad);
+
+  const auto positions = ad.filter.set_positions();
+  // Decide between raw bitmap and sparse form by encoding the sparse body
+  // and comparing (varint deltas usually beat the 2-bytes-per-position
+  // estimate the paper uses, and always beat the bitmap for light
+  // sharers).
+  Writer sparse;
+  encode_positions(sparse, positions);
+  const std::size_t bitmap_bytes = (ad.filter.params().bits + 7) / 8;
+  if (sparse.size() < bitmap_bytes) {
+    w.u8(kBodySparse);
+    w.varint(positions.size());
+    w.bytes(sparse.buffer());
+  } else {
+    w.u8(kBodyBitmap);
+    std::vector<std::uint8_t> bitmap(bitmap_bytes, 0);
+    for (const auto p : positions) bitmap[p >> 3] |= 1u << (p & 7);
+    w.bytes(bitmap);
+  }
+  return w.buffer();
+}
+
+std::vector<std::uint8_t> encode_patch_ad(
+    const ads::AdPayload& ad, std::uint32_t base_version,
+    std::span<const std::uint32_t> toggles) {
+  Writer w;
+  encode_header(w, ads::AdKind::kPatch, ad);
+  w.varint(base_version);
+  std::vector<std::uint32_t> sorted(toggles.begin(), toggles.end());
+  std::sort(sorted.begin(), sorted.end());
+  w.varint(sorted.size());
+  encode_positions(w, sorted);
+  return w.buffer();
+}
+
+std::vector<std::uint8_t> encode_refresh_ad(const ads::AdPayload& ad) {
+  Writer w;
+  encode_header(w, ads::AdKind::kRefresh, ad);
+  return w.buffer();
+}
+
+DecodedAd decode_ad(std::span<const std::uint8_t> data,
+                    const bloom::BloomParams& params) {
+  Reader r(data);
+  DecodedAd out;
+  out.header = decode_header(r);
+  switch (out.header.kind) {
+    case ads::AdKind::kFull: {
+      bloom::BloomFilter filter(params);
+      const auto body = r.u8();
+      if (body == kBodySparse) {
+        const auto count = r.varint();
+        if (count > params.bits) {
+          throw DecodeError("wire: more positions than filter bits");
+        }
+        const auto positions =
+            decode_positions(r, static_cast<std::size_t>(count));
+        for (const auto p : positions) {
+          if (p >= params.bits) throw DecodeError("wire: position range");
+          filter.toggle(p);
+        }
+      } else if (body == kBodyBitmap) {
+        const std::size_t bitmap_bytes = (params.bits + 7) / 8;
+        const auto bitmap = r.bytes(bitmap_bytes);
+        for (std::uint32_t p = 0; p < params.bits; ++p) {
+          if (bitmap[p >> 3] & (1u << (p & 7))) filter.toggle(p);
+        }
+      } else {
+        throw DecodeError("wire: unknown filter body encoding");
+      }
+      out.filter = std::move(filter);
+      break;
+    }
+    case ads::AdKind::kPatch: {
+      out.base_version = static_cast<std::uint32_t>(r.varint());
+      const auto count = r.varint();
+      if (count > params.bits) {
+        throw DecodeError("wire: more toggles than filter bits");
+      }
+      out.toggles = decode_positions(r, static_cast<std::size_t>(count));
+      for (const auto p : out.toggles) {
+        if (p >= params.bits) throw DecodeError("wire: toggle range");
+      }
+      break;
+    }
+    case ads::AdKind::kRefresh:
+      break;
+  }
+  if (!r.done()) throw DecodeError("wire: trailing bytes");
+  return out;
+}
+
+std::vector<std::uint8_t> encode_query(const QueryMessage& q) {
+  Writer w;
+  w.u8(kMagic);
+  w.u32(q.requester);
+  w.varint(q.terms.size());
+  for (const KeywordId t : q.terms) w.varint(t);
+  return w.buffer();
+}
+
+QueryMessage decode_query(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  if (r.u8() != kMagic) throw DecodeError("wire: bad magic");
+  QueryMessage q;
+  q.requester = r.u32();
+  const auto count = r.varint();
+  if (count > 64) throw DecodeError("wire: unreasonable term count");
+  q.terms.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    q.terms.push_back(static_cast<KeywordId>(r.varint()));
+  }
+  if (!r.done()) throw DecodeError("wire: trailing bytes");
+  return q;
+}
+
+}  // namespace asap::wire

@@ -1,0 +1,64 @@
+// Concrete wire formats for ASAP protocol messages.
+//
+// The simulation accounts sizes analytically (sim::SizeModel); this module
+// provides the real encodings a deployment would ship, and tests assert
+// that the analytic sizes are honest upper bounds of the encoded sizes.
+//
+// Full ad body: the content filter ships either as the raw bitmap or as a
+// delta-varint sparse position list, whichever is smaller (§III-B's
+// compressed representation). Patch ads carry the toggled positions; a
+// refresh ad is just the header.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "asap/ad.hpp"
+#include "bloom/bloom.hpp"
+#include "common/codec.hpp"
+
+namespace asap::wire {
+
+struct AdHeader {
+  ads::AdKind kind = ads::AdKind::kFull;
+  NodeId source = kInvalidNode;
+  std::uint32_t version = 0;
+  std::vector<TopicId> topics;
+};
+
+struct DecodedAd {
+  AdHeader header;
+  /// Present for full ads.
+  std::optional<bloom::BloomFilter> filter;
+  /// Present for patch ads: base version + toggled positions.
+  std::uint32_t base_version = 0;
+  std::vector<std::uint32_t> toggles;
+};
+
+/// Serializes a full ad (header + filter, bitmap or sparse form).
+std::vector<std::uint8_t> encode_full_ad(const ads::AdPayload& ad);
+
+/// Serializes a patch ad. `toggles` need not be sorted (they are sorted
+/// internally; BloomFilter::diff already emits sorted output).
+std::vector<std::uint8_t> encode_patch_ad(
+    const ads::AdPayload& ad, std::uint32_t base_version,
+    std::span<const std::uint32_t> toggles);
+
+/// Serializes a refresh ad (header only).
+std::vector<std::uint8_t> encode_refresh_ad(const ads::AdPayload& ad);
+
+/// Parses any ad message. Throws DecodeError on malformed input.
+DecodedAd decode_ad(std::span<const std::uint8_t> data,
+                    const bloom::BloomParams& params = bloom::BloomParams{});
+
+/// Query message: requester + terms.
+struct QueryMessage {
+  NodeId requester = kInvalidNode;
+  std::vector<KeywordId> terms;
+};
+std::vector<std::uint8_t> encode_query(const QueryMessage& q);
+QueryMessage decode_query(std::span<const std::uint8_t> data);
+
+}  // namespace asap::wire

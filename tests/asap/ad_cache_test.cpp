@@ -1,0 +1,193 @@
+#include "asap/ad_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace asap::ads {
+namespace {
+
+AdPayloadPtr make_ad(NodeId src, std::uint32_t version,
+                     std::vector<KeywordId> keys = {},
+                     std::vector<TopicId> topics = {0}) {
+  bloom::BloomFilter f;
+  for (auto k : keys) f.insert(k);
+  return std::make_shared<const AdPayload>(src, version, std::move(f),
+                                           std::move(topics));
+}
+
+TEST(AdCache, PutAndFind) {
+  AdCache c(10);
+  Rng rng(1);
+  c.put(make_ad(5, 1), 1.0, rng);
+  ASSERT_NE(c.find(5), nullptr);
+  EXPECT_EQ(c.find(5)->ad->version, 1u);
+  EXPECT_EQ(c.find(6), nullptr);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(AdCache, PutNewerVersionReplaces) {
+  AdCache c(10);
+  Rng rng(2);
+  c.put(make_ad(5, 2), 1.0, rng);
+  c.put(make_ad(5, 3), 2.0, rng);
+  EXPECT_EQ(c.find(5)->ad->version, 3u);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(AdCache, PutOlderVersionDoesNotDowngrade) {
+  AdCache c(10);
+  Rng rng(3);
+  c.put(make_ad(5, 4), 1.0, rng);
+  c.put(make_ad(5, 2), 2.0, rng);  // a late walker delivers a stale ad
+  EXPECT_EQ(c.find(5)->ad->version, 4u);
+}
+
+TEST(AdCache, CapacityEnforcedViaEviction) {
+  AdCache c(8);
+  Rng rng(4);
+  for (NodeId s = 0; s < 100; ++s) {
+    c.put(make_ad(s, 1), static_cast<double>(s), rng);
+    EXPECT_LE(c.size(), 8u);
+  }
+  EXPECT_EQ(c.size(), 8u);
+}
+
+TEST(AdCache, EvictionPrefersStaleEntries) {
+  AdCache c(16);
+  Rng rng(5);
+  // One entry touched recently, the rest stale; insert many more and check
+  // the fresh one survives (sampled LRU is probabilistic, so give the
+  // fresh entry a huge recency gap and accept a tiny failure chance by
+  // fixing the seed).
+  for (NodeId s = 0; s < 16; ++s) c.put(make_ad(s, 1), 0.0, rng);
+  c.touch(7, 1'000.0);
+  for (NodeId s = 100; s < 140; ++s) {
+    c.put(make_ad(s, 1), 10.0, rng);
+  }
+  EXPECT_NE(c.find(7), nullptr) << "most-recently-used entry was evicted";
+}
+
+TEST(AdCache, ApplyPatchSwapsMatchingBase) {
+  AdCache c(10);
+  Rng rng(6);
+  c.put(make_ad(5, 1, {10, 20}), 1.0, rng);
+  auto next = make_ad(5, 2, {10, 20, 30});
+  EXPECT_TRUE(c.apply_patch(5, 1, next, 2.0));
+  EXPECT_EQ(c.find(5)->ad->version, 2u);
+  EXPECT_TRUE(c.find(5)->ad->filter.contains(30));
+}
+
+TEST(AdCache, ApplyPatchVersionMismatchInvalidates) {
+  AdCache c(10);
+  Rng rng(7);
+  c.put(make_ad(5, 1), 1.0, rng);
+  auto v4 = make_ad(5, 4);
+  // Cached version 1, patch base 3: the entry is hopelessly stale.
+  EXPECT_FALSE(c.apply_patch(5, 3, v4, 2.0));
+  EXPECT_EQ(c.find(5), nullptr);
+}
+
+TEST(AdCache, ApplyPatchIgnoresUnknownSourceAndNewerCache) {
+  AdCache c(10);
+  Rng rng(8);
+  EXPECT_FALSE(c.apply_patch(9, 1, make_ad(9, 2), 1.0));
+  EXPECT_EQ(c.find(9), nullptr);
+  // Cache already at version 5; an old patch (base 2 -> 3) must not erase.
+  c.put(make_ad(5, 5), 1.0, rng);
+  EXPECT_FALSE(c.apply_patch(5, 2, make_ad(5, 3), 2.0));
+  EXPECT_EQ(c.find(5)->ad->version, 5u);
+}
+
+TEST(AdCache, RefreshTouchesMatchingVersion) {
+  AdCache c(10);
+  Rng rng(9);
+  c.put(make_ad(5, 3), 1.0, rng);
+  EXPECT_TRUE(c.on_refresh(5, 3, 50.0));
+  EXPECT_DOUBLE_EQ(c.find(5)->touch, 50.0);
+}
+
+TEST(AdCache, RefreshWithNewerVersionInvalidates) {
+  AdCache c(10);
+  Rng rng(10);
+  c.put(make_ad(5, 3), 1.0, rng);
+  EXPECT_FALSE(c.on_refresh(5, 7, 2.0));
+  EXPECT_EQ(c.find(5), nullptr);
+}
+
+TEST(AdCache, RefreshWithOlderVersionKeepsEntry) {
+  AdCache c(10);
+  Rng rng(11);
+  c.put(make_ad(5, 3), 1.0, rng);
+  EXPECT_FALSE(c.on_refresh(5, 2, 2.0));  // a delayed beacon
+  ASSERT_NE(c.find(5), nullptr);
+  EXPECT_EQ(c.find(5)->ad->version, 3u);
+}
+
+TEST(AdCache, EraseRemovesEntry) {
+  AdCache c(10);
+  Rng rng(12);
+  c.put(make_ad(1, 1), 1.0, rng);
+  c.put(make_ad(2, 1), 1.0, rng);
+  EXPECT_TRUE(c.erase(1));
+  EXPECT_FALSE(c.erase(1));
+  EXPECT_EQ(c.find(1), nullptr);
+  ASSERT_NE(c.find(2), nullptr);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(AdCache, CollectMatchesFindsTermMatchingAds) {
+  AdCache c(10);
+  Rng rng(13);
+  c.put(make_ad(1, 1, {100, 200}), 1.0, rng);
+  c.put(make_ad(2, 1, {100}), 1.0, rng);
+  c.put(make_ad(3, 1, {999}), 1.0, rng);
+  std::vector<AdPayloadPtr> out;
+  const std::vector<KeywordId> terms{100, 200};
+  c.collect_matches(terms, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->source, 1u);
+  const std::vector<KeywordId> single{100};
+  c.collect_matches(single, out);
+  EXPECT_EQ(out.size(), 2u);
+  c.collect_matches({}, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(AdCache, CollectForReplyOrdersTermMatchesFirst) {
+  AdCache c(20);
+  Rng rng(14);
+  c.put(make_ad(1, 1, {100}, {0}), 1.0, rng);   // term match
+  c.put(make_ad(2, 1, {999}, {0}), 1.0, rng);   // topical only
+  c.put(make_ad(3, 1, {999}, {5}), 1.0, rng);   // unrelated topic
+  std::vector<AdPayloadPtr> out;
+  const std::vector<KeywordId> terms{100};
+  const std::vector<TopicId> interests{0};
+  c.collect_for_reply(terms, interests, 10, 10, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0]->source, 1u);
+  EXPECT_EQ(out[1]->source, 2u);
+}
+
+TEST(AdCache, CollectForReplyRespectsCaps) {
+  AdCache c(64);
+  Rng rng(15);
+  for (NodeId s = 0; s < 40; ++s) c.put(make_ad(s, 1, {7}, {0}), 1.0, rng);
+  std::vector<AdPayloadPtr> out;
+  const std::vector<KeywordId> terms{7};
+  const std::vector<TopicId> interests{0};
+  c.collect_for_reply(terms, interests, 16, 8, out);
+  EXPECT_EQ(out.size(), 16u);  // total cap binds
+  // Topical-only flow: no terms, topical cap binds.
+  c.collect_for_reply({}, interests, 64, 5, out);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(AdCache, RejectsZeroCapacity) {
+  EXPECT_THROW(AdCache(0), ConfigError);
+}
+
+}  // namespace
+}  // namespace asap::ads

@@ -1,0 +1,110 @@
+#include "asap/advertiser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asap::ads {
+namespace {
+
+trace::Document doc(TopicId topic, std::vector<KeywordId> kws) {
+  return trace::Document{topic, std::move(kws)};
+}
+
+TEST(Advertiser, FreshAdvertiserHasNothing) {
+  Advertiser a(7);
+  EXPECT_EQ(a.source(), 7u);
+  EXPECT_FALSE(a.has_content());
+  EXPECT_FALSE(a.has_advertised());
+  EXPECT_EQ(a.version(), 0u);
+  EXPECT_TRUE(a.topics().empty());
+  EXPECT_FALSE(a.dirty());
+  EXPECT_TRUE(a.pending_patch().empty());
+}
+
+TEST(Advertiser, AddDocumentSetsContentAndTopics) {
+  Advertiser a(1);
+  a.add_document(doc(3, {10, 20}));
+  a.add_document(doc(5, {30}));
+  EXPECT_TRUE(a.has_content());
+  EXPECT_EQ(a.topics(), (std::vector<TopicId>{3, 5}));
+  EXPECT_TRUE(a.dirty()) << "content exists but nothing advertised yet";
+}
+
+TEST(Advertiser, PublishFullSnapshotsContent) {
+  Advertiser a(1);
+  a.add_document(doc(2, {10, 20, 30}));
+  const auto payload = a.publish_full();
+  EXPECT_EQ(a.version(), 1u);
+  EXPECT_EQ(payload->source, 1u);
+  EXPECT_EQ(payload->version, 1u);
+  EXPECT_TRUE(payload->filter.contains(10));
+  EXPECT_TRUE(payload->filter.contains(30));
+  EXPECT_EQ(payload->topics, (std::vector<TopicId>{2}));
+  EXPECT_FALSE(a.dirty());
+  EXPECT_TRUE(a.pending_patch().empty());
+}
+
+TEST(Advertiser, PendingPatchReconstructsNewFilter) {
+  Advertiser a(1);
+  a.add_document(doc(2, {10, 20}));
+  const auto v1 = a.publish_full();
+  a.add_document(doc(2, {30, 40}));
+  EXPECT_TRUE(a.dirty());
+  const auto patch = a.pending_patch();
+  EXPECT_FALSE(patch.empty());
+  // Applying the patch to the old advertised filter yields the new one.
+  bloom::BloomFilter reconstructed = v1->filter;
+  reconstructed.apply_toggles(patch);
+  const auto v2 = a.publish_full();
+  EXPECT_EQ(reconstructed, v2->filter);
+  EXPECT_EQ(v2->version, 2u);
+}
+
+TEST(Advertiser, RemovalClearsBitsViaCountingFilter) {
+  Advertiser a(1);
+  const auto d1 = doc(2, {10, 20});
+  const auto d2 = doc(2, {20, 30});  // keyword 20 shared
+  a.add_document(d1);
+  a.add_document(d2);
+  a.publish_full();
+  a.remove_document(d1);
+  const auto v2 = a.publish_full();
+  EXPECT_FALSE(v2->filter.contains(10)) << "10 was unique to d1";
+  EXPECT_TRUE(v2->filter.contains(20)) << "20 is still held via d2";
+  EXPECT_TRUE(v2->filter.contains(30));
+}
+
+TEST(Advertiser, TopicsFollowClassCounts) {
+  Advertiser a(1);
+  const auto d1 = doc(4, {1});
+  const auto d2 = doc(4, {2});
+  a.add_document(d1);
+  a.add_document(d2);
+  a.remove_document(d1);
+  EXPECT_EQ(a.topics(), (std::vector<TopicId>{4}));
+  a.remove_document(d2);
+  EXPECT_TRUE(a.topics().empty());
+  EXPECT_FALSE(a.has_content());
+}
+
+TEST(Advertiser, NoChangeMeansEmptyPatch) {
+  Advertiser a(1);
+  const auto d1 = doc(0, {10, 20});
+  const auto d2 = doc(0, {10, 20});  // identical keyword set
+  a.add_document(d1);
+  a.publish_full();
+  a.add_document(d2);  // counters bump, projection unchanged
+  EXPECT_FALSE(a.dirty());
+  EXPECT_TRUE(a.pending_patch().empty());
+}
+
+TEST(Advertiser, VersionsIncrementMonotonically) {
+  Advertiser a(1);
+  a.add_document(doc(0, {1}));
+  for (std::uint32_t v = 1; v <= 5; ++v) {
+    const auto p = a.publish_full();
+    EXPECT_EQ(p->version, v);
+  }
+}
+
+}  // namespace
+}  // namespace asap::ads

@@ -1,0 +1,203 @@
+#include "bloom/bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace asap::bloom {
+namespace {
+
+TEST(BloomParams, PaperNumbers) {
+  // §III-B: |K_max| = 1000 keys at k = 8 need m = 1000*8/ln 2 = 11,542 bits.
+  EXPECT_EQ(BloomParams::min_bits_for(1'000, 8), 11'542u);
+  const BloomParams p = BloomParams::for_capacity(1'000, 8);
+  EXPECT_EQ(p.bits, 11'542u);
+  // The optimal false positive rate at full load is (1/2)^k ~ 0.39%.
+  EXPECT_NEAR(p.false_positive_rate(1'000), std::pow(0.5, 8), 5e-4);
+}
+
+TEST(BloomParams, FalsePositiveRateGrowsWithLoad) {
+  const BloomParams p;
+  EXPECT_LT(p.false_positive_rate(100), p.false_positive_rate(1'000));
+  EXPECT_LT(p.false_positive_rate(1'000), p.false_positive_rate(5'000));
+  EXPECT_NEAR(p.false_positive_rate(0), 0.0, 1e-12);
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter f;
+  Rng rng(1);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 1'000; ++i) keys.push_back(rng.next_u64());
+  for (auto k : keys) f.insert(k);
+  for (auto k : keys) EXPECT_TRUE(f.contains(k));
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTheory) {
+  BloomFilter f;
+  Rng rng(2);
+  for (std::uint64_t k = 0; k < 1'000; ++k) f.insert(k * 2 + 1'000'000);
+  int fp = 0;
+  constexpr int kProbes = 100'000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (f.contains(rng.next_u64())) ++fp;
+  }
+  const double measured = static_cast<double>(fp) / kProbes;
+  const double expected = f.params().false_positive_rate(1'000);
+  EXPECT_NEAR(measured, expected, expected * 0.5 + 1e-3);
+}
+
+TEST(BloomFilter, ContainsAllSemantics) {
+  BloomFilter f;
+  const std::vector<KeywordId> in{10, 20, 30};
+  for (auto k : in) f.insert(k);
+  EXPECT_TRUE(f.contains_all(in));
+  const std::vector<KeywordId> partial{10, 20};
+  EXPECT_TRUE(f.contains_all(partial));
+  const std::vector<KeywordId> with_miss{10, 999'999};
+  EXPECT_FALSE(f.contains_all(with_miss));
+  EXPECT_TRUE(f.contains_all({}));  // vacuous truth
+}
+
+TEST(BloomFilter, PopcountAndSetPositions) {
+  BloomFilter f;
+  EXPECT_EQ(f.popcount(), 0u);
+  f.insert(42);
+  const auto pos = f.set_positions();
+  EXPECT_EQ(pos.size(), f.popcount());
+  EXPECT_LE(pos.size(), f.params().hashes);  // double hashing may collide
+  for (auto p : pos) EXPECT_TRUE(f.bit(p));
+}
+
+TEST(BloomFilter, DiffAndApplyTogglesRoundTrip) {
+  BloomFilter a, b;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) a.insert(rng.next_u64());
+  b = a;
+  for (int i = 0; i < 50; ++i) b.insert(rng.next_u64());
+  const auto patch = BloomFilter::diff(a, b);
+  EXPECT_FALSE(patch.empty());
+  a.apply_toggles(patch);
+  EXPECT_EQ(a, b);
+  // Applying the same patch again toggles back.
+  a.apply_toggles(patch);
+  EXPECT_NE(a, b);
+}
+
+TEST(BloomFilter, DiffOfIdenticalFiltersIsEmpty) {
+  BloomFilter a;
+  a.insert(7);
+  const BloomFilter b = a;
+  EXPECT_TRUE(BloomFilter::diff(a, b).empty());
+}
+
+TEST(BloomFilter, WireBytesPrefersSparseWhenNearlyEmpty) {
+  BloomFilter f;
+  EXPECT_EQ(f.wire_bytes(), 0u);
+  f.insert(1);
+  EXPECT_LE(f.wire_bytes(), 2u * f.params().hashes);
+  // A heavily loaded filter transmits the bitmap instead.
+  for (std::uint64_t k = 0; k < 2'000; ++k) f.insert(k);
+  EXPECT_EQ(f.wire_bytes(), (f.params().bits + 7) / 8);
+}
+
+TEST(BloomFilter, ClearResets) {
+  BloomFilter f;
+  f.insert(1);
+  f.insert(2);
+  f.clear();
+  EXPECT_EQ(f.popcount(), 0u);
+  EXPECT_FALSE(f.contains(1));
+}
+
+TEST(BloomFilter, PositionsAreStableAndInRange) {
+  BloomFilter f;
+  std::vector<std::uint32_t> p1, p2;
+  f.positions(123456789, p1);
+  f.positions(123456789, p2);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(p1.size(), f.params().hashes);
+  for (auto p : p1) EXPECT_LT(p, f.params().bits);
+}
+
+TEST(BloomFilter, RejectsBadParams) {
+  EXPECT_THROW(BloomFilter(BloomParams{32, 8}), ConfigError);
+  EXPECT_THROW(BloomFilter(BloomParams{1'000, 0}), ConfigError);
+  EXPECT_THROW(BloomParams::for_capacity(0, 8), ConfigError);
+}
+
+TEST(CountingBloomFilter, InsertRemoveRestoresEmpty) {
+  CountingBloomFilter c;
+  Rng rng(4);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 300; ++i) keys.push_back(rng.next_u64());
+  for (auto k : keys) c.insert(k);
+  for (auto k : keys) EXPECT_TRUE(c.contains(k));
+  for (auto k : keys) c.remove(k);
+  EXPECT_EQ(c.projection().popcount(), 0u);
+}
+
+TEST(CountingBloomFilter, SharedBitsSurviveSingleRemoval) {
+  CountingBloomFilter c;
+  // Insert the same key twice (two documents sharing a keyword): removing
+  // one copy must keep the key visible.
+  c.insert(42);
+  c.insert(42);
+  c.remove(42);
+  EXPECT_TRUE(c.contains(42));
+  c.remove(42);
+  EXPECT_FALSE(c.contains(42));
+}
+
+TEST(CountingBloomFilter, ProjectionTracksIncrementally) {
+  CountingBloomFilter c;
+  BloomFilter reference;
+  Rng rng(5);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 500; ++i) {
+    const auto k = rng.next_u64();
+    keys.push_back(k);
+    c.insert(k);
+    reference.insert(k);
+  }
+  EXPECT_EQ(c.projection(), reference);
+  // Remove half; rebuild the reference from scratch and compare.
+  BloomFilter reference2;
+  for (std::size_t i = 250; i < keys.size(); ++i) reference2.insert(keys[i]);
+  for (std::size_t i = 0; i < 250; ++i) c.remove(keys[i]);
+  EXPECT_EQ(c.projection(), reference2);
+}
+
+TEST(CountingBloomFilter, RemovalOfAbsentKeySaturatesAtZero) {
+  CountingBloomFilter c;
+#ifdef NDEBUG
+  c.remove(7);  // release builds saturate silently
+  EXPECT_EQ(c.projection().popcount(), 0u);
+#else
+  EXPECT_THROW(c.remove(7), InvariantError);
+#endif
+}
+
+// Property sweep: diff/apply round-trips across filter loads.
+class BloomDiffTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BloomDiffTest, RoundTripAtLoad) {
+  const int load = GetParam();
+  BloomFilter a, b;
+  Rng rng(100 + load);
+  for (int i = 0; i < load; ++i) a.insert(rng.next_u64());
+  b = a;
+  for (int i = 0; i < load / 4 + 1; ++i) b.insert(rng.next_u64());
+  auto patch = BloomFilter::diff(a, b);
+  a.apply_toggles(patch);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, BloomDiffTest,
+                         ::testing::Values(0, 1, 10, 100, 500, 1'000, 3'000));
+
+}  // namespace
+}  // namespace asap::bloom

@@ -1,0 +1,111 @@
+#include "bloom/variable_bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace asap::bloom {
+namespace {
+
+TEST(VariableBloom, DefaultPoolIsSortedAndCoversFixedDesign) {
+  const auto pool = default_length_pool();
+  ASSERT_FALSE(pool.empty());
+  for (std::size_t i = 1; i < pool.size(); ++i) {
+    EXPECT_GT(pool[i], pool[i - 1]);
+  }
+  // The pool must reach beyond the fixed design's 11,542 bits so heavy
+  // sharers are covered.
+  EXPECT_GE(pool.back(), 11'542u);
+}
+
+TEST(VariableBloom, PickLengthSatisfiesOptimalBound) {
+  const auto pool = default_length_pool();
+  for (std::uint32_t n : {1u, 10u, 44u, 100u, 500u, 1'000u}) {
+    const auto l = pick_length(n, 8, pool);
+    EXPECT_GE(l, BloomParams::min_bits_for(n, 8)) << "n=" << n;
+    // And it is the *smallest* such pool entry.
+    for (const auto candidate : pool) {
+      if (candidate >= BloomParams::min_bits_for(n, 8)) {
+        EXPECT_EQ(l, candidate);
+        break;
+      }
+    }
+  }
+}
+
+TEST(VariableBloom, PickLengthSaturatesAtPoolMax) {
+  const auto pool = default_length_pool();
+  EXPECT_EQ(pick_length(1'000'000, 8, pool), pool.back());
+}
+
+TEST(VariableBloom, NoFalseNegatives) {
+  Rng rng(1);
+  for (std::uint32_t n : {5u, 50u, 500u}) {
+    VariableBloomFilter f(n);
+    std::vector<std::uint64_t> keys;
+    for (std::uint32_t i = 0; i < n; ++i) keys.push_back(rng.next_u64());
+    for (const auto k : keys) f.insert(k);
+    for (const auto k : keys) EXPECT_TRUE(f.contains(k));
+  }
+}
+
+TEST(VariableBloom, FalsePositiveRateNearOptimalAtEveryScale) {
+  Rng rng(2);
+  // Every node gets ~the same fp rate regardless of how much it shares —
+  // the whole point of the variable design.
+  for (std::uint32_t n : {30u, 100u, 400u, 1'000u}) {
+    VariableBloomFilter f(n);
+    for (std::uint64_t k = 0; k < n; ++k) f.insert(k * 3 + 7'000'000);
+    int fp = 0;
+    constexpr int kProbes = 50'000;
+    for (int i = 0; i < kProbes; ++i) {
+      fp += f.contains(rng.next_u64());
+    }
+    const double measured = static_cast<double>(fp) / kProbes;
+    const double expected = f.false_positive_rate(n);
+    EXPECT_LT(measured, expected * 2.5 + 5e-3) << "n=" << n;
+  }
+}
+
+TEST(VariableBloom, LightSharersUseSmallFilters) {
+  VariableBloomFilter light(20);
+  VariableBloomFilter heavy(1'000);
+  EXPECT_LT(light.bits(), heavy.bits());
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    light.insert(k);
+  }
+  EXPECT_LT(light.wire_bytes(), 200u);
+}
+
+TEST(VariableBloom, ContainsAllSemantics) {
+  VariableBloomFilter f(10);
+  const std::vector<KeywordId> in{11, 22, 33};
+  for (const auto k : in) f.insert(k);
+  EXPECT_TRUE(f.contains_all(in));
+  const std::vector<KeywordId> miss{11, 4'000'000};
+  EXPECT_FALSE(f.contains_all(miss));
+  EXPECT_TRUE(f.contains_all({}));
+}
+
+TEST(VariableBloom, SpaceComparisonFavorsVariableForTypicalSharers) {
+  // eDonkey-like population: most nodes share ~25 docs (~150 keywords).
+  std::vector<std::uint32_t> sizes;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    sizes.push_back(10 + static_cast<std::uint32_t>(rng.below(300)));
+  }
+  const auto cmp = compare_filter_space(sizes, BloomParams{});
+  EXPECT_LT(cmp.variable_total, cmp.fixed_total)
+      << "variable-length filters must use less total space on a "
+         "skewed population";
+}
+
+TEST(VariableBloom, RejectsBadParams) {
+  EXPECT_THROW(VariableBloomFilter(10, 0), ConfigError);
+  const std::vector<std::uint32_t> empty_pool;
+  EXPECT_THROW(pick_length(10, 8, empty_pool), ConfigError);
+}
+
+}  // namespace
+}  // namespace asap::bloom

@@ -1,0 +1,164 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace asap {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1'000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng a(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next_u64());
+  a.reseed(77);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), first[i]);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(9);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  const double rate = 8.0;
+  double sum = 0.0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / kDraws, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(19);
+  for (double mean : {0.5, 4.0, 40.0}) {
+    double sum = 0.0;
+    constexpr int kDraws = 50'000;
+    for (int i = 0; i < kDraws; ++i) {
+      sum += static_cast<double>(rng.poisson(mean));
+    }
+    EXPECT_NEAR(sum / kDraws, mean, mean * 0.05 + 0.05);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(29);
+  const double p = 0.25;
+  double sum = 0.0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.geometric(p));
+  }
+  EXPECT_NEAR(sum / kDraws, (1 - p) / p, 0.1);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleIndicesDistinctAndBounded) {
+  Rng rng(37);
+  for (std::uint32_t n : {10u, 100u, 10'000u}) {
+    for (std::uint32_t k : {0u, 1u, n / 2, n}) {
+      auto s = rng.sample_indices(n, k);
+      ASSERT_EQ(s.size(), k);
+      std::set<std::uint32_t> uniq(s.begin(), s.end());
+      EXPECT_EQ(uniq.size(), k);
+      for (auto idx : s) EXPECT_LT(idx, n);
+    }
+  }
+}
+
+TEST(Rng, SampleIndicesRejectsOversizedRequest) {
+  Rng rng(41);
+  EXPECT_THROW(rng.sample_indices(5, 6), ConfigError);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(55);
+  Rng child = a.fork();
+  // The child stream should not replicate the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == child.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(61);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace asap

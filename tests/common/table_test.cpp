@@ -1,0 +1,43 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace asap {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  const auto s = t.to_string();
+  // Every line has the same width layout; headers come first.
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ConfigError);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), ConfigError);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTable, BytesPicksSuffix) {
+  EXPECT_EQ(TextTable::bytes(512), "512.00 B");
+  EXPECT_EQ(TextTable::bytes(2'048), "2.05 KB");
+  EXPECT_EQ(TextTable::bytes(3.5e6), "3.50 MB");
+  EXPECT_EQ(TextTable::bytes(7.25e9), "7.25 GB");
+}
+
+}  // namespace
+}  // namespace asap

@@ -1,0 +1,97 @@
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace asap {
+namespace {
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler z(100, 1.2);
+  double sum = 0.0;
+  for (std::uint32_t r = 1; r <= 100; ++r) sum += z.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfSampler, PmfMonotonicallyDecreasing) {
+  ZipfSampler z(50, 0.9);
+  for (std::uint32_t r = 2; r <= 50; ++r) {
+    EXPECT_LE(z.pmf(r), z.pmf(r - 1) + 1e-15);
+  }
+}
+
+TEST(ZipfSampler, AlphaZeroIsUniform) {
+  ZipfSampler z(10, 0.0);
+  for (std::uint32_t r = 1; r <= 10; ++r) EXPECT_NEAR(z.pmf(r), 0.1, 1e-12);
+}
+
+TEST(ZipfSampler, SamplesMatchPmf) {
+  ZipfSampler z(20, 1.5);
+  Rng rng(3);
+  std::vector<int> counts(21, 0);
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[z.sample(rng)];
+  for (std::uint32_t r = 1; r <= 20; ++r) {
+    const double expected = z.pmf(r) * kDraws;
+    EXPECT_NEAR(counts[r], expected, expected * 0.1 + 40)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfSampler, SingleRank) {
+  ZipfSampler z(1, 2.0);
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.sample(rng), 1u);
+  EXPECT_DOUBLE_EQ(z.pmf(1), 1.0);
+}
+
+TEST(ZipfSampler, RejectsBadParams) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), ConfigError);
+  EXPECT_THROW(ZipfSampler(10, -0.5), ConfigError);
+}
+
+TEST(PowerlawDegreeSequence, MeanPinnedAndBounded) {
+  Rng rng(5);
+  const auto deg = powerlaw_degree_sequence(5'000, 0.74, 1, 40, 5.0, rng);
+  ASSERT_EQ(deg.size(), 5'000u);
+  std::uint64_t total = 0;
+  for (auto d : deg) {
+    EXPECT_GE(d, 1u);
+    EXPECT_LE(d, 40u);
+    total += d;
+  }
+  EXPECT_EQ(total % 2, 0u) << "degree total must be even";
+  const double mean = static_cast<double>(total) / 5'000.0;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+}
+
+TEST(PowerlawDegreeSequence, SkewedTail) {
+  Rng rng(6);
+  const auto deg = powerlaw_degree_sequence(10'000, 1.5, 1, 50, 3.35, rng);
+  // A heavy-tailed sequence at mean 3.35 must contain both many leaves and
+  // some hubs well above the mean.
+  int leaves = 0, hubs = 0;
+  for (auto d : deg) {
+    leaves += d <= 2;
+    hubs += d >= 12;
+  }
+  EXPECT_GT(leaves, 3'000);
+  EXPECT_GT(hubs, 30);
+}
+
+TEST(PowerlawDegreeSequence, RejectsBadParams) {
+  Rng rng(7);
+  EXPECT_THROW(powerlaw_degree_sequence(1, 1.0, 1, 10, 5.0, rng),
+               ConfigError);
+  EXPECT_THROW(powerlaw_degree_sequence(10, 1.0, 5, 4, 5.0, rng),
+               ConfigError);
+  EXPECT_THROW(powerlaw_degree_sequence(10, 1.0, 1, 10, 50.0, rng),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace asap

@@ -1,0 +1,88 @@
+// Integration tests: rejoin churn and loss injection through the full
+// replay pipeline.
+#include <gtest/gtest.h>
+
+#include "harness/replay.hpp"
+#include "harness/world.hpp"
+
+namespace asap::harness {
+namespace {
+
+ExperimentConfig churny_config() {
+  auto cfg = ExperimentConfig::make(Preset::kSmall, TopologyKind::kCrawled, 9);
+  cfg.content.initial_nodes = 600;
+  cfg.content.joiner_nodes = 40;
+  cfg.trace.num_queries = 600;
+  cfg.trace.joins = 30;
+  cfg.trace.leaves = 60;
+  cfg.trace.rejoin_fraction = 1.0;
+  cfg.trace.mean_offline = 15.0;
+  cfg.warmup = 120.0;
+  return cfg;
+}
+
+class ChurnLossTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new World(build_world(churny_config()));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static World* world_;
+};
+
+World* ChurnLossTest::world_ = nullptr;
+
+TEST_F(ChurnLossTest, TraceContainsRejoins) {
+  EXPECT_GT(world_->trace.num_rejoins, 0u);
+  EXPECT_LE(world_->trace.num_rejoins, world_->trace.num_leaves);
+}
+
+TEST_F(ChurnLossTest, AsapSurvivesHeavySessionChurn) {
+  const auto res = run_experiment(*world_, AlgoKind::kAsapRw);
+  EXPECT_EQ(res.search.total(), world_->trace.num_queries);
+  EXPECT_GT(res.search.success_rate(), 0.6)
+      << "rejoin handling (re-advertise + ads request) must keep the "
+         "system searchable under heavy churn";
+}
+
+TEST_F(ChurnLossTest, RejoinsReattachOverlayNodes) {
+  // The replay must not throw on rejoin events (overlay reattach path) and
+  // the baseline must keep finding content that left and came back.
+  const auto res = run_experiment(*world_, AlgoKind::kFlooding);
+  EXPECT_GT(res.search.success_rate(), 0.6);
+}
+
+TEST_F(ChurnLossTest, LossDegradesFloodingMoreThanAsap) {
+  RunOptions lossy;
+  lossy.message_loss = 0.25;
+  const auto flood_clean = run_experiment(*world_, AlgoKind::kFlooding);
+  const auto flood_lossy =
+      run_experiment(*world_, AlgoKind::kFlooding, lossy);
+  const auto asap_clean = run_experiment(*world_, AlgoKind::kAsapRw);
+  const auto asap_lossy = run_experiment(*world_, AlgoKind::kAsapRw, lossy);
+
+  const double flood_drop =
+      flood_clean.search.success_rate() - flood_lossy.search.success_rate();
+  const double asap_drop =
+      asap_clean.search.success_rate() - asap_lossy.search.success_rate();
+  EXPECT_GT(flood_drop, 0.0);
+  EXPECT_LT(asap_drop, flood_drop)
+      << "reliable confirmations + fallback must shed loss better than "
+         "redundant flooding";
+}
+
+TEST_F(ChurnLossTest, LossOptionValidated) {
+  RunOptions bad;
+  bad.message_loss = 1.0;
+  EXPECT_THROW(run_experiment(*world_, AlgoKind::kFlooding, bad),
+               ConfigError);
+  bad.message_loss = -0.1;
+  EXPECT_THROW(run_experiment(*world_, AlgoKind::kFlooding, bad),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace asap::harness

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "metrics/load_series.hpp"
+#include "metrics/search_stats.hpp"
+
+namespace asap::metrics {
+namespace {
+
+TEST(SearchStats, EmptyStats) {
+  SearchStats s;
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_DOUBLE_EQ(s.success_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_response_time(), 0.0);
+  EXPECT_DOUBLE_EQ(s.local_hit_rate(), 0.0);
+}
+
+TEST(SearchStats, AggregatesRecords) {
+  SearchStats s;
+  s.add({.success = true, .response_time = 0.2, .cost_bytes = 100,
+         .messages = 2, .local_hit = true});
+  s.add({.success = false, .response_time = 0.0, .cost_bytes = 300,
+         .messages = 10, .local_hit = false});
+  s.add({.success = true, .response_time = 0.4, .cost_bytes = 200,
+         .messages = 4, .local_hit = false});
+  EXPECT_EQ(s.total(), 3u);
+  EXPECT_EQ(s.successes(), 2u);
+  EXPECT_NEAR(s.success_rate(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.avg_response_time(), 0.3, 1e-12)
+      << "response time averages successful searches only";
+  EXPECT_NEAR(s.avg_cost_bytes(), 200.0, 1e-12)
+      << "cost averages all searches";
+  EXPECT_NEAR(s.avg_messages(), 16.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.local_hit_rate(), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.response_samples().size(), 2u);
+}
+
+TEST(LoadSeries, ReducesPerLiveNode) {
+  sim::BandwidthLedger ledger(10.0);
+  ledger.deposit(2.5, sim::Traffic::kQuery, 1'000);
+  ledger.deposit(3.5, sim::Traffic::kQuery, 500);
+  const std::vector<double> live{10, 10, 10, 5, 10, 10, 10, 10, 10, 10};
+  const sim::Traffic cats[] = {sim::Traffic::kQuery};
+  const auto sum = reduce_load(ledger, cats, live, 0, 10);
+  ASSERT_EQ(sum.series.size(), 10u);
+  EXPECT_DOUBLE_EQ(sum.series[2], 100.0);  // 1000 B / 10 nodes
+  EXPECT_DOUBLE_EQ(sum.series[3], 100.0);  // 500 B / 5 nodes
+  EXPECT_DOUBLE_EQ(sum.peak_bytes_per_node_per_sec, 100.0);
+  EXPECT_NEAR(sum.mean_bytes_per_node_per_sec, 20.0, 1e-12);
+}
+
+TEST(LoadSeries, WindowRestrictsReduction) {
+  sim::BandwidthLedger ledger(10.0);
+  ledger.deposit(1.0, sim::Traffic::kQuery, 999'999);  // outside window
+  ledger.deposit(5.0, sim::Traffic::kQuery, 100);
+  const std::vector<double> live{10, 10, 10, 10, 10, 10, 10, 10, 10, 10};
+  const sim::Traffic cats[] = {sim::Traffic::kQuery};
+  const auto sum = reduce_load(ledger, cats, live, 4, 8);
+  EXPECT_EQ(sum.series.size(), 4u);
+  EXPECT_DOUBLE_EQ(sum.series[1], 10.0);
+  EXPECT_DOUBLE_EQ(sum.peak_bytes_per_node_per_sec, 10.0);
+}
+
+TEST(LoadSeries, ZeroLiveNodesYieldZeroLoad) {
+  sim::BandwidthLedger ledger(4.0);
+  ledger.deposit(1.0, sim::Traffic::kQuery, 100);
+  const std::vector<double> live{0, 0, 0, 0};
+  const sim::Traffic cats[] = {sim::Traffic::kQuery};
+  const auto sum = reduce_load(ledger, cats, live, 0, 4);
+  EXPECT_DOUBLE_EQ(sum.mean_bytes_per_node_per_sec, 0.0);
+}
+
+TEST(LoadSeries, RejectsEmptyWindow) {
+  sim::BandwidthLedger ledger(4.0);
+  const std::vector<double> live{1, 1, 1, 1};
+  const sim::Traffic cats[] = {sim::Traffic::kQuery};
+  EXPECT_THROW(reduce_load(ledger, cats, live, 3, 3), ConfigError);
+}
+
+TEST(CategoryBreakdown, SharesSumToOne) {
+  sim::BandwidthLedger ledger(10.0);
+  ledger.deposit(1.0, sim::Traffic::kFullAd, 850);
+  ledger.deposit(2.0, sim::Traffic::kPatchAd, 100);
+  ledger.deposit(3.0, sim::Traffic::kRefreshAd, 50);
+  const sim::Traffic cats[] = {sim::Traffic::kFullAd, sim::Traffic::kPatchAd,
+                               sim::Traffic::kRefreshAd};
+  const auto bd = category_breakdown(ledger, cats, 0, 10);
+  ASSERT_EQ(bd.size(), 3u);
+  double total_share = 0.0;
+  for (const auto& cs : bd) total_share += cs.share;
+  EXPECT_NEAR(total_share, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(bd[0].share, 0.85);
+  EXPECT_EQ(bd[1].bytes, 100u);
+}
+
+TEST(CategoryBreakdown, EmptyLedgerHasZeroShares) {
+  sim::BandwidthLedger ledger(5.0);
+  const sim::Traffic cats[] = {sim::Traffic::kFullAd};
+  const auto bd = category_breakdown(ledger, cats, 0, 5);
+  ASSERT_EQ(bd.size(), 1u);
+  EXPECT_DOUBLE_EQ(bd[0].share, 0.0);
+}
+
+}  // namespace
+}  // namespace asap::metrics

@@ -1,0 +1,86 @@
+#include "overlay/graph_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace asap::overlay {
+namespace {
+
+/// Ring of n nodes: CC = 0, diameter = n/2, every pair reachable.
+Overlay make_ring(std::uint32_t n) {
+  auto g = Overlay::edgeless(n);
+  for (NodeId i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+/// Complete graph: CC = 1, diameter = 1.
+Overlay make_clique(std::uint32_t n) {
+  auto g = Overlay::edgeless(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) g.add_edge(i, j);
+  }
+  return g;
+}
+
+TEST(GraphMetrics, BfsDepthsOnRing) {
+  const auto g = make_ring(10);
+  const auto d = bfs_depths(g, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[9], 1u);
+  EXPECT_EQ(d[5], 5u);  // antipode
+}
+
+TEST(GraphMetrics, BfsMarksUnreachable) {
+  auto g = make_ring(6);
+  g.detach(3);  // break the ring at one point: still connected as a path
+  const auto d = bfs_depths(g, 0);
+  EXPECT_EQ(d[3], kUnreachable);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[4], 2u);  // the long way round is now the only way
+  EXPECT_THROW(bfs_depths(g, 3), ConfigError);
+}
+
+TEST(GraphMetrics, ClusteringCoefficientExtremes) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(make_ring(20), 50, rng), 0.0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(make_clique(8), 50, rng), 1.0);
+}
+
+TEST(GraphMetrics, PathStatsOnClique) {
+  Rng rng(2);
+  const auto stats = path_stats(make_clique(10), 5, rng);
+  EXPECT_DOUBLE_EQ(stats.mean_hops, 1.0);
+  EXPECT_EQ(stats.max_hops, 1u);
+  EXPECT_DOUBLE_EQ(stats.reachable_fraction, 1.0);
+}
+
+TEST(GraphMetrics, PathStatsOnRing) {
+  Rng rng(3);
+  const auto stats = path_stats(make_ring(16), 8, rng);
+  // Mean distance on a 16-ring: (2*(1+..+7)+8)/15 = 64/15 ~ 4.27.
+  EXPECT_NEAR(stats.mean_hops, 64.0 / 15.0, 1e-9);
+  EXPECT_EQ(stats.max_hops, 8u);
+}
+
+TEST(GraphMetrics, CrawledOverlayHasSmallWorldShape) {
+  Rng rng(4);
+  const auto g = Overlay::crawled_like(2'000, 3.35, rng);
+  const auto stats = path_stats(g, 10, rng);
+  // Two-tier Limewire-like mesh: low diameter despite sparse mean degree.
+  EXPECT_LT(stats.mean_hops, 5.0);
+  EXPECT_LE(stats.max_hops, 10u);
+  EXPECT_DOUBLE_EQ(stats.reachable_fraction, 1.0);
+  // Ultrapeer mesh gives nonzero clustering, unlike a pure random graph of
+  // the same density.
+  const auto cc = clustering_coefficient(g, 300, rng);
+  Rng rng2(5);
+  const auto random_g = Overlay::random(2'000, 3.35, rng2);
+  const auto cc_random = clustering_coefficient(random_g, 300, rng2);
+  EXPECT_GT(cc, cc_random);
+}
+
+}  // namespace
+}  // namespace asap::overlay

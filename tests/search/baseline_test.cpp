@@ -1,0 +1,182 @@
+#include "search/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../support/test_world.hpp"
+
+namespace asap::search {
+namespace {
+
+using asap::testing::TestWorld;
+
+/// Builds a query event for a document actually shared by some node.
+trace::TraceEvent query_for(const TestWorld& w, NodeId holder, Seconds t,
+                            NodeId requester) {
+  const DocId d = w.live.docs(holder).front();
+  const auto& kws = w.model.doc(d).keywords;
+  trace::TraceEvent ev;
+  ev.type = trace::TraceEventType::kQuery;
+  ev.time = t;
+  ev.node = requester;
+  ev.doc = d;
+  ev.num_terms = static_cast<std::uint8_t>(std::min<std::size_t>(3, kws.size()));
+  for (std::uint8_t i = 0; i < ev.num_terms; ++i) ev.terms[i] = kws[i];
+  return ev;
+}
+
+TEST(BaselineSearch, FloodingFindsAnExistingDocument) {
+  TestWorld w;
+  BaselineSearch algo(w.ctx, BaselineParams{.scheme = Scheme::kFlooding,
+                                            .flood_ttl = 30});
+  const NodeId holder = w.a_sharer();
+  const NodeId requester = holder == 0 ? 1 : 0;
+  algo.on_trace_event(query_for(w, holder, 1.0, requester));
+  EXPECT_EQ(algo.stats().total(), 1u);
+  EXPECT_EQ(algo.stats().successes(), 1u);
+  EXPECT_GT(algo.stats().avg_response_time(), 0.0);
+  EXPECT_GT(algo.stats().avg_cost_bytes(), 0.0);
+}
+
+TEST(BaselineSearch, FloodingTtlZeroAlwaysFails) {
+  TestWorld w;
+  BaselineSearch algo(w.ctx, BaselineParams{.scheme = Scheme::kFlooding,
+                                            .flood_ttl = 0});
+  const NodeId holder = w.a_sharer();
+  algo.on_trace_event(query_for(w, holder, 1.0, holder == 0 ? 1 : 0));
+  EXPECT_EQ(algo.stats().successes(), 0u);
+}
+
+TEST(BaselineSearch, QueryForAbsentTermsFails) {
+  TestWorld w;
+  BaselineSearch algo(w.ctx, BaselineParams{.scheme = Scheme::kFlooding,
+                                            .flood_ttl = 30});
+  trace::TraceEvent ev;
+  ev.type = trace::TraceEventType::kQuery;
+  ev.time = 1.0;
+  ev.node = 0;
+  ev.num_terms = 1;
+  ev.terms[0] = 0xFFFFFFF0;  // exists nowhere
+  algo.on_trace_event(ev);
+  EXPECT_EQ(algo.stats().total(), 1u);
+  EXPECT_EQ(algo.stats().successes(), 0u);
+  EXPECT_GT(algo.stats().avg_cost_bytes(), 0.0)
+      << "a failed flood still floods";
+}
+
+TEST(BaselineSearch, RequesterOwnContentDoesNotCount) {
+  TestWorld w;
+  BaselineSearch algo(w.ctx, BaselineParams{.scheme = Scheme::kFlooding,
+                                            .flood_ttl = 30});
+  // Ask for a doc only the requester holds: must fail (we search the
+  // network, not ourselves).
+  NodeId lone = kInvalidNode;
+  DocId doc = kInvalidDoc;
+  for (NodeId n = 0; n < TestWorld::kNodes && lone == kInvalidNode; ++n) {
+    for (DocId d : w.live.docs(n)) {
+      const auto holders =
+          w.index.matching_nodes(w.model.doc(d).keywords, w.live, w.model);
+      if (holders.size() == 1 && holders[0] == n) {
+        lone = n;
+        doc = d;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(lone, kInvalidNode) << "89% of docs are single-copy";
+  trace::TraceEvent ev;
+  ev.type = trace::TraceEventType::kQuery;
+  ev.time = 1.0;
+  ev.node = lone;
+  ev.doc = doc;
+  const auto& kws = w.model.doc(doc).keywords;
+  ev.num_terms = static_cast<std::uint8_t>(std::min<std::size_t>(3, kws.size()));
+  for (std::uint8_t i = 0; i < ev.num_terms; ++i) ev.terms[i] = kws[i];
+  algo.on_trace_event(ev);
+  EXPECT_EQ(algo.stats().successes(), 0u);
+}
+
+TEST(BaselineSearch, RandomWalkStopsWalkersOnHit) {
+  TestWorld w;
+  // Huge budget: without stop-on-hit the cost would be walkers*ttl
+  // messages; with hits, strictly less in expectation. Use a document with
+  // many replicas (popular term) to make hits certain.
+  BaselineSearch algo(w.ctx, BaselineParams{.scheme = Scheme::kRandomWalk,
+                                            .walkers = 5,
+                                            .walker_ttl = 10'000});
+  const NodeId holder = w.a_sharer();
+  const NodeId requester = holder == 0 ? 1 : 0;
+  // Single-term query on the doc's first keyword: likely several holders.
+  trace::TraceEvent ev = query_for(w, holder, 1.0, requester);
+  ev.num_terms = 1;
+  algo.on_trace_event(ev);
+  EXPECT_EQ(algo.stats().successes(), 1u);
+  EXPECT_LT(algo.stats().avg_messages(), 5.0 * 10'000.0);
+}
+
+TEST(BaselineSearch, GsaRespectsBudget) {
+  TestWorld w;
+  const std::uint64_t budget = 500;
+  BaselineSearch algo(w.ctx, BaselineParams{.scheme = Scheme::kGsa,
+                                            .gsa_budget = budget});
+  const NodeId holder = w.a_sharer();
+  trace::TraceEvent ev = query_for(w, holder, 1.0, holder == 0 ? 1 : 0);
+  ev.terms[0] = 0xFFFFFFF0;  // force a miss so the full budget is spent
+  ev.num_terms = 1;
+  algo.on_trace_event(ev);
+  EXPECT_LE(algo.stats().avg_messages(), static_cast<double>(budget));
+  EXPECT_GT(algo.stats().avg_messages(), static_cast<double>(budget) * 0.5);
+}
+
+TEST(BaselineSearch, CostCountsQueryMessagesOnly) {
+  TestWorld w;
+  BaselineSearch algo(w.ctx, BaselineParams{.scheme = Scheme::kFlooding,
+                                            .flood_ttl = 30});
+  const auto responses_before = w.ledger.total(sim::Traffic::kResponse);
+  const NodeId holder = w.a_sharer();
+  algo.on_trace_event(query_for(w, holder, 1.0, holder == 0 ? 1 : 0));
+  // Responses were generated (ledger) but never added to cost: cost must
+  // equal the query-message bytes, which are a multiple of the query size.
+  EXPECT_GT(w.ledger.total(sim::Traffic::kResponse), responses_before);
+  const auto cost = algo.stats().avg_cost_bytes();
+  EXPECT_DOUBLE_EQ(std::fmod(cost, static_cast<double>(w.sizes.query)), 0.0);
+}
+
+TEST(BaselineSearch, NonQueryEventsAreIgnored) {
+  TestWorld w;
+  BaselineSearch algo(w.ctx, BaselineParams{});
+  trace::TraceEvent ev;
+  ev.type = trace::TraceEventType::kLeave;
+  ev.node = 3;
+  algo.on_trace_event(ev);
+  EXPECT_EQ(algo.stats().total(), 0u);
+}
+
+TEST(BaselineSearch, NamesMatchScheme) {
+  TestWorld w;
+  EXPECT_EQ(BaselineSearch(w.ctx, BaselineParams{.scheme = Scheme::kFlooding})
+                .name(),
+            "flooding");
+  EXPECT_EQ(
+      BaselineSearch(w.ctx, BaselineParams{.scheme = Scheme::kRandomWalk})
+          .name(),
+      "random-walk");
+  EXPECT_EQ(BaselineSearch(w.ctx, BaselineParams{.scheme = Scheme::kGsa})
+                .name(),
+            "gsa");
+}
+
+TEST(BaselineSearch, ScaledPresetsShrinkBudgets) {
+  const auto small = BaselineParams::small(Scheme::kRandomWalk);
+  const auto paper = BaselineParams::paper(Scheme::kRandomWalk);
+  EXPECT_LT(small.walker_ttl, paper.walker_ttl);
+  EXPECT_LT(small.gsa_budget, paper.gsa_budget);
+  EXPECT_EQ(paper.walker_ttl, 1'024u);  // §IV-A
+  EXPECT_EQ(paper.gsa_budget, 8'000u);
+  EXPECT_EQ(paper.flood_ttl, 6u);
+  EXPECT_EQ(paper.walkers, 5u);
+}
+
+}  // namespace
+}  // namespace asap::search

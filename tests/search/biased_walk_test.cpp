@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "../support/test_world.hpp"
+#include "search/propagation.hpp"
+
+namespace asap::search {
+namespace {
+
+using asap::testing::TestWorld;
+
+TEST(BiasedWalk, UniformWeightMatchesBudgetSemantics) {
+  TestWorld w;
+  std::uint64_t visits = 0;
+  const auto stats = biased_walk(
+      w.ctx, 0, 0.0, 3, 40, 80, sim::Traffic::kQuery,
+      [](NodeId) { return 1.0; },
+      [&](NodeId, Seconds, std::uint32_t) {
+        ++visits;
+        return VisitAction::kContinue;
+      });
+  EXPECT_EQ(stats.messages, 3u * 40u);
+  EXPECT_EQ(visits, stats.messages);
+}
+
+TEST(BiasedWalk, PrefersHeavyNeighbors) {
+  TestWorld w;
+  // Mark half the nodes "hot"; a strongly biased walk must visit hot
+  // nodes far more often than cold ones.
+  auto is_hot = [](NodeId n) { return n % 2 == 0; };
+  std::uint64_t hot = 0, cold = 0;
+  biased_walk(
+      w.ctx, 1, 0.0, 10, 2'000, 80, sim::Traffic::kQuery,
+      [&](NodeId n) { return is_hot(n) ? 50.0 : 1.0; },
+      [&](NodeId n, Seconds, std::uint32_t) {
+        (is_hot(n) ? hot : cold) += 1;
+        return VisitAction::kContinue;
+      });
+  ASSERT_GT(hot + cold, 0u);
+  EXPECT_GT(hot, cold * 3);
+}
+
+TEST(BiasedWalk, StopActionsHonored) {
+  TestWorld w;
+  std::uint64_t visits = 0;
+  biased_walk(
+      w.ctx, 0, 0.0, 5, 100, 80, sim::Traffic::kQuery,
+      [](NodeId) { return 1.0; },
+      [&](NodeId, Seconds, std::uint32_t) {
+        ++visits;
+        return visits >= 9 ? VisitAction::kStopAll : VisitAction::kContinue;
+      });
+  EXPECT_EQ(visits, 9u);
+}
+
+TEST(BiasedWalk, OfflineOriginProducesNothing) {
+  TestWorld w;
+  w.live.set_online(3, false);
+  const auto stats = biased_walk(
+      w.ctx, 3, 0.0, 5, 100, 80, sim::Traffic::kQuery,
+      [](NodeId) { return 1.0; },
+      [](NodeId, Seconds, std::uint32_t) { return VisitAction::kContinue; });
+  EXPECT_EQ(stats.messages, 0u);
+  w.live.set_online(3, true);
+}
+
+TEST(GraphScope, SubstitutesAndRestores) {
+  TestWorld w;
+  auto mesh = overlay::Overlay::edgeless(w.overlay.num_nodes());
+  // A two-node line: 0 - 1; everything else edgeless.
+  mesh.add_edge(0, 1);
+  {
+    GraphScope scope(w.ctx, mesh);
+    std::uint64_t visits = 0;
+    flood(w.ctx, 0, 0.0, 10, 80, sim::Traffic::kQuery,
+          [&](NodeId n, Seconds, std::uint32_t) {
+            EXPECT_EQ(n, 1u);
+            ++visits;
+            return VisitAction::kContinue;
+          });
+    EXPECT_EQ(visits, 1u);
+  }
+  // Scope ended: kernels use the full overlay again.
+  std::uint64_t visits = 0;
+  flood(w.ctx, 0, 0.0, 1, 80, sim::Traffic::kQuery,
+        [&](NodeId, Seconds, std::uint32_t) {
+          ++visits;
+          return VisitAction::kContinue;
+        });
+  EXPECT_EQ(visits, w.overlay.degree(0));
+}
+
+TEST(GraphScope, RejectsUndersizedSubstitute) {
+  TestWorld w;
+  auto tiny = overlay::Overlay::edgeless(2);
+  EXPECT_THROW(GraphScope(w.ctx, tiny), ConfigError);
+}
+
+}  // namespace
+}  // namespace asap::search

@@ -1,0 +1,127 @@
+#include "search/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/test_world.hpp"
+
+namespace asap::search {
+namespace {
+
+using asap::testing::TestWorld;
+
+trace::TraceEvent query_event(const TestWorld& w, NodeId requester,
+                              NodeId holder, Seconds t) {
+  const DocId d = w.live.docs(holder).front();
+  const auto& kws = w.model.doc(d).keywords;
+  trace::TraceEvent ev;
+  ev.type = trace::TraceEventType::kQuery;
+  ev.time = t;
+  ev.node = requester;
+  ev.doc = d;
+  ev.num_terms = static_cast<std::uint8_t>(std::min<std::size_t>(3, kws.size()));
+  for (std::uint8_t i = 0; i < ev.num_terms; ++i) ev.terms[i] = kws[i];
+  return ev;
+}
+
+TEST(GossipIndexSearch, WarmupReplicatesEverySharer) {
+  TestWorld w;
+  GossipIndexSearch algo(w.ctx, GossipParams{});
+  algo.warm_up(120.0);
+  std::size_t sharers = 0;
+  for (NodeId n = 0; n < TestWorld::kNodes; ++n) {
+    sharers += !w.live.docs(n).empty();
+  }
+  EXPECT_EQ(algo.directory_size(), sharers);
+  EXPECT_GT(w.ledger.total(sim::Traffic::kFullAd), 0u)
+      << "global replication traffic must be accounted";
+}
+
+TEST(GossipIndexSearch, LocalLookupFindsEverything) {
+  TestWorld w;
+  GossipIndexSearch algo(w.ctx, GossipParams{});
+  algo.warm_up(120.0);
+  // Past the replication delay every search over warm content succeeds.
+  const NodeId holder = w.a_sharer();
+  algo.on_trace_event(query_event(w, holder == 0 ? 1 : 0, holder, 500.0));
+  EXPECT_EQ(algo.stats().successes(), 1u);
+  EXPECT_DOUBLE_EQ(algo.stats().local_hit_rate(), 1.0);
+}
+
+TEST(GossipIndexSearch, UpdatesInvisibleBeforeReplicationDelay) {
+  TestWorld w;
+  GossipIndexSearch algo(w.ctx, GossipParams{});
+  algo.warm_up(120.0);
+  // Mint a fresh doc for a free-rider (no previous filter) and query for
+  // it immediately: the update has not replicated yet.
+  NodeId newcomer = kInvalidNode;
+  for (NodeId n = 0; n < TestWorld::kNodes; ++n) {
+    if (w.live.docs(n).empty()) {
+      newcomer = n;
+      break;
+    }
+  }
+  ASSERT_NE(newcomer, kInvalidNode);
+  Rng mint_rng(5);
+  auto& model = const_cast<trace::ContentModel&>(w.model);
+  const DocId fresh = model.mint_document(0, mint_rng);
+  trace::TraceEvent add;
+  add.type = trace::TraceEventType::kAddDoc;
+  add.time = 500.0;
+  add.node = newcomer;
+  add.doc = fresh;
+  w.live.apply(add, w.model);
+  algo.on_trace_event(add);
+
+  trace::TraceEvent q;
+  q.type = trace::TraceEventType::kQuery;
+  q.time = 500.5;  // well inside the replication window
+  q.node = newcomer == 0 ? 1 : 0;
+  q.doc = fresh;
+  q.num_terms = 1;
+  q.terms[0] = w.model.doc(fresh).keywords.back();
+  algo.on_trace_event(q);
+  EXPECT_EQ(algo.stats().successes(), 0u);
+
+  // After the delay the same query succeeds.
+  q.time = 600.0;
+  algo.on_trace_event(q);
+  EXPECT_EQ(algo.stats().successes(), 1u);
+}
+
+TEST(GossipIndexSearch, LoadScalesWithEveryUpdate) {
+  // Two identical worlds; the one receiving content changes pays global
+  // replication for each.
+  TestWorld w1(7), w2(7);
+  GossipIndexSearch a(w1.ctx, GossipParams{});
+  GossipIndexSearch b(w2.ctx, GossipParams{});
+  a.warm_up(120.0);
+  b.warm_up(120.0);
+  const auto base = w1.ledger.total(sim::Traffic::kFullAd);
+  ASSERT_EQ(base, w2.ledger.total(sim::Traffic::kFullAd));
+  Rng mint_rng(6);
+  auto& model = const_cast<trace::ContentModel&>(w2.model);
+  const NodeId sharer = w2.a_sharer();
+  for (int i = 0; i < 5; ++i) {
+    trace::TraceEvent add;
+    add.type = trace::TraceEventType::kAddDoc;
+    add.time = 200.0 + i;
+    add.node = sharer;
+    add.doc = model.mint_document(1, mint_rng);
+    w2.live.apply(add, w2.model);
+    b.on_trace_event(add);
+  }
+  EXPECT_GT(w2.ledger.total(sim::Traffic::kFullAd), base);
+}
+
+TEST(GossipIndexSearch, RejectsBadParams) {
+  TestWorld w;
+  GossipParams p;
+  p.round_period = 0.0;
+  EXPECT_THROW(GossipIndexSearch(w.ctx, p), ConfigError);
+  p = GossipParams{};
+  p.redundancy = 0.5;
+  EXPECT_THROW(GossipIndexSearch(w.ctx, p), ConfigError);
+}
+
+}  // namespace
+}  // namespace asap::search

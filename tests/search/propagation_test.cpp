@@ -1,0 +1,266 @@
+#include "search/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../support/test_world.hpp"
+
+namespace asap::search {
+namespace {
+
+using asap::testing::TestWorld;
+
+TEST(Flood, Ttl1VisitsOnlineNeighborsOnly) {
+  TestWorld w;
+  const NodeId origin = 0;
+  std::set<NodeId> visited;
+  const auto stats = flood(w.ctx, origin, 0.0, 1, 80, sim::Traffic::kQuery,
+                           [&](NodeId n, Seconds, std::uint32_t hops) {
+                             EXPECT_EQ(hops, 1u);
+                             visited.insert(n);
+                             return VisitAction::kContinue;
+                           });
+  std::set<NodeId> expected;
+  for (NodeId nb : w.overlay.neighbors(origin)) expected.insert(nb);
+  EXPECT_EQ(visited, expected);
+  EXPECT_EQ(stats.unique_nodes, expected.size());
+  EXPECT_GE(stats.messages, expected.size());
+  EXPECT_EQ(stats.bytes, stats.messages * 80);
+}
+
+TEST(Flood, LargeTtlReachesWholeConnectedOverlay) {
+  TestWorld w;
+  std::set<NodeId> visited;
+  flood(w.ctx, 0, 0.0, 30, 80, sim::Traffic::kQuery,
+        [&](NodeId n, Seconds, std::uint32_t) {
+          visited.insert(n);
+          return VisitAction::kContinue;
+        });
+  // Everything except the origin itself.
+  EXPECT_EQ(visited.size(), TestWorld::kNodes - 1);
+}
+
+TEST(Flood, ArrivalTimesIncreaseWithHops) {
+  TestWorld w;
+  Seconds first_hop_max = 0.0;
+  flood(w.ctx, 0, 10.0, 6, 80, sim::Traffic::kQuery,
+        [&](NodeId, Seconds t, std::uint32_t hops) {
+          EXPECT_GT(t, 10.0);
+          if (hops == 1) first_hop_max = std::max(first_hop_max, t);
+          return VisitAction::kContinue;
+        });
+  EXPECT_GT(first_hop_max, 10.0);
+}
+
+TEST(Flood, SkipsOfflineNodes) {
+  TestWorld w;
+  const NodeId origin = 0;
+  const auto nbs = w.overlay.neighbors(origin);
+  ASSERT_GE(nbs.size(), 1u);
+  const NodeId dead = nbs[0];
+  w.live.set_online(dead, false);
+  std::set<NodeId> visited;
+  flood(w.ctx, origin, 0.0, 2, 80, sim::Traffic::kQuery,
+        [&](NodeId n, Seconds, std::uint32_t) {
+          visited.insert(n);
+          return VisitAction::kContinue;
+        });
+  EXPECT_EQ(visited.count(dead), 0u);
+  w.live.set_online(dead, true);
+}
+
+TEST(Flood, OfflineOriginDoesNothing) {
+  TestWorld w;
+  w.live.set_online(0, false);
+  const auto stats = flood(w.ctx, 0, 0.0, 6, 80, sim::Traffic::kQuery,
+                           [&](NodeId, Seconds, std::uint32_t) {
+                             ADD_FAILURE() << "must not visit";
+                             return VisitAction::kContinue;
+                           });
+  EXPECT_EQ(stats.messages, 0u);
+  w.live.set_online(0, true);
+}
+
+TEST(Flood, StopAllTerminatesEarly) {
+  TestWorld w;
+  int visits = 0;
+  flood(w.ctx, 0, 0.0, 30, 80, sim::Traffic::kQuery,
+        [&](NodeId, Seconds, std::uint32_t) {
+          return ++visits >= 5 ? VisitAction::kStopAll
+                               : VisitAction::kContinue;
+        });
+  EXPECT_EQ(visits, 5);
+}
+
+TEST(Flood, DepositsBytesIntoLedger) {
+  TestWorld w;
+  const auto before = w.ledger.total(sim::Traffic::kQuery);
+  const auto stats =
+      flood(w.ctx, 0, 0.0, 3, 100, sim::Traffic::kQuery,
+            [](NodeId, Seconds, std::uint32_t) {
+              return VisitAction::kContinue;
+            });
+  EXPECT_EQ(w.ledger.total(sim::Traffic::kQuery) - before, stats.bytes);
+}
+
+TEST(RandomWalk, RespectsPerWalkerBudget) {
+  TestWorld w;
+  std::uint64_t visits = 0;
+  const auto stats = random_walk(w.ctx, 0, 0.0, 3, 50, 80,
+                                 sim::Traffic::kQuery,
+                                 [&](NodeId, Seconds, std::uint32_t) {
+                                   ++visits;
+                                   return VisitAction::kContinue;
+                                 });
+  EXPECT_EQ(stats.messages, 3u * 50u);
+  EXPECT_EQ(visits, stats.messages);
+  EXPECT_EQ(stats.bytes, stats.messages * 80);
+}
+
+TEST(RandomWalk, StopWalkerEndsOnlyThatWalker) {
+  TestWorld w;
+  std::uint64_t visits = 0;
+  const auto stats = random_walk(w.ctx, 0, 0.0, 4, 100, 80,
+                                 sim::Traffic::kQuery,
+                                 [&](NodeId, Seconds, std::uint32_t hops) {
+                                   ++visits;
+                                   return hops >= 10
+                                              ? VisitAction::kStopWalker
+                                              : VisitAction::kContinue;
+                                 });
+  EXPECT_EQ(stats.messages, 4u * 10u);
+  EXPECT_EQ(visits, 40u);
+}
+
+TEST(RandomWalk, StopAllEndsEverything) {
+  TestWorld w;
+  std::uint64_t visits = 0;
+  random_walk(w.ctx, 0, 0.0, 5, 100, 80, sim::Traffic::kQuery,
+              [&](NodeId, Seconds, std::uint32_t) {
+                ++visits;
+                return visits >= 7 ? VisitAction::kStopAll
+                                   : VisitAction::kContinue;
+              });
+  EXPECT_EQ(visits, 7u);
+}
+
+TEST(RandomWalk, TimeAdvancesMonotonicallyPerWalker) {
+  TestWorld w;
+  Seconds last = 0.0;
+  std::uint32_t last_hops = 0;
+  random_walk(w.ctx, 0, 5.0, 1, 200, 80, sim::Traffic::kQuery,
+              [&](NodeId, Seconds t, std::uint32_t hops) {
+                EXPECT_GT(t, last);
+                EXPECT_EQ(hops, last_hops + 1);
+                last = t;
+                last_hops = hops;
+                return VisitAction::kContinue;
+              });
+  EXPECT_EQ(last_hops, 200u);
+}
+
+TEST(RandomWalk, IsolatedOriginProducesNothing) {
+  TestWorld w;
+  // Detach node 1 completely, then walk from it.
+  w.overlay.detach(1);
+  const auto stats = random_walk(w.ctx, 1, 0.0, 5, 100, 80,
+                                 sim::Traffic::kQuery,
+                                 [](NodeId, Seconds, std::uint32_t) {
+                                   return VisitAction::kContinue;
+                                 });
+  EXPECT_EQ(stats.messages, 0u);
+}
+
+TEST(Gsa, BudgetBoundsMessages) {
+  TestWorld w;
+  for (std::uint64_t budget : {1ULL, 10ULL, 100ULL, 1'000ULL}) {
+    const auto stats = gsa(w.ctx, 0, 0.0, budget, 80, sim::Traffic::kQuery,
+                           [](NodeId, Seconds, std::uint32_t) {
+                             return VisitAction::kContinue;
+                           });
+    EXPECT_LE(stats.messages, budget);
+    EXPECT_GT(stats.messages, 0u);
+  }
+}
+
+TEST(Gsa, FirstPhaseHitsAllNeighbors) {
+  TestWorld w;
+  std::set<NodeId> hop1;
+  gsa(w.ctx, 0, 0.0, 10'000, 80, sim::Traffic::kQuery,
+      [&](NodeId n, Seconds, std::uint32_t hops) {
+        if (hops == 1) hop1.insert(n);
+        return VisitAction::kContinue;
+      });
+  std::set<NodeId> expected;
+  for (NodeId nb : w.overlay.neighbors(0)) expected.insert(nb);
+  EXPECT_EQ(hop1, expected);
+}
+
+TEST(Gsa, StopAllHaltsPropagation) {
+  TestWorld w;
+  std::uint64_t visits = 0;
+  gsa(w.ctx, 0, 0.0, 10'000, 80, sim::Traffic::kQuery,
+      [&](NodeId, Seconds, std::uint32_t) {
+        ++visits;
+        return visits >= 12 ? VisitAction::kStopAll
+                            : VisitAction::kContinue;
+      });
+  EXPECT_EQ(visits, 12u);
+}
+
+TEST(Gsa, BehavesLikeFloodWithinBudget) {
+  // A GSA whose budget exceeds the full flood's message count must visit
+  // exactly the same nodes at the same times as an unbounded flood.
+  TestWorld w1(555), w2(555);
+  std::vector<std::pair<NodeId, Seconds>> flood_visits, gsa_visits;
+  flood(w1.ctx, 0, 0.0, 30, 80, sim::Traffic::kQuery,
+        [&](NodeId n, Seconds t, std::uint32_t) {
+          flood_visits.emplace_back(n, t);
+          return VisitAction::kContinue;
+        });
+  gsa(w2.ctx, 0, 0.0, 1'000'000, 80, sim::Traffic::kQuery,
+      [&](NodeId n, Seconds t, std::uint32_t) {
+        gsa_visits.emplace_back(n, t);
+        return VisitAction::kContinue;
+      });
+  EXPECT_EQ(flood_visits, gsa_visits);
+}
+
+TEST(Gsa, SmallBudgetReachesFewerNodesThanLargeBudget) {
+  std::set<NodeId> small_set, large_set;
+  {
+    TestWorld w(888);
+    gsa(w.ctx, 0, 0.0, 30, 80, sim::Traffic::kQuery,
+        [&](NodeId n, Seconds, std::uint32_t) {
+          small_set.insert(n);
+          return VisitAction::kContinue;
+        });
+  }
+  {
+    TestWorld w(888);
+    gsa(w.ctx, 0, 0.0, 600, 80, sim::Traffic::kQuery,
+        [&](NodeId n, Seconds, std::uint32_t) {
+          large_set.insert(n);
+          return VisitAction::kContinue;
+        });
+  }
+  EXPECT_LT(small_set.size(), large_set.size());
+}
+
+TEST(Propagation, DeterministicForSeed) {
+  auto run = [] {
+    TestWorld w(777);
+    std::vector<NodeId> seq;
+    random_walk(w.ctx, 0, 0.0, 2, 64, 80, sim::Traffic::kQuery,
+                [&](NodeId n, Seconds, std::uint32_t) {
+                  seq.push_back(n);
+                  return VisitAction::kContinue;
+                });
+    return seq;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace asap::search

@@ -1,0 +1,71 @@
+#include "sim/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace asap::sim {
+namespace {
+
+TEST(BandwidthLedger, DepositsLandInCorrectBuckets) {
+  BandwidthLedger l(10.0);
+  l.deposit(0.5, Traffic::kQuery, 100);
+  l.deposit(0.9, Traffic::kQuery, 50);
+  l.deposit(3.2, Traffic::kQuery, 10);
+  const auto s = l.series(Traffic::kQuery);
+  EXPECT_EQ(s[0], 150u);
+  EXPECT_EQ(s[3], 10u);
+  EXPECT_EQ(l.total(Traffic::kQuery), 160u);
+}
+
+TEST(BandwidthLedger, CategoriesAreIndependent) {
+  BandwidthLedger l(5.0);
+  l.deposit(1.0, Traffic::kQuery, 10);
+  l.deposit(1.0, Traffic::kFullAd, 20);
+  l.deposit(1.0, Traffic::kRefreshAd, 30);
+  EXPECT_EQ(l.total(Traffic::kQuery), 10u);
+  EXPECT_EQ(l.total(Traffic::kFullAd), 20u);
+  EXPECT_EQ(l.total(Traffic::kRefreshAd), 30u);
+  EXPECT_EQ(l.total(Traffic::kPatchAd), 0u);
+  EXPECT_EQ(l.grand_total(), 60u);
+}
+
+TEST(BandwidthLedger, LateAndEarlyDepositsClamp) {
+  BandwidthLedger l(3.0);
+  l.deposit(-1.0, Traffic::kConfirm, 5);   // clamps to bucket 0
+  l.deposit(100.0, Traffic::kConfirm, 7);  // clamps to last bucket
+  const auto s = l.series(Traffic::kConfirm);
+  EXPECT_EQ(s.front(), 5u);
+  EXPECT_EQ(s.back(), 7u);
+  EXPECT_EQ(l.total(Traffic::kConfirm), 12u);
+}
+
+TEST(BandwidthLedger, CombinedSeriesSumsCategories) {
+  BandwidthLedger l(4.0);
+  l.deposit(1.5, Traffic::kFullAd, 100);
+  l.deposit(1.5, Traffic::kPatchAd, 10);
+  l.deposit(2.5, Traffic::kRefreshAd, 1);
+  const Traffic ads[] = {Traffic::kFullAd, Traffic::kPatchAd,
+                         Traffic::kRefreshAd};
+  const auto combined = l.combined_series(ads);
+  EXPECT_EQ(combined[1], 110u);
+  EXPECT_EQ(combined[2], 1u);
+  EXPECT_EQ(l.total(ads), 111u);
+}
+
+TEST(BandwidthLedger, RejectsNonPositiveHorizon) {
+  EXPECT_THROW(BandwidthLedger(0.0), ConfigError);
+  EXPECT_THROW(BandwidthLedger(-5.0), ConfigError);
+}
+
+TEST(BandwidthLedger, TrafficNamesAreDistinct) {
+  for (std::size_t a = 0; a < kTrafficCount; ++a) {
+    for (std::size_t b = a + 1; b < kTrafficCount; ++b) {
+      EXPECT_STRNE(traffic_name(static_cast<Traffic>(a)),
+                   traffic_name(static_cast<Traffic>(b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asap::sim

@@ -1,0 +1,85 @@
+#include "sim/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace asap::sim {
+namespace {
+
+TEST(Liveness, InitialState) {
+  Liveness l(10, 7);
+  EXPECT_EQ(l.live_count(), 7u);
+  EXPECT_TRUE(l.online(0));
+  EXPECT_TRUE(l.online(6));
+  EXPECT_FALSE(l.online(7));
+  EXPECT_EQ(l.capacity(), 10u);
+}
+
+TEST(Liveness, TransitionsAreIdempotent) {
+  Liveness l(4, 4);
+  l.set_online(1, false, 1.0);
+  l.set_online(1, false, 2.0);  // no-op
+  EXPECT_EQ(l.live_count(), 3u);
+  l.set_online(1, true, 3.0);
+  l.set_online(1, true, 4.0);  // no-op
+  EXPECT_EQ(l.live_count(), 4u);
+}
+
+TEST(Liveness, RejectsUnknownNode) {
+  Liveness l(2, 2);
+  EXPECT_THROW(l.set_online(5, false, 0.0), ConfigError);
+}
+
+TEST(Liveness, RejectsOversizedInitial) {
+  EXPECT_THROW(Liveness(2, 3), ConfigError);
+}
+
+TEST(Liveness, GrowAddsOfflineSlots) {
+  Liveness l(2, 2);
+  l.grow(5);
+  EXPECT_EQ(l.capacity(), 5u);
+  EXPECT_FALSE(l.online(4));
+  EXPECT_EQ(l.live_count(), 2u);
+  EXPECT_THROW(l.grow(1), ConfigError);
+}
+
+TEST(Liveness, SeriesConstantWithoutChurn) {
+  Liveness l(100, 42);
+  const auto s = l.live_count_series(5.0);
+  ASSERT_EQ(s.size(), 5u);
+  for (double v : s) EXPECT_DOUBLE_EQ(v, 42.0);
+}
+
+TEST(Liveness, SeriesIntegratesMidBucketTransition) {
+  Liveness l(10, 10);
+  // One node leaves exactly at t=2.5: bucket 2 averages 9.5.
+  l.set_online(0, false, 2.5);
+  const auto s = l.live_count_series(5.0);
+  EXPECT_DOUBLE_EQ(s[0], 10.0);
+  EXPECT_DOUBLE_EQ(s[1], 10.0);
+  EXPECT_DOUBLE_EQ(s[2], 9.5);
+  EXPECT_DOUBLE_EQ(s[3], 9.0);
+  EXPECT_DOUBLE_EQ(s[4], 9.0);
+}
+
+TEST(Liveness, SeriesHandlesJoinAndLeave) {
+  Liveness l(4, 2);
+  l.set_online(2, true, 1.0);   // 3 live from t=1
+  l.set_online(0, false, 3.0);  // 2 live from t=3
+  const auto s = l.live_count_series(4.0);
+  EXPECT_DOUBLE_EQ(s[0], 2.0);
+  EXPECT_DOUBLE_EQ(s[1], 3.0);
+  EXPECT_DOUBLE_EQ(s[2], 3.0);
+  EXPECT_DOUBLE_EQ(s[3], 2.0);
+}
+
+TEST(Liveness, SeriesIgnoresTransitionsBeyondHorizon) {
+  Liveness l(4, 4);
+  l.set_online(0, false, 10.0);
+  const auto s = l.live_count_series(3.0);
+  for (double v : s) EXPECT_DOUBLE_EQ(v, 4.0);
+}
+
+}  // namespace
+}  // namespace asap::sim

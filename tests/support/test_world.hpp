@@ -1,0 +1,74 @@
+// Shared miniature world for search/ASAP unit tests: a small transit-stub
+// network, an overlay, an eDonkey-like content model and the simulation
+// services, bundled behind a search::Ctx.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "net/transit_stub.hpp"
+#include "overlay/overlay.hpp"
+#include "search/context.hpp"
+#include "sim/bandwidth.hpp"
+#include "sim/engine.hpp"
+#include "trace/content_model.hpp"
+#include "trace/live_content.hpp"
+
+namespace asap::testing {
+
+struct TestWorld {
+  static constexpr std::uint32_t kNodes = 300;
+  static constexpr std::uint32_t kJoiners = 30;
+
+  explicit TestWorld(std::uint64_t seed = 1234, double avg_degree = 5.0)
+      : rng(seed),
+        phys(net::TransitStubNetwork::generate(tiny_phys(), rng)),
+        overlay(overlay::Overlay::random(kNodes, avg_degree, rng)),
+        model(trace::ContentModel::build(tiny_content(), rng)),
+        live(model),
+        index(model, live),
+        ledger(3'600.0),
+        ctx(overlay, phys, node_phys, model, live, index, engine, ledger,
+            sizes, rng) {
+    auto picks = rng.sample_indices(phys.num_nodes(), kNodes + kJoiners);
+    node_phys.assign(picks.begin(), picks.end());
+  }
+
+  static net::TransitStubParams tiny_phys() {
+    net::TransitStubParams p;
+    p.transit_domains = 3;
+    p.transit_nodes_per_domain = 4;
+    p.stub_domains_per_transit = 3;
+    p.stub_nodes_per_domain = 12;
+    return p;  // 12 + 36*12 = 444 physical nodes
+  }
+
+  static trace::ContentModelParams tiny_content() {
+    trace::ContentModelParams p;
+    p.initial_nodes = kNodes;
+    p.joiner_nodes = kJoiners;
+    return p;
+  }
+
+  /// Any node that shares at least one document.
+  NodeId a_sharer() const {
+    for (NodeId n = 0; n < kNodes; ++n) {
+      if (!live.docs(n).empty()) return n;
+    }
+    throw InvariantError("no sharer in test world");
+  }
+
+  Rng rng;
+  net::TransitStubNetwork phys;
+  overlay::Overlay overlay;
+  std::vector<PhysNodeId> node_phys;
+  trace::ContentModel model;
+  trace::LiveContent live;
+  trace::ContentIndex index;
+  sim::Engine engine;
+  sim::BandwidthLedger ledger;
+  sim::SizeModel sizes;
+  search::Ctx ctx;
+};
+
+}  // namespace asap::testing

@@ -1,0 +1,173 @@
+#include "trace/live_content.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace asap::trace {
+namespace {
+
+ContentModelParams tiny_params() {
+  ContentModelParams p;
+  p.initial_nodes = 200;
+  p.joiner_nodes = 20;
+  return p;
+}
+
+class LiveContentTest : public ::testing::Test {
+ protected:
+  LiveContentTest() : rng_(11), model_(ContentModel::build(tiny_params(), rng_)) {}
+  Rng rng_;
+  ContentModel model_;
+};
+
+TEST_F(LiveContentTest, InitialStateMirrorsModel) {
+  LiveContent live(model_);
+  EXPECT_EQ(live.live_count(), tiny_params().initial_nodes);
+  EXPECT_EQ(live.capacity(), model_.total_node_slots());
+  for (NodeId n = 0; n < tiny_params().initial_nodes; ++n) {
+    EXPECT_TRUE(live.online(n));
+    EXPECT_EQ(live.docs(n), model_.initial_docs(n));
+  }
+  for (NodeId n = tiny_params().initial_nodes; n < live.capacity(); ++n) {
+    EXPECT_FALSE(live.online(n));
+    EXPECT_TRUE(live.docs(n).empty());
+  }
+}
+
+TEST_F(LiveContentTest, AddRemoveDoc) {
+  LiveContent live(model_);
+  const DocId d = model_.corpus().size() - 1;
+  live.add_doc(5, d);
+  EXPECT_TRUE(live.has_doc(5, d));
+  live.add_doc(5, d);  // idempotent
+  const auto count =
+      std::count(live.docs(5).begin(), live.docs(5).end(), d);
+  EXPECT_EQ(count, 1);
+  live.remove_doc(5, d);
+  EXPECT_FALSE(live.has_doc(5, d));
+}
+
+TEST_F(LiveContentTest, NodeMatchesRequiresSingleDocConjunction) {
+  LiveContent live(model_);
+  // Find a node with at least one doc; use that doc's keywords.
+  NodeId holder = kInvalidNode;
+  for (NodeId n = 0; n < tiny_params().initial_nodes; ++n) {
+    if (!live.docs(n).empty()) {
+      holder = n;
+      break;
+    }
+  }
+  ASSERT_NE(holder, kInvalidNode);
+  const DocId d = live.docs(holder).front();
+  const auto& kws = model_.doc(d).keywords;
+  EXPECT_TRUE(live.node_matches(holder, kws, model_));
+  // A term set spanning two different documents must NOT match: take one
+  // keyword from this doc plus a keyword that exists nowhere.
+  std::vector<KeywordId> cross{kws.front(), 0xFFFFFFFF};
+  EXPECT_FALSE(live.node_matches(holder, cross, model_));
+  // Offline nodes never match.
+  live.set_online(holder, false);
+  EXPECT_FALSE(live.node_matches(holder, kws, model_));
+}
+
+TEST_F(LiveContentTest, EmptyTermsNeverMatch) {
+  LiveContent live(model_);
+  EXPECT_FALSE(live.node_matches(0, {}, model_));
+}
+
+TEST_F(LiveContentTest, ApplyJoinBringsJoinerDocs) {
+  LiveContent live(model_);
+  const NodeId joiner = tiny_params().initial_nodes;
+  TraceEvent ev;
+  ev.type = TraceEventType::kJoin;
+  ev.node = joiner;
+  live.apply(ev, model_);
+  EXPECT_TRUE(live.online(joiner));
+  EXPECT_EQ(live.docs(joiner).size(), model_.joiner_docs(joiner).size());
+  ev.type = TraceEventType::kLeave;
+  live.apply(ev, model_);
+  EXPECT_FALSE(live.online(joiner));
+  // Content is retained across a departure (the node, not its disk, left).
+  EXPECT_EQ(live.docs(joiner).size(), model_.joiner_docs(joiner).size());
+}
+
+TEST_F(LiveContentTest, KeywordCountDeduplicates) {
+  LiveContent live(model_);
+  for (NodeId n = 0; n < 50; ++n) {
+    std::set<KeywordId> expected;
+    for (DocId d : live.docs(n)) {
+      const auto& kws = model_.doc(d).keywords;
+      expected.insert(kws.begin(), kws.end());
+    }
+    EXPECT_EQ(live.keyword_count(n, model_), expected.size());
+  }
+}
+
+TEST_F(LiveContentTest, ContentIndexFindsAllHolders) {
+  LiveContent live(model_);
+  ContentIndex index(model_, live);
+  // For every document of a few nodes, the index must report the holder.
+  for (NodeId n = 0; n < 50; ++n) {
+    for (DocId d : live.docs(n)) {
+      const auto& kws = model_.doc(d).keywords;
+      const auto matches = index.matching_nodes(kws, live, model_);
+      EXPECT_TRUE(std::binary_search(matches.begin(), matches.end(), n))
+          << "node " << n << " doc " << d;
+    }
+  }
+}
+
+TEST_F(LiveContentTest, ContentIndexRespectsLiveness) {
+  LiveContent live(model_);
+  ContentIndex index(model_, live);
+  NodeId holder = kInvalidNode;
+  DocId doc = kInvalidDoc;
+  for (NodeId n = 0; n < tiny_params().initial_nodes && holder == kInvalidNode;
+       ++n) {
+    if (!live.docs(n).empty()) {
+      holder = n;
+      doc = live.docs(n).front();
+    }
+  }
+  ASSERT_NE(holder, kInvalidNode);
+  const auto& kws = model_.doc(doc).keywords;
+
+  live.set_online(holder, false);
+  auto matches = index.matching_nodes(kws, live, model_);
+  EXPECT_FALSE(std::binary_search(matches.begin(), matches.end(), holder));
+
+  live.set_online(holder, true);
+  live.remove_doc(holder, doc);
+  matches = index.matching_nodes(kws, live, model_);
+  EXPECT_FALSE(std::binary_search(matches.begin(), matches.end(), holder));
+}
+
+TEST_F(LiveContentTest, ContentIndexPicksUpAdditions) {
+  LiveContent live(model_);
+  ContentIndex index(model_, live);
+  Rng rng(5);
+  ContentModel model = ContentModel::build(tiny_params(), rng);  // fresh
+  const DocId fresh = model_.corpus().size() - 1;
+  TraceEvent ev;
+  ev.type = TraceEventType::kAddDoc;
+  ev.node = 3;
+  ev.doc = fresh;
+  live.apply(ev, model_);
+  index.apply(ev, model_);
+  const auto& kws = model_.doc(fresh).keywords;
+  const auto matches = index.matching_nodes(kws, live, model_);
+  EXPECT_TRUE(std::binary_search(matches.begin(), matches.end(), 3u));
+}
+
+TEST_F(LiveContentTest, UnknownTermMatchesNothing) {
+  LiveContent live(model_);
+  ContentIndex index(model_, live);
+  const std::vector<KeywordId> bogus{0xFFFFFFF0};
+  EXPECT_TRUE(index.matching_nodes(bogus, live, model_).empty());
+}
+
+}  // namespace
+}  // namespace asap::trace

@@ -1,0 +1,132 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/codec.hpp"
+#include "common/rng.hpp"
+#include "trace/trace_gen.hpp"
+
+namespace asap::trace {
+namespace {
+
+ContentModelParams small_params() {
+  ContentModelParams p;
+  p.initial_nodes = 300;
+  p.joiner_nodes = 30;
+  return p;
+}
+
+struct Fixture {
+  Fixture() : rng(17), model(ContentModel::build(small_params(), rng)) {
+    TraceParams tp;
+    tp.num_queries = 400;
+    tp.joins = 20;
+    tp.leaves = 20;
+    Rng gen_rng(18);
+    TraceGenerator gen(model, tp, gen_rng);
+    trace = gen.generate();
+  }
+  Rng rng;
+  ContentModel model;
+  Trace trace;
+};
+
+TEST(TraceIo, ContentRoundTrip) {
+  Fixture fx;
+  const auto bytes = serialize_content(fx.model);
+  const auto restored = deserialize_content(bytes);
+
+  EXPECT_EQ(restored.params().initial_nodes,
+            fx.model.params().initial_nodes);
+  EXPECT_EQ(restored.total_node_slots(), fx.model.total_node_slots());
+  ASSERT_EQ(restored.corpus().size(), fx.model.corpus().size());
+  for (std::size_t i = 0; i < fx.model.corpus().size(); i += 7) {
+    EXPECT_EQ(restored.corpus()[i].topic, fx.model.corpus()[i].topic);
+    EXPECT_EQ(restored.corpus()[i].keywords, fx.model.corpus()[i].keywords);
+  }
+  for (NodeId n = 0; n < fx.model.total_node_slots(); ++n) {
+    EXPECT_EQ(restored.interests(n), fx.model.interests(n));
+    if (n < fx.model.params().initial_nodes) {
+      EXPECT_EQ(restored.initial_docs(n), fx.model.initial_docs(n));
+    } else {
+      EXPECT_EQ(restored.joiner_docs(n), fx.model.joiner_docs(n));
+    }
+  }
+}
+
+TEST(TraceIo, RestoredModelMintsDocumentsConsistently) {
+  Fixture fx;
+  auto restored = deserialize_content(serialize_content(fx.model));
+  // Minting with the same RNG stream must produce identical documents
+  // (next_keyword_ and the class pools must have survived).
+  Rng a(55), b(55);
+  const DocId da = fx.model.mint_document(3, a);
+  const DocId db = restored.mint_document(3, b);
+  EXPECT_EQ(da, db);
+  EXPECT_EQ(fx.model.doc(da).keywords, restored.doc(db).keywords);
+}
+
+TEST(TraceIo, TraceRoundTrip) {
+  Fixture fx;
+  const auto bytes = serialize_trace(fx.trace);
+  const auto restored = deserialize_trace(bytes);
+  EXPECT_EQ(restored.num_queries, fx.trace.num_queries);
+  EXPECT_EQ(restored.num_changes, fx.trace.num_changes);
+  EXPECT_EQ(restored.num_joins, fx.trace.num_joins);
+  EXPECT_EQ(restored.num_leaves, fx.trace.num_leaves);
+  ASSERT_EQ(restored.events.size(), fx.trace.events.size());
+  for (std::size_t i = 0; i < fx.trace.events.size(); ++i) {
+    const auto& a = fx.trace.events[i];
+    const auto& b = restored.events[i];
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.node, b.node);
+    EXPECT_EQ(a.doc, b.doc);
+    EXPECT_EQ(a.num_terms, b.num_terms);
+    for (std::uint8_t k = 0; k < a.num_terms; ++k) {
+      EXPECT_EQ(a.terms[k], b.terms[k]);
+    }
+    EXPECT_NEAR(a.time, b.time, 1e-6);  // microsecond quantization
+  }
+  EXPECT_NEAR(restored.horizon, fx.trace.horizon, 1e-6);
+}
+
+TEST(TraceIo, BundleFileRoundTrip) {
+  Fixture fx;
+  const std::string path = ::testing::TempDir() + "asap_bundle_test.bin";
+  save_bundle(path, fx.model, fx.trace);
+  const auto bundle = load_bundle(path);
+  EXPECT_EQ(bundle.model.corpus().size(), fx.model.corpus().size());
+  EXPECT_EQ(bundle.trace.events.size(), fx.trace.events.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MalformedInputThrows) {
+  Fixture fx;
+  auto bytes = serialize_content(fx.model);
+  bytes[0] ^= 0xFF;  // break the magic
+  EXPECT_THROW(deserialize_content(bytes), wire::DecodeError);
+
+  auto tr = serialize_trace(fx.trace);
+  tr[0] ^= 0xFF;
+  EXPECT_THROW(deserialize_trace(tr), wire::DecodeError);
+  // Truncations must throw, never crash.
+  const auto good = serialize_trace(fx.trace);
+  for (std::size_t len = 5; len < good.size(); len += good.size() / 17 + 1) {
+    EXPECT_THROW(deserialize_trace(
+                     std::span<const std::uint8_t>(good.data(), len)),
+                 wire::DecodeError);
+  }
+  EXPECT_THROW(load_bundle("/nonexistent/path/x.bin"), ConfigError);
+}
+
+TEST(TraceIo, CompressionIsReasonable) {
+  Fixture fx;
+  const auto bytes = serialize_trace(fx.trace);
+  // Varint + delta encoding: far below a naive 40-byte-per-event format.
+  EXPECT_LT(bytes.size(), fx.trace.events.size() * 24);
+}
+
+}  // namespace
+}  // namespace asap::trace

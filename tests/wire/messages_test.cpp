@@ -1,0 +1,140 @@
+#include "wire/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/size_model.hpp"
+
+namespace asap::wire {
+namespace {
+
+ads::AdPayload make_payload(NodeId src, std::uint32_t version,
+                            std::uint32_t keys) {
+  bloom::BloomFilter f;
+  Rng rng(src * 1000 + version);
+  for (std::uint32_t i = 0; i < keys; ++i) f.insert(rng.next_u64());
+  return ads::AdPayload(src, version, std::move(f), {1, 4, 9});
+}
+
+TEST(Messages, FullAdRoundTripSparse) {
+  const auto ad = make_payload(42, 7, 20);  // light sharer -> sparse body
+  const auto bytes = encode_full_ad(ad);
+  const auto decoded = decode_ad(bytes);
+  EXPECT_EQ(decoded.header.kind, ads::AdKind::kFull);
+  EXPECT_EQ(decoded.header.source, 42u);
+  EXPECT_EQ(decoded.header.version, 7u);
+  EXPECT_EQ(decoded.header.topics, (std::vector<TopicId>{1, 4, 9}));
+  ASSERT_TRUE(decoded.filter.has_value());
+  EXPECT_EQ(*decoded.filter, ad.filter);
+}
+
+TEST(Messages, FullAdRoundTripBitmap) {
+  const auto ad = make_payload(7, 1, 2'000);  // heavy sharer -> bitmap body
+  const auto bytes = encode_full_ad(ad);
+  const auto decoded = decode_ad(bytes);
+  ASSERT_TRUE(decoded.filter.has_value());
+  EXPECT_EQ(*decoded.filter, ad.filter);
+  // Bitmap body: header + ~m/8 bytes.
+  EXPECT_GE(bytes.size(), (ad.filter.params().bits + 7) / 8);
+}
+
+TEST(Messages, EncodedSizeWithinAnalyticModel) {
+  // The simulator's analytic ad size must upper-bound the real encoding.
+  const sim::SizeModel sizes;
+  for (std::uint32_t keys : {1u, 10u, 100u, 500u, 1'000u, 3'000u}) {
+    const auto ad = make_payload(1, 1, keys);
+    const auto bytes = encode_full_ad(ad);
+    EXPECT_LE(bytes.size(), ads::full_ad_bytes(ad, sizes))
+        << "at " << keys << " keys";
+  }
+}
+
+TEST(Messages, PatchAdRoundTrip) {
+  const auto ad = make_payload(5, 3, 50);
+  const std::vector<std::uint32_t> toggles{9, 2, 77, 10'000};
+  const auto bytes = encode_patch_ad(ad, 2, toggles);
+  const auto decoded = decode_ad(bytes);
+  EXPECT_EQ(decoded.header.kind, ads::AdKind::kPatch);
+  EXPECT_EQ(decoded.base_version, 2u);
+  EXPECT_EQ(decoded.toggles,
+            (std::vector<std::uint32_t>{2, 9, 77, 10'000}));
+  EXPECT_FALSE(decoded.filter.has_value());
+}
+
+TEST(Messages, PatchSizeWithinAnalyticModel) {
+  const sim::SizeModel sizes;
+  const auto ad = make_payload(5, 3, 50);
+  std::vector<std::uint32_t> toggles;
+  Rng rng(3);
+  auto raw = rng.sample_indices(11'542, 200);
+  toggles.assign(raw.begin(), raw.end());
+  const auto bytes = encode_patch_ad(ad, 2, toggles);
+  EXPECT_LE(bytes.size(),
+            ads::patch_ad_bytes(toggles.size(), ad.topics.size(), sizes));
+}
+
+TEST(Messages, RefreshAdRoundTrip) {
+  const auto ad = make_payload(9, 12, 10);
+  const auto bytes = encode_refresh_ad(ad);
+  const auto decoded = decode_ad(bytes);
+  EXPECT_EQ(decoded.header.kind, ads::AdKind::kRefresh);
+  EXPECT_EQ(decoded.header.source, 9u);
+  EXPECT_EQ(decoded.header.version, 12u);
+  const sim::SizeModel sizes;
+  EXPECT_LE(bytes.size(), ads::refresh_ad_bytes(sizes));
+}
+
+TEST(Messages, QueryRoundTrip) {
+  const QueryMessage q{123, {7, 99, 100'000}};
+  const auto bytes = encode_query(q);
+  const auto decoded = decode_query(bytes);
+  EXPECT_EQ(decoded.requester, 123u);
+  EXPECT_EQ(decoded.terms, q.terms);
+  const sim::SizeModel sizes;
+  EXPECT_LE(bytes.size(), sizes.query);
+}
+
+TEST(Messages, MalformedInputsThrowNotCrash) {
+  const auto ad = make_payload(1, 1, 20);
+  auto bytes = encode_full_ad(ad);
+  // Bad magic.
+  auto bad = bytes;
+  bad[0] = 0x00;
+  EXPECT_THROW(decode_ad(bad), DecodeError);
+  // Bad kind.
+  bad = bytes;
+  bad[1] = 0x77;
+  EXPECT_THROW(decode_ad(bad), DecodeError);
+  // Truncation at every prefix length must throw, never crash.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(
+        decode_ad(std::span<const std::uint8_t>(bytes.data(), len)),
+        DecodeError)
+        << "prefix " << len;
+  }
+  // Trailing garbage.
+  bad = bytes;
+  bad.push_back(0xFF);
+  EXPECT_THROW(decode_ad(bad), DecodeError);
+}
+
+TEST(Messages, FuzzedBuffersNeverCrash) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    std::vector<std::uint8_t> buf(rng.below(64));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+    try {
+      decode_ad(buf);
+    } catch (const DecodeError&) {
+      // expected for almost all inputs
+    }
+    try {
+      decode_query(buf);
+    } catch (const DecodeError&) {
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace asap::wire

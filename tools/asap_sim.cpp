@@ -1,0 +1,270 @@
+// asap_sim — the command-line front end to the whole suite.
+//
+// Runs any subset of the systems under test on any topology/preset with
+// every protocol knob exposed, prints the paper's metrics, and optionally
+// emits CSV for plotting.
+//
+//   asap_sim --algo asap-rw,flooding --topology crawled --queries 4000
+//   asap_sim --preset paper --algo all --jobs 4 --csv results.csv
+//   asap_sim --algo asap-rw --m0 1500 --refresh-period 60 --hops 2
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "harness/replay.hpp"
+#include "harness/world.hpp"
+
+namespace {
+
+using namespace asap;
+
+struct CliArgs {
+  harness::Preset preset = harness::Preset::kSmall;
+  std::vector<harness::TopologyKind> topologies{
+      harness::TopologyKind::kCrawled};
+  std::vector<harness::AlgoKind> algos{harness::AlgoKind::kFlooding,
+                                       harness::AlgoKind::kAsapRw};
+  std::uint64_t seed = 42;
+  std::uint32_t queries = 0;  // 0 = preset default
+  std::size_t jobs = 0;
+  std::string csv_path;
+
+  // ASAP overrides (applied to every ASAP variant in the run).
+  std::optional<std::uint64_t> m0;
+  std::optional<double> refresh_period;
+  std::optional<std::uint32_t> cache_capacity;
+  std::optional<std::uint32_t> hops;
+  std::optional<std::uint32_t> results_needed;
+  std::optional<bool> refresh_pull;
+};
+
+harness::AlgoKind parse_algo(const std::string& name) {
+  if (name == "flooding") return harness::AlgoKind::kFlooding;
+  if (name == "random-walk" || name == "rw") {
+    return harness::AlgoKind::kRandomWalk;
+  }
+  if (name == "gsa") return harness::AlgoKind::kGsa;
+  if (name == "asap-fld") return harness::AlgoKind::kAsapFld;
+  if (name == "asap-rw") return harness::AlgoKind::kAsapRw;
+  if (name == "asap-gsa") return harness::AlgoKind::kAsapGsa;
+  throw ConfigError("unknown algorithm: " + name +
+                    " (try flooding, random-walk, gsa, asap-fld, asap-rw, "
+                    "asap-gsa, all)");
+}
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const auto comma = list.find(',', pos);
+    out.push_back(list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void print_usage() {
+  std::cout <<
+      R"(asap_sim — ASAP P2P search simulator
+
+  --preset small|paper        world scale (default small)
+  --topology t1,t2            random, powerlaw, crawled (default crawled)
+  --algo a1,a2 | all          flooding, random-walk, gsa, asap-fld,
+                              asap-rw, asap-gsa (default flooding,asap-rw)
+  --seed N                    master seed (default 42)
+  --queries N                 override query count
+  --jobs N                    parallel cells (default: hardware)
+  --csv FILE                  also write results as CSV
+
+ASAP protocol overrides:
+  --m0 N                      ad budget unit M0
+  --refresh-period SECONDS    refresh beacon period
+  --cache-capacity N          ads cache entries per node
+  --hops N                    ads-request radius h
+  --results-needed N          positive confirmations wanted per search
+  --refresh-pull on|off       pull-on-refresh extension
+)";
+}
+
+CliArgs parse(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw ConfigError("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      print_usage();
+      std::exit(0);
+    } else if (flag == "--preset") {
+      const auto v = next();
+      if (v == "paper") {
+        args.preset = harness::Preset::kPaper;
+      } else if (v == "small") {
+        args.preset = harness::Preset::kSmall;
+      } else {
+        throw ConfigError("unknown preset: " + v);
+      }
+    } else if (flag == "--topology") {
+      args.topologies.clear();
+      for (const auto& t : split_csv(next())) {
+        if (t == "random") {
+          args.topologies.push_back(harness::TopologyKind::kRandom);
+        } else if (t == "powerlaw") {
+          args.topologies.push_back(harness::TopologyKind::kPowerlaw);
+        } else if (t == "crawled") {
+          args.topologies.push_back(harness::TopologyKind::kCrawled);
+        } else {
+          throw ConfigError("unknown topology: " + t);
+        }
+      }
+    } else if (flag == "--algo") {
+      args.algos.clear();
+      const auto list = next();
+      if (list == "all") {
+        args.algos.assign(std::begin(harness::kAllAlgos),
+                          std::end(harness::kAllAlgos));
+      } else {
+        for (const auto& a : split_csv(list)) {
+          args.algos.push_back(parse_algo(a));
+        }
+      }
+    } else if (flag == "--seed") {
+      args.seed = std::stoull(next());
+    } else if (flag == "--queries") {
+      args.queries = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (flag == "--jobs") {
+      args.jobs = std::stoul(next());
+    } else if (flag == "--csv") {
+      args.csv_path = next();
+    } else if (flag == "--m0") {
+      args.m0 = std::stoull(next());
+    } else if (flag == "--refresh-period") {
+      args.refresh_period = std::stod(next());
+    } else if (flag == "--cache-capacity") {
+      args.cache_capacity = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (flag == "--hops") {
+      args.hops = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (flag == "--results-needed") {
+      args.results_needed = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (flag == "--refresh-pull") {
+      args.refresh_pull = next() == "on";
+    } else {
+      throw ConfigError("unknown flag: " + flag + " (see --help)");
+    }
+  }
+  return args;
+}
+
+harness::RunOptions options_for(const CliArgs& args, harness::AlgoKind kind) {
+  harness::RunOptions opts;
+  if (!harness::is_asap(kind)) return opts;
+  auto p = harness::default_asap_params(kind, args.preset);
+  if (args.m0) p.budget_unit_m0 = *args.m0;
+  if (args.refresh_period) p.refresh_period = *args.refresh_period;
+  if (args.cache_capacity) p.cache_capacity = *args.cache_capacity;
+  if (args.hops) p.ads_request_hops = *args.hops;
+  if (args.results_needed) p.results_needed = *args.results_needed;
+  if (args.refresh_pull) p.refresh_pull = *args.refresh_pull;
+  opts.asap = p;
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args = parse(argc, argv);
+
+    struct Row {
+      harness::TopologyKind topo;
+      harness::RunResult res;
+      double p50 = 0.0, p95 = 0.0;
+    };
+    std::vector<Row> rows;
+    std::mutex mu;
+
+    for (const auto topo : args.topologies) {
+      auto cfg = harness::ExperimentConfig::make(args.preset, topo, args.seed);
+      if (args.queries != 0) cfg.trace.num_queries = args.queries;
+      std::cerr << "building " << harness::topology_name(topo)
+                << " world (" << cfg.content.initial_nodes << " peers, "
+                << cfg.trace.num_queries << " queries)...\n";
+      const auto world = harness::build_world(cfg);
+
+      ThreadPool pool(args.jobs);
+      std::vector<std::future<void>> futs;
+      for (const auto kind : args.algos) {
+        futs.push_back(pool.submit([&, kind] {
+          auto res = harness::run_experiment(world, kind,
+                                             options_for(args, kind));
+          std::cerr << "  " << res.algo << " done ("
+                    << TextTable::num(res.wall_seconds, 1) << " s, "
+                    << res.engine_events << " engine events)\n";
+          Row row{topo, std::move(res)};
+          const auto& samples = row.res.search.response_samples();
+          if (!samples.empty()) {
+            row.p50 = percentile(samples, 0.50);
+            row.p95 = percentile(samples, 0.95);
+          }
+          std::lock_guard lock(mu);
+          rows.push_back(std::move(row));
+        }));
+      }
+      for (auto& f : futs) f.get();
+    }
+
+    std::sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+      return static_cast<int>(a.topo) < static_cast<int>(b.topo);
+    });
+
+    TextTable table({"topology", "algorithm", "success %", "resp ms",
+                     "p50 ms", "p95 ms", "cost/search", "results/search",
+                     "load B/node/s", "load stddev"});
+    for (const auto& row : rows) {
+      const auto& s = row.res.search;
+      table.add_row({harness::topology_name(row.topo), row.res.algo,
+                     TextTable::num(100.0 * s.success_rate(), 1),
+                     TextTable::num(1e3 * s.avg_response_time(), 1),
+                     TextTable::num(1e3 * row.p50, 1),
+                     TextTable::num(1e3 * row.p95, 1),
+                     TextTable::bytes(s.avg_cost_bytes()),
+                     TextTable::num(s.avg_results(), 2),
+                     TextTable::num(row.res.load.mean_bytes_per_node_per_sec,
+                                    1),
+                     TextTable::num(
+                         row.res.load.stddev_bytes_per_node_per_sec, 1)});
+    }
+    std::cout << '\n';
+    table.print(std::cout);
+
+    if (!args.csv_path.empty()) {
+      std::ofstream csv(args.csv_path);
+      if (!csv) throw ConfigError("cannot write " + args.csv_path);
+      csv << "topology,algorithm,success_rate,avg_response_s,p50_s,p95_s,"
+             "avg_cost_bytes,avg_results,load_mean,load_stddev\n";
+      for (const auto& row : rows) {
+        const auto& s = row.res.search;
+        csv << harness::topology_name(row.topo) << ',' << row.res.algo << ','
+            << s.success_rate() << ',' << s.avg_response_time() << ','
+            << row.p50 << ',' << row.p95 << ',' << s.avg_cost_bytes() << ','
+            << s.avg_results() << ','
+            << row.res.load.mean_bytes_per_node_per_sec << ','
+            << row.res.load.stddev_bytes_per_node_per_sec << '\n';
+      }
+      std::cout << "\nwrote " << args.csv_path << '\n';
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
