@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hops.dir/bench_ablation_hops.cpp.o"
+  "CMakeFiles/bench_ablation_hops.dir/bench_ablation_hops.cpp.o.d"
+  "bench_ablation_hops"
+  "bench_ablation_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_superpeer.dir/bench_ablation_superpeer.cpp.o"
+  "CMakeFiles/bench_ablation_superpeer.dir/bench_ablation_superpeer.cpp.o.d"
+  "bench_ablation_superpeer"
+  "bench_ablation_superpeer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_superpeer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

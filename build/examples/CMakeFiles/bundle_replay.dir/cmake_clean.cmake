@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bundle_replay.dir/bundle_replay.cpp.o"
+  "CMakeFiles/bundle_replay.dir/bundle_replay.cpp.o.d"
+  "bundle_replay"
+  "bundle_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bundle_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_core.dir/ad.cpp.o"
+  "CMakeFiles/asap_core.dir/ad.cpp.o.d"
+  "CMakeFiles/asap_core.dir/ad_cache.cpp.o"
+  "CMakeFiles/asap_core.dir/ad_cache.cpp.o.d"
+  "CMakeFiles/asap_core.dir/advertiser.cpp.o"
+  "CMakeFiles/asap_core.dir/advertiser.cpp.o.d"
+  "CMakeFiles/asap_core.dir/asap_protocol.cpp.o"
+  "CMakeFiles/asap_core.dir/asap_protocol.cpp.o.d"
+  "CMakeFiles/asap_core.dir/superpeer.cpp.o"
+  "CMakeFiles/asap_core.dir/superpeer.cpp.o.d"
+  "libasap_core.a"
+  "libasap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

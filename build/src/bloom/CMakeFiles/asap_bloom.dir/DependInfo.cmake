@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bloom/bloom.cpp" "src/bloom/CMakeFiles/asap_bloom.dir/bloom.cpp.o" "gcc" "src/bloom/CMakeFiles/asap_bloom.dir/bloom.cpp.o.d"
+  "/root/repo/src/bloom/variable_bloom.cpp" "src/bloom/CMakeFiles/asap_bloom.dir/variable_bloom.cpp.o" "gcc" "src/bloom/CMakeFiles/asap_bloom.dir/variable_bloom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

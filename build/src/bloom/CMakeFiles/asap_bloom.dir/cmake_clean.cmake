@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_bloom.dir/bloom.cpp.o"
+  "CMakeFiles/asap_bloom.dir/bloom.cpp.o.d"
+  "CMakeFiles/asap_bloom.dir/variable_bloom.cpp.o"
+  "CMakeFiles/asap_bloom.dir/variable_bloom.cpp.o.d"
+  "libasap_bloom.a"
+  "libasap_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_harness.dir/config.cpp.o"
+  "CMakeFiles/asap_harness.dir/config.cpp.o.d"
+  "CMakeFiles/asap_harness.dir/replay.cpp.o"
+  "CMakeFiles/asap_harness.dir/replay.cpp.o.d"
+  "CMakeFiles/asap_harness.dir/world.cpp.o"
+  "CMakeFiles/asap_harness.dir/world.cpp.o.d"
+  "libasap_harness.a"
+  "libasap_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

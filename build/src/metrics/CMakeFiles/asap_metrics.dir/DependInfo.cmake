@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/load_series.cpp" "src/metrics/CMakeFiles/asap_metrics.dir/load_series.cpp.o" "gcc" "src/metrics/CMakeFiles/asap_metrics.dir/load_series.cpp.o.d"
+  "/root/repo/src/metrics/search_stats.cpp" "src/metrics/CMakeFiles/asap_metrics.dir/search_stats.cpp.o" "gcc" "src/metrics/CMakeFiles/asap_metrics.dir/search_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_metrics.dir/load_series.cpp.o"
+  "CMakeFiles/asap_metrics.dir/load_series.cpp.o.d"
+  "CMakeFiles/asap_metrics.dir/search_stats.cpp.o"
+  "CMakeFiles/asap_metrics.dir/search_stats.cpp.o.d"
+  "libasap_metrics.a"
+  "libasap_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_net.dir/transit_stub.cpp.o"
+  "CMakeFiles/asap_net.dir/transit_stub.cpp.o.d"
+  "libasap_net.a"
+  "libasap_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_overlay.dir/graph_metrics.cpp.o"
+  "CMakeFiles/asap_overlay.dir/graph_metrics.cpp.o.d"
+  "CMakeFiles/asap_overlay.dir/overlay.cpp.o"
+  "CMakeFiles/asap_overlay.dir/overlay.cpp.o.d"
+  "libasap_overlay.a"
+  "libasap_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_search.dir/baseline.cpp.o"
+  "CMakeFiles/asap_search.dir/baseline.cpp.o.d"
+  "CMakeFiles/asap_search.dir/gossip.cpp.o"
+  "CMakeFiles/asap_search.dir/gossip.cpp.o.d"
+  "libasap_search.a"
+  "libasap_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

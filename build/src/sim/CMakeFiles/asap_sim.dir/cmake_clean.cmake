@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_sim.dir/bandwidth.cpp.o"
+  "CMakeFiles/asap_sim.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/asap_sim.dir/engine.cpp.o"
+  "CMakeFiles/asap_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/asap_sim.dir/liveness.cpp.o"
+  "CMakeFiles/asap_sim.dir/liveness.cpp.o.d"
+  "libasap_sim.a"
+  "libasap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_trace.dir/classes.cpp.o"
+  "CMakeFiles/asap_trace.dir/classes.cpp.o.d"
+  "CMakeFiles/asap_trace.dir/content_model.cpp.o"
+  "CMakeFiles/asap_trace.dir/content_model.cpp.o.d"
+  "CMakeFiles/asap_trace.dir/live_content.cpp.o"
+  "CMakeFiles/asap_trace.dir/live_content.cpp.o.d"
+  "CMakeFiles/asap_trace.dir/trace_gen.cpp.o"
+  "CMakeFiles/asap_trace.dir/trace_gen.cpp.o.d"
+  "CMakeFiles/asap_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/asap_trace.dir/trace_io.cpp.o.d"
+  "libasap_trace.a"
+  "libasap_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

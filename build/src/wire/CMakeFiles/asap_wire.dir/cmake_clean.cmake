@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_wire.dir/messages.cpp.o"
+  "CMakeFiles/asap_wire.dir/messages.cpp.o.d"
+  "libasap_wire.a"
+  "libasap_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_tests.dir/asap/ad_cache_test.cpp.o"
+  "CMakeFiles/asap_tests.dir/asap/ad_cache_test.cpp.o.d"
+  "CMakeFiles/asap_tests.dir/asap/ad_test.cpp.o"
+  "CMakeFiles/asap_tests.dir/asap/ad_test.cpp.o.d"
+  "CMakeFiles/asap_tests.dir/asap/advertiser_test.cpp.o"
+  "CMakeFiles/asap_tests.dir/asap/advertiser_test.cpp.o.d"
+  "CMakeFiles/asap_tests.dir/asap/asap_protocol_test.cpp.o"
+  "CMakeFiles/asap_tests.dir/asap/asap_protocol_test.cpp.o.d"
+  "CMakeFiles/asap_tests.dir/asap/scheme_param_test.cpp.o"
+  "CMakeFiles/asap_tests.dir/asap/scheme_param_test.cpp.o.d"
+  "CMakeFiles/asap_tests.dir/asap/superpeer_test.cpp.o"
+  "CMakeFiles/asap_tests.dir/asap/superpeer_test.cpp.o.d"
+  "asap_tests"
+  "asap_tests.pdb"
+  "asap_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics/metrics_test.cpp" "tests/CMakeFiles/metrics_tests.dir/metrics/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/metrics_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/asap_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/asap/CMakeFiles/asap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/asap_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/asap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/asap_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/asap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/asap_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/asap_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/asap_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

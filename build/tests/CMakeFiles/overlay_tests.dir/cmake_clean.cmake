@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_tests.dir/overlay/graph_metrics_test.cpp.o"
+  "CMakeFiles/overlay_tests.dir/overlay/graph_metrics_test.cpp.o.d"
+  "CMakeFiles/overlay_tests.dir/overlay/overlay_test.cpp.o"
+  "CMakeFiles/overlay_tests.dir/overlay/overlay_test.cpp.o.d"
+  "overlay_tests"
+  "overlay_tests.pdb"
+  "overlay_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

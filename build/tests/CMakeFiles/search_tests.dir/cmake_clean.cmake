@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_tests.dir/search/baseline_test.cpp.o"
+  "CMakeFiles/search_tests.dir/search/baseline_test.cpp.o.d"
+  "CMakeFiles/search_tests.dir/search/biased_walk_test.cpp.o"
+  "CMakeFiles/search_tests.dir/search/biased_walk_test.cpp.o.d"
+  "CMakeFiles/search_tests.dir/search/gossip_test.cpp.o"
+  "CMakeFiles/search_tests.dir/search/gossip_test.cpp.o.d"
+  "CMakeFiles/search_tests.dir/search/propagation_test.cpp.o"
+  "CMakeFiles/search_tests.dir/search/propagation_test.cpp.o.d"
+  "search_tests"
+  "search_tests.pdb"
+  "search_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

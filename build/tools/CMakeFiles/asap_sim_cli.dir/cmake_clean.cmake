@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_sim_cli.dir/asap_sim.cpp.o"
+  "CMakeFiles/asap_sim_cli.dir/asap_sim.cpp.o.d"
+  "asap_sim"
+  "asap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
