@@ -116,16 +116,23 @@ void AsapProtocol::deliver_ad(NodeId src, AdKind kind, Seconds when,
         if (!had && params_.refresh_pull) {
           // Extension: pull the full ad straight from the source.
           const Seconds done = t + 2.0 * ctx_.latency(v, src);
+          ASAP_AUDIT_HOOK(ctx_.auditor,
+                          on_send(sim::Traffic::kFullAd,
+                                  ctx_.sizes.confirm_request));
           ctx_.ledger.deposit(t, sim::Traffic::kFullAd,
                               ctx_.sizes.confirm_request);
-          ctx_.ledger.deposit(done, sim::Traffic::kFullAd,
-                              full_ad_bytes(*payload, ctx_.sizes));
+          const Bytes pull_bytes = full_ad_bytes(*payload, ctx_.sizes);
+          ASAP_AUDIT_HOOK(ctx_.auditor,
+                          on_send(sim::Traffic::kFullAd, pull_bytes));
+          ctx_.ledger.deposit(done, sim::Traffic::kFullAd, pull_bytes);
           cache.put(payload, done, ctx_.rng);
           ++counters_.refresh_pulls;
         }
         break;
       }
     }
+    ASAP_AUDIT_HOOK(ctx_.auditor,
+                    on_cache_occupancy(cache.size(), params_.cache_capacity));
     return search::VisitAction::kContinue;
   };
 
@@ -312,6 +319,9 @@ Seconds AsapProtocol::confirm_round(NodeId p, Seconds start,
     ++counters_.confirm_requests;
     const Seconds lat = ctx_.latency(p, s);
     const Seconds t_req = start + lat;
+    ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_request());
+    ASAP_AUDIT_HOOK(ctx_.auditor, on_send(sim::Traffic::kConfirm,
+                                          ctx_.sizes.confirm_request));
     ctx_.ledger.deposit(t_req, sim::Traffic::kConfirm,
                         ctx_.sizes.confirm_request);
     rec.cost_bytes += ctx_.sizes.confirm_request;
@@ -319,12 +329,16 @@ Seconds AsapProtocol::confirm_round(NodeId p, Seconds start,
     if (!ctx_.online(s)) {
       // Connection failure: the requester learns after ~1 RTT and drops
       // the dead entry from its cache.
+      ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_timeout());
       resolve = std::max(resolve, start + 2.0 * lat);
       caches_[p].erase(s);
       dead_sources.push_back(s);
       continue;
     }
     const Seconds t_reply = t_req + lat;
+    ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_reply());
+    ASAP_AUDIT_HOOK(ctx_.auditor, on_send(sim::Traffic::kConfirm,
+                                          ctx_.sizes.confirm_reply));
     ctx_.ledger.deposit(t_reply, sim::Traffic::kConfirm,
                         ctx_.sizes.confirm_reply);
     rec.cost_bytes += ctx_.sizes.confirm_reply;
@@ -364,6 +378,8 @@ Seconds AsapProtocol::ads_request_phase(
           ctx_.sizes.ads_reply_entry_overhead + full_ad_bytes(*ad, ctx_.sizes);
     }
     const Seconds t_back = t + ctx_.latency(v, p);
+    ASAP_AUDIT_HOOK(ctx_.auditor,
+                    on_send(sim::Traffic::kAdsRequest, reply_bytes));
     ctx_.ledger.deposit(t_back, sim::Traffic::kAdsRequest, reply_bytes);
     if (rec != nullptr) {
       rec->cost_bytes += reply_bytes;
@@ -377,6 +393,9 @@ Seconds AsapProtocol::ads_request_phase(
         continue;  // the requester just saw this source dead
       }
       caches_[p].put(ad, t_back, ctx_.rng);
+      ASAP_AUDIT_HOOK(ctx_.auditor,
+                      on_cache_occupancy(caches_[p].size(),
+                                         params_.cache_capacity));
       if (!terms.empty() && ad->filter.contains_all(terms)) {
         matches_out.push_back(ad);
       }

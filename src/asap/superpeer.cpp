@@ -165,6 +165,7 @@ void SuperpeerAsap::publish(NodeId source, AdKind kind, Seconds when,
     proxy_[source] = proxy;
     if (proxy == kInvalidNode) return;  // no live superpeer reachable
     start = when + ctx_.latency(source, proxy);
+    ASAP_AUDIT_HOOK(ctx_.auditor, on_send(cat, msg_size));
     ctx_.ledger.deposit(start, cat, msg_size);
     ++counters_.proxy_uploads;
     entry = proxy;
@@ -183,6 +184,8 @@ void SuperpeerAsap::publish(NodeId source, AdKind kind, Seconds when,
         cache.on_refresh(source, payload->version, t);
         break;
     }
+    ASAP_AUDIT_HOOK(ctx_.auditor,
+                    on_cache_occupancy(cache.size(), params_.cache_capacity));
   };
   // The entry superpeer caches unconditionally (it proxies the source).
   apply_at(entry, start);
@@ -343,15 +346,22 @@ Seconds SuperpeerAsap::confirm_round(
     ++counters_.confirm_requests;
     const Seconds lat = ctx_.latency(requester, s);
     const Seconds t_req = start + lat;
+    ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_request());
+    ASAP_AUDIT_HOOK(ctx_.auditor, on_send(sim::Traffic::kConfirm,
+                                          ctx_.sizes.confirm_request));
     ctx_.ledger.deposit(t_req, sim::Traffic::kConfirm,
                         ctx_.sizes.confirm_request);
     rec.cost_bytes += ctx_.sizes.confirm_request;
     ++rec.messages;
     if (!ctx_.online(s)) {
+      ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_timeout());
       resolve = std::max(resolve, start + 2.0 * lat);
       continue;  // the proxy's cache entry ages out via refresh gaps
     }
     const Seconds t_reply = t_req + lat;
+    ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_reply());
+    ASAP_AUDIT_HOOK(ctx_.auditor, on_send(sim::Traffic::kConfirm,
+                                          ctx_.sizes.confirm_reply));
     ctx_.ledger.deposit(t_reply, sim::Traffic::kConfirm,
                         ctx_.sizes.confirm_reply);
     rec.cost_bytes += ctx_.sizes.confirm_reply;
@@ -384,6 +394,8 @@ Seconds SuperpeerAsap::ads_request_phase(
                      full_ad_bytes(*ad, ctx_.sizes);
     }
     const Seconds t_back = t + ctx_.latency(v, sp);
+    ASAP_AUDIT_HOOK(ctx_.auditor,
+                    on_send(sim::Traffic::kAdsRequest, reply_bytes));
     ctx_.ledger.deposit(t_back, sim::Traffic::kAdsRequest, reply_bytes);
     if (rec != nullptr) {
       rec->cost_bytes += reply_bytes;
@@ -392,6 +404,9 @@ Seconds SuperpeerAsap::ads_request_phase(
     done = std::max(done, t_back);
     for (auto& ad : reply_scratch_) {
       caches_[sp].put(ad, t_back, ctx_.rng);
+      ASAP_AUDIT_HOOK(ctx_.auditor,
+                      on_cache_occupancy(caches_[sp].size(),
+                                         params_.cache_capacity));
       if (!terms.empty() && ad->filter.contains_all(terms)) {
         matches_out.push_back(ad);
       }
@@ -438,6 +453,8 @@ void SuperpeerAsap::run_query(const trace::TraceEvent& ev) {
     }
     sp = proxy;
     at_proxy = ev.time + ctx_.latency(r, sp);
+    ASAP_AUDIT_HOOK(ctx_.auditor,
+                    on_send(sim::Traffic::kConfirm, ctx_.sizes.query));
     ctx_.ledger.deposit(at_proxy, sim::Traffic::kConfirm, ctx_.sizes.query);
     rec.cost_bytes += ctx_.sizes.query;
     ++rec.messages;
@@ -450,6 +467,8 @@ void SuperpeerAsap::run_query(const trace::TraceEvent& ev) {
   Seconds confirm_start = at_proxy;
   if (sp != r) {
     confirm_start = at_proxy + ctx_.latency(sp, r);
+    ASAP_AUDIT_HOOK(ctx_.auditor,
+                    on_send(sim::Traffic::kConfirm, ctx_.sizes.response));
     ctx_.ledger.deposit(confirm_start, sim::Traffic::kConfirm,
                         ctx_.sizes.response);
     rec.cost_bytes += ctx_.sizes.response;
@@ -468,6 +487,8 @@ void SuperpeerAsap::run_query(const trace::TraceEvent& ev) {
       Seconds fetch_start = done;
       if (sp != r) {
         fetch_start = done + ctx_.latency(sp, r);
+        ASAP_AUDIT_HOOK(ctx_.auditor,
+                        on_send(sim::Traffic::kConfirm, ctx_.sizes.response));
         ctx_.ledger.deposit(fetch_start, sim::Traffic::kConfirm,
                             ctx_.sizes.response);
         rec.cost_bytes += ctx_.sizes.response;

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -149,8 +150,15 @@ CountingBloomFilter::CountingBloomFilter(BloomParams params)
     : params_(params), counters_(params.bits, 0), projection_(params) {}
 
 void CountingBloomFilter::insert(std::uint64_t key) {
+  constexpr auto kMax = std::numeric_limits<std::uint16_t>::max();
   projection_.positions(key, scratch_);
   for (auto pos : scratch_) {
+    // Saturate instead of wrapping: a wrapped counter would reach 0 with
+    // the projection bit still set, and the next insert would *clear* the
+    // bit. A saturated counter merely loses removability for that bit,
+    // which keeps the filter a conservative over-approximation.
+    ASAP_DCHECK(counters_[pos] < kMax);
+    if (counters_[pos] == kMax) continue;
     if (counters_[pos]++ == 0) projection_.toggle(pos);
   }
 }

@@ -90,6 +90,10 @@ class CountingBloomFilter {
 
   const BloomParams& params() const { return params_; }
 
+  /// Increments the key's counters; counters saturate at 65535 instead of
+  /// wrapping (overflowing a counter is a caller bug, flagged in debug
+  /// builds; release builds pin the counter at the maximum so the filter
+  /// stays a conservative over-approximation).
   void insert(std::uint64_t key);
   /// Decrements the key's counters; counters saturate at 0 (removing a key
   /// that was never inserted is a caller bug, flagged in debug builds).

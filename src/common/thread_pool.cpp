@@ -14,13 +14,17 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mu_);
+    if (stop_) return;
     stop_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
 }
 
 void ThreadPool::worker_loop() {
@@ -44,7 +48,18 @@ void ThreadPool::parallel_for(std::size_t count,
   for (std::size_t i = 0; i < count; ++i) {
     futs.push_back(submit([&fn, i] { fn(i); }));
   }
-  for (auto& f : futs) f.get();
+  // Wait for *every* task before rethrowing: tasks capture `fn` by
+  // reference, so returning early while some still run would leave them
+  // with a dangling reference.
+  std::exception_ptr first;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace asap

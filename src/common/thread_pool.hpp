@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace asap {
 
 class ThreadPool {
@@ -27,7 +29,13 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Drains queued tasks, then joins all workers. Idempotent; called by
+  /// the destructor. After shutdown, submit() throws.
+  void shutdown();
+
   /// Enqueue a task; the returned future rethrows any task exception.
+  /// Throws InvariantError after shutdown() — a task enqueued then would
+  /// never run and its future would never become ready.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -36,6 +44,9 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard lock(mu_);
+      if (stop_) {
+        throw InvariantError("ThreadPool::submit after shutdown");
+      }
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -43,7 +54,9 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, count) across the pool and wait for all.
-  /// Exceptions from tasks are rethrown (first one wins).
+  /// The first task exception (in index order) is rethrown — but only
+  /// after every task has finished, so no task still references `fn`
+  /// when this returns or throws.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 

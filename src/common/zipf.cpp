@@ -55,25 +55,29 @@ std::vector<std::uint32_t> powerlaw_degree_sequence(std::uint32_t count,
   // mean (the experiments care about mean degree, e.g. 5.0 or 3.35).
   for (auto& d : deg) d = dmin + zipf.sample(rng) - 1;
 
-  auto mean_of = [&] {
-    const auto sum = std::accumulate(deg.begin(), deg.end(), 0ULL);
-    return static_cast<double>(sum) / static_cast<double>(count);
-  };
+  // Maintained incrementally: recomputing the O(n) sum on each of the up
+  // to 200k nudge passes made this loop O(n^2) for large worlds.
+  auto sum = std::accumulate(deg.begin(), deg.end(), 0ULL);
 
-  for (int pass = 0; pass < 200'000; ++pass) {
-    const double m = mean_of();
+  // The sum must move by O(n) to shift the mean, so the pass cap scales
+  // with n (40n matches the old fixed 200k cap at the 5k-node scale —
+  // affordable now that each pass is O(1)).
+  const std::uint64_t max_passes = 40ULL * count;
+  for (std::uint64_t pass = 0; pass < max_passes; ++pass) {
+    const double m = static_cast<double>(sum) / static_cast<double>(count);
     if (std::abs(m - target_mean) * static_cast<double>(count) < 1.0) break;
     auto& d = deg[rng.below(count)];
     if (m > target_mean && d > dmin) {
       --d;
+      --sum;
     } else if (m < target_mean && d < dmax) {
       ++d;
+      ++sum;
     }
   }
 
   // Even total so a pairing-model construction can terminate cleanly.
-  auto total = std::accumulate(deg.begin(), deg.end(), 0ULL);
-  if (total % 2 != 0) {
+  if (sum % 2 != 0) {
     for (auto& d : deg) {
       if (d < dmax) {
         ++d;

@@ -101,6 +101,14 @@ RunResult run_experiment(const World& world, AlgoKind kind,
                "message loss probability out of [0,1)");
   ctx.message_loss = opts.message_loss;
 
+  std::unique_ptr<sim::SimAuditor> auditor;
+  if (opts.audit) {
+    auditor = std::make_unique<sim::SimAuditor>();
+    engine.set_auditor(auditor.get());
+    ledger.set_auditor(auditor.get());
+    ctx.auditor = auditor.get();
+  }
+
   std::unique_ptr<search::SearchAlgorithm> algo;
   if (is_asap(kind)) {
     const auto params =
@@ -153,6 +161,13 @@ RunResult run_experiment(const World& world, AlgoKind kind,
   res.measure_start = warmup;
   res.measure_end = warmup + world.trace.horizon;
   res.engine_events = engine.executed();
+  res.digest = sim::combine_digests(engine.digest(), ledger.digest());
+  if (auditor != nullptr) {
+    auditor->finalize(ledger);
+    res.audited = true;
+    res.audit_violations = auditor->summary().violations;
+    res.audit_messages = auditor->violations();
+  }
 
   const auto live_series = liveness.live_count_series(horizon);
   const auto cats = load_categories(kind);

@@ -12,6 +12,7 @@
 #include "metrics/load_series.hpp"
 #include "metrics/search_stats.hpp"
 #include "search/baseline.hpp"
+#include "sim/audit.hpp"
 #include "sim/bandwidth.hpp"
 
 namespace asap::harness {
@@ -47,6 +48,9 @@ struct RunOptions {
   std::uint64_t seed_salt = 0;
   /// Failure injection: probability any overlay transmission is lost.
   double message_loss = 0.0;
+  /// Run-time invariant auditing (sim/audit.hpp). Defaults to on when the
+  /// build was configured with -DASAP_AUDIT=ON.
+  bool audit = sim::kAuditDefaultOn;
 };
 
 struct RunResult {
@@ -61,6 +65,13 @@ struct RunResult {
   Seconds measure_end = 0.0;
   std::uint64_t engine_events = 0;
   double wall_seconds = 0.0;
+  /// FNV-1a digest of the executed event stream and every ledger deposit
+  /// (sim/audit.hpp); bit-identical across runs of the same World + seed.
+  std::uint64_t digest = 0;
+  /// Invariant audit outcome (only populated when opts.audit was set).
+  bool audited = false;
+  std::uint64_t audit_violations = 0;
+  std::vector<std::string> audit_messages;  // first few violations
 };
 
 /// Default parameters for an algorithm under the given preset.

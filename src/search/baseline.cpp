@@ -69,6 +69,8 @@ void BaselineSearch::run_query(const trace::TraceEvent& event) {
     ++hits;
     // The hit node responds directly to the requester.
     const Seconds back = t + ctx_.latency(node, origin);
+    ASAP_AUDIT_HOOK(ctx_.auditor,
+                    on_send(sim::Traffic::kResponse, ctx_.sizes.response));
     ctx_.ledger.deposit(back, sim::Traffic::kResponse, ctx_.sizes.response);
     best_response = std::min(best_response, back);
     // A satisfied walker terminates; flooding ignores the hint.

@@ -70,6 +70,10 @@ struct Ctx {
   /// never sees it). 0 by default; robustness benches sweep it.
   double message_loss = 0.0;
 
+  /// Optional run-time invariant auditor (sim/audit.hpp). Not owned; when
+  /// null the kernels' audit hooks reduce to one predictable branch.
+  sim::SimAuditor* auditor = nullptr;
+
   /// Rolls the loss dice for one transmission.
   bool transmission_lost() {
     return message_loss > 0.0 && rng.chance(message_loss);

@@ -40,11 +40,15 @@ void GossipIndexSearch::publish(NodeId n, Seconds when) {
 
   // Deposit the epidemic traffic in per-second chunks across the
   // replication window (identical totals, far fewer ledger operations
-  // than one deposit per transmission).
+  // than one deposit per transmission). The last chunk carries the
+  // division remainder so the deposited total matches `total` exactly.
+  ASAP_AUDIT_HOOK(ctx_.auditor, on_send(sim::Traffic::kFullAd, total));
   const auto chunks = std::max(1u, static_cast<std::uint32_t>(delay));
   for (std::uint32_t c = 0; c < chunks; ++c) {
+    const Bytes part =
+        total / chunks + (c + 1 == chunks ? total % chunks : 0);
     ctx_.ledger.deposit(when + delay * (c + 0.5) / chunks,
-                        sim::Traffic::kFullAd, total / chunks);
+                        sim::Traffic::kFullAd, part);
   }
 
   auto [it, inserted] = directory_.try_emplace(n);
@@ -122,12 +126,21 @@ void GossipIndexSearch::run_query(const trace::TraceEvent& ev) {
     ++sent;
     const Seconds lat = ctx_.latency(p, src);
     const Seconds t_req = ev.time + lat;
+    ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_request());
+    ASAP_AUDIT_HOOK(ctx_.auditor, on_send(sim::Traffic::kConfirm,
+                                          ctx_.sizes.confirm_request));
     ctx_.ledger.deposit(t_req, sim::Traffic::kConfirm,
                         ctx_.sizes.confirm_request);
     rec.cost_bytes += ctx_.sizes.confirm_request;
     ++rec.messages;
-    if (!ctx_.online(src)) continue;
+    if (!ctx_.online(src)) {
+      ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_timeout());
+      continue;
+    }
     const Seconds t_reply = t_req + lat;
+    ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_reply());
+    ASAP_AUDIT_HOOK(ctx_.auditor, on_send(sim::Traffic::kConfirm,
+                                          ctx_.sizes.confirm_reply));
     ctx_.ledger.deposit(t_reply, sim::Traffic::kConfirm,
                         ctx_.sizes.confirm_reply);
     rec.cost_bytes += ctx_.sizes.confirm_reply;

@@ -75,6 +75,7 @@ PropagationStats flood(Ctx& ctx, NodeId origin, Seconds start,
       if (nb == prev || !ctx.online(nb)) continue;
       ++stats.messages;
       stats.bytes += msg_size;
+      ASAP_AUDIT_HOOK(ctx.auditor, on_send(cat, msg_size));
       if (ctx.transmission_lost()) {
         // The sender paid for the transmission; nothing arrives.
         ctx.ledger.deposit(t, cat, msg_size);
@@ -92,8 +93,18 @@ PropagationStats flood(Ctx& ctx, NodeId origin, Seconds start,
     if (ctx.visited(m.node)) continue;  // duplicate: paid for, dropped
     ctx.mark_visited(m.node);
     ++stats.unique_nodes;
+    ASAP_AUDIT_HOOK(ctx.auditor, on_delivery(ctx.online(m.node)));
     const VisitAction action = visit(m.node, m.time, ttl - m.ttl);
-    if (action == VisitAction::kStopAll) break;
+    if (action == VisitAction::kStopAll) {
+      // In-flight copies were already counted as sent and still arrive at
+      // their receivers; deposit them so byte conservation holds instead
+      // of silently dropping paid-for traffic.
+      while (!pq.empty()) {
+        ctx.ledger.deposit(pq.top().time, cat, msg_size);
+        pq.pop();
+      }
+      break;
+    }
     if (m.ttl > 0) send_to_neighbors(m.node, m.from, m.time, m.ttl - 1);
   }
   return stats;
@@ -131,9 +142,11 @@ PropagationStats random_walk(Ctx& ctx, NodeId origin, Seconds start,
       t += ctx.latency(cur, next);
       ++stats.messages;
       stats.bytes += msg_size;
+      ASAP_AUDIT_HOOK(ctx.auditor, on_send(cat, msg_size));
       ctx.ledger.deposit(t, cat, msg_size);
       if (ctx.transmission_lost()) continue;  // hop lost: budget spent,
                                               // walker stays and retries
+      ASAP_AUDIT_HOOK(ctx.auditor, on_delivery(ctx.online(next)));
       const VisitAction action =
           visit(next, t, static_cast<std::uint32_t>(hop));
       if (action == VisitAction::kStopAll) return stats;
@@ -198,9 +211,11 @@ PropagationStats biased_walk(Ctx& ctx, NodeId origin, Seconds start,
       t += ctx.latency(cur, next);
       ++stats.messages;
       stats.bytes += msg_size;
+      ASAP_AUDIT_HOOK(ctx.auditor, on_send(cat, msg_size));
       ctx.ledger.deposit(t, cat, msg_size);
       if (ctx.transmission_lost()) continue;  // hop lost: budget spent,
                                               // walker stays and retries
+      ASAP_AUDIT_HOOK(ctx.auditor, on_delivery(ctx.online(next)));
       const VisitAction action =
           visit(next, t, static_cast<std::uint32_t>(hop));
       if (action == VisitAction::kStopAll) return stats;

@@ -1,0 +1,107 @@
+#include "sim/audit.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sim/bandwidth.hpp"
+
+namespace asap::sim {
+
+static_assert(kTrafficCount <= SimAuditor::kMaxCategories,
+              "grow SimAuditor::kMaxCategories");
+
+namespace {
+// Violations past this many keep counting but stop storing messages.
+constexpr std::size_t kMaxStoredViolations = 32;
+}  // namespace
+
+void SimAuditor::violate(std::string msg) {
+  ++summary_.violations;
+  if (violations_.size() < kMaxStoredViolations) {
+    violations_.push_back(std::move(msg));
+  }
+}
+
+void SimAuditor::on_event(Seconds t) {
+  ++summary_.events;
+  if (have_time_ && t < last_time_) {
+    std::ostringstream os;
+    os << "virtual time moved backwards: " << t << " after " << last_time_;
+    violate(os.str());
+  }
+  have_time_ = true;
+  last_time_ = t;
+}
+
+void SimAuditor::on_deposit(Seconds t, Traffic category, Bytes bytes) {
+  (void)t;  // deposits may land at any virtual time (in-flight arrivals)
+  ++summary_.deposits;
+  const auto c = static_cast<std::size_t>(category);
+  if (c >= kTrafficCount) {
+    violate("deposit with invalid traffic category");
+    return;
+  }
+  deposited_bytes_[c] += bytes;
+}
+
+void SimAuditor::on_send(Traffic category, Bytes bytes) {
+  ++summary_.sends;
+  const auto c = static_cast<std::size_t>(category);
+  if (c >= kTrafficCount) {
+    violate("send with invalid traffic category");
+    return;
+  }
+  sent_bytes_[c] += bytes;
+}
+
+void SimAuditor::on_delivery(bool online) {
+  ++summary_.deliveries;
+  if (!online) violate("message delivered to an offline node");
+}
+
+void SimAuditor::on_confirm_request() { ++summary_.confirm_requests; }
+void SimAuditor::on_confirm_reply() { ++summary_.confirm_replies; }
+void SimAuditor::on_confirm_timeout() { ++summary_.confirm_timeouts; }
+
+void SimAuditor::on_cache_occupancy(std::size_t size,
+                                    std::uint32_t capacity) {
+  if (size > capacity) {
+    std::ostringstream os;
+    os << "ad cache holds " << size << " entries, capacity " << capacity;
+    violate(os.str());
+  }
+}
+
+void SimAuditor::finalize(const BandwidthLedger& ledger) {
+  ASAP_CHECK(!finalized_);
+  finalized_ = true;
+
+  for (std::size_t c = 0; c < kTrafficCount; ++c) {
+    const auto cat = static_cast<Traffic>(c);
+    const Bytes ledger_total = ledger.total(cat);
+    if (sent_bytes_[c] != ledger_total) {
+      std::ostringstream os;
+      os << traffic_name(cat) << ": sent " << sent_bytes_[c]
+         << " B but ledger holds " << ledger_total << " B";
+      violate(os.str());
+    }
+    if (deposited_bytes_[c] != ledger_total) {
+      std::ostringstream os;
+      os << traffic_name(cat) << ": observed deposits " << deposited_bytes_[c]
+         << " B but ledger total is " << ledger_total
+         << " B (ledger accounting drift)";
+      violate(os.str());
+    }
+  }
+
+  if (summary_.confirm_requests !=
+      summary_.confirm_replies + summary_.confirm_timeouts) {
+    std::ostringstream os;
+    os << "confirm round imbalance: " << summary_.confirm_requests
+       << " requests vs " << summary_.confirm_replies << " replies + "
+       << summary_.confirm_timeouts << " dead-source records";
+    violate(os.str());
+  }
+}
+
+}  // namespace asap::sim

@@ -1,0 +1,148 @@
+// Run-time invariant auditing and deterministic run digests.
+//
+// The paper's quantitative claims (Figs 4-10) rest entirely on the
+// simulator's bookkeeping, so the harness can cross-check it while it
+// runs (DESIGN.md §8):
+//
+//   * SimAuditor — an opt-in observer wired into the Engine, the
+//     BandwidthLedger and the protocols. It verifies conservation
+//     invariants: virtual time never moves backwards; every byte
+//     recorded at a logical send site is eventually deposited into the
+//     ledger (and nothing is deposited twice); every content
+//     confirmation request is balanced by a reply or an explicit
+//     dead-source record; ad caches never exceed their configured
+//     capacity; no message is delivered to a node the liveness model
+//     says is offline. Hooks go through the ASAP_AUDIT_HOOK macro — a
+//     null-pointer test when auditing is off, so the paper-scale hot
+//     paths keep their speed.
+//
+//   * Fnv64 — a 64-bit FNV-1a accumulator. The Engine folds every
+//     executed event's (time, seq) into one digest and the ledger folds
+//     every deposit's (time, category, bytes) into another; the harness
+//     combines both into RunResult::digest. Two runs of the same World
+//     and seed must produce bit-identical digests, which turns
+//     nondeterminism regressions (unordered-container iteration, RNG
+//     misuse, cross-thread ordering) into plain test failures.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace asap::sim {
+
+enum class Traffic : std::uint8_t;  // bandwidth.hpp
+class BandwidthLedger;
+
+/// 64-bit FNV-1a over a stream of 64-bit words.
+class Fnv64 {
+ public:
+  static constexpr std::uint64_t kOffset = 14695981039346656037ULL;
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+  void absorb(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ = (h_ ^ (v & 0xFF)) * kPrime;
+      v >>= 8;
+    }
+  }
+  void absorb(Seconds t) { absorb(std::bit_cast<std::uint64_t>(t)); }
+
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kOffset;
+};
+
+/// Combines the engine and ledger digests into the run digest.
+inline std::uint64_t combine_digests(std::uint64_t engine_digest,
+                                     std::uint64_t ledger_digest) {
+  Fnv64 d;
+  d.absorb(engine_digest);
+  d.absorb(ledger_digest);
+  return d.value();
+}
+
+/// Opt-in run-time invariant checker (see file comment). One auditor per
+/// simulation run; all hooks are cheap counters, so an audited run stays
+/// within a few percent of an unaudited one.
+class SimAuditor {
+ public:
+  // Upper bound on traffic categories; checked against kTrafficCount in
+  // audit.cpp (bandwidth.hpp is only forward-declared here).
+  static constexpr std::size_t kMaxCategories = 16;
+
+  struct Summary {
+    std::uint64_t events = 0;            // engine events executed
+    std::uint64_t sends = 0;             // logical transmissions recorded
+    std::uint64_t deposits = 0;          // ledger deposits observed
+    std::uint64_t deliveries = 0;        // visit-callback deliveries
+    std::uint64_t confirm_requests = 0;
+    std::uint64_t confirm_replies = 0;
+    std::uint64_t confirm_timeouts = 0;  // dead-source records
+    std::uint64_t violations = 0;
+  };
+
+  // --- Engine hooks ------------------------------------------------------
+  /// Called for every executed event, before the clock advances to `t`.
+  void on_event(Seconds t);
+
+  // --- BandwidthLedger hooks ---------------------------------------------
+  void on_deposit(Seconds t, Traffic category, Bytes bytes);
+
+  // --- Protocol / kernel hooks -------------------------------------------
+  /// One logical transmission of `bytes` in `category`. Every send must be
+  /// matched by exactly one ledger deposit of the same size.
+  void on_send(Traffic category, Bytes bytes);
+  /// A message handed to a node's visit callback; `online` is the liveness
+  /// model's verdict for that node at delivery time.
+  void on_delivery(bool online);
+  void on_confirm_request();
+  void on_confirm_reply();
+  /// The requester observed the confirm target dead (explicit loss record).
+  void on_confirm_timeout();
+  /// Ad-cache occupancy right after an insert.
+  void on_cache_occupancy(std::size_t size, std::uint32_t capacity);
+
+  /// Cross-checks the aggregate invariants (send/deposit conservation per
+  /// category against the ledger's own totals, confirm-round balance).
+  /// Call exactly once, after the engine drains.
+  void finalize(const BandwidthLedger& ledger);
+
+  bool ok() const { return summary_.violations == 0; }
+  const Summary& summary() const { return summary_; }
+  /// First few violation messages (each counted in summary().violations).
+  const std::vector<std::string>& violations() const { return violations_; }
+
+ private:
+  void violate(std::string msg);
+
+  Summary summary_{};
+  bool finalized_ = false;
+  bool have_time_ = false;
+  Seconds last_time_ = 0.0;
+  std::array<Bytes, kMaxCategories> sent_bytes_{};
+  std::array<Bytes, kMaxCategories> deposited_bytes_{};
+  std::vector<std::string> violations_;
+};
+
+/// Expands to a null-checked hook invocation: a single predictable branch
+/// when `aud` is null (auditing off), the real check when it is set.
+#define ASAP_AUDIT_HOOK(aud, call) \
+  do {                             \
+    if (aud) (aud)->call;          \
+  } while (0)
+
+/// Build-time switch (CMake option ASAP_AUDIT): when ON, harness runs
+/// audit by default, so the whole tier-1 suite exercises the invariants.
+#ifdef ASAP_AUDIT_FORCE_ON
+inline constexpr bool kAuditDefaultOn = true;
+#else
+inline constexpr bool kAuditDefaultOn = false;
+#endif
+
+}  // namespace asap::sim

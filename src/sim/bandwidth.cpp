@@ -36,14 +36,27 @@ BandwidthLedger::BandwidthLedger(Seconds horizon) {
 void BandwidthLedger::deposit(Seconds t, Traffic category, Bytes bytes) {
   ASAP_DCHECK(category != Traffic::kCount);
   const auto c = static_cast<std::size_t>(category);
-  auto bucket = t <= 0.0 ? 0u : static_cast<std::uint32_t>(t);
-  bucket = std::min(bucket, num_buckets_ - 1);
-  per_category_[c][bucket] += bytes;
   totals_[c] += bytes;
+  digest_.absorb(t);
+  digest_.absorb((static_cast<std::uint64_t>(c) << 56) | bytes);
+  ASAP_AUDIT_HOOK(auditor_, on_deposit(t, category, bytes));
+  // Past-horizon deposits go to the overflow cell, not the last bucket —
+  // piling them into one second would fake a load spike in the series.
+  // (The >= comparison also dodges the UB of casting a huge double.)
+  if (t >= static_cast<double>(num_buckets_)) {
+    overflow_[c] += bytes;
+    return;
+  }
+  const auto bucket = t <= 0.0 ? 0u : static_cast<std::uint32_t>(t);
+  per_category_[c][bucket] += bytes;
 }
 
 Bytes BandwidthLedger::total(Traffic category) const {
   return totals_[static_cast<std::size_t>(category)];
+}
+
+Bytes BandwidthLedger::overflow(Traffic category) const {
+  return overflow_[static_cast<std::size_t>(category)];
 }
 
 Bytes BandwidthLedger::total(std::span<const Traffic> categories) const {

@@ -13,6 +13,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "sim/audit.hpp"
 
 namespace asap::sim {
 
@@ -35,8 +36,12 @@ const char* traffic_name(Traffic t);
 
 class BandwidthLedger {
  public:
-  /// @param horizon  simulated duration covered by per-second buckets;
-  ///                 deposits beyond the horizon clamp into the last bucket.
+  /// @param horizon  simulated duration covered by per-second buckets.
+  ///                 Deposits past the covered range land in a per-category
+  ///                 overflow cell: they count toward total() but are
+  ///                 excluded from series(), so late stragglers cannot
+  ///                 inflate the last per-second bucket (Fig 8-10 use the
+  ///                 series; totals stay conserved).
   explicit BandwidthLedger(Seconds horizon);
 
   void deposit(Seconds t, Traffic category, Bytes bytes);
@@ -46,17 +51,30 @@ class BandwidthLedger {
   Bytes total(std::span<const Traffic> categories) const;
   Bytes grand_total() const;
 
-  /// Per-second byte series for one category.
+  /// Bytes deposited past the bucketed horizon (included in total()).
+  Bytes overflow(Traffic category) const;
+
+  /// Per-second byte series for one category (overflow excluded).
   std::span<const Bytes> series(Traffic category) const;
   /// Per-second byte series summed over the given categories.
   std::vector<Bytes> combined_series(std::span<const Traffic> categories) const;
 
   std::uint32_t buckets() const { return num_buckets_; }
 
+  /// FNV-1a over every deposit's (time, category, bytes); always
+  /// maintained — see audit.hpp.
+  std::uint64_t digest() const { return digest_.value(); }
+
+  /// Installs an invariant auditor (nullptr disables). Not owned.
+  void set_auditor(SimAuditor* auditor) { auditor_ = auditor; }
+
  private:
   std::uint32_t num_buckets_;
   std::array<std::vector<Bytes>, kTrafficCount> per_category_;
   std::array<Bytes, kTrafficCount> totals_{};
+  std::array<Bytes, kTrafficCount> overflow_{};
+  Fnv64 digest_;
+  SimAuditor* auditor_ = nullptr;
 };
 
 }  // namespace asap::sim

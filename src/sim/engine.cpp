@@ -49,6 +49,9 @@ bool Engine::step() {
   if (!heap_.empty()) sift_down(0);
 
   ASAP_DCHECK(item.time >= now_);
+  digest_.absorb(item.time);
+  digest_.absorb(item.seq);
+  ASAP_AUDIT_HOOK(auditor_, on_event(item.time));
   now_ = item.time;
   ++executed_;
   item.cb();

@@ -17,6 +17,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "sim/audit.hpp"
 
 namespace asap::sim {
 
@@ -48,6 +49,13 @@ class Engine {
   std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }
 
+  /// FNV-1a over every executed event's (time, seq); always maintained, so
+  /// two identically-seeded runs can be compared bit-for-bit.
+  std::uint64_t digest() const { return digest_.value(); }
+
+  /// Installs an invariant auditor (nullptr disables). Not owned.
+  void set_auditor(SimAuditor* auditor) { auditor_ = auditor; }
+
  private:
   struct Item {
     Seconds time;
@@ -67,6 +75,8 @@ class Engine {
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  Fnv64 digest_;
+  SimAuditor* auditor_ = nullptr;
 };
 
 }  // namespace asap::sim

@@ -171,6 +171,28 @@ TEST(CountingBloomFilter, ProjectionTracksIncrementally) {
   EXPECT_EQ(c.projection(), reference2);
 }
 
+TEST(CountingBloomFilter, InsertSaturatesInsteadOfWrapping) {
+  CountingBloomFilter c;
+  constexpr std::uint32_t kMax = 65'535;
+#ifdef NDEBUG
+  // A wrapped counter would reach zero with the projection bit still set,
+  // and the insert after that would toggle the bit *off* — the key would
+  // vanish from the filter while still present. Saturation keeps it visible.
+  for (std::uint32_t i = 0; i < kMax + 2; ++i) c.insert(42);
+  EXPECT_TRUE(c.contains(42));
+  std::vector<std::uint32_t> pos;
+  c.projection().positions(42, pos);
+  for (auto p : pos) EXPECT_EQ(c.counter(p), kMax);
+#else
+  EXPECT_THROW(
+      {
+        for (std::uint32_t i = 0; i <= kMax; ++i) c.insert(42);
+      },
+      InvariantError);
+  EXPECT_TRUE(c.contains(42));  // the filter stays consistent regardless
+#endif
+}
+
 TEST(CountingBloomFilter, RemovalOfAbsentKeySaturatesAtZero) {
   CountingBloomFilter c;
 #ifdef NDEBUG

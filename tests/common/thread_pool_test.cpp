@@ -58,6 +58,49 @@ TEST(ThreadPool, ParallelForPropagatesException) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForFinishesEveryTaskBeforeRethrowing) {
+  // Tasks reference the callable by reference; parallel_for must not
+  // return (or throw) while any task can still run, and the pool must
+  // remain usable afterwards.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      ++ran;
+      if (i % 7 == 0) throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(ran.load(), 64);
+
+  std::atomic<int> again{0};
+  pool.parallel_for(16, [&](std::size_t) { ++again; });
+  EXPECT_EQ(again.load(), 16);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstExceptionByIndex) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(32, [](std::size_t i) {
+      if (i >= 5) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "5");
+  }
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 1; });
+  EXPECT_EQ(f.get(), 1);
+  pool.shutdown();
+  pool.shutdown();  // idempotent
+  EXPECT_THROW(pool.submit([] { return 2; }), InvariantError);
+  EXPECT_THROW(pool.parallel_for(3, [](std::size_t) {}), InvariantError);
+}
+
 TEST(ThreadPool, DrainsQueueOnDestruction) {
   std::atomic<int> counter{0};
   {

@@ -1,0 +1,140 @@
+#include "sim/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/bandwidth.hpp"
+#include "sim/engine.hpp"
+
+namespace asap::sim {
+namespace {
+
+TEST(Fnv64, MatchesReferenceVectorsAndOrderMatters) {
+  // Empty stream = offset basis.
+  EXPECT_EQ(Fnv64{}.value(), 14695981039346656037ULL);
+
+  Fnv64 a, b, c;
+  a.absorb(std::uint64_t{1});
+  a.absorb(std::uint64_t{2});
+  b.absorb(std::uint64_t{1});
+  b.absorb(std::uint64_t{2});
+  c.absorb(std::uint64_t{2});
+  c.absorb(std::uint64_t{1});
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_NE(a.value(), c.value());
+}
+
+TEST(Fnv64, CombineIsDeterministic) {
+  EXPECT_EQ(combine_digests(1, 2), combine_digests(1, 2));
+  EXPECT_NE(combine_digests(1, 2), combine_digests(2, 1));
+}
+
+TEST(SimAuditor, CleanRunHasNoViolations) {
+  SimAuditor aud;
+  BandwidthLedger ledger(10.0);
+  ledger.set_auditor(&aud);
+
+  aud.on_event(1.0);
+  aud.on_event(1.0);  // equal times are fine
+  aud.on_event(2.5);
+  aud.on_send(Traffic::kQuery, 100);
+  ledger.deposit(1.0, Traffic::kQuery, 100);
+  aud.on_delivery(/*online=*/true);
+  aud.on_confirm_request();
+  aud.on_confirm_reply();
+  aud.on_confirm_request();
+  aud.on_confirm_timeout();
+  aud.on_cache_occupancy(5, 5);
+
+  aud.finalize(ledger);
+  EXPECT_TRUE(aud.ok());
+  EXPECT_EQ(aud.summary().events, 3u);
+  EXPECT_EQ(aud.summary().sends, 1u);
+  EXPECT_EQ(aud.summary().deposits, 1u);
+  EXPECT_EQ(aud.summary().confirm_requests, 2u);
+}
+
+TEST(SimAuditor, DetectsBackwardsTime) {
+  SimAuditor aud;
+  BandwidthLedger ledger(10.0);
+  aud.on_event(5.0);
+  aud.on_event(4.9);
+  aud.finalize(ledger);
+  EXPECT_FALSE(aud.ok());
+  ASSERT_EQ(aud.violations().size(), 1u);
+  EXPECT_NE(aud.violations()[0].find("backwards"), std::string::npos);
+}
+
+TEST(SimAuditor, DetectsSendWithoutDeposit) {
+  SimAuditor aud;
+  BandwidthLedger ledger(10.0);
+  ledger.set_auditor(&aud);
+  aud.on_send(Traffic::kFullAd, 500);  // never deposited
+  aud.finalize(ledger);
+  EXPECT_FALSE(aud.ok());
+  EXPECT_EQ(aud.summary().violations, 1u);
+}
+
+TEST(SimAuditor, DetectsDepositWithoutSend) {
+  SimAuditor aud;
+  BandwidthLedger ledger(10.0);
+  ledger.set_auditor(&aud);
+  ledger.deposit(1.0, Traffic::kConfirm, 64);  // no matching send record
+  aud.finalize(ledger);
+  EXPECT_FALSE(aud.ok());
+  // sent != ledger total; observed deposits == ledger total (that part ok).
+  EXPECT_EQ(aud.summary().violations, 1u);
+}
+
+TEST(SimAuditor, DetectsConfirmImbalance) {
+  SimAuditor aud;
+  BandwidthLedger ledger(10.0);
+  aud.on_confirm_request();
+  aud.on_confirm_request();
+  aud.on_confirm_reply();
+  aud.finalize(ledger);
+  EXPECT_FALSE(aud.ok());
+  ASSERT_FALSE(aud.violations().empty());
+  EXPECT_NE(aud.violations()[0].find("confirm"), std::string::npos);
+}
+
+TEST(SimAuditor, DetectsCacheOverCapacityAndOfflineDelivery) {
+  SimAuditor aud;
+  aud.on_cache_occupancy(11, 10);
+  aud.on_delivery(/*online=*/false);
+  EXPECT_EQ(aud.summary().violations, 2u);
+}
+
+TEST(SimAuditor, ViolationMessagesAreCappedButCounted) {
+  SimAuditor aud;
+  for (int i = 0; i < 100; ++i) aud.on_delivery(/*online=*/false);
+  EXPECT_EQ(aud.summary().violations, 100u);
+  EXPECT_LE(aud.violations().size(), 32u);
+}
+
+TEST(Engine, DigestReflectsExecutionOrder) {
+  auto run = [](Seconds first, Seconds second) {
+    Engine e;
+    e.schedule_at(first, [] {});
+    e.schedule_at(second, [] {});
+    e.run_until(100.0);
+    return e.digest();
+  };
+  EXPECT_EQ(run(1.0, 2.0), run(1.0, 2.0));
+  EXPECT_NE(run(1.0, 2.0), run(2.0, 1.0));
+  EXPECT_NE(run(1.0, 2.0), Fnv64{}.value());
+}
+
+TEST(Engine, AuditorSeesEveryExecutedEvent) {
+  SimAuditor aud;
+  Engine e;
+  e.set_auditor(&aud);
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(static_cast<Seconds>(i), [] {});
+  }
+  e.run_until(100.0);
+  EXPECT_EQ(aud.summary().events, 5u);
+  EXPECT_TRUE(aud.ok());
+}
+
+}  // namespace
+}  // namespace asap::sim

@@ -33,11 +33,45 @@ TEST(BandwidthLedger, CategoriesAreIndependent) {
 TEST(BandwidthLedger, LateAndEarlyDepositsClamp) {
   BandwidthLedger l(3.0);
   l.deposit(-1.0, Traffic::kConfirm, 5);   // clamps to bucket 0
-  l.deposit(100.0, Traffic::kConfirm, 7);  // clamps to last bucket
+  l.deposit(100.0, Traffic::kConfirm, 7);  // past horizon: overflow cell
   const auto s = l.series(Traffic::kConfirm);
   EXPECT_EQ(s.front(), 5u);
-  EXPECT_EQ(s.back(), 7u);
+  // Deposits past the horizon used to inflate the last per-second bucket,
+  // skewing every time-series-derived metric. They now land in a separate
+  // overflow cell that still counts toward totals.
+  EXPECT_EQ(s.back(), 0u);
+  EXPECT_EQ(l.overflow(Traffic::kConfirm), 7u);
   EXPECT_EQ(l.total(Traffic::kConfirm), 12u);
+}
+
+TEST(BandwidthLedger, OverflowExcludedFromSeriesIncludedInTotals) {
+  BandwidthLedger l(2.0);  // ceil(2)+1 = 3 buckets covering [0, 3)
+  l.deposit(0.5, Traffic::kQuery, 10);
+  l.deposit(1.5, Traffic::kQuery, 20);
+  l.deposit(2.5, Traffic::kQuery, 40);  // last covered second
+  l.deposit(3.0, Traffic::kQuery, 80);  // first uncovered second -> overflow
+  l.deposit(9.0, Traffic::kQuery, 160);
+  const auto s = l.series(Traffic::kQuery);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 10u);
+  EXPECT_EQ(s[1], 20u);
+  EXPECT_EQ(s[2], 40u);
+  EXPECT_EQ(l.overflow(Traffic::kQuery), 240u);
+  EXPECT_EQ(l.total(Traffic::kQuery), 310u);
+  EXPECT_EQ(l.grand_total(), 310u);
+}
+
+TEST(BandwidthLedger, DigestIsDeterministicAndOrderSensitive) {
+  BandwidthLedger a(4.0), b(4.0), c(4.0);
+  a.deposit(1.0, Traffic::kQuery, 10);
+  a.deposit(2.0, Traffic::kFullAd, 20);
+  b.deposit(1.0, Traffic::kQuery, 10);
+  b.deposit(2.0, Traffic::kFullAd, 20);
+  c.deposit(2.0, Traffic::kFullAd, 20);
+  c.deposit(1.0, Traffic::kQuery, 10);
+  EXPECT_NE(a.digest(), 0u);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
 }
 
 TEST(BandwidthLedger, CombinedSeriesSumsCategories) {

@@ -33,6 +33,7 @@ struct CliArgs {
   std::uint32_t queries = 0;  // 0 = preset default
   std::size_t jobs = 0;
   std::string csv_path;
+  bool audit = false;
 
   // ASAP overrides (applied to every ASAP variant in the run).
   std::optional<std::uint64_t> m0;
@@ -82,6 +83,8 @@ void print_usage() {
   --queries N                 override query count
   --jobs N                    parallel cells (default: hardware)
   --csv FILE                  also write results as CSV
+  --audit                     run the simulation invariant auditor; any
+                              violation is reported and exits nonzero
 
 ASAP protocol overrides:
   --m0 N                      ad budget unit M0
@@ -145,6 +148,8 @@ CliArgs parse(int argc, char** argv) {
       args.jobs = std::stoul(next());
     } else if (flag == "--csv") {
       args.csv_path = next();
+    } else if (flag == "--audit") {
+      args.audit = true;
     } else if (flag == "--m0") {
       args.m0 = std::stoull(next());
     } else if (flag == "--refresh-period") {
@@ -166,6 +171,7 @@ CliArgs parse(int argc, char** argv) {
 
 harness::RunOptions options_for(const CliArgs& args, harness::AlgoKind kind) {
   harness::RunOptions opts;
+  opts.audit = opts.audit || args.audit;
   if (!harness::is_asap(kind)) return opts;
   auto p = harness::default_asap_params(kind, args.preset);
   if (args.m0) p.budget_unit_m0 = *args.m0;
@@ -208,7 +214,8 @@ int main(int argc, char** argv) {
                                              options_for(args, kind));
           std::cerr << "  " << res.algo << " done ("
                     << TextTable::num(res.wall_seconds, 1) << " s, "
-                    << res.engine_events << " engine events)\n";
+                    << res.engine_events << " engine events, digest "
+                    << std::hex << res.digest << std::dec << ")\n";
           Row row{topo, std::move(res)};
           const auto& samples = row.res.search.response_samples();
           if (!samples.empty()) {
@@ -246,11 +253,23 @@ int main(int argc, char** argv) {
     std::cout << '\n';
     table.print(std::cout);
 
+    std::uint64_t total_violations = 0;
+    for (const auto& row : rows) {
+      if (!row.res.audited || row.res.audit_violations == 0) continue;
+      total_violations += row.res.audit_violations;
+      std::cerr << "\naudit: " << row.res.audit_violations
+                << " violation(s) in " << row.res.algo << " on "
+                << harness::topology_name(row.topo) << ":\n";
+      for (const auto& msg : row.res.audit_messages) {
+        std::cerr << "  - " << msg << '\n';
+      }
+    }
+
     if (!args.csv_path.empty()) {
       std::ofstream csv(args.csv_path);
       if (!csv) throw ConfigError("cannot write " + args.csv_path);
       csv << "topology,algorithm,success_rate,avg_response_s,p50_s,p95_s,"
-             "avg_cost_bytes,avg_results,load_mean,load_stddev\n";
+             "avg_cost_bytes,avg_results,load_mean,load_stddev,digest\n";
       for (const auto& row : rows) {
         const auto& s = row.res.search;
         csv << harness::topology_name(row.topo) << ',' << row.res.algo << ','
@@ -258,9 +277,15 @@ int main(int argc, char** argv) {
             << row.p50 << ',' << row.p95 << ',' << s.avg_cost_bytes() << ','
             << s.avg_results() << ','
             << row.res.load.mean_bytes_per_node_per_sec << ','
-            << row.res.load.stddev_bytes_per_node_per_sec << '\n';
+            << row.res.load.stddev_bytes_per_node_per_sec << ','
+            << std::hex << row.res.digest << std::dec << '\n';
       }
       std::cout << "\nwrote " << args.csv_path << '\n';
+    }
+    if (total_violations > 0) {
+      std::cerr << "\naudit failed: " << total_violations
+                << " total violation(s)\n";
+      return 2;
     }
     return 0;
   } catch (const std::exception& e) {
