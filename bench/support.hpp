@@ -7,6 +7,10 @@
 //   --queries N            override trace query count
 //   --topology t1,t2       subset of random,powerlaw,crawled
 //   --jobs N               parallel cells (default: hardware concurrency)
+//   --trials N             repetitions per cell; trial k re-rolls the
+//                          algorithm stream with trial_seed_salt(k)
+//                          (harness/replay.hpp), the same "trial k of
+//                          seed s" the matrix runner uses
 #pragma once
 
 #include <cstdint>
@@ -30,7 +34,8 @@ struct BenchArgs {
   std::vector<harness::TopologyKind> topologies{
       harness::TopologyKind::kRandom, harness::TopologyKind::kPowerlaw,
       harness::TopologyKind::kCrawled};
-  std::size_t jobs = 0;  // 0 = hardware concurrency
+  std::size_t jobs = 0;       // 0 = hardware concurrency
+  std::uint32_t trials = 1;   // repetitions per (topology, algorithm) cell
 
   static BenchArgs parse(int argc, char** argv);
 };
@@ -61,6 +66,9 @@ inline BenchArgs BenchArgs::parse(int argc, char** argv) {
           static_cast<std::uint32_t>(std::stoul(next()));
     } else if (flag == "--jobs") {
       args.jobs = std::stoul(next());
+    } else if (flag == "--trials") {
+      args.trials = static_cast<std::uint32_t>(std::stoul(next()));
+      if (args.trials == 0) throw ConfigError("--trials must be >= 1");
     } else if (flag == "--topology") {
       args.topologies.clear();
       std::string list = next();
@@ -83,7 +91,7 @@ inline BenchArgs BenchArgs::parse(int argc, char** argv) {
       }
     } else if (flag == "--help" || flag == "-h") {
       std::cout << "flags: --preset small|paper --seed N --queries N "
-                   "--topology random,powerlaw,crawled --jobs N\n";
+                   "--topology random,powerlaw,crawled --jobs N --trials N\n";
       std::exit(0);
     } else {
       throw ConfigError("unknown flag: " + flag);
@@ -102,16 +110,21 @@ inline harness::ExperimentConfig make_config(
   return cfg;
 }
 
-/// One completed (topology, algorithm) cell.
+/// One completed (topology, algorithm, trial) cell.
 struct Cell {
   harness::TopologyKind topology;
   harness::AlgoKind algo;
+  std::uint32_t trial = 0;
   harness::RunResult result;
 };
 
-/// Runs the requested algorithms on each topology. Worlds are built once
-/// per topology and shared (read-only) by its cells; cells run on a thread
-/// pool (degenerates to sequential on a single-core machine).
+/// Runs the requested algorithms on each topology, args.trials times each.
+/// Worlds are built once per topology and shared (read-only) by its cells;
+/// trial k re-rolls the algorithm stream with seed_salt =
+/// trial_seed_salt(k), the canonical "trial k of seed s" derivation
+/// (harness/replay.hpp), so bench trials and matrix-runner trials with the
+/// same master seed agree on trial 0 exactly. Cells run on a thread pool
+/// (degenerates to sequential on a single-core machine).
 inline std::vector<Cell> run_cells(
     const BenchArgs& args, const std::vector<harness::AlgoKind>& algos,
     const harness::RunOptions& opts = {}) {
@@ -123,23 +136,28 @@ inline std::vector<Cell> run_cells(
     const auto world = harness::build_world(make_config(args, topo));
     ThreadPool pool(args.jobs == 0 ? 0 : args.jobs);
     std::vector<std::future<void>> futs;
-    futs.reserve(algos.size());
+    futs.reserve(algos.size() * args.trials);
     for (const auto algo : algos) {
-      futs.push_back(pool.submit([&, algo] {
-        auto res = harness::run_experiment(world, algo, opts);
-        std::cerr << "[bench] " << harness::topology_name(topo) << " / "
-                  << res.algo << " done in "
-                  << TextTable::num(res.wall_seconds, 1) << " s\n";
-        std::lock_guard lock(mu);
-        cells.push_back(Cell{topo, algo, std::move(res)});
-      }));
+      for (std::uint32_t trial = 0; trial < args.trials; ++trial) {
+        futs.push_back(pool.submit([&, algo, trial] {
+          harness::RunOptions trial_opts = opts;
+          trial_opts.seed_salt ^= harness::trial_seed_salt(trial);
+          auto res = harness::run_experiment(world, algo, trial_opts);
+          std::cerr << "[bench] " << harness::topology_name(topo) << " / "
+                    << res.algo << " trial " << trial << " done in "
+                    << TextTable::num(res.wall_seconds, 1) << " s\n";
+          std::lock_guard lock(mu);
+          cells.push_back(Cell{topo, algo, trial, std::move(res)});
+        }));
+      }
     }
     for (auto& f : futs) f.get();
   }
   return cells;
 }
 
-/// Orders cells for printing: topology-major, algorithm order as requested.
+/// Orders cells for printing: topology-major, algorithm order as
+/// requested, then trial index.
 inline void sort_cells(std::vector<Cell>& cells,
                        const std::vector<harness::AlgoKind>& algos) {
   auto algo_rank = [&](harness::AlgoKind k) {
@@ -152,7 +170,10 @@ inline void sort_cells(std::vector<Cell>& cells,
     if (a.topology != b.topology) {
       return static_cast<int>(a.topology) < static_cast<int>(b.topology);
     }
-    return algo_rank(a.algo) < algo_rank(b.algo);
+    if (algo_rank(a.algo) != algo_rank(b.algo)) {
+      return algo_rank(a.algo) < algo_rank(b.algo);
+    }
+    return a.trial < b.trial;
   });
 }
 

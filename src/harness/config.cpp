@@ -14,6 +14,24 @@ const char* topology_name(TopologyKind t) {
   return "?";
 }
 
+std::optional<TopologyKind> topology_from_name(std::string_view name) {
+  for (const auto t : {TopologyKind::kRandom, TopologyKind::kPowerlaw,
+                       TopologyKind::kCrawled}) {
+    if (name == topology_name(t)) return t;
+  }
+  return std::nullopt;
+}
+
+const char* preset_name(Preset p) {
+  return p == Preset::kPaper ? "paper" : "small";
+}
+
+std::optional<Preset> preset_from_name(std::string_view name) {
+  if (name == "small") return Preset::kSmall;
+  if (name == "paper") return Preset::kPaper;
+  return std::nullopt;
+}
+
 ExperimentConfig ExperimentConfig::make(Preset preset, TopologyKind topology,
                                         std::uint64_t seed) {
   ExperimentConfig cfg;

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "net/transit_stub.hpp"
 #include "sim/size_model.hpp"
@@ -24,6 +26,12 @@ enum class Preset : std::uint8_t { kSmall, kPaper };
 enum class TopologyKind : std::uint8_t { kRandom, kPowerlaw, kCrawled };
 
 const char* topology_name(TopologyKind t);
+/// Inverse of topology_name(); nullopt for unknown names.
+std::optional<TopologyKind> topology_from_name(std::string_view name);
+
+const char* preset_name(Preset p);
+/// Inverse of preset_name(); nullopt for unknown names.
+std::optional<Preset> preset_from_name(std::string_view name);
 
 struct ExperimentConfig {
   Preset preset = Preset::kSmall;

@@ -1,0 +1,247 @@
+#include "harness/matrix_runner.hpp"
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/audit.hpp"
+
+namespace asap::harness {
+
+std::vector<std::pair<std::string, double>> headline_metrics(
+    const RunResult& r) {
+  const auto& s = r.search;
+  double p50 = 0.0, p95 = 0.0;
+  if (!s.response_samples().empty()) {
+    p50 = percentile(s.response_samples(), 0.50);
+    p95 = percentile(s.response_samples(), 0.95);
+  }
+  return {
+      {"success_rate", s.success_rate()},
+      {"avg_response_s", s.avg_response_time()},
+      {"p50_response_s", p50},
+      {"p95_response_s", p95},
+      {"avg_cost_bytes", s.avg_cost_bytes()},
+      {"avg_results", s.avg_results()},
+      {"local_hit_rate", s.local_hit_rate()},
+      {"load_mean_Bps", r.load.mean_bytes_per_node_per_sec},
+      {"load_stddev_Bps", r.load.stddev_bytes_per_node_per_sec},
+      {"load_peak_Bps", r.load.peak_bytes_per_node_per_sec},
+  };
+}
+
+MatrixResult run_matrix(const MatrixSpec& spec) {
+  ASAP_REQUIRE(!spec.topologies.empty(), "matrix: no topologies");
+  ASAP_REQUIRE(!spec.algos.empty(), "matrix: no algorithms");
+  ASAP_REQUIRE(spec.trials >= 1, "matrix: trials must be >= 1");
+  ASAP_REQUIRE(spec.options.seed_salt == 0,
+               "matrix: seed_salt is derived per trial; set MatrixSpec::seed");
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t num_topos = spec.topologies.size();
+  const std::size_t num_algos = spec.algos.size();
+  const std::size_t trials = spec.trials;
+  const std::size_t num_worlds = num_topos * trials;
+  const std::size_t num_cells = num_worlds * num_algos;
+
+  std::mutex io_mu;
+  const auto progress = [&](const std::string& line) {
+    if (!spec.verbose) return;
+    std::lock_guard lock(io_mu);
+    std::cerr << line << '\n';
+  };
+
+  // One immutable World per (topology, trial); cells of that trial share
+  // it read-only (run_experiment copies the overlay it mutates).
+  const auto world_seed_of = [&](std::size_t trial) {
+    return spec.seed ^ trial_seed_salt(static_cast<std::uint32_t>(trial));
+  };
+  const auto config_of = [&](TopologyKind topo, std::size_t trial) {
+    auto cfg = ExperimentConfig::make(spec.preset, topo, world_seed_of(trial));
+    if (spec.queries != 0) cfg.trace.num_queries = spec.queries;
+    if (spec.tweak) spec.tweak(cfg);
+    return cfg;
+  };
+
+  ThreadPool pool(spec.jobs);
+  std::vector<std::unique_ptr<const World>> worlds(num_worlds);
+  pool.parallel_for(num_worlds, [&](std::size_t w) {
+    const TopologyKind topo = spec.topologies[w / trials];
+    const std::size_t trial = w % trials;
+    worlds[w] = std::make_unique<const World>(
+        build_world(config_of(topo, trial)));
+    progress("[matrix] built " + std::string(topology_name(topo)) +
+             " world, trial " + std::to_string(trial));
+  });
+
+  // Slot layout fixes the canonical order (topology, algorithm, trial)
+  // regardless of which worker finishes when.
+  MatrixResult out;
+  out.spec = spec;
+  out.trials.resize(num_cells);
+  pool.parallel_for(num_cells, [&](std::size_t c) {
+    const std::size_t topo_idx = c / (num_algos * trials);
+    const std::size_t algo_idx = (c / trials) % num_algos;
+    const std::size_t trial = c % trials;
+    const AlgoKind algo = spec.algos[algo_idx];
+
+    TrialRun& slot = out.trials[c];
+    slot.topology = spec.topologies[topo_idx];
+    slot.algo = algo;
+    slot.trial = static_cast<std::uint32_t>(trial);
+    slot.world_seed = world_seed_of(trial);
+    const RunOptions opts =
+        spec.options_for ? spec.options_for(algo) : spec.options;
+    slot.result =
+        run_experiment(*worlds[topo_idx * trials + trial], algo, opts);
+    progress("[matrix] " + std::string(topology_name(slot.topology)) + " / " +
+             slot.result.algo + " trial " + std::to_string(trial) +
+             " done, digest " + json::hex_u64(slot.result.digest));
+  });
+
+  // --- aggregate --------------------------------------------------------
+  sim::Fnv64 matrix_digest;
+  for (std::size_t t = 0; t < num_topos; ++t) {
+    for (std::size_t a = 0; a < num_algos; ++a) {
+      CellAggregate cell;
+      cell.topology = spec.topologies[t];
+      cell.algo = spec.algos[a];
+      cell.trials = spec.trials;
+      metrics::TrialAggregator agg;
+      for (std::size_t k = 0; k < trials; ++k) {
+        const TrialRun& run =
+            out.trials[(t * num_algos + a) * trials + k];
+        cell.digests.push_back(run.result.digest);
+        matrix_digest.absorb(run.result.digest);
+        for (const auto& [name, value] : headline_metrics(run.result)) {
+          agg.add(name, value);
+        }
+      }
+      cell.metrics = agg.summaries();
+      out.cells.push_back(std::move(cell));
+    }
+  }
+  out.matrix_digest = matrix_digest.value();
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return out;
+}
+
+// --- results.json ---------------------------------------------------------
+
+namespace {
+
+json::Value summary_to_json(const metrics::MetricSummary& s) {
+  json::Object o;
+  o.emplace_back("mean", s.mean);
+  o.emplace_back("stddev", s.stddev);
+  o.emplace_back("min", s.min);
+  o.emplace_back("max", s.max);
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+json::Value results_to_json(const MatrixResult& result) {
+  const MatrixSpec& spec = result.spec;
+
+  json::Object spec_obj;
+  spec_obj.emplace_back("preset", preset_name(spec.preset));
+  json::Array topos;
+  for (const auto t : spec.topologies) topos.emplace_back(topology_name(t));
+  spec_obj.emplace_back("topologies", std::move(topos));
+  json::Array algos;
+  for (const auto a : spec.algos) algos.emplace_back(algo_name(a));
+  spec_obj.emplace_back("algos", std::move(algos));
+  spec_obj.emplace_back("seed", json::hex_u64(spec.seed));
+  spec_obj.emplace_back("trials", static_cast<double>(spec.trials));
+  spec_obj.emplace_back("queries", static_cast<double>(spec.queries));
+  spec_obj.emplace_back("message_loss", spec.options.message_loss);
+  spec_obj.emplace_back("audit", spec.options.audit);
+
+  json::Array cells;
+  for (const auto& cell : result.cells) {
+    json::Object c;
+    c.emplace_back("topology", topology_name(cell.topology));
+    c.emplace_back("algo", algo_name(cell.algo));
+    c.emplace_back("trials", static_cast<double>(cell.trials));
+    json::Array digests;
+    for (const auto d : cell.digests) digests.emplace_back(json::hex_u64(d));
+    c.emplace_back("digests", std::move(digests));
+    json::Object ms;
+    for (const auto& [name, summary] : cell.metrics) {
+      ms.emplace_back(name, summary_to_json(summary));
+    }
+    c.emplace_back("metrics", std::move(ms));
+    cells.emplace_back(std::move(c));
+  }
+
+  json::Array trial_runs;
+  for (const auto& run : result.trials) {
+    json::Object r;
+    r.emplace_back("topology", topology_name(run.topology));
+    r.emplace_back("algo", algo_name(run.algo));
+    r.emplace_back("trial", static_cast<double>(run.trial));
+    r.emplace_back("world_seed", json::hex_u64(run.world_seed));
+    r.emplace_back("digest", json::hex_u64(run.result.digest));
+    r.emplace_back("engine_events",
+                   static_cast<double>(run.result.engine_events));
+    json::Object ms;
+    for (const auto& [name, value] : headline_metrics(run.result)) {
+      ms.emplace_back(name, value);
+    }
+    r.emplace_back("metrics", std::move(ms));
+    trial_runs.emplace_back(std::move(r));
+  }
+
+  json::Object doc;
+  doc.emplace_back("schema", "asap-matrix-results/1");
+  doc.emplace_back("spec", std::move(spec_obj));
+  doc.emplace_back("matrix_digest", json::hex_u64(result.matrix_digest));
+  // Informational only — never part of a golden comparison.
+  doc.emplace_back("wall_seconds", result.wall_seconds);
+  doc.emplace_back("cells", std::move(cells));
+  doc.emplace_back("trial_runs", std::move(trial_runs));
+  return json::Value(std::move(doc));
+}
+
+void write_results_json(const MatrixResult& result, std::ostream& os) {
+  os << json::dump(results_to_json(result));
+}
+
+MatrixSpec spec_from_json(const json::Value& doc) {
+  const json::Value& spec = doc.at("spec");
+  MatrixSpec out;
+
+  const auto preset = preset_from_name(spec.at("preset").as_string());
+  ASAP_REQUIRE(preset.has_value(), "results spec: unknown preset");
+  out.preset = *preset;
+
+  out.topologies.clear();
+  for (const auto& t : spec.at("topologies").as_array()) {
+    const auto topo = topology_from_name(t.as_string());
+    ASAP_REQUIRE(topo.has_value(), "results spec: unknown topology");
+    out.topologies.push_back(*topo);
+  }
+  out.algos.clear();
+  for (const auto& a : spec.at("algos").as_array()) {
+    const auto algo = algo_from_name(a.as_string());
+    ASAP_REQUIRE(algo.has_value(), "results spec: unknown algorithm");
+    out.algos.push_back(*algo);
+  }
+  out.seed = spec.at("seed").u64_hex();
+  out.trials = static_cast<std::uint32_t>(spec.at("trials").as_double());
+  out.queries = static_cast<std::uint32_t>(spec.at("queries").as_double());
+  out.options.message_loss = spec.at("message_loss").as_double();
+  out.options.audit = spec.at("audit").as_bool();
+  return out;
+}
+
+}  // namespace asap::harness

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "search/context.hpp"
 #include "sim/engine.hpp"
 #include "sim/liveness.hpp"
@@ -29,9 +30,21 @@ const char* algo_name(AlgoKind k) {
   return "?";
 }
 
+std::optional<AlgoKind> algo_from_name(std::string_view name) {
+  for (const auto k : kAllAlgos) {
+    if (name == algo_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
 bool is_asap(AlgoKind k) {
   return k == AlgoKind::kAsapFld || k == AlgoKind::kAsapRw ||
          k == AlgoKind::kAsapGsa;
+}
+
+std::uint64_t trial_seed_salt(std::uint32_t trial) {
+  if (trial == 0) return 0;  // trial 0 == the unsalted canonical run
+  return SplitMix64(trial).next();
 }
 
 std::vector<sim::Traffic> load_categories(AlgoKind k) {
@@ -97,8 +110,8 @@ RunResult run_experiment(const World& world, AlgoKind kind,
 
   search::Ctx ctx{ov,     world.phys, world.node_phys, world.model, live,
                   index,  engine,     ledger,          cfg.sizes,   algo_rng};
-  ASAP_REQUIRE(opts.message_loss >= 0.0 && opts.message_loss < 1.0,
-               "message loss probability out of [0,1)");
+  ASAP_REQUIRE(opts.message_loss >= 0.0 && opts.message_loss <= 1.0,
+               "message loss probability out of [0,1]");
   ctx.message_loss = opts.message_loss;
 
   std::unique_ptr<sim::SimAuditor> auditor;

@@ -2,9 +2,11 @@
 // the paper's metrics.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "asap/asap_protocol.hpp"
@@ -33,7 +35,24 @@ inline constexpr AlgoKind kAllAlgos[] = {
 };
 
 const char* algo_name(AlgoKind k);
+/// Inverse of algo_name(); nullopt for unknown names.
+std::optional<AlgoKind> algo_from_name(std::string_view name);
 bool is_asap(AlgoKind k);
+
+/// Canonical seed derivation for "trial k of master seed s" — the single
+/// definition shared by the matrix runner and the repeated-trial benches:
+///
+///   effective seed of trial k  =  s ^ trial_seed_salt(k)
+///
+/// trial_seed_salt(0) == 0, so trial 0 is exactly the unsalted run (its
+/// digest matches a plain run_experiment/asap_sim invocation with seed s);
+/// later trials mix splitmix64(k) so neighbouring indices land in
+/// uncorrelated streams. Benches that hold one World fixed and re-roll
+/// only the algorithm's randomness pass the salt via RunOptions::seed_salt;
+/// the matrix runner applies it to ExperimentConfig::seed instead, which
+/// re-derives the whole world *and* the algorithm stream from the trial
+/// seed.
+std::uint64_t trial_seed_salt(std::uint32_t trial);
 
 /// Traffic categories that count toward system load for this algorithm
 /// (paper §V-B: baselines count query messages; ASAP counts ad deliveries
@@ -44,9 +63,13 @@ struct RunOptions {
   /// Override the preset-derived parameters (ablation benches).
   std::optional<search::BaselineParams> baseline;
   std::optional<ads::AsapParams> asap;
-  /// Extra salt mixed into the run RNG (for repeated-trial benches).
+  /// Extra salt mixed into the run RNG. Repeated-trial benches set this to
+  /// trial_seed_salt(k) so "trial k" means the same thing everywhere (see
+  /// trial_seed_salt above); 0 leaves the canonical stream untouched.
   std::uint64_t seed_salt = 0;
-  /// Failure injection: probability any overlay transmission is lost.
+  /// Failure injection: probability any overlay transmission is lost, in
+  /// [0, 1]. 1.0 is a valid (total-blackout) setting: senders still pay
+  /// for every attempt, so runs terminate and audit clean.
   double message_loss = 0.0;
   /// Run-time invariant auditing (sim/audit.hpp). Defaults to on when the
   /// build was configured with -DASAP_AUDIT=ON.

@@ -1,0 +1,43 @@
+#include "metrics/aggregate.hpp"
+
+namespace asap::metrics {
+
+MetricSummary summarize(const RunningStats& s) {
+  MetricSummary out;
+  out.count = s.count();
+  out.mean = s.mean();
+  out.stddev = s.stddev();
+  out.min = s.min();
+  out.max = s.max();
+  return out;
+}
+
+void TrialAggregator::add(std::string_view name, double value) {
+  for (auto& [k, stats] : metrics_) {
+    if (k == name) {
+      stats.add(value);
+      return;
+    }
+  }
+  metrics_.emplace_back(std::string(name), RunningStats{});
+  metrics_.back().second.add(value);
+}
+
+std::uint64_t TrialAggregator::count(std::string_view name) const {
+  for (const auto& [k, stats] : metrics_) {
+    if (k == name) return stats.count();
+  }
+  return 0;
+}
+
+std::vector<std::pair<std::string, MetricSummary>> TrialAggregator::summaries()
+    const {
+  std::vector<std::pair<std::string, MetricSummary>> out;
+  out.reserve(metrics_.size());
+  for (const auto& [k, stats] : metrics_) {
+    out.emplace_back(k, summarize(stats));
+  }
+  return out;
+}
+
+}  // namespace asap::metrics

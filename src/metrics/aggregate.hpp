@@ -1,0 +1,48 @@
+// Cross-trial aggregation for repeated-seed experiments.
+//
+// The matrix runner replays every (algorithm × topology) cell over several
+// independently-seeded trials; this module reduces each headline metric's
+// per-trial samples into mean ± stddev (plus min/max), which is what the
+// paper's error bars and the golden-metrics gate both consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace asap::metrics {
+
+/// One aggregated metric across trials. stddev is the population standard
+/// deviation (denominator n, matching RunningStats); 0 for a single trial.
+struct MetricSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+MetricSummary summarize(const RunningStats& s);
+
+/// Accumulates a fixed set of named metrics over repeated trials,
+/// preserving first-insertion order (so reports and JSON stay stable).
+class TrialAggregator {
+ public:
+  void add(std::string_view name, double value);
+
+  /// Number of samples for the named metric (0 when unknown).
+  std::uint64_t count(std::string_view name) const;
+
+  /// All metrics in first-insertion order.
+  std::vector<std::pair<std::string, MetricSummary>> summaries() const;
+
+ private:
+  // Linear scan: a cell aggregates ~10 metrics, far below map break-even.
+  std::vector<std::pair<std::string, RunningStats>> metrics_;
+};
+
+}  // namespace asap::metrics

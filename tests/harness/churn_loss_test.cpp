@@ -76,12 +76,60 @@ TEST_F(ChurnLossTest, LossDegradesFloodingMoreThanAsap) {
 
 TEST_F(ChurnLossTest, LossOptionValidated) {
   RunOptions bad;
-  bad.message_loss = 1.0;
+  bad.message_loss = 1.001;
   EXPECT_THROW(run_experiment(*world_, AlgoKind::kFlooding, bad),
                ConfigError);
   bad.message_loss = -0.1;
   EXPECT_THROW(run_experiment(*world_, AlgoKind::kFlooding, bad),
                ConfigError);
+}
+
+TEST_F(ChurnLossTest, ZeroLossReproducesTheLossFreeDigestBitForBit) {
+  // loss=0.0 must not even touch the RNG (transmission_lost()
+  // short-circuits), so the digest matches the default run exactly.
+  RunOptions zero_loss;
+  zero_loss.message_loss = 0.0;
+  for (const auto kind : {AlgoKind::kFlooding, AlgoKind::kAsapRw}) {
+    const auto plain = run_experiment(*world_, kind);
+    const auto lossy = run_experiment(*world_, kind, zero_loss);
+    EXPECT_EQ(plain.digest, lossy.digest) << algo_name(kind);
+    EXPECT_EQ(plain.engine_events, lossy.engine_events) << algo_name(kind);
+  }
+}
+
+TEST_F(ChurnLossTest, TotalLossTerminatesAndAuditsClean) {
+  // loss=1.0 is a valid blackout scenario: every transmission is dropped,
+  // but senders still pay for each attempt, budgets still burn down, and
+  // the run must reach the horizon with conservation intact.
+  RunOptions blackout;
+  blackout.message_loss = 1.0;
+  blackout.audit = true;
+  for (const auto kind : kAllAlgos) {
+    const auto res = run_experiment(*world_, kind, blackout);
+    EXPECT_EQ(res.search.total(), world_->trace.num_queries)
+        << algo_name(kind);
+    EXPECT_TRUE(res.audited) << algo_name(kind);
+    EXPECT_EQ(res.audit_violations, 0u)
+        << algo_name(kind) << ": "
+        << (res.audit_messages.empty() ? "" : res.audit_messages.front());
+    // Nothing ever crosses the network — warm-up ad dissemination is
+    // lossy too, so even ASAP's caches stay empty and no search succeeds.
+    EXPECT_DOUBLE_EQ(res.search.success_rate(), 0.0) << algo_name(kind);
+  }
+}
+
+TEST_F(ChurnLossTest, IntermediateLossIsDeterministicUnderAFixedSeed) {
+  RunOptions lossy;
+  lossy.message_loss = 0.37;
+  const auto a = run_experiment(*world_, AlgoKind::kAsapRw, lossy);
+  const auto b = run_experiment(*world_, AlgoKind::kAsapRw, lossy);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.engine_events, b.engine_events);
+  EXPECT_DOUBLE_EQ(a.search.success_rate(), b.search.success_rate());
+  // And the loss dice are really being rolled: the digest differs from
+  // the loss-free stream.
+  const auto clean = run_experiment(*world_, AlgoKind::kAsapRw);
+  EXPECT_NE(a.digest, clean.digest);
 }
 
 }  // namespace

@@ -81,5 +81,85 @@ TEST(Liveness, SeriesIgnoresTransitionsBeyondHorizon) {
   for (double v : s) EXPECT_DOUBLE_EQ(v, 4.0);
 }
 
+TEST(Liveness, SeriesTransitionExactlyOnBucketBoundary) {
+  Liveness l(10, 10);
+  // A transition at exactly t=2.0 contributes nothing to bucket [1,2):
+  // the old count covers that bucket fully, the new count owns [2,3).
+  l.set_online(0, false, 2.0);
+  const auto s = l.live_count_series(4.0);
+  EXPECT_DOUBLE_EQ(s[0], 10.0);
+  EXPECT_DOUBLE_EQ(s[1], 10.0);
+  EXPECT_DOUBLE_EQ(s[2], 9.0);
+  EXPECT_DOUBLE_EQ(s[3], 9.0);
+}
+
+TEST(Liveness, SeriesBoundaryJoinAndLeaveAtSameInstant) {
+  Liveness l(4, 2);
+  // Leave and join at the same boundary instant cancel out from t=1 on.
+  l.set_online(0, false, 1.0);
+  l.set_online(2, true, 1.0);
+  const auto s = l.live_count_series(3.0);
+  EXPECT_DOUBLE_EQ(s[0], 2.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_DOUBLE_EQ(s[2], 2.0);
+}
+
+TEST(Liveness, SeriesExtendsPastLastTransition) {
+  Liveness l(8, 8);
+  l.set_online(0, false, 1.5);
+  // Horizon far beyond the last transition: the tail holds the final count.
+  const auto s = l.live_count_series(100.0);
+  ASSERT_EQ(s.size(), 100u);
+  EXPECT_DOUBLE_EQ(s[0], 8.0);
+  EXPECT_DOUBLE_EQ(s[1], 7.5);
+  for (std::size_t b = 2; b < s.size(); ++b) EXPECT_DOUBLE_EQ(s[b], 7.0);
+}
+
+TEST(Liveness, SeriesFractionalHorizonRoundsUpToWholeBucket) {
+  Liveness l(4, 4);
+  const auto s = l.live_count_series(2.25);
+  // ceil(2.25) = 3 buckets; the partial last bucket integrates as a full
+  // one (no transitions, so it still averages the constant count).
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[2], 4.0);
+}
+
+TEST(Liveness, GrowMidRunKeepsSeriesConsistent) {
+  Liveness l(3, 3);
+  l.set_online(1, false, 1.0);  // 2 live
+  l.grow(6);                    // new slots offline, count unchanged
+  EXPECT_EQ(l.live_count(), 2u);
+  l.set_online(4, true, 3.0);   // a grown slot joins: 3 live
+  l.set_online(5, true, 3.5);   // 4 live
+  const auto s = l.live_count_series(5.0);
+  EXPECT_DOUBLE_EQ(s[0], 3.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_DOUBLE_EQ(s[2], 2.0);
+  EXPECT_DOUBLE_EQ(s[3], 3.5);  // +1 at 3.0, +1 at 3.5 -> avg 3.5
+  EXPECT_DOUBLE_EQ(s[4], 4.0);
+}
+
+TEST(Liveness, IdempotentSetOnlineDoesNotSkewSeries) {
+  Liveness expected(5, 5);
+  expected.set_online(0, false, 1.0);
+  expected.set_online(0, true, 3.0);
+
+  Liveness noisy(5, 5);
+  noisy.set_online(2, true, 0.5);   // already online: must record nothing
+  noisy.set_online(0, false, 1.0);
+  noisy.set_online(0, false, 1.5);  // already offline: must record nothing
+  noisy.set_online(0, false, 2.0);  // and again
+  noisy.set_online(0, true, 3.0);
+  noisy.set_online(0, true, 3.25);  // already online again
+
+  const auto want = expected.live_count_series(5.0);
+  const auto got = noisy.live_count_series(5.0);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t b = 0; b < want.size(); ++b) {
+    EXPECT_DOUBLE_EQ(got[b], want[b]) << "bucket " << b;
+  }
+  EXPECT_EQ(noisy.live_count(), expected.live_count());
+}
+
 }  // namespace
 }  // namespace asap::sim

@@ -7,6 +7,7 @@
 //   asap_sim --algo asap-rw,flooding --topology crawled --queries 4000
 //   asap_sim --preset paper --algo all --jobs 4 --csv results.csv
 //   asap_sim --algo asap-rw --m0 1500 --refresh-period 60 --hops 2
+//   asap_sim --matrix --algo all --trials 8 --jobs 8 --json results.json
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -16,6 +17,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "harness/matrix_runner.hpp"
 #include "harness/replay.hpp"
 #include "harness/world.hpp"
 
@@ -34,6 +36,11 @@ struct CliArgs {
   std::size_t jobs = 0;
   std::string csv_path;
   bool audit = false;
+
+  // Matrix mode (harness/matrix_runner.hpp).
+  bool matrix = false;
+  std::uint32_t trials = 1;
+  std::string json_path;
 
   // ASAP overrides (applied to every ASAP variant in the run).
   std::optional<std::uint64_t> m0;
@@ -85,6 +92,14 @@ void print_usage() {
   --csv FILE                  also write results as CSV
   --audit                     run the simulation invariant auditor; any
                               violation is reported and exits nonzero
+
+Matrix mode (repeated-seed sweeps, results.json):
+  --matrix                    fan (algo x topology x trial) out across the
+                              pool and report mean +/- stddev over trials;
+                              trial k runs with seed ^ trial_seed_salt(k)
+  --trials N                  trials per cell (default 1)
+  --json FILE                 write machine-readable results
+                              (schema: docs/RESULTS_SCHEMA.md)
 
 ASAP protocol overrides:
   --m0 N                      ad budget unit M0
@@ -150,6 +165,12 @@ CliArgs parse(int argc, char** argv) {
       args.csv_path = next();
     } else if (flag == "--audit") {
       args.audit = true;
+    } else if (flag == "--matrix") {
+      args.matrix = true;
+    } else if (flag == "--trials") {
+      args.trials = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (flag == "--json") {
+      args.json_path = next();
     } else if (flag == "--m0") {
       args.m0 = std::stoull(next());
     } else if (flag == "--refresh-period") {
@@ -184,11 +205,89 @@ harness::RunOptions options_for(const CliArgs& args, harness::AlgoKind kind) {
   return opts;
 }
 
+/// "12.3±4.5"-style cell for the aggregate table.
+std::string pm(const asap::metrics::MetricSummary& s, double scale,
+               int precision) {
+  return TextTable::num(scale * s.mean, precision) + "±" +
+         TextTable::num(scale * s.stddev, precision);
+}
+
+const asap::metrics::MetricSummary& metric(
+    const harness::CellAggregate& cell, const std::string& name) {
+  for (const auto& [k, v] : cell.metrics) {
+    if (k == name) return v;
+  }
+  throw InvariantError("matrix cell is missing metric " + name);
+}
+
+int run_matrix_mode(const CliArgs& args) {
+  harness::MatrixSpec spec;
+  spec.preset = args.preset;
+  spec.topologies = args.topologies;
+  spec.algos = args.algos;
+  spec.seed = args.seed;
+  spec.trials = args.trials;
+  spec.jobs = args.jobs;
+  spec.queries = args.queries;
+  spec.options.audit = args.audit;
+  spec.options_for = [&args](harness::AlgoKind kind) {
+    return options_for(args, kind);
+  };
+  spec.verbose = true;
+
+  const auto result = harness::run_matrix(spec);
+
+  TextTable table({"topology", "algorithm", "trials", "success %",
+                   "resp ms", "cost/search", "load B/node/s", "digest[0]"});
+  for (const auto& cell : result.cells) {
+    table.add_row({harness::topology_name(cell.topology),
+                   harness::algo_name(cell.algo),
+                   std::to_string(cell.trials),
+                   pm(metric(cell, "success_rate"), 100.0, 1),
+                   pm(metric(cell, "avg_response_s"), 1e3, 1),
+                   pm(metric(cell, "avg_cost_bytes"), 1.0, 0),
+                   pm(metric(cell, "load_mean_Bps"), 1.0, 1),
+                   asap::json::hex_u64(cell.digests.front())});
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nmatrix digest " << asap::json::hex_u64(result.matrix_digest)
+            << " (" << result.trials.size() << " trials, "
+            << TextTable::num(result.wall_seconds, 1) << " s wall)\n";
+
+  if (!args.json_path.empty()) {
+    std::ofstream json_out(args.json_path);
+    if (!json_out) throw ConfigError("cannot write " + args.json_path);
+    harness::write_results_json(result, json_out);
+    std::cout << "wrote " << args.json_path << '\n';
+  }
+
+  std::uint64_t total_violations = 0;
+  for (const auto& run : result.trials) {
+    if (!run.result.audited || run.result.audit_violations == 0) continue;
+    total_violations += run.result.audit_violations;
+    std::cerr << "audit: " << run.result.audit_violations
+              << " violation(s) in " << run.result.algo << " on "
+              << harness::topology_name(run.topology) << " trial "
+              << run.trial << '\n';
+    for (const auto& msg : run.result.audit_messages) {
+      std::cerr << "  - " << msg << '\n';
+    }
+  }
+  if (total_violations > 0) {
+    std::cerr << "audit failed: " << total_violations
+              << " total violation(s)\n";
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const CliArgs args = parse(argc, argv);
+    if (args.matrix) return run_matrix_mode(args);
 
     struct Row {
       harness::TopologyKind topo;
