@@ -6,51 +6,66 @@
 
 namespace asap::ads {
 
-AdCache::AdCache(std::uint32_t capacity) : capacity_(capacity) {
-  ASAP_REQUIRE(capacity >= 1, "ad cache capacity must be positive");
-}
+AdCache::AdCache(std::uint32_t capacity) : capacity_(capacity) {}
 
-void AdCache::put(AdPayloadPtr ad, double now, Rng& rng) {
+AdCache::PutResult AdCache::put(AdPayloadPtr ad, double now, Rng& rng) {
   ASAP_DCHECK(ad != nullptr);
+  // Capacity 0 = caching disabled: nothing is stored, nothing is evicted,
+  // and no randomness is consumed.
+  if (capacity_ == 0) return {};
   const NodeId src = ad->source;
   if (auto it = pos_.find(src); it != pos_.end()) {
     auto& entry = entries_[it->second].second;
+    PutResult r;
     // Never downgrade to an older version (walk revisits can deliver the
     // same ad twice; late full ads can race a newer patch).
-    if (ad->version >= entry.ad->version) entry.ad = std::move(ad);
+    if (ad->version >= entry.ad->version) {
+      entry.ad = std::move(ad);
+      r.stored = true;
+    }
     entry.touch = now;
-    return;
+    return r;
   }
-  if (entries_.size() >= capacity_) evict_one(rng);
+  PutResult r;
+  if (entries_.size() >= capacity_) {
+    evict_one(rng);
+    r.evicted = true;
+  }
   pos_.emplace(src, static_cast<std::uint32_t>(entries_.size()));
   entries_.emplace_back(src, Entry{std::move(ad), now});
+  r.stored = true;
+  return r;
 }
 
-bool AdCache::apply_patch(NodeId source, std::uint32_t base_version,
-                          const AdPayloadPtr& next, double now) {
+UpdateOutcome AdCache::apply_patch(NodeId source, std::uint32_t base_version,
+                                   const AdPayloadPtr& next, double now) {
   auto it = pos_.find(source);
-  if (it == pos_.end()) return false;  // never cached; nothing to patch
+  if (it == pos_.end()) return UpdateOutcome::kMissing;
   auto& entry = entries_[it->second].second;
   if (entry.ad->version == base_version) {
     entry.ad = next;
     entry.touch = now;
-    return true;
+    return UpdateOutcome::kApplied;
   }
-  if (entry.ad->version >= next->version) return false;  // already newer
+  if (entry.ad->version >= next->version) return UpdateOutcome::kIgnoredStale;
   erase_at(it->second);  // stale beyond repair
-  return false;
+  return UpdateOutcome::kInvalidated;
 }
 
-bool AdCache::on_refresh(NodeId source, std::uint32_t version, double now) {
+UpdateOutcome AdCache::on_refresh(NodeId source, std::uint32_t version,
+                                  double now) {
   auto it = pos_.find(source);
-  if (it == pos_.end()) return false;
+  if (it == pos_.end()) return UpdateOutcome::kMissing;
   auto& entry = entries_[it->second].second;
   if (entry.ad->version == version) {
     entry.touch = now;
-    return true;
+    return UpdateOutcome::kApplied;
   }
-  if (entry.ad->version < version) erase_at(it->second);
-  return false;
+  if (entry.ad->version < version) {
+    erase_at(it->second);
+    return UpdateOutcome::kInvalidated;
+  }
+  return UpdateOutcome::kIgnoredStale;
 }
 
 bool AdCache::erase(NodeId source) {
@@ -84,6 +99,19 @@ void AdCache::evict_one(Rng& rng) {
   if (entries_.empty()) return;
   // Sampled LRU: evict the stalest of up to 8 random entries.
   constexpr std::size_t kSamples = 8;
+  if (entries_.size() <= kSamples) {
+    // The sample budget covers the whole cache: scan it exactly. Random
+    // sampling here would draw duplicates and could miss the true LRU
+    // entry (and would burn RNG draws for nothing).
+    std::size_t victim = 0;
+    for (std::size_t idx = 1; idx < entries_.size(); ++idx) {
+      if (entries_[idx].second.touch < entries_[victim].second.touch) {
+        victim = idx;
+      }
+    }
+    erase_at(victim);
+    return;
+  }
   std::size_t victim = rng.below(entries_.size());
   double oldest = entries_[victim].second.touch;
   for (std::size_t s = 1; s < kSamples; ++s) {

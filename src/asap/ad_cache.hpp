@@ -26,6 +26,14 @@
 
 namespace asap::ads {
 
+/// Outcome of a version-disciplined cache update (patch or refresh).
+enum class UpdateOutcome : std::uint8_t {
+  kApplied,       ///< patch applied / refresh touched a matching entry
+  kMissing,       ///< source not cached; nothing to update
+  kIgnoredStale,  ///< cached entry already newer; message ignored
+  kInvalidated,   ///< stale-beyond-repair entry erased
+};
+
 class AdCache {
  public:
   struct Entry {
@@ -33,23 +41,34 @@ class AdCache {
     double touch = 0.0;  // virtual time of last use
   };
 
+  /// What a put() did, so callers can count stores and evictions.
+  struct PutResult {
+    bool stored = false;   ///< payload inserted or replaced an older one
+    bool evicted = false;  ///< another source's entry was evicted for room
+  };
+
+  /// @param capacity  maximum entries; 0 disables caching entirely (every
+  ///                  put is a silent no-op — useful for ablations).
   explicit AdCache(std::uint32_t capacity = 1'500);
 
   std::uint32_t capacity() const { return capacity_; }
   std::size_t size() const { return entries_.size(); }
 
   /// Inserts or replaces the ad for its source; evicts if over capacity.
-  void put(AdPayloadPtr ad, double now, Rng& rng);
+  /// A stale version for an already-cached source only touches the entry
+  /// (stored stays false).
+  PutResult put(AdPayloadPtr ad, double now, Rng& rng);
 
   /// Applies a patch: swaps to `next` iff the cached version equals
-  /// `base_version`. Returns true on success; a version mismatch erases
-  /// the stale entry and returns false.
-  bool apply_patch(NodeId source, std::uint32_t base_version,
-                   const AdPayloadPtr& next, double now);
+  /// `base_version` (kApplied). Any other version mismatch either keeps a
+  /// newer entry (kIgnoredStale) or erases the stale one (kInvalidated).
+  UpdateOutcome apply_patch(NodeId source, std::uint32_t base_version,
+                            const AdPayloadPtr& next, double now);
 
-  /// Handles a refresh beacon. Returns true if a version-matching entry
-  /// was touched; a mismatching entry is erased.
-  bool on_refresh(NodeId source, std::uint32_t version, double now);
+  /// Handles a refresh beacon: touches a version-matching entry
+  /// (kApplied), erases one older than the beacon (kInvalidated), ignores
+  /// a delayed beacon for a newer entry (kIgnoredStale).
+  UpdateOutcome on_refresh(NodeId source, std::uint32_t version, double now);
 
   bool erase(NodeId source);
   const Entry* find(NodeId source) const;

@@ -39,7 +39,8 @@ AsapParams AsapParams::small(search::Scheme s) {
 AsapProtocol::AsapProtocol(search::Ctx& ctx, AsapParams params)
     : ctx_(ctx), params_(params) {
   ASAP_REQUIRE(params.budget_unit_m0 >= 1, "M0 must be positive");
-  ASAP_REQUIRE(params.cache_capacity >= 1, "cache capacity must be positive");
+  // cache_capacity 0 is allowed: AdCache treats it as caching disabled,
+  // which is a useful ablation (ASAP degenerates toward its walk baseline).
   const auto slots = ctx.model.total_node_slots();
   advertisers_.reserve(slots);
   caches_.reserve(slots);
@@ -105,14 +106,27 @@ void AsapProtocol::deliver_ad(NodeId src, AdKind kind, Seconds when,
     }
     AdCache& cache = caches_[v];
     switch (kind) {
-      case AdKind::kFull:
-        cache.put(payload, t, ctx_.rng);
+      case AdKind::kFull: {
+        const auto r = cache.put(payload, t, ctx_.rng);
+        if (r.stored) ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(v));
+        if (r.evicted) ASAP_OBS_HOOK(ctx_.obs, on_ad_evicted(v));
         break;
-      case AdKind::kPatch:
-        cache.apply_patch(src, base_version, payload, t);
+      }
+      case AdKind::kPatch: {
+        const auto outcome = cache.apply_patch(src, base_version, payload, t);
+        if (outcome == UpdateOutcome::kApplied) {
+          ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(v));
+        } else if (outcome == UpdateOutcome::kInvalidated) {
+          ASAP_OBS_HOOK(ctx_.obs, on_ad_invalidated(v));
+        }
         break;
+      }
       case AdKind::kRefresh: {
-        const bool had = cache.on_refresh(src, payload->version, t);
+        const auto outcome = cache.on_refresh(src, payload->version, t);
+        if (outcome == UpdateOutcome::kInvalidated) {
+          ASAP_OBS_HOOK(ctx_.obs, on_ad_invalidated(v));
+        }
+        const bool had = outcome == UpdateOutcome::kApplied;
         if (!had && params_.refresh_pull) {
           // Extension: pull the full ad straight from the source.
           const Seconds done = t + 2.0 * ctx_.latency(v, src);
@@ -125,7 +139,9 @@ void AsapProtocol::deliver_ad(NodeId src, AdKind kind, Seconds when,
           ASAP_AUDIT_HOOK(ctx_.auditor,
                           on_send(sim::Traffic::kFullAd, pull_bytes));
           ctx_.ledger.deposit(done, sim::Traffic::kFullAd, pull_bytes);
-          cache.put(payload, done, ctx_.rng);
+          const auto r = cache.put(payload, done, ctx_.rng);
+          if (r.stored) ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(v));
+          if (r.evicted) ASAP_OBS_HOOK(ctx_.obs, on_ad_evicted(v));
           ++counters_.refresh_pulls;
         }
         break;
@@ -136,11 +152,12 @@ void AsapProtocol::deliver_ad(NodeId src, AdKind kind, Seconds when,
     return search::VisitAction::kContinue;
   };
 
+  search::PropagationStats prop;
   switch (params_.scheme) {
     case search::Scheme::kFlooding: {
       const auto ttl = kind == AdKind::kRefresh ? params_.refresh_flood_ttl
                                                 : params_.flood_ttl;
-      search::flood(ctx_, src, when, ttl, msg_size, cat, visit);
+      prop = search::flood(ctx_, src, when, ttl, msg_size, cat, visit);
       break;
     }
     case search::Scheme::kRandomWalk: {
@@ -156,22 +173,24 @@ void AsapProtocol::deliver_ad(NodeId src, AdKind kind, Seconds when,
                      ? params_.interest_bias
                      : 1.0;
         };
-        search::biased_walk(ctx_, src, when,
-                            static_cast<std::uint32_t>(walkers), per_walker,
-                            msg_size, cat, weight, visit);
+        prop = search::biased_walk(ctx_, src, when,
+                                   static_cast<std::uint32_t>(walkers),
+                                   per_walker, msg_size, cat, weight, visit);
       } else {
-        search::random_walk(ctx_, src, when,
-                            static_cast<std::uint32_t>(walkers), per_walker,
-                            msg_size, cat, visit);
+        prop = search::random_walk(ctx_, src, when,
+                                   static_cast<std::uint32_t>(walkers),
+                                   per_walker, msg_size, cat, visit);
       }
       break;
     }
     case search::Scheme::kGsa: {
       const auto budget = delivery_budget(payload->topics.size(), scale);
-      search::gsa(ctx_, src, when, budget, msg_size, cat, visit);
+      prop = search::gsa(ctx_, src, when, budget, msg_size, cat, visit);
       break;
     }
   }
+  ASAP_OBS_HOOK(ctx_.obs, trace_ad(when, src, ad_kind_name(kind),
+                                   prop.messages, prop.bytes));
 }
 
 void AsapProtocol::warm_up(Seconds duration) {
@@ -324,12 +343,15 @@ Seconds AsapProtocol::confirm_round(NodeId p, Seconds start,
                                           ctx_.sizes.confirm_request));
     ctx_.ledger.deposit(t_req, sim::Traffic::kConfirm,
                         ctx_.sizes.confirm_request);
+    ASAP_OBS_HOOK(ctx_.obs, on_confirm_sent(p));
     rec.cost_bytes += ctx_.sizes.confirm_request;
     ++rec.messages;
     if (!ctx_.online(s)) {
       // Connection failure: the requester learns after ~1 RTT and drops
       // the dead entry from its cache.
       ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_timeout());
+      ASAP_OBS_HOOK(ctx_.obs, on_confirm_timed_out(p));
+      ASAP_OBS_HOOK(ctx_.obs, trace_confirm(t_req, p, s, "timeout"));
       resolve = std::max(resolve, start + 2.0 * lat);
       caches_[p].erase(s);
       dead_sources.push_back(s);
@@ -348,6 +370,10 @@ Seconds AsapProtocol::confirm_round(NodeId p, Seconds start,
       best = std::min(best, t_reply);
       caches_[p].touch(s, t_reply);
       ++rec.results;
+      ASAP_OBS_HOOK(ctx_.obs, on_confirm_positive(p));
+      ASAP_OBS_HOOK(ctx_.obs, trace_confirm(t_reply, p, s, "positive"));
+    } else {
+      ASAP_OBS_HOOK(ctx_.obs, trace_confirm(t_reply, p, s, "negative"));
     }
     // A negative confirmation (cross-document or Bloom false positive)
     // keeps the entry: the ad honestly summarizes the source's content.
@@ -392,7 +418,9 @@ Seconds AsapProtocol::ads_request_phase(
           skip_sources.end()) {
         continue;  // the requester just saw this source dead
       }
-      caches_[p].put(ad, t_back, ctx_.rng);
+      const auto r = caches_[p].put(ad, t_back, ctx_.rng);
+      if (r.stored) ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(p));
+      if (r.evicted) ASAP_OBS_HOOK(ctx_.obs, on_ad_evicted(p));
       ASAP_AUDIT_HOOK(ctx_.auditor,
                       on_cache_occupancy(caches_[p].size(),
                                          params_.cache_capacity));
@@ -465,6 +493,10 @@ void AsapProtocol::run_query(const trace::TraceEvent& ev) {
   rec.success = best < kInfTime;
   rec.local_hit = local_success;
   rec.response_time = rec.success ? best - t0 : 0.0;
+  ASAP_OBS_HOOK(ctx_.obs,
+                trace_query(t0, p, rec.success, rec.local_hit,
+                            rec.response_time, rec.cost_bytes, rec.messages,
+                            rec.results));
   stats_.add(rec);
 }
 

@@ -174,15 +174,28 @@ void SuperpeerAsap::publish(NodeId source, AdKind kind, Seconds when,
   auto apply_at = [&](NodeId sp, Seconds t) {
     AdCache& cache = caches_[sp];
     switch (kind) {
-      case AdKind::kFull:
-        cache.put(payload, t, ctx_.rng);
+      case AdKind::kFull: {
+        const auto r = cache.put(payload, t, ctx_.rng);
+        if (r.stored) ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(sp));
+        if (r.evicted) ASAP_OBS_HOOK(ctx_.obs, on_ad_evicted(sp));
         break;
-      case AdKind::kPatch:
-        cache.apply_patch(source, base, payload, t);
+      }
+      case AdKind::kPatch: {
+        const auto outcome = cache.apply_patch(source, base, payload, t);
+        if (outcome == UpdateOutcome::kApplied) {
+          ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(sp));
+        } else if (outcome == UpdateOutcome::kInvalidated) {
+          ASAP_OBS_HOOK(ctx_.obs, on_ad_invalidated(sp));
+        }
         break;
-      case AdKind::kRefresh:
-        cache.on_refresh(source, payload->version, t);
+      }
+      case AdKind::kRefresh: {
+        const auto outcome = cache.on_refresh(source, payload->version, t);
+        if (outcome == UpdateOutcome::kInvalidated) {
+          ASAP_OBS_HOOK(ctx_.obs, on_ad_invalidated(sp));
+        }
         break;
+      }
     }
     ASAP_AUDIT_HOOK(ctx_.auditor,
                     on_cache_occupancy(cache.size(), params_.cache_capacity));
@@ -197,28 +210,31 @@ void SuperpeerAsap::publish(NodeId source, AdKind kind, Seconds when,
     apply_at(sp, t);
     return search::VisitAction::kContinue;
   };
+  search::PropagationStats prop;
   switch (params_.scheme) {
     case search::Scheme::kFlooding:
-      search::flood(ctx_, entry, start, params_.flood_ttl, msg_size, cat,
-                    visit);
+      prop = search::flood(ctx_, entry, start, params_.flood_ttl, msg_size,
+                           cat, visit);
       break;
     case search::Scheme::kRandomWalk: {
       const auto budget = delivery_budget(payload->topics.size(), scale);
       const auto walkers = std::max<std::uint64_t>(
           params_.walkers,
           (budget + params_.max_walk_hops - 1) / params_.max_walk_hops);
-      search::random_walk(ctx_, entry, start,
-                          static_cast<std::uint32_t>(walkers),
-                          std::max<std::uint64_t>(1, budget / walkers),
-                          msg_size, cat, visit);
+      prop = search::random_walk(ctx_, entry, start,
+                                 static_cast<std::uint32_t>(walkers),
+                                 std::max<std::uint64_t>(1, budget / walkers),
+                                 msg_size, cat, visit);
       break;
     }
     case search::Scheme::kGsa:
-      search::gsa(ctx_, entry, start,
-                  delivery_budget(payload->topics.size(), scale), msg_size,
-                  cat, visit);
+      prop = search::gsa(ctx_, entry, start,
+                         delivery_budget(payload->topics.size(), scale),
+                         msg_size, cat, visit);
       break;
   }
+  ASAP_OBS_HOOK(ctx_.obs, trace_ad(when, source, ad_kind_name(kind),
+                                   prop.messages, prop.bytes));
 }
 
 void SuperpeerAsap::warm_up(Seconds duration) {
@@ -351,10 +367,13 @@ Seconds SuperpeerAsap::confirm_round(
                                           ctx_.sizes.confirm_request));
     ctx_.ledger.deposit(t_req, sim::Traffic::kConfirm,
                         ctx_.sizes.confirm_request);
+    ASAP_OBS_HOOK(ctx_.obs, on_confirm_sent(requester));
     rec.cost_bytes += ctx_.sizes.confirm_request;
     ++rec.messages;
     if (!ctx_.online(s)) {
       ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_timeout());
+      ASAP_OBS_HOOK(ctx_.obs, on_confirm_timed_out(requester));
+      ASAP_OBS_HOOK(ctx_.obs, trace_confirm(t_req, requester, s, "timeout"));
       resolve = std::max(resolve, start + 2.0 * lat);
       continue;  // the proxy's cache entry ages out via refresh gaps
     }
@@ -370,6 +389,12 @@ Seconds SuperpeerAsap::confirm_round(
     if (ctx_.live.node_matches(s, terms, ctx_.model)) {
       best = std::min(best, t_reply);
       ++rec.results;
+      ASAP_OBS_HOOK(ctx_.obs, on_confirm_positive(requester));
+      ASAP_OBS_HOOK(ctx_.obs,
+                    trace_confirm(t_reply, requester, s, "positive"));
+    } else {
+      ASAP_OBS_HOOK(ctx_.obs,
+                    trace_confirm(t_reply, requester, s, "negative"));
     }
   }
   return best;
@@ -403,7 +428,9 @@ Seconds SuperpeerAsap::ads_request_phase(
     }
     done = std::max(done, t_back);
     for (auto& ad : reply_scratch_) {
-      caches_[sp].put(ad, t_back, ctx_.rng);
+      const auto r = caches_[sp].put(ad, t_back, ctx_.rng);
+      if (r.stored) ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(sp));
+      if (r.evicted) ASAP_OBS_HOOK(ctx_.obs, on_ad_evicted(sp));
       ASAP_AUDIT_HOOK(ctx_.auditor,
                       on_cache_occupancy(caches_[sp].size(),
                                          params_.cache_capacity));
@@ -448,7 +475,10 @@ void SuperpeerAsap::run_query(const trace::TraceEvent& ev) {
       proxy_[r] = proxy;
     }
     if (proxy == kInvalidNode) {
-      stats_.add(rec);  // no live superpeer: the search fails outright
+      // No live superpeer: the search fails outright.
+      ASAP_OBS_HOOK(ctx_.obs, trace_query(ev.time, r, false, false, 0.0,
+                                          rec.cost_bytes, rec.messages, 0));
+      stats_.add(rec);
       return;
     }
     sp = proxy;
@@ -503,6 +533,10 @@ void SuperpeerAsap::run_query(const trace::TraceEvent& ev) {
   rec.success = best < kInfTime;
   rec.local_hit = local;
   rec.response_time = rec.success ? best - ev.time : 0.0;
+  ASAP_OBS_HOOK(ctx_.obs,
+                trace_query(ev.time, r, rec.success, rec.local_hit,
+                            rec.response_time, rec.cost_bytes, rec.messages,
+                            rec.results));
   stats_.add(rec);
 }
 

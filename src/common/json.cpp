@@ -193,12 +193,48 @@ void write_value(const Value& v, int depth, std::string& out) {
   }
 }
 
+void write_value_compact(const Value& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    write_number(v.as_double(), out);
+  } else if (v.is_string()) {
+    write_string(v.as_string(), out);
+  } else if (v.is_array()) {
+    const Array& a = v.as_array();
+    out += '[';
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i > 0) out += ',';
+      write_value_compact(a[i], out);
+    }
+    out += ']';
+  } else {
+    const Object& o = v.as_object();
+    out += '{';
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      if (i > 0) out += ',';
+      write_string(o[i].first, out);
+      out += ':';
+      write_value_compact(o[i].second, out);
+    }
+    out += '}';
+  }
+}
+
 }  // namespace
 
 std::string dump(const Value& v) {
   std::string out;
   write_value(v, 0, out);
   out += '\n';
+  return out;
+}
+
+std::string dump_compact(const Value& v) {
+  std::string out;
+  write_value_compact(v, out);
   return out;
 }
 

@@ -78,6 +78,10 @@ std::string hex_u64(std::uint64_t v);
 /// Serializes with 2-space indentation and a trailing newline at top level.
 std::string dump(const Value& v);
 
+/// Serializes onto a single line with no whitespace and no trailing
+/// newline — the JSONL form the trace sink emits one record per line.
+std::string dump_compact(const Value& v);
+
 /// Parses a complete JSON document; throws ConfigError with position info
 /// on malformed input or trailing garbage.
 Value parse(std::string_view text);

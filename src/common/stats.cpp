@@ -35,10 +35,19 @@ void RunningStats::merge(const RunningStats& other) {
 
 double RunningStats::variance() const {
   if (n_ < 2) return 0.0;
-  return m2_ / static_cast<double>(n_);
+  return m2_ / static_cast<double>(n_ - 1);
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::population_variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::population_stddev() const {
+  return std::sqrt(population_variance());
+}
 
 Histogram::Histogram(double lo, double hi, std::uint32_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / bins), counts_(bins, 0) {
@@ -47,11 +56,20 @@ Histogram::Histogram(double lo, double hi, std::uint32_t bins)
 }
 
 void Histogram::add(double x, std::uint64_t weight) {
-  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
-  idx = std::clamp<std::int64_t>(idx, 0,
-                                 static_cast<std::int64_t>(counts_.size()) - 1);
-  counts_[static_cast<std::size_t>(idx)] += weight;
   total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  // Floating-point division can round x just under hi_ up to bins(); keep
+  // such samples in the last bin rather than walking off the array.
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  counts_[idx] += weight;
 }
 
 double Histogram::bin_lo(std::uint32_t i) const {

@@ -15,9 +15,16 @@ class RunningStats {
 
   std::uint64_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
-  /// Population variance (denominator n); 0 for fewer than 2 samples.
+  /// Bessel-corrected sample variance (denominator n-1) — the unbiased
+  /// estimator appropriate when the samples are trials drawn from a wider
+  /// population, which is how aggregate.hpp summarizes per-trial metrics.
+  /// 0 for fewer than 2 samples.
   double variance() const;
   double stddev() const;
+  /// Population variance (denominator n), for when the samples ARE the
+  /// whole population — e.g. every per-second bucket of a load series.
+  double population_variance() const;
+  double population_stddev() const;
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
   double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
@@ -30,8 +37,10 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Fixed-width linear histogram over [lo, hi); out-of-range samples clamp to
-/// the boundary bins so totals are preserved.
+/// Fixed-width linear histogram over [lo, hi). Out-of-range samples are
+/// tallied in dedicated underflow/overflow cells rather than clamped into
+/// the boundary bins, so the edge bins report only genuinely in-range
+/// samples; total() still counts everything.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::uint32_t bins);
@@ -42,12 +51,20 @@ class Histogram {
   std::uint64_t bin_count(std::uint32_t i) const { return counts_.at(i); }
   double bin_lo(std::uint32_t i) const;
   double bin_hi(std::uint32_t i) const { return bin_lo(i + 1); }
+  /// Weight of samples below lo / at-or-above hi.
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  /// Weight of samples that landed in a bin (excludes under/overflow).
+  std::uint64_t in_range() const { return total_ - underflow_ - overflow_; }
+  /// Everything ever added, in range or not.
   std::uint64_t total() const { return total_; }
 
  private:
   double lo_, hi_, width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 /// Exact percentile of a sample vector (q in [0,1], linear interpolation).

@@ -16,11 +16,9 @@ namespace asap::harness {
 std::vector<std::pair<std::string, double>> headline_metrics(
     const RunResult& r) {
   const auto& s = r.search;
-  double p50 = 0.0, p95 = 0.0;
-  if (!s.response_samples().empty()) {
-    p50 = percentile(s.response_samples(), 0.50);
-    p95 = percentile(s.response_samples(), 0.95);
-  }
+  // response_percentile is defined (0.0) for runs with zero successes.
+  const double p50 = s.response_percentile(0.50);
+  const double p95 = s.response_percentile(0.95);
   return {
       {"success_rate", s.success_rate()},
       {"avg_response_s", s.avg_response_time()},
@@ -41,6 +39,11 @@ MatrixResult run_matrix(const MatrixSpec& spec) {
   ASAP_REQUIRE(spec.trials >= 1, "matrix: trials must be >= 1");
   ASAP_REQUIRE(spec.options.seed_salt == 0,
                "matrix: seed_salt is derived per trial; set MatrixSpec::seed");
+  ASAP_REQUIRE(spec.options.observer == nullptr ||
+                   (spec.topologies.size() == 1 && spec.algos.size() == 1 &&
+                    spec.trials == 1),
+               "matrix: a trace observer serves exactly one run; restrict "
+               "the matrix to a single (topology, algo, trial) cell");
 
   const auto wall_start = std::chrono::steady_clock::now();
   const std::size_t num_topos = spec.topologies.size();
@@ -70,11 +73,16 @@ MatrixResult run_matrix(const MatrixSpec& spec) {
 
   ThreadPool pool(spec.jobs);
   std::vector<std::unique_ptr<const World>> worlds(num_worlds);
+  std::vector<obs::PhaseProfile> world_profiles(num_worlds);
   pool.parallel_for(num_worlds, [&](std::size_t w) {
     const TopologyKind topo = spec.topologies[w / trials];
     const std::size_t trial = w % trials;
+    obs::PhaseProfiler prof;
+    prof.begin("world-build");
     worlds[w] = std::make_unique<const World>(
         build_world(config_of(topo, trial)));
+    prof.end();
+    world_profiles[w] = prof.phases().front();
     progress("[matrix] built " + std::string(topology_name(topo)) +
              " world, trial " + std::to_string(trial));
   });
@@ -99,6 +107,10 @@ MatrixResult run_matrix(const MatrixSpec& spec) {
         spec.options_for ? spec.options_for(algo) : spec.options;
     slot.result =
         run_experiment(*worlds[topo_idx * trials + trial], algo, opts);
+    // Each cell's profile leads with the (shared) world-build phase so a
+    // single trial_runs entry tells the whole wall-clock story.
+    slot.result.profile.insert(slot.result.profile.begin(),
+                               world_profiles[topo_idx * trials + trial]);
     progress("[matrix] " + std::string(topology_name(slot.topology)) + " / " +
              slot.result.algo + " trial " + std::to_string(trial) +
              " done, digest " + json::hex_u64(slot.result.digest));
@@ -198,6 +210,14 @@ json::Value results_to_json(const MatrixResult& result) {
       ms.emplace_back(name, value);
     }
     r.emplace_back("metrics", std::move(ms));
+    // Wall-clock phase breakdown; informational only, like wall_seconds —
+    // the golden gate never compares it.
+    r.emplace_back("wall_seconds", run.result.wall_seconds);
+    json::Array profile;
+    for (const auto& p : run.result.profile) {
+      profile.emplace_back(obs::phase_profile_to_json(p));
+    }
+    r.emplace_back("profile", std::move(profile));
     trial_runs.emplace_back(std::move(r));
   }
 

@@ -122,6 +122,15 @@ RunResult run_experiment(const World& world, AlgoKind kind,
     ctx.auditor = auditor.get();
   }
 
+  // Observability is strictly read-only: the observer sees engine and
+  // ledger activity but never schedules events or touches the RNG, so the
+  // run digest is identical with or without it.
+  if (opts.observer != nullptr) {
+    engine.set_observer(opts.observer);
+    ledger.set_observer(opts.observer);
+    ctx.obs = opts.observer;
+  }
+
   std::unique_ptr<search::SearchAlgorithm> algo;
   if (is_asap(kind)) {
     const auto params =
@@ -133,8 +142,16 @@ RunResult run_experiment(const World& world, AlgoKind kind,
     algo = std::make_unique<search::BaselineSearch>(ctx, params);
   }
 
+  obs::PhaseProfiler profiler;
+  profiler.begin("warm-up", engine.executed());
   algo->warm_up(warmup);
+  // Drain warm-up dissemination before the trace replay so the profiler
+  // attributes its events to the right phase. This is a no-op for the
+  // digest: the first trace event sits at >= warmup, so these events
+  // would execute first (in identical heap order) either way.
+  engine.run_until(warmup);
 
+  profiler.begin("query-replay", engine.executed());
   for (const auto& ev : world.trace.events) {
     const Seconds t = ev.time + warmup;
     engine.run_until(t);
@@ -145,15 +162,18 @@ RunResult run_experiment(const World& world, AlgoKind kind,
         const NodeId id = ov.attach_new(cfg.join_degree, churn_rng);
         ASAP_CHECK(id == ev.node);
         liveness.set_online(ev.node, true, t);
+        ASAP_OBS_HOOK(opts.observer, trace_churn(t, ev.node, "join"));
         break;
       }
       case trace::TraceEventType::kLeave:
         ov.detach(ev.node);
         liveness.set_online(ev.node, false, t);
+        ASAP_OBS_HOOK(opts.observer, trace_churn(t, ev.node, "leave"));
         break;
       case trace::TraceEventType::kRejoin:
         ov.reattach(ev.node, cfg.join_degree, churn_rng);
         liveness.set_online(ev.node, true, t);
+        ASAP_OBS_HOOK(opts.observer, trace_churn(t, ev.node, "rejoin"));
         break;
       default:
         break;
@@ -166,6 +186,7 @@ RunResult run_experiment(const World& world, AlgoKind kind,
     algo->on_trace_event(shifted);
   }
   engine.run_until(horizon);
+  profiler.begin("reduce", engine.executed());
 
   // --- reduce -----------------------------------------------------------
   RunResult res;
@@ -195,6 +216,9 @@ RunResult run_experiment(const World& world, AlgoKind kind,
     res.asap_counters =
         static_cast<ads::AsapProtocol*>(algo.get())->counters();
   }
+  if (opts.observer != nullptr) opts.observer->finalize(horizon);
+  profiler.end(engine.executed());
+  res.profile = profiler.phases();
   res.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

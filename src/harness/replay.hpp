@@ -13,6 +13,8 @@
 #include "harness/world.hpp"
 #include "metrics/load_series.hpp"
 #include "metrics/search_stats.hpp"
+#include "obs/observer.hpp"
+#include "obs/profiler.hpp"
 #include "search/baseline.hpp"
 #include "sim/audit.hpp"
 #include "sim/bandwidth.hpp"
@@ -74,6 +76,12 @@ struct RunOptions {
   /// Run-time invariant auditing (sim/audit.hpp). Defaults to on when the
   /// build was configured with -DASAP_AUDIT=ON.
   bool audit = sim::kAuditDefaultOn;
+  /// Passive observability sink (obs/observer.hpp): trace spans, counter
+  /// snapshots. One observer serves one run — run_experiment finalizes it
+  /// at the horizon. Guaranteed not to perturb the simulation: the run
+  /// digest is bit-identical with and without an observer attached
+  /// (enforced by tests/harness/observability_test.cpp, tier 1).
+  obs::RunObserver* observer = nullptr;
 };
 
 struct RunResult {
@@ -88,6 +96,11 @@ struct RunResult {
   Seconds measure_end = 0.0;
   std::uint64_t engine_events = 0;
   double wall_seconds = 0.0;
+  /// Wall-clock phase breakdown (warm-up dissemination, query replay,
+  /// reduce). The matrix runner prepends its world-build phase. Wall time
+  /// is measured, never fed back into the simulation, so determinism is
+  /// unaffected.
+  std::vector<obs::PhaseProfile> profile;
   /// FNV-1a digest of the executed event stream and every ledger deposit
   /// (sim/audit.hpp); bit-identical across runs of the same World + seed.
   std::uint64_t digest = 0;

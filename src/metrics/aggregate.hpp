@@ -16,8 +16,10 @@
 
 namespace asap::metrics {
 
-/// One aggregated metric across trials. stddev is the population standard
-/// deviation (denominator n, matching RunningStats); 0 for a single trial.
+/// One aggregated metric across trials. stddev is the Bessel-corrected
+/// sample standard deviation (denominator n-1, matching
+/// RunningStats::stddev) — trials are draws from the seed population, not
+/// the population itself; 0 for a single trial.
 struct MetricSummary {
   std::uint64_t count = 0;
   double mean = 0.0;

@@ -27,7 +27,9 @@ LoadSummary reduce_load(const sim::BandwidthLedger& ledger,
     stats.add(load);
   }
   out.mean_bytes_per_node_per_sec = stats.mean();
-  out.stddev_bytes_per_node_per_sec = stats.stddev();
+  // The window's buckets ARE the whole population being described (every
+  // second of the measurement window), so no Bessel correction here.
+  out.stddev_bytes_per_node_per_sec = stats.population_stddev();
   out.peak_bytes_per_node_per_sec = stats.max();
   return out;
 }

@@ -21,6 +21,11 @@ double SearchStats::success_rate() const {
                            static_cast<double>(total_);
 }
 
+double SearchStats::response_percentile(double q) const {
+  if (response_samples_.empty()) return 0.0;
+  return percentile(response_samples_, q);
+}
+
 double SearchStats::local_hit_rate() const {
   return total_ == 0 ? 0.0
                      : static_cast<double>(local_hits_) /

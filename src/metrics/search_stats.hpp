@@ -50,6 +50,10 @@ class SearchStats {
   const std::vector<double>& response_samples() const {
     return response_samples_;
   }
+  /// Response-time percentile over successful searches (q in [0,1]).
+  /// Defined for empty runs: 0.0 when no search succeeded, mirroring the
+  /// other accessors, instead of tripping percentile()'s empty-set check.
+  double response_percentile(double q) const;
 
  private:
   std::uint64_t total_ = 0;

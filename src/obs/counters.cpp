@@ -1,0 +1,68 @@
+#include "obs/counters.hpp"
+
+namespace asap::obs {
+
+namespace {
+
+double n(std::uint64_t v) { return static_cast<double>(v); }
+
+json::Object category_to_json(const CategoryCounters& c) {
+  json::Object out;
+  out.emplace_back("deposits", json::Value(n(c.deposits)));
+  out.emplace_back("bytes", json::Value(n(c.bytes)));
+  out.emplace_back("drops_ttl", json::Value(n(c.drops_ttl)));
+  out.emplace_back("drops_loss", json::Value(n(c.drops_loss)));
+  out.emplace_back("drops_duplicate", json::Value(n(c.drops_duplicate)));
+  out.emplace_back("drops_offline", json::Value(n(c.drops_offline)));
+  return out;
+}
+
+}  // namespace
+
+json::Object CounterRegistry::snapshot() const {
+  json::Object categories;
+  for (std::size_t i = 0; i < sim::kTrafficCount; ++i) {
+    if (!categories_[i].any()) continue;
+    categories.emplace_back(sim::traffic_name(static_cast<sim::Traffic>(i)),
+                            json::Value(category_to_json(categories_[i])));
+  }
+
+  json::Object ads;
+  ads.emplace_back("stored", json::Value(n(totals_.ads_stored)));
+  ads.emplace_back("evicted", json::Value(n(totals_.ads_evicted)));
+  ads.emplace_back("invalidated", json::Value(n(totals_.ads_invalidated)));
+
+  json::Object confirms;
+  confirms.emplace_back("sent", json::Value(n(totals_.confirms_sent)));
+  confirms.emplace_back("positive", json::Value(n(totals_.confirms_positive)));
+  confirms.emplace_back("timed_out",
+                        json::Value(n(totals_.confirms_timed_out)));
+
+  json::Object out;
+  out.emplace_back("categories", json::Value(std::move(categories)));
+  out.emplace_back("ads", json::Value(std::move(ads)));
+  out.emplace_back("confirms", json::Value(std::move(confirms)));
+  return out;
+}
+
+json::Array CounterRegistry::node_rows() const {
+  json::Array out;
+  for (std::size_t i = 0; i < per_node_.size(); ++i) {
+    const NodeCounters& c = per_node_[i];
+    if (!c.any()) continue;
+    json::Object row;
+    row.emplace_back("type", json::Value(std::string("node-counters")));
+    row.emplace_back("node", json::Value(static_cast<double>(i)));
+    row.emplace_back("ads_stored", json::Value(n(c.ads_stored)));
+    row.emplace_back("ads_evicted", json::Value(n(c.ads_evicted)));
+    row.emplace_back("ads_invalidated", json::Value(n(c.ads_invalidated)));
+    row.emplace_back("confirms_sent", json::Value(n(c.confirms_sent)));
+    row.emplace_back("confirms_positive", json::Value(n(c.confirms_positive)));
+    row.emplace_back("confirms_timed_out",
+                     json::Value(n(c.confirms_timed_out)));
+    out.push_back(json::Value(std::move(row)));
+  }
+  return out;
+}
+
+}  // namespace asap::obs

@@ -1,0 +1,105 @@
+#include "obs/observer.hpp"
+
+#include <string>
+#include <utility>
+
+namespace asap::obs {
+
+RunObserver::RunObserver(const ObsConfig& cfg)
+    : cfg_(cfg), next_snapshot_(cfg.snapshot_period) {
+  if (cfg_.trace_out != nullptr) {
+    sink_.emplace(*cfg_.trace_out, cfg_.trace_sample);
+  }
+}
+
+void RunObserver::on_engine_event(Seconds t) { maybe_snapshot(t); }
+
+void RunObserver::on_ledger_deposit(Seconds /*t*/, sim::Traffic category,
+                                    Bytes bytes) {
+  // Deposit timestamps are not monotonic (inline expansion stamps arrival
+  // times), so the snapshot cadence rides on engine time only.
+  counters_.count_deposit(category, bytes);
+}
+
+void RunObserver::trace_query(Seconds t, NodeId node, bool success,
+                              bool local_hit, Seconds response_s, Bytes bytes,
+                              std::uint64_t messages, std::uint32_t results) {
+  if (!sink_ || !sink_->sampled(RecordKind::kQuery)) return;
+  json::Object rec;
+  rec.emplace_back("type", json::Value("query"));
+  rec.emplace_back("t", json::Value(t));
+  rec.emplace_back("node", json::Value(static_cast<double>(node)));
+  rec.emplace_back("success", json::Value(success));
+  rec.emplace_back("local_hit", json::Value(local_hit));
+  rec.emplace_back("response_s", json::Value(response_s));
+  rec.emplace_back("bytes", json::Value(static_cast<double>(bytes)));
+  rec.emplace_back("messages", json::Value(static_cast<double>(messages)));
+  rec.emplace_back("results", json::Value(static_cast<double>(results)));
+  sink_->write(rec);
+}
+
+void RunObserver::trace_ad(Seconds t, NodeId node, const char* kind,
+                           std::uint64_t messages, Bytes bytes) {
+  if (!sink_ || !sink_->sampled(RecordKind::kAd)) return;
+  json::Object rec;
+  rec.emplace_back("type", json::Value("ad"));
+  rec.emplace_back("t", json::Value(t));
+  rec.emplace_back("node", json::Value(static_cast<double>(node)));
+  rec.emplace_back("kind", json::Value(kind));
+  rec.emplace_back("messages", json::Value(static_cast<double>(messages)));
+  rec.emplace_back("bytes", json::Value(static_cast<double>(bytes)));
+  sink_->write(rec);
+}
+
+void RunObserver::trace_confirm(Seconds t, NodeId node, NodeId source,
+                                const char* outcome) {
+  if (!sink_ || !sink_->sampled(RecordKind::kConfirm)) return;
+  json::Object rec;
+  rec.emplace_back("type", json::Value("confirm"));
+  rec.emplace_back("t", json::Value(t));
+  rec.emplace_back("node", json::Value(static_cast<double>(node)));
+  rec.emplace_back("source", json::Value(static_cast<double>(source)));
+  rec.emplace_back("outcome", json::Value(outcome));
+  sink_->write(rec);
+}
+
+void RunObserver::trace_churn(Seconds t, NodeId node, const char* transition) {
+  if (!sink_ || !sink_->sampled(RecordKind::kChurn)) return;
+  json::Object rec;
+  rec.emplace_back("type", json::Value("churn"));
+  rec.emplace_back("t", json::Value(t));
+  rec.emplace_back("node", json::Value(static_cast<double>(node)));
+  rec.emplace_back("transition", json::Value(transition));
+  sink_->write(rec);
+}
+
+void RunObserver::finalize(Seconds t_end) {
+  if (cfg_.counters_out == nullptr) return;
+  // Emit any cadence boundaries the engine crossed without events after
+  // them, then the final cumulative snapshot and per-node rows.
+  maybe_snapshot(t_end);
+  write_snapshot(t_end);
+  for (auto& row : counters_.node_rows()) {
+    *cfg_.counters_out << json::dump_compact(row) << '\n';
+  }
+}
+
+void RunObserver::maybe_snapshot(Seconds t) {
+  if (cfg_.counters_out == nullptr) return;
+  while (t >= next_snapshot_) {
+    write_snapshot(next_snapshot_);
+    next_snapshot_ += cfg_.snapshot_period;
+  }
+}
+
+void RunObserver::write_snapshot(Seconds t) {
+  json::Object rec;
+  rec.emplace_back("type", json::Value("counters"));
+  rec.emplace_back("t", json::Value(t));
+  for (auto& [k, v] : counters_.snapshot()) {
+    rec.emplace_back(k, std::move(v));
+  }
+  *cfg_.counters_out << json::dump_compact(json::Value(rec)) << '\n';
+}
+
+}  // namespace asap::obs

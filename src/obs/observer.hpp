@@ -1,0 +1,115 @@
+// RunObserver — the concrete observability hub for one simulation run.
+//
+// Implements sim::Observer (engine events + ledger deposits) and adds the
+// richer protocol-level hooks the kernels and protocols call through
+// Ctx::obs: message-drop causes, advertisement-cache outcomes,
+// confirmation round trips, and trace spans for query lifecycle, ad
+// dissemination and churn transitions.
+//
+// Passivity contract (sim/observe.hpp): nothing in here schedules events,
+// draws randomness, or mutates simulation state. The observer only
+// accumulates counters and appends JSONL lines; run digests are
+// bit-identical with and without it (tests/harness/observability_test.cpp).
+//
+// Counter snapshots ride on engine-event time, which is monotonic; ledger
+// deposits may carry future timestamps (the hybrid event model expands
+// per-hop propagation inline, DESIGN.md §3), so a snapshot at cadence
+// boundary T reports every deposit *recorded* by the time the engine clock
+// first reached T — including in-flight bytes stamped later than T.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+
+#include "common/types.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/bandwidth.hpp"
+#include "sim/observe.hpp"
+
+namespace asap::obs {
+
+struct ObsConfig {
+  std::ostream* trace_out = nullptr;     ///< JSONL trace stream; not owned.
+  std::uint64_t trace_sample = 1;        ///< keep every Nth record per kind.
+  std::ostream* counters_out = nullptr;  ///< JSONL snapshot stream; not owned.
+  Seconds snapshot_period = 60.0;        ///< virtual-time snapshot cadence.
+};
+
+class RunObserver final : public sim::Observer {
+ public:
+  explicit RunObserver(const ObsConfig& cfg);
+
+  // --- sim::Observer -------------------------------------------------------
+  void on_engine_event(Seconds t) override;
+  void on_ledger_deposit(Seconds t, sim::Traffic category,
+                         Bytes bytes) override;
+
+  // --- kernel hooks: message drops by cause --------------------------------
+  void on_drop_ttl(sim::Traffic category) {
+    counters_.count_drop_ttl(category);
+  }
+  void on_drop_loss(sim::Traffic category) {
+    counters_.count_drop_loss(category);
+  }
+  void on_drop_duplicate(sim::Traffic category) {
+    counters_.count_drop_duplicate(category);
+  }
+  void on_drop_offline(sim::Traffic category) {
+    counters_.count_drop_offline(category);
+  }
+
+  // --- protocol hooks: ad-cache and confirmation outcomes ------------------
+  void on_ad_stored(NodeId node) { counters_.count_ad_stored(node); }
+  void on_ad_evicted(NodeId node) { counters_.count_ad_evicted(node); }
+  void on_ad_invalidated(NodeId node) { counters_.count_ad_invalidated(node); }
+  void on_confirm_sent(NodeId node) { counters_.count_confirm_sent(node); }
+  void on_confirm_positive(NodeId node) {
+    counters_.count_confirm_positive(node);
+  }
+  void on_confirm_timed_out(NodeId node) {
+    counters_.count_confirm_timed_out(node);
+  }
+
+  // --- trace spans ---------------------------------------------------------
+  /// One completed query (issued at `t`): outcome, latency and cost.
+  void trace_query(Seconds t, NodeId node, bool success, bool local_hit,
+                   Seconds response_s, Bytes bytes, std::uint64_t messages,
+                   std::uint32_t results);
+
+  /// One advertisement dissemination from `node`: `kind` is the ad kind
+  /// name ("full" / "patch" / "refresh"), with the kernel's message and
+  /// byte totals for the whole dissemination.
+  void trace_ad(Seconds t, NodeId node, const char* kind,
+                std::uint64_t messages, Bytes bytes);
+
+  /// One confirmation round trip from `node` about `source`'s content;
+  /// `outcome` is "positive", "negative" or "timeout".
+  void trace_confirm(Seconds t, NodeId node, NodeId source,
+                     const char* outcome);
+
+  /// One churn transition of `node`; `transition` is "join", "leave" or
+  /// "rejoin".
+  void trace_churn(Seconds t, NodeId node, const char* transition);
+
+  /// Flushes the final counter snapshot (stamped `t_end`) plus per-node
+  /// counter rows. Call once, after the run completes.
+  void finalize(Seconds t_end);
+
+  const CounterRegistry& counters() const { return counters_; }
+  std::uint64_t trace_records_written() const {
+    return sink_ ? sink_->records_written() : 0;
+  }
+
+ private:
+  void maybe_snapshot(Seconds t);
+  void write_snapshot(Seconds t);
+
+  ObsConfig cfg_;
+  CounterRegistry counters_;
+  std::optional<TraceSink> sink_;
+  Seconds next_snapshot_;
+};
+
+}  // namespace asap::obs

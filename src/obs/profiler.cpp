@@ -1,0 +1,42 @@
+#include "obs/profiler.hpp"
+
+namespace asap::obs {
+
+json::Object phase_profile_to_json(const PhaseProfile& p) {
+  json::Object out;
+  out.emplace_back("phase", json::Value(p.phase));
+  out.emplace_back("wall_seconds", json::Value(p.wall_seconds));
+  out.emplace_back("events", json::Value(static_cast<double>(p.events)));
+  out.emplace_back("events_per_sec", json::Value(p.events_per_sec));
+  return out;
+}
+
+void PhaseProfiler::begin(std::string phase, std::uint64_t events_now) {
+  end(events_now);
+  phases_.push_back(PhaseProfile{std::move(phase), 0.0, 0, 0.0});
+  open_start_ = Clock::now();
+  open_events_ = events_now;
+  open_ = true;
+}
+
+void PhaseProfiler::end(std::uint64_t events_now) {
+  if (!open_) return;
+  PhaseProfile& p = phases_.back();
+  p.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - open_start_).count();
+  p.events = events_now >= open_events_ ? events_now - open_events_ : 0;
+  p.events_per_sec =
+      p.wall_seconds > 1e-6 ? static_cast<double>(p.events) / p.wall_seconds
+                            : 0.0;
+  open_ = false;
+}
+
+json::Array PhaseProfiler::to_json() const {
+  json::Array out;
+  for (const auto& p : phases_) {
+    out.push_back(json::Value(phase_profile_to_json(p)));
+  }
+  return out;
+}
+
+}  // namespace asap::obs

@@ -1,0 +1,50 @@
+// Phase profiler: wall-clock time and event throughput per simulation
+// phase (world build, warm-up dissemination, query replay, ...).
+//
+// Wall-clock readings are inherently non-deterministic, so the profiler
+// never feeds anything back into the run — it only annotates results.json
+// (`profile` block) for performance triage of the experiment matrix.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace asap::obs {
+
+struct PhaseProfile {
+  std::string phase;
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;  ///< engine events executed during the phase
+  double events_per_sec = 0.0;  ///< 0 when the phase finished in < 1us
+};
+
+json::Object phase_profile_to_json(const PhaseProfile& p);
+
+class PhaseProfiler {
+ public:
+  /// Starts a phase, closing any phase still open. `events_now` is the
+  /// engine's cumulative executed-event count (0 for non-engine phases
+  /// such as world build).
+  void begin(std::string phase, std::uint64_t events_now = 0);
+
+  /// Closes the open phase; no-op when none is open.
+  void end(std::uint64_t events_now = 0);
+
+  const std::vector<PhaseProfile>& phases() const { return phases_; }
+
+  json::Array to_json() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::vector<PhaseProfile> phases_;
+  Clock::time_point open_start_{};
+  std::uint64_t open_events_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace asap::obs

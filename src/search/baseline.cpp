@@ -99,6 +99,13 @@ void BaselineSearch::run_query(const trace::TraceEvent& event) {
   rec.response_time = rec.success ? best_response - t0 : 0.0;
   rec.cost_bytes = prop.bytes;  // query messages only (§V-A)
   rec.messages = prop.messages;
+  // rec.results stays 0 for baselines (they count responding holders via
+  // `hits` but the paper's results metric is ASAP's confirmations); the
+  // trace span reports the responder count for observability.
+  ASAP_OBS_HOOK(ctx_.obs,
+                trace_query(t0, origin, rec.success, rec.local_hit,
+                            rec.response_time, rec.cost_bytes, rec.messages,
+                            static_cast<std::uint32_t>(hits)));
   stats_.add(rec);
 }
 

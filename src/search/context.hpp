@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/transit_stub.hpp"
+#include "obs/observer.hpp"
 #include "overlay/overlay.hpp"
 #include "sim/bandwidth.hpp"
 #include "sim/engine.hpp"
@@ -73,6 +74,11 @@ struct Ctx {
   /// Optional run-time invariant auditor (sim/audit.hpp). Not owned; when
   /// null the kernels' audit hooks reduce to one predictable branch.
   sim::SimAuditor* auditor = nullptr;
+
+  /// Optional passive observer (obs/observer.hpp). Not owned; same
+  /// single-branch cost when null (ASAP_OBS_HOOK). Observers must never
+  /// perturb the run — see sim/observe.hpp for the contract.
+  obs::RunObserver* obs = nullptr;
 
   /// Rolls the loss dice for one transmission.
   bool transmission_lost() {

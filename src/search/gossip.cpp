@@ -50,6 +50,11 @@ void GossipIndexSearch::publish(NodeId n, Seconds when) {
     ctx_.ledger.deposit(when + delay * (c + 0.5) / chunks,
                         sim::Traffic::kFullAd, part);
   }
+  // The epidemic round is this protocol's ad dissemination; the chunked
+  // deposits above stand in for ~copies transmissions.
+  ASAP_OBS_HOOK(ctx_.obs,
+                trace_ad(when, n, "full", static_cast<std::uint64_t>(copies),
+                         total));
 
   auto [it, inserted] = directory_.try_emplace(n);
   if (inserted) sources_.push_back(n);
@@ -131,10 +136,13 @@ void GossipIndexSearch::run_query(const trace::TraceEvent& ev) {
                                           ctx_.sizes.confirm_request));
     ctx_.ledger.deposit(t_req, sim::Traffic::kConfirm,
                         ctx_.sizes.confirm_request);
+    ASAP_OBS_HOOK(ctx_.obs, on_confirm_sent(p));
     rec.cost_bytes += ctx_.sizes.confirm_request;
     ++rec.messages;
     if (!ctx_.online(src)) {
       ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_timeout());
+      ASAP_OBS_HOOK(ctx_.obs, on_confirm_timed_out(p));
+      ASAP_OBS_HOOK(ctx_.obs, trace_confirm(t_req, p, src, "timeout"));
       continue;
     }
     const Seconds t_reply = t_req + lat;
@@ -148,11 +156,19 @@ void GossipIndexSearch::run_query(const trace::TraceEvent& ev) {
     if (ctx_.live.node_matches(src, terms, ctx_.model)) {
       best = std::min(best, t_reply);
       ++rec.results;
+      ASAP_OBS_HOOK(ctx_.obs, on_confirm_positive(p));
+      ASAP_OBS_HOOK(ctx_.obs, trace_confirm(t_reply, p, src, "positive"));
+    } else {
+      ASAP_OBS_HOOK(ctx_.obs, trace_confirm(t_reply, p, src, "negative"));
     }
   }
   rec.success = best < kInfTime;
   rec.local_hit = rec.success;  // every lookup is local by construction
   rec.response_time = rec.success ? best - ev.time : 0.0;
+  ASAP_OBS_HOOK(ctx_.obs,
+                trace_query(ev.time, p, rec.success, rec.local_hit,
+                            rec.response_time, rec.cost_bytes, rec.messages,
+                            rec.results));
   stats_.add(rec);
 }
 

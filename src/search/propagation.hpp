@@ -72,13 +72,19 @@ PropagationStats flood(Ctx& ctx, NodeId origin, Seconds start,
                                std::uint32_t remaining) {
     for (NodeId nb : ctx.graph().neighbors(from_node)) {
       if (stats.messages >= max_messages) return;
-      if (nb == prev || !ctx.online(nb)) continue;
+      if (nb == prev) continue;
+      if (!ctx.online(nb)) {
+        // Liveness skip: keep-alives told the sender not to bother.
+        ASAP_OBS_HOOK(ctx.obs, on_drop_offline(cat));
+        continue;
+      }
       ++stats.messages;
       stats.bytes += msg_size;
       ASAP_AUDIT_HOOK(ctx.auditor, on_send(cat, msg_size));
       if (ctx.transmission_lost()) {
         // The sender paid for the transmission; nothing arrives.
         ctx.ledger.deposit(t, cat, msg_size);
+        ASAP_OBS_HOOK(ctx.obs, on_drop_loss(cat));
         continue;
       }
       pq.push({t + ctx.latency(from_node, nb), nb, from_node, remaining});
@@ -90,7 +96,10 @@ PropagationStats flood(Ctx& ctx, NodeId origin, Seconds start,
     const detail::FloodMsg m = pq.top();
     pq.pop();
     ctx.ledger.deposit(m.time, cat, msg_size);
-    if (ctx.visited(m.node)) continue;  // duplicate: paid for, dropped
+    if (ctx.visited(m.node)) {  // duplicate: paid for, dropped
+      ASAP_OBS_HOOK(ctx.obs, on_drop_duplicate(cat));
+      continue;
+    }
     ctx.mark_visited(m.node);
     ++stats.unique_nodes;
     ASAP_AUDIT_HOOK(ctx.auditor, on_delivery(ctx.online(m.node)));
@@ -105,7 +114,12 @@ PropagationStats flood(Ctx& ctx, NodeId origin, Seconds start,
       }
       break;
     }
-    if (m.ttl > 0) send_to_neighbors(m.node, m.from, m.time, m.ttl - 1);
+    if (m.ttl > 0) {
+      send_to_neighbors(m.node, m.from, m.time, m.ttl - 1);
+    } else {
+      // The copy dies here: TTL exhausted.
+      ASAP_OBS_HOOK(ctx.obs, on_drop_ttl(cat));
+    }
   }
   return stats;
 }
@@ -144,8 +158,11 @@ PropagationStats random_walk(Ctx& ctx, NodeId origin, Seconds start,
       stats.bytes += msg_size;
       ASAP_AUDIT_HOOK(ctx.auditor, on_send(cat, msg_size));
       ctx.ledger.deposit(t, cat, msg_size);
-      if (ctx.transmission_lost()) continue;  // hop lost: budget spent,
-                                              // walker stays and retries
+      if (ctx.transmission_lost()) {  // hop lost: budget spent,
+                                      // walker stays and retries
+        ASAP_OBS_HOOK(ctx.obs, on_drop_loss(cat));
+        continue;
+      }
       ASAP_AUDIT_HOOK(ctx.auditor, on_delivery(ctx.online(next)));
       const VisitAction action =
           visit(next, t, static_cast<std::uint32_t>(hop));
@@ -213,8 +230,11 @@ PropagationStats biased_walk(Ctx& ctx, NodeId origin, Seconds start,
       stats.bytes += msg_size;
       ASAP_AUDIT_HOOK(ctx.auditor, on_send(cat, msg_size));
       ctx.ledger.deposit(t, cat, msg_size);
-      if (ctx.transmission_lost()) continue;  // hop lost: budget spent,
-                                              // walker stays and retries
+      if (ctx.transmission_lost()) {  // hop lost: budget spent,
+                                      // walker stays and retries
+        ASAP_OBS_HOOK(ctx.obs, on_drop_loss(cat));
+        continue;
+      }
       ASAP_AUDIT_HOOK(ctx.auditor, on_delivery(ctx.online(next)));
       const VisitAction action =
           visit(next, t, static_cast<std::uint32_t>(hop));

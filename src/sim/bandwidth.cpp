@@ -40,6 +40,7 @@ void BandwidthLedger::deposit(Seconds t, Traffic category, Bytes bytes) {
   digest_.absorb(t);
   digest_.absorb((static_cast<std::uint64_t>(c) << 56) | bytes);
   ASAP_AUDIT_HOOK(auditor_, on_deposit(t, category, bytes));
+  ASAP_OBS_HOOK(observer_, on_ledger_deposit(t, category, bytes));
   // Past-horizon deposits go to the overflow cell, not the last bucket —
   // piling them into one second would fake a load spike in the series.
   // (The >= comparison also dodges the UB of casting a huge double.)

@@ -14,6 +14,7 @@
 #include "common/error.hpp"
 #include "common/types.hpp"
 #include "sim/audit.hpp"
+#include "sim/observe.hpp"
 
 namespace asap::sim {
 
@@ -68,6 +69,9 @@ class BandwidthLedger {
   /// Installs an invariant auditor (nullptr disables). Not owned.
   void set_auditor(SimAuditor* auditor) { auditor_ = auditor; }
 
+  /// Installs a passive observer (nullptr disables). Not owned.
+  void set_observer(Observer* observer) { observer_ = observer; }
+
  private:
   std::uint32_t num_buckets_;
   std::array<std::vector<Bytes>, kTrafficCount> per_category_;
@@ -75,6 +79,7 @@ class BandwidthLedger {
   std::array<Bytes, kTrafficCount> overflow_{};
   Fnv64 digest_;
   SimAuditor* auditor_ = nullptr;
+  Observer* observer_ = nullptr;
 };
 
 }  // namespace asap::sim

@@ -52,6 +52,7 @@ bool Engine::step() {
   digest_.absorb(item.time);
   digest_.absorb(item.seq);
   ASAP_AUDIT_HOOK(auditor_, on_event(item.time));
+  ASAP_OBS_HOOK(observer_, on_engine_event(item.time));
   now_ = item.time;
   ++executed_;
   item.cb();

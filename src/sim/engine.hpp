@@ -18,6 +18,7 @@
 #include "common/error.hpp"
 #include "common/types.hpp"
 #include "sim/audit.hpp"
+#include "sim/observe.hpp"
 
 namespace asap::sim {
 
@@ -56,6 +57,11 @@ class Engine {
   /// Installs an invariant auditor (nullptr disables). Not owned.
   void set_auditor(SimAuditor* auditor) { auditor_ = auditor; }
 
+  /// Installs a passive observer (nullptr disables). Not owned. Observers
+  /// see every executed event but must never feed back into the run
+  /// (sim/observe.hpp); the digest is identical either way.
+  void set_observer(Observer* observer) { observer_ = observer; }
+
  private:
   struct Item {
     Seconds time;
@@ -77,6 +83,7 @@ class Engine {
   std::uint64_t executed_ = 0;
   Fnv64 digest_;
   SimAuditor* auditor_ = nullptr;
+  Observer* observer_ = nullptr;
 };
 
 }  // namespace asap::sim

@@ -1,0 +1,44 @@
+// Passive observation interface for the simulation services.
+//
+// The observability layer (src/obs) needs to see every executed engine
+// event and every ledger deposit, but sim cannot depend on obs (obs
+// depends on sim for the Traffic taxonomy). This header carries the tiny
+// abstract interface both sides agree on: the Engine and the
+// BandwidthLedger accept a sim::Observer*, and obs::RunObserver implements
+// it.
+//
+// Contract — observers are PASSIVE: an observer must never schedule
+// events, touch any Rng stream, or mutate simulation state. Run digests
+// are required to be bit-identical with and without an observer installed
+// (tests/harness/observability_test.cpp enforces this), which is what
+// makes a traced run trustworthy evidence about an untraced one.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace asap::sim {
+
+enum class Traffic : std::uint8_t;  // bandwidth.hpp
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  /// An engine event is about to execute at virtual time `t`. Fires in
+  /// execution order, so `t` is non-decreasing across calls.
+  virtual void on_engine_event(Seconds t) = 0;
+
+  /// `bytes` of `category` traffic were deposited at virtual time `t`.
+  virtual void on_ledger_deposit(Seconds t, Traffic category, Bytes bytes) = 0;
+};
+
+/// Null-checked hook invocation — a single predictable branch when no
+/// observer is installed, mirroring ASAP_AUDIT_HOOK.
+#define ASAP_OBS_HOOK(obs, call) \
+  do {                           \
+    if (obs) (obs)->call;        \
+  } while (0)
+
+}  // namespace asap::sim

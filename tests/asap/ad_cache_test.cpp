@@ -4,8 +4,6 @@
 
 #include <memory>
 
-#include "common/error.hpp"
-
 namespace asap::ads {
 namespace {
 
@@ -75,7 +73,7 @@ TEST(AdCache, ApplyPatchSwapsMatchingBase) {
   Rng rng(6);
   c.put(make_ad(5, 1, {10, 20}), 1.0, rng);
   auto next = make_ad(5, 2, {10, 20, 30});
-  EXPECT_TRUE(c.apply_patch(5, 1, next, 2.0));
+  EXPECT_EQ(c.apply_patch(5, 1, next, 2.0), UpdateOutcome::kApplied);
   EXPECT_EQ(c.find(5)->ad->version, 2u);
   EXPECT_TRUE(c.find(5)->ad->filter.contains(30));
 }
@@ -86,18 +84,20 @@ TEST(AdCache, ApplyPatchVersionMismatchInvalidates) {
   c.put(make_ad(5, 1), 1.0, rng);
   auto v4 = make_ad(5, 4);
   // Cached version 1, patch base 3: the entry is hopelessly stale.
-  EXPECT_FALSE(c.apply_patch(5, 3, v4, 2.0));
+  EXPECT_EQ(c.apply_patch(5, 3, v4, 2.0), UpdateOutcome::kInvalidated);
   EXPECT_EQ(c.find(5), nullptr);
 }
 
 TEST(AdCache, ApplyPatchIgnoresUnknownSourceAndNewerCache) {
   AdCache c(10);
   Rng rng(8);
-  EXPECT_FALSE(c.apply_patch(9, 1, make_ad(9, 2), 1.0));
+  EXPECT_EQ(c.apply_patch(9, 1, make_ad(9, 2), 1.0),
+            UpdateOutcome::kMissing);
   EXPECT_EQ(c.find(9), nullptr);
   // Cache already at version 5; an old patch (base 2 -> 3) must not erase.
   c.put(make_ad(5, 5), 1.0, rng);
-  EXPECT_FALSE(c.apply_patch(5, 2, make_ad(5, 3), 2.0));
+  EXPECT_EQ(c.apply_patch(5, 2, make_ad(5, 3), 2.0),
+            UpdateOutcome::kIgnoredStale);
   EXPECT_EQ(c.find(5)->ad->version, 5u);
 }
 
@@ -105,7 +105,7 @@ TEST(AdCache, RefreshTouchesMatchingVersion) {
   AdCache c(10);
   Rng rng(9);
   c.put(make_ad(5, 3), 1.0, rng);
-  EXPECT_TRUE(c.on_refresh(5, 3, 50.0));
+  EXPECT_EQ(c.on_refresh(5, 3, 50.0), UpdateOutcome::kApplied);
   EXPECT_DOUBLE_EQ(c.find(5)->touch, 50.0);
 }
 
@@ -113,7 +113,7 @@ TEST(AdCache, RefreshWithNewerVersionInvalidates) {
   AdCache c(10);
   Rng rng(10);
   c.put(make_ad(5, 3), 1.0, rng);
-  EXPECT_FALSE(c.on_refresh(5, 7, 2.0));
+  EXPECT_EQ(c.on_refresh(5, 7, 2.0), UpdateOutcome::kInvalidated);
   EXPECT_EQ(c.find(5), nullptr);
 }
 
@@ -121,9 +121,15 @@ TEST(AdCache, RefreshWithOlderVersionKeepsEntry) {
   AdCache c(10);
   Rng rng(11);
   c.put(make_ad(5, 3), 1.0, rng);
-  EXPECT_FALSE(c.on_refresh(5, 2, 2.0));  // a delayed beacon
+  // A delayed beacon for an older version is ignored.
+  EXPECT_EQ(c.on_refresh(5, 2, 2.0), UpdateOutcome::kIgnoredStale);
   ASSERT_NE(c.find(5), nullptr);
   EXPECT_EQ(c.find(5)->ad->version, 3u);
+}
+
+TEST(AdCache, RefreshOfUnknownSourceIsMissing) {
+  AdCache c(10);
+  EXPECT_EQ(c.on_refresh(42, 1, 1.0), UpdateOutcome::kMissing);
 }
 
 TEST(AdCache, EraseRemovesEntry) {
@@ -185,8 +191,71 @@ TEST(AdCache, CollectForReplyRespectsCaps) {
   EXPECT_EQ(out.size(), 5u);
 }
 
-TEST(AdCache, RejectsZeroCapacity) {
-  EXPECT_THROW(AdCache(0), ConfigError);
+TEST(AdCache, ZeroCapacityDisablesCaching) {
+  AdCache c(0);
+  Rng rng(17);
+  const auto r = c.put(make_ad(5, 1), 1.0, rng);
+  EXPECT_FALSE(r.stored);
+  EXPECT_FALSE(r.evicted);
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.find(5), nullptr);
+  // The no-op put must not draw from the RNG (digest stability).
+  Rng replay(17);
+  EXPECT_EQ(rng.next_u64(), replay.next_u64());
+}
+
+TEST(AdCache, PutReportsStoredAndEvicted) {
+  AdCache c(2);
+  Rng rng(18);
+  auto r = c.put(make_ad(1, 1), 1.0, rng);
+  EXPECT_TRUE(r.stored);
+  EXPECT_FALSE(r.evicted);
+  r = c.put(make_ad(2, 1), 2.0, rng);
+  EXPECT_TRUE(r.stored);
+  EXPECT_FALSE(r.evicted);
+  // Third distinct source overflows the capacity-2 cache.
+  r = c.put(make_ad(3, 1), 3.0, rng);
+  EXPECT_TRUE(r.stored);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(c.size(), 2u);
+  // A stale re-put neither stores nor evicts.
+  ASSERT_NE(c.find(3), nullptr);
+  c.put(make_ad(3, 5), 4.0, rng);
+  r = c.put(make_ad(3, 2), 5.0, rng);
+  EXPECT_FALSE(r.stored);
+  EXPECT_FALSE(r.evicted);
+  EXPECT_EQ(c.find(3)->ad->version, 5u);
+}
+
+TEST(AdCache, SmallCacheEvictsExactLru) {
+  // At or below the sample width the cache scans for the true LRU
+  // entry instead of sampling, so eviction is deterministic and must
+  // not depend on the RNG at all.
+  AdCache c(4);
+  Rng rng(19);
+  c.put(make_ad(10, 1), 5.0, rng);
+  c.put(make_ad(11, 1), 1.0, rng);  // stalest
+  c.put(make_ad(12, 1), 9.0, rng);
+  c.put(make_ad(13, 1), 7.0, rng);
+  const auto r = c.put(make_ad(14, 1), 10.0, rng);
+  EXPECT_TRUE(r.stored);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(c.find(11), nullptr) << "true LRU entry must be evicted";
+  EXPECT_NE(c.find(10), nullptr);
+  EXPECT_NE(c.find(12), nullptr);
+  EXPECT_NE(c.find(13), nullptr);
+  EXPECT_NE(c.find(14), nullptr);
+
+  // Identical inserts with a different RNG make the same choice.
+  AdCache c2(4);
+  Rng other(991);
+  c2.put(make_ad(10, 1), 5.0, other);
+  c2.put(make_ad(11, 1), 1.0, other);
+  c2.put(make_ad(12, 1), 9.0, other);
+  c2.put(make_ad(13, 1), 7.0, other);
+  c2.put(make_ad(14, 1), 10.0, other);
+  EXPECT_EQ(c2.find(11), nullptr);
+  EXPECT_NE(c2.find(10), nullptr);
 }
 
 }  // namespace

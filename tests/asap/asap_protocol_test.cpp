@@ -265,9 +265,20 @@ TEST(AsapProtocol, RejectsBadParams) {
   auto p = test_params();
   p.budget_unit_m0 = 0;
   EXPECT_THROW(AsapProtocol(w.ctx, p), ConfigError);
-  p = test_params();
+}
+
+TEST(AsapProtocol, ZeroCacheCapacityIsAValidAblation) {
+  // capacity 0 disables caching entirely (AdCache::put is a no-op), which
+  // measures the protocol with dissemination but no stored state.
+  TestWorld w;
+  auto p = test_params();
   p.cache_capacity = 0;
-  EXPECT_THROW(AsapProtocol(w.ctx, p), ConfigError);
+  AsapProtocol algo(w.ctx, p);
+  warm(w, algo);
+  EXPECT_GT(algo.counters().full_ads, 0u) << "dissemination still runs";
+  for (NodeId n = 0; n < TestWorld::kNodes; ++n) {
+    EXPECT_EQ(algo.cache(n).size(), 0u);
+  }
 }
 
 TEST(AsapProtocol, PaperPresetMatchesPaperParameters) {

@@ -100,5 +100,28 @@ TEST(Json, NonFiniteNumbersSerializeAsNull) {
   EXPECT_EQ(dump(Value(std::numeric_limits<double>::infinity())), "null\n");
 }
 
+TEST(Json, DumpCompactIsSingleLineAndReparses) {
+  Object inner;
+  inner.emplace_back("pi", 3.141592653589793);
+  Object root;
+  root.emplace_back("type", "query");
+  root.emplace_back("ok", true);
+  root.emplace_back("xs", Array{Value(1.0), Value(2.0)});
+  root.emplace_back("nested", Value(std::move(inner)));
+  const Value original{std::move(root)};
+
+  const std::string text = dump_compact(original);
+  // JSONL-ready: one line, no trailing newline, no formatting whitespace.
+  EXPECT_EQ(text.find('\n'), std::string::npos);
+  EXPECT_EQ(text.find("  "), std::string::npos);
+  EXPECT_EQ(text,
+            R"({"type":"query","ok":true,"xs":[1,2],)"
+            R"("nested":{"pi":3.141592653589793}})");
+  const Value reparsed = parse(text);
+  EXPECT_EQ(reparsed.at("type").as_string(), "query");
+  EXPECT_DOUBLE_EQ(reparsed.at("nested").at("pi").as_double(),
+                   3.141592653589793);
+}
+
 }  // namespace
 }  // namespace asap::json

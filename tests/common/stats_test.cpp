@@ -23,8 +23,11 @@ TEST(RunningStats, KnownValues) {
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
   EXPECT_EQ(s.count(), 8u);
   EXPECT_DOUBLE_EQ(s.mean(), 5.0);
-  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
-  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  // m2 = 32 over 8 samples: sample variance 32/7, population 32/8.
+  EXPECT_DOUBLE_EQ(s.variance(), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(32.0 / 7.0));
+  EXPECT_DOUBLE_EQ(s.population_variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.population_stddev(), 2.0);
   EXPECT_DOUBLE_EQ(s.min(), 2.0);
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
   EXPECT_DOUBLE_EQ(s.sum(), 40.0);
@@ -34,6 +37,7 @@ TEST(RunningStats, SingleSampleVarianceZero) {
   RunningStats s;
   s.add(3.14);
   EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.population_variance(), 0.0);
   EXPECT_DOUBLE_EQ(s.mean(), 3.14);
 }
 
@@ -68,22 +72,48 @@ TEST(RunningStats, NumericallyStableForLargeOffsets) {
   RunningStats s;
   const double offset = 1e9;
   for (double x : {offset + 1, offset + 2, offset + 3}) s.add(x);
-  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+  EXPECT_NEAR(s.population_variance(), 2.0 / 3.0, 1e-6);
 }
 
-TEST(Histogram, BinningAndClamping) {
+TEST(Histogram, BinningAndOutOfRangeCells) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);    // bin 0
   h.add(9.99);   // bin 9
-  h.add(-5.0);   // clamps to bin 0
-  h.add(42.0);   // clamps to bin 9
+  h.add(-5.0);   // underflow cell, NOT bin 0
+  h.add(42.0);   // overflow cell, NOT bin 9
+  h.add(10.0);   // hi is exclusive: overflow, not bin 9
   h.add(5.0, 3); // weighted into bin 5
-  EXPECT_EQ(h.bin_count(0), 2u);
-  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
   EXPECT_EQ(h.bin_count(5), 3u);
-  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.in_range(), 5u);
+  EXPECT_EQ(h.total(), 8u);
   EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
   EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
+}
+
+TEST(Histogram, InRangeTotalsUnaffectedByOutliers) {
+  // The in-range picture must be identical whether or not out-of-range
+  // samples were ever added (the old clamping behavior polluted the edge
+  // bins).
+  Histogram clean(0.0, 1.0, 4);
+  Histogram noisy(0.0, 1.0, 4);
+  for (double x : {0.1, 0.4, 0.6, 0.9}) {
+    clean.add(x);
+    noisy.add(x);
+  }
+  noisy.add(-100.0, 7);
+  noisy.add(1e9, 2);
+  for (std::uint32_t i = 0; i < clean.bins(); ++i) {
+    EXPECT_EQ(clean.bin_count(i), noisy.bin_count(i)) << "bin " << i;
+  }
+  EXPECT_EQ(clean.in_range(), noisy.in_range());
+  EXPECT_EQ(noisy.underflow(), 7u);
+  EXPECT_EQ(noisy.overflow(), 2u);
+  EXPECT_EQ(noisy.total(), clean.total() + 9u);
 }
 
 TEST(Histogram, RejectsBadRange) {

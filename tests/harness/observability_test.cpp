@@ -1,0 +1,235 @@
+// Observability-layer guarantees over the full replay harness.
+//
+// The headline contract (tier 1): tracing is provably passive. A run with
+// the observer attached — trace spans, counter snapshots, the works —
+// produces a digest bit-identical to the same run without it, for every
+// algorithm. The remaining tests pin down the JSONL record schema, the
+// deterministic sampling behaviour and the profile block.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "harness/replay.hpp"
+#include "harness/world.hpp"
+#include "obs/observer.hpp"
+
+namespace asap::harness {
+namespace {
+
+/// Mirrors determinism_test's tiny world: this suite runs every algorithm
+/// at least twice.
+ExperimentConfig tiny_config() {
+  auto cfg = ExperimentConfig::make(Preset::kSmall, TopologyKind::kCrawled, 11);
+  cfg.content.initial_nodes = 400;
+  cfg.content.joiner_nodes = 30;
+  cfg.trace.num_queries = 300;
+  cfg.trace.joins = 20;
+  cfg.trace.leaves = 20;
+  cfg.warmup = 120.0;
+  return cfg;
+}
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new World(build_world(tiny_config()));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static World* world_;
+};
+
+World* ObservabilityTest::world_ = nullptr;
+
+struct TracedRun {
+  std::string trace;
+  std::string counters;
+  RunResult result;
+  std::uint64_t records = 0;
+};
+
+TracedRun run_traced(const World& world, AlgoKind kind,
+                     std::uint64_t sample = 1, Seconds period = 120.0) {
+  std::ostringstream trace_out;
+  std::ostringstream counters_out;
+  obs::ObsConfig cfg;
+  cfg.trace_out = &trace_out;
+  cfg.trace_sample = sample;
+  cfg.counters_out = &counters_out;
+  cfg.snapshot_period = period;
+  obs::RunObserver observer(cfg);
+  RunOptions opts;
+  opts.observer = &observer;
+  TracedRun out;
+  out.result = run_experiment(world, kind, opts);
+  out.trace = trace_out.str();
+  out.counters = counters_out.str();
+  out.records = observer.trace_records_written();
+  return out;
+}
+
+std::vector<json::Value> parse_jsonl(const std::string& text) {
+  std::vector<json::Value> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_FALSE(line.empty());
+    out.push_back(json::parse(line));
+  }
+  return out;
+}
+
+// The tier-1 passivity gate: observing must not change what executed.
+TEST_F(ObservabilityTest, TracingDoesNotPerturbTheDigest) {
+  for (const auto kind : kAllAlgos) {
+    const auto plain = run_experiment(*world_, kind);
+    const auto traced = run_traced(*world_, kind);
+    EXPECT_NE(plain.digest, 0u) << algo_name(kind);
+    EXPECT_EQ(plain.digest, traced.result.digest) << algo_name(kind);
+    EXPECT_EQ(plain.engine_events, traced.result.engine_events)
+        << algo_name(kind);
+    EXPECT_GT(traced.records, 0u) << algo_name(kind);
+  }
+}
+
+TEST_F(ObservabilityTest, TraceRecordsAreSchemaValidJsonl) {
+  const auto traced = run_traced(*world_, AlgoKind::kAsapRw);
+  const auto records = parse_jsonl(traced.trace);
+  ASSERT_FALSE(records.empty());
+
+  std::set<std::string> types;
+  for (const auto& rec : records) {
+    const std::string type = rec.at("type").as_string();
+    types.insert(type);
+    EXPECT_GE(rec.at("t").as_double(), 0.0);
+    EXPECT_GE(rec.at("node").as_double(), 0.0);
+    if (type == "query") {
+      rec.at("success").as_bool();
+      rec.at("local_hit").as_bool();
+      EXPECT_GE(rec.at("response_s").as_double(), 0.0);
+      EXPECT_GE(rec.at("bytes").as_double(), 0.0);
+      EXPECT_GE(rec.at("messages").as_double(), 0.0);
+      EXPECT_GE(rec.at("results").as_double(), 0.0);
+    } else if (type == "ad") {
+      const std::string kind = rec.at("kind").as_string();
+      EXPECT_TRUE(kind == "full" || kind == "patch" || kind == "refresh")
+          << kind;
+      EXPECT_GT(rec.at("bytes").as_double(), 0.0);
+    } else if (type == "confirm") {
+      EXPECT_GE(rec.at("source").as_double(), 0.0);
+      const std::string outcome = rec.at("outcome").as_string();
+      EXPECT_TRUE(outcome == "positive" || outcome == "negative" ||
+                  outcome == "timeout")
+          << outcome;
+    } else if (type == "churn") {
+      const std::string tr = rec.at("transition").as_string();
+      EXPECT_TRUE(tr == "join" || tr == "leave" || tr == "rejoin") << tr;
+    } else {
+      FAIL() << "unknown record type " << type;
+    }
+  }
+  // An ASAP run exercises the full lifecycle: queries, ad dissemination,
+  // confirmation round trips and churn transitions all appear.
+  EXPECT_TRUE(types.count("query"));
+  EXPECT_TRUE(types.count("ad"));
+  EXPECT_TRUE(types.count("confirm"));
+  EXPECT_TRUE(types.count("churn"));
+}
+
+TEST_F(ObservabilityTest, CounterSnapshotsAccumulateAndFinalize) {
+  const auto traced =
+      run_traced(*world_, AlgoKind::kAsapGsa, /*sample=*/1, /*period=*/30.0);
+  const auto records = parse_jsonl(traced.counters);
+  ASSERT_FALSE(records.empty());
+
+  double last_t = -1.0;
+  double last_bytes = -1.0;
+  std::size_t snapshots = 0;
+  for (const auto& rec : records) {
+    const std::string type = rec.at("type").as_string();
+    if (type == "counters") {
+      ++snapshots;
+      const double t = rec.at("t").as_double();
+      EXPECT_GE(t, last_t) << "snapshots must be time-ordered";
+      last_t = t;
+      // Cumulative tallies never decrease.
+      double bytes = 0.0;
+      for (const auto& [name, cat] : rec.at("categories").as_object()) {
+        (void)name;
+        bytes += cat.at("bytes").as_double();
+      }
+      EXPECT_GE(bytes, last_bytes);
+      last_bytes = bytes;
+      // Confirmation outcomes never exceed attempts.
+      const auto& confirms = rec.at("confirms");
+      EXPECT_LE(confirms.at("positive").as_double() +
+                    confirms.at("timed_out").as_double(),
+                confirms.at("sent").as_double());
+    } else {
+      ASSERT_EQ(type, "node-counters");
+      EXPECT_GE(rec.at("node").as_double(), 0.0);
+      EXPECT_GE(rec.at("ads_stored").as_double() +
+                    rec.at("ads_evicted").as_double() +
+                    rec.at("ads_invalidated").as_double() +
+                    rec.at("confirms_sent").as_double(),
+                0.0);
+    }
+  }
+  // Multiple cadence snapshots plus the final one at the horizon.
+  EXPECT_GE(snapshots, 3u);
+  EXPECT_GT(last_bytes, 0.0);
+}
+
+TEST_F(ObservabilityTest, SamplingIsDeterministicAndThins) {
+  const auto full_a = run_traced(*world_, AlgoKind::kAsapFld, 1);
+  const auto full_b = run_traced(*world_, AlgoKind::kAsapFld, 1);
+  // Same run, same sampling: byte-identical artifacts.
+  EXPECT_EQ(full_a.trace, full_b.trace);
+  EXPECT_EQ(full_a.counters, full_b.counters);
+
+  const auto thinned = run_traced(*world_, AlgoKind::kAsapFld, 10);
+  // Thinning changes what is written, never what executed.
+  EXPECT_EQ(thinned.result.digest, full_a.result.digest);
+  EXPECT_LT(thinned.records, full_a.records);
+  EXPECT_GT(thinned.records, 0u);
+  // Roughly one in ten survives (per-kind rounding gives slack).
+  EXPECT_LE(thinned.records, full_a.records / 10 + 8);
+}
+
+TEST_F(ObservabilityTest, ProfileBlockCoversTheRunPhases) {
+  const auto res = run_experiment(*world_, AlgoKind::kAsapRw);
+  ASSERT_EQ(res.profile.size(), 3u);
+  EXPECT_EQ(res.profile[0].phase, "warm-up");
+  EXPECT_EQ(res.profile[1].phase, "query-replay");
+  EXPECT_EQ(res.profile[2].phase, "reduce");
+  std::uint64_t events = 0;
+  double wall = 0.0;
+  for (const auto& p : res.profile) {
+    EXPECT_GE(p.wall_seconds, 0.0);
+    events += p.events;
+    wall += p.wall_seconds;
+  }
+  EXPECT_EQ(events, res.engine_events)
+      << "phases must partition the executed events";
+  EXPECT_GT(res.profile[1].events, 0u);
+  EXPECT_LE(wall, res.wall_seconds + 1e-3);
+}
+
+TEST_F(ObservabilityTest, BaselineRunsTraceQueriesToo) {
+  const auto traced = run_traced(*world_, AlgoKind::kFlooding);
+  const auto records = parse_jsonl(traced.trace);
+  std::size_t queries = 0;
+  for (const auto& rec : records) {
+    if (rec.at("type").as_string() == "query") ++queries;
+  }
+  EXPECT_EQ(queries, 300u) << "one span per replayed query";
+}
+
+}  // namespace
+}  // namespace asap::harness

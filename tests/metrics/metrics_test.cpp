@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "metrics/load_series.hpp"
 #include "metrics/search_stats.hpp"
 
@@ -12,6 +14,44 @@ TEST(SearchStats, EmptyStats) {
   EXPECT_DOUBLE_EQ(s.success_rate(), 0.0);
   EXPECT_DOUBLE_EQ(s.avg_response_time(), 0.0);
   EXPECT_DOUBLE_EQ(s.local_hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_cost_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_messages(), 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_results(), 0.0);
+}
+
+TEST(SearchStats, EmptyRunPercentilesAreDefined) {
+  // A run with zero searches must export defined percentiles (0.0), not
+  // trip percentile()'s "empty sample set" check.
+  SearchStats s;
+  EXPECT_DOUBLE_EQ(s.response_percentile(0.50), 0.0);
+  EXPECT_DOUBLE_EQ(s.response_percentile(0.95), 0.0);
+}
+
+TEST(SearchStats, AllFailuresPercentilesAreDefined) {
+  // Searches ran but none succeeded: no response samples exist, so the
+  // percentile export must still be defined rather than aborting.
+  SearchStats s;
+  s.add({.success = false, .cost_bytes = 10, .messages = 3});
+  s.add({.success = false, .cost_bytes = 20, .messages = 5});
+  EXPECT_EQ(s.total(), 2u);
+  EXPECT_EQ(s.successes(), 0u);
+  EXPECT_DOUBLE_EQ(s.success_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_response_time(), 0.0);
+  EXPECT_DOUBLE_EQ(s.response_percentile(0.50), 0.0);
+  EXPECT_DOUBLE_EQ(s.response_percentile(0.95), 0.0);
+  EXPECT_FALSE(std::isnan(s.success_rate()));
+  EXPECT_FALSE(std::isnan(s.avg_response_time()));
+}
+
+TEST(SearchStats, PercentileMatchesFreeFunction) {
+  SearchStats s;
+  for (double t : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    s.add({.success = true, .response_time = t});
+  }
+  EXPECT_DOUBLE_EQ(s.response_percentile(0.5),
+                   percentile(s.response_samples(), 0.5));
+  EXPECT_DOUBLE_EQ(s.response_percentile(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(s.response_percentile(1.0), 0.5);
 }
 
 TEST(SearchStats, AggregatesRecords) {
@@ -46,6 +86,9 @@ TEST(LoadSeries, ReducesPerLiveNode) {
   EXPECT_DOUBLE_EQ(sum.series[3], 100.0);  // 500 B / 5 nodes
   EXPECT_DOUBLE_EQ(sum.peak_bytes_per_node_per_sec, 100.0);
   EXPECT_NEAR(sum.mean_bytes_per_node_per_sec, 20.0, 1e-12);
+  // Load stddev describes the window's own buckets — population form:
+  // sqrt((2*80^2 + 8*20^2) / 10) = 40.
+  EXPECT_NEAR(sum.stddev_bytes_per_node_per_sec, 40.0, 1e-9);
 }
 
 TEST(LoadSeries, WindowRestrictsReduction) {

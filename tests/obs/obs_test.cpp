@@ -1,0 +1,179 @@
+// Unit coverage for the observability primitives: the sampled JSONL trace
+// sink, the counter registry and the phase profiler.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/counters.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace asap::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+json::Object record(const char* type, int n) {
+  json::Object rec;
+  rec.emplace_back("type", json::Value(type));
+  rec.emplace_back("n", json::Value(static_cast<double>(n)));
+  return rec;
+}
+
+TEST(TraceSink, SampleOneKeepsEveryRecord) {
+  std::ostringstream out;
+  TraceSink sink(out, 1);
+  for (int i = 0; i < 5; ++i) {
+    if (sink.sampled(RecordKind::kQuery)) sink.write(record("query", i));
+  }
+  EXPECT_EQ(sink.records_written(), 5u);
+  EXPECT_EQ(sink.records_seen(RecordKind::kQuery), 5u);
+  EXPECT_EQ(lines_of(out.str()).size(), 5u);
+}
+
+TEST(TraceSink, SamplesEveryNthPerKindIndependently) {
+  std::ostringstream out;
+  TraceSink sink(out, 3);
+  int kept_queries = 0;
+  for (int i = 0; i < 7; ++i) {
+    if (sink.sampled(RecordKind::kQuery)) {
+      ++kept_queries;
+      sink.write(record("query", i));
+    }
+  }
+  // Records 0, 3 and 6 survive.
+  EXPECT_EQ(kept_queries, 3);
+  EXPECT_EQ(sink.records_seen(RecordKind::kQuery), 7u);
+  // A rare kind is sampled on its own counter, so its first record is
+  // always kept regardless of how chatty the other kinds were.
+  EXPECT_TRUE(sink.sampled(RecordKind::kChurn));
+  EXPECT_EQ(sink.records_seen(RecordKind::kChurn), 1u);
+}
+
+TEST(TraceSink, EmitsOneParseableJsonObjectPerLine) {
+  std::ostringstream out;
+  TraceSink sink(out, 1);
+  for (int i = 0; i < 3; ++i) {
+    if (sink.sampled(RecordKind::kAd)) sink.write(record("ad", i));
+  }
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    // Single-line records: no embedded newlines, parseable in isolation.
+    EXPECT_EQ(lines[i].find('\n'), std::string::npos);
+    const json::Value v = json::parse(lines[i]);
+    EXPECT_EQ(v.at("type").as_string(), "ad");
+    EXPECT_EQ(v.at("n").as_double(), static_cast<double>(i));
+  }
+}
+
+TEST(CounterRegistry, TracksCategoryTallies) {
+  CounterRegistry reg;
+  reg.count_deposit(sim::Traffic::kQuery, 100);
+  reg.count_deposit(sim::Traffic::kQuery, 50);
+  reg.count_drop_ttl(sim::Traffic::kQuery);
+  reg.count_drop_loss(sim::Traffic::kConfirm);
+  reg.count_drop_duplicate(sim::Traffic::kQuery);
+  reg.count_drop_offline(sim::Traffic::kQuery);
+
+  const auto& q = reg.category(sim::Traffic::kQuery);
+  EXPECT_EQ(q.deposits, 2u);
+  EXPECT_EQ(q.bytes, 150u);
+  EXPECT_EQ(q.drops_ttl, 1u);
+  EXPECT_EQ(q.drops_duplicate, 1u);
+  EXPECT_EQ(q.drops_offline, 1u);
+  EXPECT_EQ(reg.category(sim::Traffic::kConfirm).drops_loss, 1u);
+  EXPECT_FALSE(reg.category(sim::Traffic::kFullAd).any());
+}
+
+TEST(CounterRegistry, TracksNodeTalliesAndTotals) {
+  CounterRegistry reg;
+  reg.count_ad_stored(3);
+  reg.count_ad_stored(3);
+  reg.count_ad_evicted(3);
+  reg.count_ad_invalidated(7);
+  reg.count_confirm_sent(7);
+  reg.count_confirm_positive(7);
+  reg.count_confirm_timed_out(3);
+
+  EXPECT_EQ(reg.totals().ads_stored, 2u);
+  EXPECT_EQ(reg.totals().ads_evicted, 1u);
+  EXPECT_EQ(reg.totals().ads_invalidated, 1u);
+  EXPECT_EQ(reg.totals().confirms_sent, 1u);
+  ASSERT_GE(reg.nodes().size(), 8u);
+  EXPECT_EQ(reg.nodes()[3].ads_stored, 2u);
+  EXPECT_EQ(reg.nodes()[3].confirms_timed_out, 1u);
+  EXPECT_EQ(reg.nodes()[7].confirms_positive, 1u);
+  EXPECT_FALSE(reg.nodes()[0].any());
+}
+
+TEST(CounterRegistry, SnapshotElidesZeroCategories) {
+  CounterRegistry reg;
+  reg.count_deposit(sim::Traffic::kConfirm, 64);
+  reg.count_ad_stored(1);
+  const json::Value snap{reg.snapshot()};
+  const json::Value& cats = snap.at("categories");
+  EXPECT_NE(cats.find("confirm"), nullptr);
+  EXPECT_EQ(cats.find("query"), nullptr) << "zero category not elided";
+  EXPECT_EQ(cats.at("confirm").at("bytes").as_double(), 64.0);
+  EXPECT_EQ(snap.at("ads").at("stored").as_double(), 1.0);
+  EXPECT_EQ(snap.at("confirms").at("sent").as_double(), 0.0);
+}
+
+TEST(CounterRegistry, NodeRowsCoverOnlyTouchedNodes) {
+  CounterRegistry reg;
+  reg.count_ad_stored(2);
+  reg.count_confirm_sent(5);
+  const json::Array rows = reg.node_rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].at("type").as_string(), "node-counters");
+  EXPECT_EQ(rows[0].at("node").as_double(), 2.0);
+  EXPECT_EQ(rows[0].at("ads_stored").as_double(), 1.0);
+  EXPECT_EQ(rows[1].at("node").as_double(), 5.0);
+  EXPECT_EQ(rows[1].at("confirms_sent").as_double(), 1.0);
+}
+
+TEST(PhaseProfiler, RecordsPhasesInOrderWithEventDeltas) {
+  PhaseProfiler prof;
+  prof.begin("build");
+  prof.begin("replay", 100);  // implicitly closes "build"
+  prof.end(350);
+  ASSERT_EQ(prof.phases().size(), 2u);
+  const auto& build = prof.phases()[0];
+  const auto& replay = prof.phases()[1];
+  EXPECT_EQ(build.phase, "build");
+  // "build" opened at event count 0 and closed at 100: the 100 events
+  // executed before "replay" began belong to it.
+  EXPECT_EQ(build.events, 100u);
+  EXPECT_GE(build.wall_seconds, 0.0);
+  EXPECT_EQ(replay.phase, "replay");
+  EXPECT_EQ(replay.events, 250u);
+  EXPECT_GE(replay.wall_seconds, 0.0);
+  // end() with no open phase is a no-op.
+  prof.end();
+  EXPECT_EQ(prof.phases().size(), 2u);
+}
+
+TEST(PhaseProfiler, JsonShape) {
+  PhaseProfiler prof;
+  prof.begin("world-build");
+  prof.end();
+  const json::Array arr = prof.to_json();
+  ASSERT_EQ(arr.size(), 1u);
+  EXPECT_EQ(arr[0].at("phase").as_string(), "world-build");
+  EXPECT_GE(arr[0].at("wall_seconds").as_double(), 0.0);
+  EXPECT_EQ(arr[0].at("events").as_double(), 0.0);
+  EXPECT_GE(arr[0].at("events_per_sec").as_double(), 0.0);
+}
+
+}  // namespace
+}  // namespace asap::obs

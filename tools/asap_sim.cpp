@@ -20,6 +20,7 @@
 #include "harness/matrix_runner.hpp"
 #include "harness/replay.hpp"
 #include "harness/world.hpp"
+#include "obs/observer.hpp"
 
 namespace {
 
@@ -41,6 +42,18 @@ struct CliArgs {
   bool matrix = false;
   std::uint32_t trials = 1;
   std::string json_path;
+
+  // Observability (obs/observer.hpp). Tracing observes exactly one run,
+  // so these require a single (topology, algo) pair — and one trial in
+  // matrix mode.
+  std::string trace_out;
+  std::uint64_t trace_sample = 1;
+  std::string counters_out;
+  double counters_period = 60.0;
+
+  bool tracing() const {
+    return !trace_out.empty() || !counters_out.empty();
+  }
 
   // ASAP overrides (applied to every ASAP variant in the run).
   std::optional<std::uint64_t> m0;
@@ -100,6 +113,16 @@ Matrix mode (repeated-seed sweeps, results.json):
   --trials N                  trials per cell (default 1)
   --json FILE                 write machine-readable results
                               (schema: docs/RESULTS_SCHEMA.md)
+
+Observability (single topology + algorithm only; DESIGN.md section 9):
+  --trace-out FILE            JSONL event trace (query/ad/confirm/churn
+                              spans); provably passive — the run digest is
+                              identical with and without it
+  --trace-sample N            keep every Nth trace record per kind
+                              (default 1 = keep all)
+  --counters-out FILE         JSONL counter snapshots on a virtual-time
+                              cadence, plus final per-node rows
+  --counters-period SECONDS   snapshot cadence (default 60)
 
 ASAP protocol overrides:
   --m0 N                      ad budget unit M0
@@ -171,6 +194,20 @@ CliArgs parse(int argc, char** argv) {
       args.trials = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (flag == "--json") {
       args.json_path = next();
+    } else if (flag == "--trace-out") {
+      args.trace_out = next();
+    } else if (flag == "--trace-sample") {
+      args.trace_sample = std::stoull(next());
+      if (args.trace_sample == 0) {
+        throw ConfigError("--trace-sample must be >= 1");
+      }
+    } else if (flag == "--counters-out") {
+      args.counters_out = next();
+    } else if (flag == "--counters-period") {
+      args.counters_period = std::stod(next());
+      if (args.counters_period <= 0.0) {
+        throw ConfigError("--counters-period must be positive");
+      }
     } else if (flag == "--m0") {
       args.m0 = std::stoull(next());
     } else if (flag == "--refresh-period") {
@@ -205,6 +242,54 @@ harness::RunOptions options_for(const CliArgs& args, harness::AlgoKind kind) {
   return opts;
 }
 
+/// Owns the output streams and observer of one traced run. Tracing
+/// observes exactly one simulation, so callers must first pass
+/// require_single_run_for_tracing().
+struct TraceSession {
+  std::ofstream trace_file;
+  std::ofstream counters_file;
+  std::optional<obs::RunObserver> observer;
+
+  explicit TraceSession(const CliArgs& args) {
+    obs::ObsConfig cfg;
+    if (!args.trace_out.empty()) {
+      trace_file.open(args.trace_out);
+      if (!trace_file) throw ConfigError("cannot write " + args.trace_out);
+      cfg.trace_out = &trace_file;
+      cfg.trace_sample = args.trace_sample;
+    }
+    if (!args.counters_out.empty()) {
+      counters_file.open(args.counters_out);
+      if (!counters_file) {
+        throw ConfigError("cannot write " + args.counters_out);
+      }
+      cfg.counters_out = &counters_file;
+    }
+    cfg.snapshot_period = args.counters_period;
+    observer.emplace(cfg);
+  }
+
+  void report(const CliArgs& args) const {
+    if (!args.trace_out.empty()) {
+      std::cout << "wrote " << args.trace_out << " ("
+                << observer->trace_records_written() << " records)\n";
+    }
+    if (!args.counters_out.empty()) {
+      std::cout << "wrote " << args.counters_out << '\n';
+    }
+  }
+};
+
+void require_single_run_for_tracing(const CliArgs& args) {
+  if (!args.tracing()) return;
+  if (args.topologies.size() != 1 || args.algos.size() != 1 ||
+      (args.matrix && args.trials != 1)) {
+    throw ConfigError(
+        "--trace-out/--counters-out observe a single run: use exactly one "
+        "--topology and one --algo (and --trials 1 in matrix mode)");
+  }
+}
+
 /// "12.3±4.5"-style cell for the aggregate table.
 std::string pm(const asap::metrics::MetricSummary& s, double scale,
                int precision) {
@@ -230,12 +315,19 @@ int run_matrix_mode(const CliArgs& args) {
   spec.jobs = args.jobs;
   spec.queries = args.queries;
   spec.options.audit = args.audit;
-  spec.options_for = [&args](harness::AlgoKind kind) {
-    return options_for(args, kind);
+  std::optional<TraceSession> session;
+  if (args.tracing()) session.emplace(args);
+  obs::RunObserver* observer = session ? &*session->observer : nullptr;
+  spec.options.observer = observer;  // run_matrix re-checks the 1-cell rule
+  spec.options_for = [&args, observer](harness::AlgoKind kind) {
+    auto opts = options_for(args, kind);
+    opts.observer = observer;
+    return opts;
   };
   spec.verbose = true;
 
   const auto result = harness::run_matrix(spec);
+  if (session) session->report(args);
 
   TextTable table({"topology", "algorithm", "trials", "success %",
                    "resp ms", "cost/search", "load B/node/s", "digest[0]"});
@@ -287,7 +379,11 @@ int run_matrix_mode(const CliArgs& args) {
 int main(int argc, char** argv) {
   try {
     const CliArgs args = parse(argc, argv);
+    require_single_run_for_tracing(args);
     if (args.matrix) return run_matrix_mode(args);
+
+    std::optional<TraceSession> session;
+    if (args.tracing()) session.emplace(args);
 
     struct Row {
       harness::TopologyKind topo;
@@ -309,8 +405,11 @@ int main(int argc, char** argv) {
       std::vector<std::future<void>> futs;
       for (const auto kind : args.algos) {
         futs.push_back(pool.submit([&, kind] {
-          auto res = harness::run_experiment(world, kind,
-                                             options_for(args, kind));
+          auto opts = options_for(args, kind);
+          // Safe across the pool: tracing is restricted to one algorithm
+          // and one topology, so at most one run sees the observer.
+          if (session) opts.observer = &*session->observer;
+          auto res = harness::run_experiment(world, kind, opts);
           std::cerr << "  " << res.algo << " done ("
                     << TextTable::num(res.wall_seconds, 1) << " s, "
                     << res.engine_events << " engine events, digest "
@@ -381,6 +480,7 @@ int main(int argc, char** argv) {
       }
       std::cout << "\nwrote " << args.csv_path << '\n';
     }
+    if (session) session->report(args);
     if (total_violations > 0) {
       std::cerr << "\naudit failed: " << total_violations
                 << " total violation(s)\n";

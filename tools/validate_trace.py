@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validate asap_sim observability JSONL files (DESIGN.md section 9).
+
+Usage: validate_trace.py FILE [FILE...]
+
+Each line must be a standalone JSON object whose "type" selects a record
+schema. Trace files carry query/ad/confirm/churn spans; counter files
+carry counters snapshots and node-counters rows. Exits nonzero on the
+first malformed file and prints a per-file record summary otherwise.
+"""
+import collections
+import json
+import sys
+
+NUM = (int, float)
+
+# type -> {field: expected python types}; "t" is checked for every record.
+SCHEMAS = {
+    "query": {
+        "node": NUM,
+        "success": bool,
+        "local_hit": bool,
+        "response_s": NUM,
+        "bytes": NUM,
+        "messages": NUM,
+        "results": NUM,
+    },
+    "ad": {"node": NUM, "kind": str, "messages": NUM, "bytes": NUM},
+    "confirm": {"node": NUM, "source": NUM, "outcome": str},
+    "churn": {"node": NUM, "transition": str},
+    "counters": {"categories": dict, "ads": dict, "confirms": dict},
+    "node-counters": {
+        "node": NUM,
+        "ads_stored": NUM,
+        "ads_evicted": NUM,
+        "ads_invalidated": NUM,
+        "confirms_sent": NUM,
+        "confirms_positive": NUM,
+        "confirms_timed_out": NUM,
+    },
+}
+ENUMS = {
+    "kind": {"full", "patch", "refresh"},
+    "outcome": {"positive", "negative", "timeout"},
+    "transition": {"join", "leave", "rejoin"},
+}
+
+
+def validate_file(path):
+    counts = collections.Counter()
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+
+            def fail(msg):
+                sys.exit(f"{path}:{lineno}: {msg}\n  {line}")
+
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"not valid JSON: {e}")
+            if not isinstance(rec, dict):
+                fail("record is not a JSON object")
+            rtype = rec.get("type")
+            schema = SCHEMAS.get(rtype)
+            if schema is None:
+                fail(f"unknown record type {rtype!r}")
+            # node-counters rows are emitted by finalize() without a time.
+            if rtype != "node-counters":
+                if not isinstance(rec.get("t"), NUM) or rec["t"] < 0:
+                    fail("missing or negative virtual time 't'")
+            for field, types in schema.items():
+                value = rec.get(field)
+                # bool is an int subclass; keep numeric fields strict.
+                if types is NUM and isinstance(value, bool):
+                    fail(f"field {field!r} is a bool, expected a number")
+                if not isinstance(value, types):
+                    fail(f"field {field!r} missing or mistyped: {value!r}")
+                if field in ENUMS and value not in ENUMS[field]:
+                    fail(f"field {field!r} has unknown value {value!r}")
+            counts[rtype] += 1
+    if not counts:
+        sys.exit(f"{path}: no records")
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"{path}: OK ({sum(counts.values())} records: {summary})")
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.exit(__doc__.strip())
+    for path in argv[1:]:
+        validate_file(path)
+
+
+if __name__ == "__main__":
+    main(sys.argv)
