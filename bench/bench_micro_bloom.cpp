@@ -2,14 +2,20 @@
 // the per-probe costs behind every ad match and ads-cache lookup.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "bloom/bloom.hpp"
+#include "bloom/hashed_query.hpp"
 #include "common/rng.hpp"
 
 namespace {
 
 using asap::Rng;
 using asap::bloom::BloomFilter;
+using asap::bloom::BloomParams;
 using asap::bloom::CountingBloomFilter;
+using asap::bloom::HashedKey;
+using asap::bloom::HashedQuery;
 
 void BM_BloomInsert(benchmark::State& state) {
   BloomFilter f;
@@ -54,6 +60,67 @@ void BM_BloomContainsAll3Terms(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BloomContainsAll3Terms);
+
+// --- hashed (one-shot) vs raw (hash-per-probe) membership tests ----------
+// The raw path re-derives the KM hash pair and walks the probe sequence on
+// every test; the hashed path pays that once (BM_HashedQueryBuild) and then
+// each test is pure word-index/bit-mask loads.
+
+void BM_HashedQueryBuild3Terms(benchmark::State& state) {
+  const BloomParams params;
+  const std::vector<asap::KeywordId> terms{10, 500, 999};
+  HashedQuery q;
+  for (auto _ : state) {
+    q.assign(terms, params);
+    benchmark::DoNotOptimize(q.fold_mask_all());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashedQueryBuild3Terms);
+
+void BM_HashedProbeHit(benchmark::State& state) {
+  const BloomParams params;
+  BloomFilter f(params);
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t k = 0; k < n; ++k) f.insert(k);
+  std::vector<HashedKey> keys;
+  for (std::uint64_t k = 0; k < n; ++k) keys.emplace_back(k, params);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keys[i++ % n].present_in(f.words()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashedProbeHit)->Arg(100)->Arg(1'000);
+
+void BM_HashedProbeMiss(benchmark::State& state) {
+  const BloomParams params;
+  BloomFilter f(params);
+  for (std::uint64_t k = 0; k < 1'000; ++k) f.insert(k);
+  Rng rng(2);
+  std::vector<HashedKey> keys;
+  for (int i = 0; i < 1'024; ++i) keys.emplace_back(rng.next_u64(), params);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keys[i++ & 1'023].present_in(f.words()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashedProbeMiss);
+
+void BM_HashedQueryMatches3Terms(benchmark::State& state) {
+  // Counterpart of BM_BloomContainsAll3Terms with the hashing hoisted out.
+  const BloomParams params;
+  BloomFilter f(params);
+  for (std::uint64_t k = 0; k < 1'000; ++k) f.insert(k);
+  const std::vector<asap::KeywordId> terms{10, 500, 999};
+  const HashedQuery q(terms, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.matches(f));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashedQueryMatches3Terms);
 
 void BM_BloomDiff(benchmark::State& state) {
   BloomFilter a, b;

@@ -1,12 +1,42 @@
 #include "asap/ad_cache.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/error.hpp"
 
 namespace asap::ads {
 
 AdCache::AdCache(std::uint32_t capacity) : capacity_(capacity) {}
+
+std::uint64_t AdCache::prefilter_for(const AdPayload& ad) const {
+  if (ad.filter.params() != canonical_) return ~0ULL;
+  return ad.filter.fold();
+}
+
+void AdCache::fold_count_add(std::uint64_t word) {
+  while (word != 0) {
+    ++fold_count_[static_cast<std::size_t>(std::countr_zero(word))];
+    word &= word - 1;
+  }
+}
+
+void AdCache::fold_count_remove(std::uint64_t word) {
+  while (word != 0) {
+    auto& c = fold_count_[static_cast<std::size_t>(std::countr_zero(word))];
+    ASAP_DCHECK(c > 0);
+    --c;
+    word &= word - 1;
+  }
+}
+
+void AdCache::set_payload(std::size_t idx, AdPayloadPtr ad) {
+  const std::uint64_t pre = prefilter_for(*ad);
+  fold_count_remove(prefilter_[idx]);
+  fold_count_add(pre);
+  prefilter_[idx] = pre;
+  entries_[idx].ad = std::move(ad);
+}
 
 AdCache::PutResult AdCache::put(AdPayloadPtr ad, double now, Rng& rng) {
   ASAP_DCHECK(ad != nullptr);
@@ -15,15 +45,14 @@ AdCache::PutResult AdCache::put(AdPayloadPtr ad, double now, Rng& rng) {
   if (capacity_ == 0) return {};
   const NodeId src = ad->source;
   if (auto it = pos_.find(src); it != pos_.end()) {
-    auto& entry = entries_[it->second].second;
     PutResult r;
     // Never downgrade to an older version (walk revisits can deliver the
     // same ad twice; late full ads can race a newer patch).
-    if (ad->version >= entry.ad->version) {
-      entry.ad = std::move(ad);
+    if (ad->version >= entries_[it->second].ad->version) {
+      set_payload(it->second, std::move(ad));
       r.stored = true;
     }
-    entry.touch = now;
+    entries_[it->second].touch = now;
     return r;
   }
   PutResult r;
@@ -32,7 +61,11 @@ AdCache::PutResult AdCache::put(AdPayloadPtr ad, double now, Rng& rng) {
     r.evicted = true;
   }
   pos_.emplace(src, static_cast<std::uint32_t>(entries_.size()));
-  entries_.emplace_back(src, Entry{std::move(ad), now});
+  const std::uint64_t pre = prefilter_for(*ad);
+  fold_count_add(pre);
+  sources_.push_back(src);
+  entries_.push_back(Entry{std::move(ad), now});
+  prefilter_.push_back(pre);
   r.stored = true;
   return r;
 }
@@ -41,9 +74,9 @@ UpdateOutcome AdCache::apply_patch(NodeId source, std::uint32_t base_version,
                                    const AdPayloadPtr& next, double now) {
   auto it = pos_.find(source);
   if (it == pos_.end()) return UpdateOutcome::kMissing;
-  auto& entry = entries_[it->second].second;
+  auto& entry = entries_[it->second];
   if (entry.ad->version == base_version) {
-    entry.ad = next;
+    set_payload(it->second, next);
     entry.touch = now;
     return UpdateOutcome::kApplied;
   }
@@ -56,7 +89,7 @@ UpdateOutcome AdCache::on_refresh(NodeId source, std::uint32_t version,
                                   double now) {
   auto it = pos_.find(source);
   if (it == pos_.end()) return UpdateOutcome::kMissing;
-  auto& entry = entries_[it->second].second;
+  auto& entry = entries_[it->second];
   if (entry.ad->version == version) {
     entry.touch = now;
     return UpdateOutcome::kApplied;
@@ -77,22 +110,30 @@ bool AdCache::erase(NodeId source) {
 
 void AdCache::erase_at(std::size_t idx) {
   ASAP_DCHECK(idx < entries_.size());
-  pos_.erase(entries_[idx].first);
-  if (idx + 1 != entries_.size()) {
-    entries_[idx] = std::move(entries_.back());
-    pos_[entries_[idx].first] = static_cast<std::uint32_t>(idx);
+  fold_count_remove(prefilter_[idx]);
+  pos_.erase(sources_[idx]);
+  const std::size_t last = entries_.size() - 1;
+  if (idx != last) {
+    // Swap-with-back across every parallel array, then repoint the moved
+    // source's index — the arrays and pos_ must never disagree.
+    sources_[idx] = sources_[last];
+    entries_[idx] = std::move(entries_[last]);
+    prefilter_[idx] = prefilter_[last];
+    pos_[sources_[idx]] = static_cast<std::uint32_t>(idx);
   }
+  sources_.pop_back();
   entries_.pop_back();
+  prefilter_.pop_back();
 }
 
 const AdCache::Entry* AdCache::find(NodeId source) const {
   auto it = pos_.find(source);
-  return it == pos_.end() ? nullptr : &entries_[it->second].second;
+  return it == pos_.end() ? nullptr : &entries_[it->second];
 }
 
 void AdCache::touch(NodeId source, double now) {
   auto it = pos_.find(source);
-  if (it != pos_.end()) entries_[it->second].second.touch = now;
+  if (it != pos_.end()) entries_[it->second].touch = now;
 }
 
 void AdCache::evict_one(Rng& rng) {
@@ -105,19 +146,17 @@ void AdCache::evict_one(Rng& rng) {
     // entry (and would burn RNG draws for nothing).
     std::size_t victim = 0;
     for (std::size_t idx = 1; idx < entries_.size(); ++idx) {
-      if (entries_[idx].second.touch < entries_[victim].second.touch) {
-        victim = idx;
-      }
+      if (entries_[idx].touch < entries_[victim].touch) victim = idx;
     }
     erase_at(victim);
     return;
   }
   std::size_t victim = rng.below(entries_.size());
-  double oldest = entries_[victim].second.touch;
+  double oldest = entries_[victim].touch;
   for (std::size_t s = 1; s < kSamples; ++s) {
     const std::size_t idx = rng.below(entries_.size());
-    if (entries_[idx].second.touch < oldest) {
-      oldest = entries_[idx].second.touch;
+    if (entries_[idx].touch < oldest) {
+      oldest = entries_[idx].touch;
       victim = idx;
     }
   }
@@ -128,7 +167,7 @@ void AdCache::collect_matches(std::span<const KeywordId> terms,
                               std::vector<AdPayloadPtr>& out) const {
   out.clear();
   if (terms.empty()) return;
-  for (const auto& [src, entry] : entries_) {
+  for (const Entry& entry : entries_) {
     if (entry.ad->filter.contains_all(terms)) out.push_back(entry.ad);
   }
 }
@@ -140,7 +179,7 @@ void AdCache::collect_for_reply(std::span<const KeywordId> terms,
                                 std::vector<AdPayloadPtr>& out) const {
   out.clear();
   // Pass 1: ads that already satisfy the query terms.
-  for (const auto& [src, entry] : entries_) {
+  for (const Entry& entry : entries_) {
     if (out.size() >= max_ads) return;
     if (!terms.empty() && entry.ad->filter.contains_all(terms)) {
       out.push_back(entry.ad);
@@ -148,7 +187,7 @@ void AdCache::collect_for_reply(std::span<const KeywordId> terms,
   }
   // Pass 2: up to max_topical ads topically relevant to the requester.
   std::uint32_t topical = 0;
-  for (const auto& [src, entry] : entries_) {
+  for (const Entry& entry : entries_) {
     if (out.size() >= max_ads || topical >= max_topical) return;
     if (!terms.empty() && entry.ad->filter.contains_all(terms)) {
       continue;  // already included
@@ -158,6 +197,122 @@ void AdCache::collect_for_reply(std::span<const KeywordId> terms,
       ++topical;
     }
   }
+}
+
+std::size_t AdCache::order_terms(
+    const bloom::HashedQuery& query,
+    std::array<std::uint8_t, kMaxOrderedTerms>& order) const {
+  const std::size_t n = query.size();
+  if (n > kMaxOrderedTerms) return 0;  // oversized query: natural order
+  const auto keys = query.keys();
+  std::array<std::uint32_t, kMaxOrderedTerms> selectivity{};
+  for (std::size_t t = 0; t < n; ++t) {
+    // At most fold_count_[j] entries have fold bit j, so the rarest bit of
+    // the term's mask bounds how many entries the term can match.
+    std::uint64_t mask = keys[t].fold_mask();
+    std::uint32_t s = ~0U;
+    while (mask != 0) {
+      const auto b = static_cast<std::size_t>(std::countr_zero(mask));
+      s = std::min(s, fold_count_[b]);
+      mask &= mask - 1;
+    }
+    selectivity[t] = s;
+    order[t] = static_cast<std::uint8_t>(t);
+  }
+  std::sort(order.begin(), order.begin() + n,
+            [&selectivity](std::uint8_t a, std::uint8_t b) {
+              if (selectivity[a] != selectivity[b]) {
+                return selectivity[a] < selectivity[b];
+              }
+              return a < b;  // deterministic tie-break
+            });
+  return n;
+}
+
+bool AdCache::entry_matches(std::size_t idx, const bloom::HashedQuery& query,
+                            std::span<const std::uint8_t> order) const {
+  const bloom::BloomFilter& filter = entries_[idx].ad->filter;
+  if (filter.params() != query.params()) {
+    return filter.contains_all(query.terms());
+  }
+  const auto words = filter.words();
+  const auto keys = query.keys();
+  if (order.empty()) {
+    for (const bloom::HashedKey& k : keys) {
+      if (!k.present_in(words)) return false;
+    }
+    return true;
+  }
+  for (const std::uint8_t t : order) {
+    if (!keys[t].present_in(words)) return false;
+  }
+  return true;
+}
+
+void AdCache::collect_matches(const bloom::HashedQuery& query,
+                              std::vector<AdPayloadPtr>& out) const {
+  out.clear();
+  if (!query.empty()) {
+    std::array<std::uint8_t, kMaxOrderedTerms> order_buf;
+    const std::size_t ordered = order_terms(query, order_buf);
+    const std::span<const std::uint8_t> order{order_buf.data(), ordered};
+    const std::uint64_t need = query.fold_mask_all();
+    const bool prefilter_ok = query.params() == canonical_;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (prefilter_ok && (prefilter_[i] & need) != need) continue;
+      if (entry_matches(i, query, order)) out.push_back(entries_[i].ad);
+    }
+  }
+#ifdef ASAP_AUDIT_FORCE_ON
+  // Oracle: the hashed scan must reproduce the legacy scan exactly,
+  // including output order.
+  std::vector<AdPayloadPtr> legacy;
+  collect_matches(query.terms(), legacy);
+  ASAP_CHECK(legacy == out);
+#endif
+}
+
+void AdCache::collect_for_reply(const bloom::HashedQuery& query,
+                                const std::vector<TopicId>& interests,
+                                std::uint32_t max_ads,
+                                std::uint32_t max_topical,
+                                std::vector<AdPayloadPtr>& out) const {
+  out.clear();
+  std::array<std::uint8_t, kMaxOrderedTerms> order_buf;
+  const std::size_t ordered = order_terms(query, order_buf);
+  const std::span<const std::uint8_t> order{order_buf.data(), ordered};
+  const std::uint64_t need = query.fold_mask_all();
+  const bool prefilter_ok = query.params() == canonical_;
+  const auto matches = [&](std::size_t i) {
+    if (prefilter_ok && (prefilter_[i] & need) != need) return false;
+    return entry_matches(i, query, order);
+  };
+  // Pass 1: ads that already satisfy the query terms.
+  bool truncated = false;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (out.size() >= max_ads) {
+      truncated = true;
+      break;
+    }
+    if (!query.empty() && matches(i)) out.push_back(entries_[i].ad);
+  }
+  // Pass 2: up to max_topical ads topically relevant to the requester.
+  if (!truncated) {
+    std::uint32_t topical = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (out.size() >= max_ads || topical >= max_topical) break;
+      if (!query.empty() && matches(i)) continue;  // already included
+      if (topics_overlap(entries_[i].ad->topics, interests)) {
+        out.push_back(entries_[i].ad);
+        ++topical;
+      }
+    }
+  }
+#ifdef ASAP_AUDIT_FORCE_ON
+  std::vector<AdPayloadPtr> legacy;
+  collect_for_reply(query.terms(), interests, max_ads, max_topical, legacy);
+  ASAP_CHECK(legacy == out);
+#endif
 }
 
 }  // namespace asap::ads

@@ -5,6 +5,16 @@
 // O(1) approximation that avoids both full scans and heavyweight intrusive
 // lists — important because ad deliveries generate millions of inserts.
 //
+// Storage is structure-of-arrays: `sources_`, `entries_` and `prefilter_`
+// are index-aligned, with `pos_` mapping source → index. The scan path
+// (collect_matches / collect_for_reply over a HashedQuery) walks the dense
+// 8-byte prefilter array first — each word is the fold of that entry's
+// Bloom filter (bloom/hashed_query.hpp) — and only entries whose fold
+// covers the query's fold mask touch their ~1.4 KB filter. Query terms are
+// tested rarest-fold-bit-first so mismatching entries exit early. Under
+// ASAP_AUDIT every hashed scan is re-run through the legacy hash-per-term
+// path and the results compared.
+//
 // Version discipline:
 //   * a full ad replaces whatever is cached for its source,
 //   * a patch applies only if the cached version equals the patch's base
@@ -15,12 +25,14 @@
 //     mismatching one.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "asap/ad.hpp"
+#include "bloom/hashed_query.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
@@ -75,7 +87,14 @@ class AdCache {
   void touch(NodeId source, double now);
 
   /// All cached ads whose filter claims every term (paper Table I match).
+  /// Legacy hash-per-term scan; the HashedQuery overload is the hot path.
   void collect_matches(std::span<const KeywordId> terms,
+                       std::vector<AdPayloadPtr>& out) const;
+
+  /// Fast path: same result set and order as the span overload, but all
+  /// hashing happened once at query-origin time and most non-matching
+  /// entries are rejected by the 8-byte prefilter.
+  void collect_matches(const bloom::HashedQuery& query,
                        std::vector<AdPayloadPtr>& out) const;
 
   /// Builds an ads-request reply: term-matching ads first (up to `max_ads`
@@ -88,18 +107,54 @@ class AdCache {
                          std::uint32_t max_ads, std::uint32_t max_topical,
                          std::vector<AdPayloadPtr>& out) const;
 
-  /// Iterate entries (tests / debugging).
-  const std::vector<std::pair<NodeId, Entry>>& entries() const {
-    return entries_;
-  }
+  /// Fast-path twin of the span overload (identical output).
+  void collect_for_reply(const bloom::HashedQuery& query,
+                         const std::vector<TopicId>& interests,
+                         std::uint32_t max_ads, std::uint32_t max_topical,
+                         std::vector<AdPayloadPtr>& out) const;
+
+  /// Index-aligned views over the SoA storage (tests / debugging).
+  std::span<const NodeId> sources() const { return sources_; }
+  std::span<const Entry> entries() const { return entries_; }
+  std::span<const std::uint64_t> prefilters() const { return prefilter_; }
 
  private:
   void evict_one(Rng& rng);
   void erase_at(std::size_t idx);
 
+  /// Prefilter word for a payload: the filter's 64-bit fold when its
+  /// geometry matches the system-wide default, else all-ones ("cannot
+  /// prefilter, always scan") so foreign-geometry entries stay correct.
+  std::uint64_t prefilter_for(const AdPayload& ad) const;
+  void set_payload(std::size_t idx, AdPayloadPtr ad);
+  void fold_count_add(std::uint64_t word);
+  void fold_count_remove(std::uint64_t word);
+
+  /// Orders query-term indices most-selective-first: ascending by the
+  /// number of cached entries whose prefilter could cover the term's fold
+  /// mask (an upper bound on its matchable entries). Returns the term
+  /// count, or 0 for "use natural order" (oversized queries). Ordering
+  /// only changes how fast a non-match exits, never the matched set.
+  static constexpr std::size_t kMaxOrderedTerms = 8;
+  std::size_t order_terms(const bloom::HashedQuery& query,
+                          std::array<std::uint8_t, kMaxOrderedTerms>& order)
+      const;
+
+  /// Full match test for one entry against the hashed query (prefilter
+  /// already passed). Falls back to the legacy per-term scan on a filter
+  /// geometry mismatch.
+  bool entry_matches(std::size_t idx, const bloom::HashedQuery& query,
+                     std::span<const std::uint8_t> order) const;
+
   std::uint32_t capacity_;
-  std::vector<std::pair<NodeId, Entry>> entries_;
-  std::unordered_map<NodeId, std::uint32_t> pos_;  // source -> entries_ index
+  bloom::BloomParams canonical_;  // prefilter geometry (system default)
+  std::vector<NodeId> sources_;
+  std::vector<Entry> entries_;
+  std::vector<std::uint64_t> prefilter_;
+  // fold_count_[j] = number of entries whose prefilter has bit j set;
+  // drives the rarest-first term ordering.
+  std::array<std::uint32_t, 64> fold_count_{};
+  std::unordered_map<NodeId, std::uint32_t> pos_;  // source -> index
 };
 
 }  // namespace asap::ads

@@ -267,7 +267,7 @@ void AsapProtocol::on_rejoin(const trace::TraceEvent& ev) {
     schedule_refresh(n);
   }
   std::vector<AdPayloadPtr> unused;
-  ads_request_phase(n, ev.time, {}, nullptr, {}, unused);
+  ads_request_phase(n, ev.time, ctx_.hash_query({}), nullptr, {}, unused);
 }
 
 void AsapProtocol::on_join(const trace::TraceEvent& ev) {
@@ -284,7 +284,7 @@ void AsapProtocol::on_join(const trace::TraceEvent& ev) {
   // Warm the joiner's cache with topical ads from its new neighbors — the
   // same ads-request flow a failed search uses (paper §III-C).
   std::vector<AdPayloadPtr> unused;
-  ads_request_phase(n, ev.time, {}, nullptr, {}, unused);
+  ads_request_phase(n, ev.time, ctx_.hash_query({}), nullptr, {}, unused);
 }
 
 void AsapProtocol::on_content_change(const trace::TraceEvent& ev) {
@@ -382,7 +382,7 @@ Seconds AsapProtocol::confirm_round(NodeId p, Seconds start,
 }
 
 Seconds AsapProtocol::ads_request_phase(
-    NodeId p, Seconds start, std::span<const KeywordId> terms,
+    NodeId p, Seconds start, const bloom::HashedQuery& query,
     metrics::SearchRecord* rec, std::span<const NodeId> skip_sources,
     std::vector<AdPayloadPtr>& matches_out) {
   matches_out.clear();
@@ -392,11 +392,11 @@ Seconds AsapProtocol::ads_request_phase(
   const auto& interests = ctx_.model.interests(p);
 
   const std::uint32_t total_cap =
-      terms.empty() ? params_.join_reply_max : params_.ads_reply_max;
+      query.empty() ? params_.join_reply_max : params_.ads_reply_max;
   const std::uint32_t topical_cap =
-      terms.empty() ? params_.join_reply_max : params_.ads_reply_topical_max;
+      query.empty() ? params_.join_reply_max : params_.ads_reply_topical_max;
   auto visit = [&](NodeId v, Seconds t, std::uint32_t) {
-    caches_[v].collect_for_reply(terms, interests, total_cap, topical_cap,
+    caches_[v].collect_for_reply(query, interests, total_cap, topical_cap,
                                  reply_scratch_);
     Bytes reply_bytes = ctx_.sizes.ads_reply_header;
     for (const auto& ad : reply_scratch_) {
@@ -424,7 +424,7 @@ Seconds AsapProtocol::ads_request_phase(
       ASAP_AUDIT_HOOK(ctx_.auditor,
                       on_cache_occupancy(caches_[p].size(),
                                          params_.cache_capacity));
-      if (!terms.empty() && ad->filter.contains_all(terms)) {
+      if (!query.empty() && query.matches(ad->filter)) {
         matches_out.push_back(ad);
       }
     }
@@ -460,8 +460,13 @@ void AsapProtocol::run_query(const trace::TraceEvent& ev) {
   const auto terms = ev.term_span();
   metrics::SearchRecord rec;
 
+  // Hash the query terms exactly once; every cache scan below — at the
+  // querying node and at every node its ads request visits — reuses the
+  // precomputed probe positions.
+  const bloom::HashedQuery& query = ctx_.hash_query(terms);
+
   // Phase 1: local ads-cache lookup + confirmations (paper Table I).
-  caches_[p].collect_matches(terms, scratch_ads_);
+  caches_[p].collect_matches(query, scratch_ads_);
   Seconds resolve = t0;
   std::vector<NodeId> dead;
   Seconds best =
@@ -474,7 +479,7 @@ void AsapProtocol::run_query(const trace::TraceEvent& ev) {
   if (!local_success || rec.results < params_.results_needed) {
     std::vector<AdPayloadPtr> fresh;
     const Seconds phase_done =
-        ads_request_phase(p, resolve, terms, &rec, dead, fresh);
+        ads_request_phase(p, resolve, query, &rec, dead, fresh);
     // Skip sources already confirmed (positively or negatively) in the
     // local round — their answer is known.
     std::erase_if(fresh, [&](const AdPayloadPtr& ad) {

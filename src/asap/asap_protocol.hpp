@@ -126,11 +126,13 @@ class AsapProtocol final : public search::SearchAlgorithm {
                         std::vector<NodeId>& dead_sources);
 
   /// Requests ads from neighbors within h hops, merges replies into p's
-  /// cache and collects term-matching payloads. Ads from `skip_sources`
-  /// (sources the requester just observed dead) are not merged. Returns
-  /// completion time.
+  /// cache and collects term-matching payloads. The query is pre-hashed
+  /// (ctx_.hash_query) so every reply-side cache scan and merge-side match
+  /// test reuses the one-shot probe positions; an empty query is the
+  /// join-time warm-up request. Ads from `skip_sources` (sources the
+  /// requester just observed dead) are not merged. Returns completion time.
   Seconds ads_request_phase(NodeId p, Seconds start,
-                            std::span<const KeywordId> terms,
+                            const bloom::HashedQuery& query,
                             metrics::SearchRecord* rec,
                             std::span<const NodeId> skip_sources,
                             std::vector<AdPayloadPtr>& matches_out);

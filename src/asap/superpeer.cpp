@@ -401,7 +401,7 @@ Seconds SuperpeerAsap::confirm_round(
 }
 
 Seconds SuperpeerAsap::ads_request_phase(
-    NodeId sp, Seconds start, std::span<const KeywordId> terms,
+    NodeId sp, Seconds start, const bloom::HashedQuery& query,
     metrics::SearchRecord* rec, std::vector<AdPayloadPtr>& matches_out) {
   matches_out.clear();
   if (params_.ads_request_hops == 0) return start;
@@ -410,7 +410,7 @@ Seconds SuperpeerAsap::ads_request_phase(
 
   search::GraphScope scope(ctx_, sp_mesh_);
   auto visit = [&](NodeId v, Seconds t, std::uint32_t) {
-    caches_[v].collect_for_reply(terms, {}, params_.ads_reply_max,
+    caches_[v].collect_for_reply(query, {}, params_.ads_reply_max,
                                  params_.ads_reply_topical_max,
                                  reply_scratch_);
     Bytes reply_bytes = ctx_.sizes.ads_reply_header;
@@ -434,7 +434,7 @@ Seconds SuperpeerAsap::ads_request_phase(
       ASAP_AUDIT_HOOK(ctx_.auditor,
                       on_cache_occupancy(caches_[sp].size(),
                                          params_.cache_capacity));
-      if (!terms.empty() && ad->filter.contains_all(terms)) {
+      if (!query.empty() && query.matches(ad->filter)) {
         matches_out.push_back(ad);
       }
     }
@@ -465,6 +465,10 @@ void SuperpeerAsap::run_query(const trace::TraceEvent& ev) {
   const auto terms = ev.term_span();
   metrics::SearchRecord rec;
 
+  // One-shot query hashing, shared by the proxy-side cache scan and the
+  // widened superpeer-mesh lookup.
+  const bloom::HashedQuery& query = ctx_.hash_query(terms);
+
   // Route to the proxy (superpeers serve themselves).
   NodeId sp = r;
   Seconds at_proxy = ev.time;
@@ -493,7 +497,7 @@ void SuperpeerAsap::run_query(const trace::TraceEvent& ev) {
 
   // Proxy-side lookup; the candidate list travels back to the requester,
   // which confirms with the sources directly.
-  caches_[sp].collect_matches(terms, scratch_ads_);
+  caches_[sp].collect_matches(query, scratch_ads_);
   Seconds confirm_start = at_proxy;
   if (sp != r) {
     confirm_start = at_proxy + ctx_.latency(sp, r);
@@ -512,7 +516,7 @@ void SuperpeerAsap::run_query(const trace::TraceEvent& ev) {
   if (!local) {
     // Proxy widens the lookup among its superpeer neighbors.
     std::vector<AdPayloadPtr> fresh;
-    const Seconds done = ads_request_phase(sp, resolve, terms, &rec, fresh);
+    const Seconds done = ads_request_phase(sp, resolve, query, &rec, fresh);
     if (!fresh.empty()) {
       Seconds fetch_start = done;
       if (sp != r) {

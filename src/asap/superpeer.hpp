@@ -104,7 +104,7 @@ class SuperpeerAsap final : public search::SearchAlgorithm {
                         std::span<const AdPayloadPtr> candidates,
                         metrics::SearchRecord& rec, Seconds& resolve);
   Seconds ads_request_phase(NodeId sp, Seconds start,
-                            std::span<const KeywordId> terms,
+                            const bloom::HashedQuery& query,
                             metrics::SearchRecord* rec,
                             std::vector<AdPayloadPtr>& matches_out);
 

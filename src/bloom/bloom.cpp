@@ -4,18 +4,23 @@
 #include <cmath>
 #include <limits>
 
+#include "bloom/probe.hpp"
 #include "common/error.hpp"
 
 namespace asap::bloom {
 
 namespace {
 
-/// SplitMix64-style finalizer; good avalanche for sequential keyword ids.
-std::uint64_t mix(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
+#ifdef ASAP_AUDIT_FORCE_ON
+/// Audit builds re-derive the popcount from the bitmap on every read so a
+/// drifted incremental counter fails loudly instead of corrupting wire
+/// sizes (and therefore ledger bytes and run digests).
+std::uint32_t recount(const std::vector<std::uint64_t>& words) {
+  std::uint32_t total = 0;
+  for (auto w : words) total += static_cast<std::uint32_t>(std::popcount(w));
+  return total;
 }
+#endif
 
 }  // namespace
 
@@ -48,36 +53,25 @@ BloomFilter::BloomFilter(BloomParams params)
 void BloomFilter::positions(std::uint64_t key,
                             std::vector<std::uint32_t>& out) const {
   out.clear();
-  const std::uint64_t h1 = mix(key);
-  std::uint64_t h2 = mix(key ^ 0x9E3779B97F4A7C15ULL) | 1ULL;
-  std::uint64_t h = h1;
-  for (std::uint32_t i = 0; i < params_.hashes; ++i) {
-    out.push_back(static_cast<std::uint32_t>(h % params_.bits));
-    h += h2;
-  }
+  probe::for_each_position(key, params_.bits, params_.hashes,
+                           [&out](std::uint32_t pos) { out.push_back(pos); });
 }
 
 void BloomFilter::insert(std::uint64_t key) {
-  const std::uint64_t h1 = mix(key);
-  const std::uint64_t h2 = mix(key ^ 0x9E3779B97F4A7C15ULL) | 1ULL;
-  std::uint64_t h = h1;
-  for (std::uint32_t i = 0; i < params_.hashes; ++i) {
-    const auto pos = static_cast<std::uint32_t>(h % params_.bits);
-    words_[pos >> 6] |= 1ULL << (pos & 63);
-    h += h2;
-  }
+  probe::for_each_position(
+      key, params_.bits, params_.hashes, [this](std::uint32_t pos) {
+        const std::uint64_t mask = 1ULL << (pos & 63);
+        std::uint64_t& w = words_[pos >> 6];
+        popcount_ += static_cast<std::uint32_t>((w & mask) == 0);
+        w |= mask;
+      });
 }
 
 bool BloomFilter::contains(std::uint64_t key) const {
-  const std::uint64_t h1 = mix(key);
-  const std::uint64_t h2 = mix(key ^ 0x9E3779B97F4A7C15ULL) | 1ULL;
-  std::uint64_t h = h1;
-  for (std::uint32_t i = 0; i < params_.hashes; ++i) {
-    const auto pos = static_cast<std::uint32_t>(h % params_.bits);
-    if ((words_[pos >> 6] & (1ULL << (pos & 63))) == 0) return false;
-    h += h2;
-  }
-  return true;
+  return probe::for_each_position(
+      key, params_.bits, params_.hashes, [this](std::uint32_t pos) {
+        return (words_[pos >> 6] & (1ULL << (pos & 63))) != 0;
+      });
 }
 
 bool BloomFilter::contains_all(std::span<const KeywordId> keywords) const {
@@ -94,17 +88,32 @@ bool BloomFilter::bit(std::uint32_t pos) const {
 
 void BloomFilter::toggle(std::uint32_t pos) {
   ASAP_DCHECK(pos < params_.bits);
-  words_[pos >> 6] ^= 1ULL << (pos & 63);
+  const std::uint64_t mask = 1ULL << (pos & 63);
+  std::uint64_t& w = words_[pos >> 6];
+  if ((w & mask) != 0) {
+    --popcount_;
+  } else {
+    ++popcount_;
+  }
+  w ^= mask;
 }
 
 void BloomFilter::clear() {
   std::fill(words_.begin(), words_.end(), 0);
+  popcount_ = 0;
 }
 
 std::uint32_t BloomFilter::popcount() const {
-  std::uint32_t total = 0;
-  for (auto w : words_) total += static_cast<std::uint32_t>(std::popcount(w));
-  return total;
+#ifdef ASAP_AUDIT_FORCE_ON
+  ASAP_CHECK(popcount_ == recount(words_));
+#endif
+  return popcount_;
+}
+
+std::uint64_t BloomFilter::fold() const {
+  std::uint64_t fold = 0;
+  for (auto w : words_) fold |= w;
+  return fold;
 }
 
 std::vector<std::uint32_t> BloomFilter::set_positions() const {
@@ -151,24 +160,27 @@ CountingBloomFilter::CountingBloomFilter(BloomParams params)
 
 void CountingBloomFilter::insert(std::uint64_t key) {
   constexpr auto kMax = std::numeric_limits<std::uint16_t>::max();
-  projection_.positions(key, scratch_);
-  for (auto pos : scratch_) {
-    // Saturate instead of wrapping: a wrapped counter would reach 0 with
-    // the projection bit still set, and the next insert would *clear* the
-    // bit. A saturated counter merely loses removability for that bit,
-    // which keeps the filter a conservative over-approximation.
-    ASAP_DCHECK(counters_[pos] < kMax);
-    if (counters_[pos] == kMax) continue;
-    if (counters_[pos]++ == 0) projection_.toggle(pos);
-  }
+  probe::for_each_position(
+      key, params_.bits, params_.hashes, [this](std::uint32_t pos) {
+        // Saturate instead of wrapping: a wrapped counter would reach 0 with
+        // the projection bit still set, and the next insert would *clear* the
+        // bit. A saturated counter merely loses removability for that bit,
+        // which keeps the filter a conservative over-approximation.
+        ASAP_DCHECK(counters_[pos] < kMax);
+        if (counters_[pos] == kMax) return;
+        if (counters_[pos]++ == 0) projection_.toggle(pos);
+      });
 }
 
 void CountingBloomFilter::remove(std::uint64_t key) {
-  projection_.positions(key, scratch_);
-  for (auto pos : scratch_) {
-    ASAP_DCHECK(counters_[pos] > 0);
-    if (counters_[pos] > 0 && --counters_[pos] == 0) projection_.toggle(pos);
-  }
+  probe::for_each_position(key, params_.bits, params_.hashes,
+                           [this](std::uint32_t pos) {
+                             ASAP_DCHECK(counters_[pos] > 0);
+                             if (counters_[pos] > 0 &&
+                                 --counters_[pos] == 0) {
+                               projection_.toggle(pos);
+                             }
+                           });
 }
 
 bool CountingBloomFilter::contains(std::uint64_t key) const {

@@ -42,7 +42,8 @@ struct BloomParams {
 };
 
 /// Fixed-size Bloom filter over 64-bit keys (keyword ids are widened).
-/// Uses Kirsch-Mitzenmacher double hashing: position_i = h1 + i*h2 (mod m).
+/// Uses Kirsch-Mitzenmacher double hashing: position_i = h1 + i*h2 (mod m),
+/// with the probe sequence shared across all filter variants (probe.hpp).
 class BloomFilter {
  public:
   explicit BloomFilter(BloomParams params = BloomParams{});
@@ -58,8 +59,19 @@ class BloomFilter {
   void toggle(std::uint32_t pos);
   void clear();
 
+  /// Set-bit count, maintained incrementally on every mutation — O(1),
+  /// because wire_bytes() is evaluated on every ad serialization.
   std::uint32_t popcount() const;
   std::vector<std::uint32_t> set_positions() const;
+
+  /// Raw bitmap words (read-only); the query fast path tests precomputed
+  /// positions directly against this (hashed_query.hpp).
+  std::span<const std::uint64_t> words() const { return words_; }
+
+  /// 64-bit fold of the bitmap: the OR of all words, i.e. bit j is the OR
+  /// of filter bits at positions ≡ j (mod 64). AdCache stores this per
+  /// entry as an 8-byte prefilter (see hashed_query.hpp).
+  std::uint64_t fold() const;
 
   /// Positions whose bits differ between two same-sized filters; applying
   /// the result to `from` with apply_toggles yields `to`.
@@ -79,6 +91,7 @@ class BloomFilter {
  private:
   BloomParams params_;
   std::vector<std::uint64_t> words_;
+  std::uint32_t popcount_ = 0;  // == recomputed popcount at all times
 };
 
 /// Counting filter used node-side so that keyword removals (document
@@ -110,7 +123,6 @@ class CountingBloomFilter {
   BloomParams params_;
   std::vector<std::uint16_t> counters_;
   BloomFilter projection_;  // maintained incrementally
-  mutable std::vector<std::uint32_t> scratch_;
 };
 
 }  // namespace asap::bloom

@@ -4,17 +4,12 @@
 #include <bit>
 #include <cmath>
 
+#include "bloom/probe.hpp"
 #include "common/error.hpp"
 
 namespace asap::bloom {
 
 namespace {
-
-std::uint64_t mix(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
 
 // Geometric ladder: each step ~1.5x, covering light free-rider-adjacent
 // sharers (hundreds of bits) up to heavy sharers (beyond the fixed 11,542).
@@ -48,26 +43,16 @@ VariableBloomFilter::VariableBloomFilter(std::uint32_t capacity,
 }
 
 void VariableBloomFilter::insert(std::uint64_t key) {
-  const std::uint64_t h1 = mix(key);
-  const std::uint64_t h2 = mix(key ^ 0x9E3779B97F4A7C15ULL) | 1ULL;
-  std::uint64_t h = h1;
-  for (std::uint32_t i = 0; i < hashes_; ++i) {
-    const auto pos = static_cast<std::uint32_t>(h % bits_);
+  probe::for_each_position(key, bits_, hashes_, [this](std::uint32_t pos) {
     words_[pos >> 6] |= 1ULL << (pos & 63);
-    h += h2;
-  }
+  });
 }
 
 bool VariableBloomFilter::contains(std::uint64_t key) const {
-  const std::uint64_t h1 = mix(key);
-  const std::uint64_t h2 = mix(key ^ 0x9E3779B97F4A7C15ULL) | 1ULL;
-  std::uint64_t h = h1;
-  for (std::uint32_t i = 0; i < hashes_; ++i) {
-    const auto pos = static_cast<std::uint32_t>(h % bits_);
-    if ((words_[pos >> 6] & (1ULL << (pos & 63))) == 0) return false;
-    h += h2;
-  }
-  return true;
+  return probe::for_each_position(
+      key, bits_, hashes_, [this](std::uint32_t pos) {
+        return (words_[pos >> 6] & (1ULL << (pos & 63))) != 0;
+      });
 }
 
 bool VariableBloomFilter::contains_all(

@@ -54,7 +54,9 @@ void BaselineSearch::run_query(const trace::TraceEvent& event) {
 
   // Ground truth: online nodes holding a document with all terms. The
   // kernels check membership per visit (binary search) instead of scanning
-  // each visited node's document list.
+  // each visited node's document list. The GSA/flood/walk baselines test
+  // no Bloom filters, so they have nothing to gain from the hashed-query
+  // fast path (ctx_.hash_query) the filter-scanning protocols use.
   auto matching = ctx_.index.matching_nodes(terms, ctx_.live, ctx_.model);
   // The requester searches the network, not itself.
   matching.erase(std::remove(matching.begin(), matching.end(), origin),

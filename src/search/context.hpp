@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "bloom/hashed_query.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/transit_stub.hpp"
@@ -85,6 +87,18 @@ struct Ctx {
     return message_loss > 0.0 && rng.chance(message_loss);
   }
 
+  /// Hashes a query's terms exactly once (bloom/hashed_query.hpp) into a
+  /// Ctx-owned scratch instance reused across queries, so every per-node,
+  /// per-entry filter test downstream is pure bit tests. The reference is
+  /// valid until the next call; propagation kernels are single-query, so
+  /// one slot suffices.
+  const bloom::HashedQuery& hash_query(std::span<const KeywordId> terms,
+                                       const bloom::BloomParams& params =
+                                           bloom::BloomParams{}) {
+    hashed_query_.assign(terms, params);
+    return hashed_query_;
+  }
+
   /// Opens a fresh visited-marker epoch; nodes test as unvisited until
   /// marked. O(1) amortized (epoch counter instead of clearing arrays).
   std::uint32_t begin_epoch() {
@@ -101,6 +115,7 @@ struct Ctx {
   const overlay::Overlay* graph_override_ = nullptr;
   std::vector<std::uint32_t> epoch_mark_;
   std::uint32_t epoch_ = 0;
+  bloom::HashedQuery hashed_query_;
 };
 
 /// RAII substitution of the propagation graph. Node ids, liveness and

@@ -120,6 +120,9 @@ void GossipIndexSearch::run_query(const trace::TraceEvent& ev) {
   const auto terms = ev.term_span();
   metrics::SearchRecord rec;
 
+  // Hash once, then test every directory filter with pure bit probes.
+  const bloom::HashedQuery& query = ctx_.hash_query(terms);
+
   Seconds best = kInfTime;
   std::uint32_t sent = 0;
   for (const NodeId src : sources_) {
@@ -127,7 +130,7 @@ void GossipIndexSearch::run_query(const trace::TraceEvent& ev) {
     if (src == p) continue;
     const auto& entry = directory_.at(src);
     if (entry.visible_at > ev.time) continue;  // not yet replicated to p
-    if (!entry.filter->contains_all(terms)) continue;
+    if (!query.matches(*entry.filter)) continue;
     ++sent;
     const Seconds lat = ctx_.latency(p, src);
     const Seconds t_req = ev.time + lat;

@@ -1,0 +1,152 @@
+// Property tests for the AdCache hashed-query fast path: under random
+// mutation sequences (put / patch / refresh / erase / evict / touch) the
+// prefilter-accelerated scans must return exactly what the legacy
+// hash-per-term scans return — same ads, same order — and the parallel
+// SoA arrays must stay mutually consistent across swap-with-back erases.
+#include "asap/ad_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bloom/hashed_query.hpp"
+
+namespace asap::ads {
+namespace {
+
+AdPayloadPtr make_ad(NodeId src, std::uint32_t version,
+                     const std::vector<KeywordId>& keys,
+                     std::vector<TopicId> topics) {
+  bloom::BloomFilter f;
+  for (auto k : keys) f.insert(k);
+  return std::make_shared<const AdPayload>(src, version, std::move(f),
+                                           std::move(topics));
+}
+
+TEST(AdCacheProperty, HashedScansMatchLegacyUnderRandomOps) {
+  constexpr NodeId kSources = 96;    // 2x capacity: keeps eviction busy
+  constexpr std::uint64_t kKeyPool = 64;  // small pool: queries really match
+  const bloom::BloomParams params;
+  AdCache c(48);
+  Rng rng(123);
+  std::map<NodeId, std::uint32_t> version;
+  bloom::HashedQuery q;
+  std::vector<AdPayloadPtr> legacy, hashed;
+
+  const auto random_keys = [&rng]() {
+    std::vector<KeywordId> keys;
+    const std::uint64_t n = 1 + rng.below(5);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      keys.push_back(static_cast<KeywordId>(rng.below(kKeyPool)));
+    }
+    return keys;
+  };
+  const auto random_topics = [&rng]() {
+    return std::vector<TopicId>{static_cast<TopicId>(rng.below(4))};
+  };
+
+  double now = 0.0;
+  for (int step = 0; step < 4'000; ++step) {
+    now += 1.0;
+    const NodeId src = static_cast<NodeId>(rng.below(kSources));
+    switch (rng.below(6)) {
+      case 0:
+      case 1: {  // put, sometimes a stale re-put
+        const std::uint32_t v =
+            rng.below(4) == 0 ? version[src] : ++version[src];
+        c.put(make_ad(src, std::max(v, 1u), random_keys(), random_topics()),
+              now, rng);
+        break;
+      }
+      case 2: {  // patch: usually against the cached base, sometimes stale
+        const auto* e = c.find(src);
+        const std::uint32_t base =
+            (e != nullptr ? e->ad->version : version[src] + 1) +
+            (rng.below(3) == 0 ? 1 : 0);
+        const std::uint32_t next_v = base + 1;
+        version[src] = std::max(version[src], next_v);
+        c.apply_patch(src, base,
+                      make_ad(src, next_v, random_keys(), random_topics()),
+                      now);
+        break;
+      }
+      case 3:  // refresh: matching, stale or newer at random
+        c.on_refresh(src, version[src] + static_cast<std::uint32_t>(
+                                              rng.below(3)),
+                     now);
+        break;
+      case 4:
+        c.erase(src);
+        break;
+      case 5:
+        c.touch(src, now);
+        break;
+    }
+
+    // SoA consistency: parallel arrays agree, the index survives every
+    // swap-with-back, and each prefilter word is its entry's current fold.
+    ASSERT_EQ(c.sources().size(), c.entries().size());
+    ASSERT_EQ(c.prefilters().size(), c.entries().size());
+    for (std::size_t i = 0; i < c.entries().size(); ++i) {
+      ASSERT_EQ(c.find(c.sources()[i]), &c.entries()[i]) << "step " << step;
+      ASSERT_EQ(c.prefilters()[i], c.entries()[i].ad->filter.fold())
+          << "step " << step;
+    }
+
+    if (step % 7 != 0) continue;
+    // Random query (0..3 terms, some absent from every filter) through
+    // both scan paths: identical ads in identical order.
+    std::vector<KeywordId> terms;
+    for (std::uint64_t t = rng.below(4); t > 0; --t) {
+      terms.push_back(static_cast<KeywordId>(rng.below(kKeyPool + 16)));
+    }
+    q.assign(terms, params);
+    c.collect_matches(std::span<const KeywordId>(terms), legacy);
+    c.collect_matches(q, hashed);
+    ASSERT_EQ(legacy, hashed) << "step " << step;
+
+    const std::vector<TopicId> interests{static_cast<TopicId>(rng.below(4))};
+    const auto max_ads = static_cast<std::uint32_t>(1 + rng.below(12));
+    const auto max_topical = static_cast<std::uint32_t>(rng.below(6));
+    c.collect_for_reply(std::span<const KeywordId>(terms), interests,
+                        max_ads, max_topical, legacy);
+    c.collect_for_reply(q, interests, max_ads, max_topical, hashed);
+    ASSERT_EQ(legacy, hashed) << "step " << step;
+  }
+}
+
+TEST(AdCacheProperty, ForeignGeometryEntriesAreNeverPrefilteredOut) {
+  // An entry whose filter uses a different geometry cannot be folded into
+  // a meaningful prefilter; it must be marked always-scan (~0) and still
+  // match via the legacy per-term fallback.
+  AdCache c(10);
+  Rng rng(7);
+  c.put(make_ad(1, 1, {5}, {0}), 1.0, rng);
+  bloom::BloomFilter foreign(bloom::BloomParams::for_capacity(64, 4));
+  foreign.insert(5);
+  c.put(std::make_shared<const AdPayload>(2, 1, std::move(foreign),
+                                          std::vector<TopicId>{0}),
+        1.0, rng);
+  ASSERT_EQ(c.size(), 2u);
+  for (std::size_t i = 0; i < c.entries().size(); ++i) {
+    if (c.sources()[i] == 2) {
+      EXPECT_EQ(c.prefilters()[i], ~0ULL);
+    } else {
+      EXPECT_EQ(c.prefilters()[i], c.entries()[i].ad->filter.fold());
+    }
+  }
+
+  const std::vector<KeywordId> terms{5};
+  const bloom::HashedQuery q(terms, bloom::BloomParams{});
+  std::vector<AdPayloadPtr> legacy, hashed;
+  c.collect_matches(std::span<const KeywordId>(terms), legacy);
+  c.collect_matches(q, hashed);
+  EXPECT_EQ(legacy, hashed);
+  ASSERT_EQ(hashed.size(), 2u);
+}
+
+}  // namespace
+}  // namespace asap::ads

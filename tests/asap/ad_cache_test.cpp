@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <span>
 
 namespace asap::ads {
 namespace {
@@ -158,7 +159,7 @@ TEST(AdCache, CollectMatchesFindsTermMatchingAds) {
   const std::vector<KeywordId> single{100};
   c.collect_matches(single, out);
   EXPECT_EQ(out.size(), 2u);
-  c.collect_matches({}, out);
+  c.collect_matches(std::span<const KeywordId>{}, out);
   EXPECT_TRUE(out.empty());
 }
 
@@ -187,7 +188,7 @@ TEST(AdCache, CollectForReplyRespectsCaps) {
   c.collect_for_reply(terms, interests, 16, 8, out);
   EXPECT_EQ(out.size(), 16u);  // total cap binds
   // Topical-only flow: no terms, topical cap binds.
-  c.collect_for_reply({}, interests, 64, 5, out);
+  c.collect_for_reply(std::span<const KeywordId>{}, interests, 64, 5, out);
   EXPECT_EQ(out.size(), 5u);
 }
 

@@ -60,10 +60,12 @@ TEST(AsapProtocol, WarmupPopulatesCaches) {
   EXPECT_GT(cached, 500u) << "interest-matching ads must be cached";
   // Selective caching: every cached ad overlaps the cacher's interests.
   for (NodeId n = 0; n < TestWorld::kNodes; ++n) {
-    for (const auto& [src, entry] : algo.cache(n).entries()) {
-      EXPECT_TRUE(
-          topics_overlap(entry.ad->topics, w.model.interests(n)))
-          << "node " << n << " cached an uninteresting ad from " << src;
+    const auto& cache = algo.cache(n);
+    for (std::size_t i = 0; i < cache.entries().size(); ++i) {
+      EXPECT_TRUE(topics_overlap(cache.entries()[i].ad->topics,
+                                 w.model.interests(n)))
+          << "node " << n << " cached an uninteresting ad from "
+          << cache.sources()[i];
     }
   }
 }

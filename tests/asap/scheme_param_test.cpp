@@ -55,8 +55,10 @@ TEST_P(AsapSchemeTest, CachedVersionsNeverExceedTheSource) {
   algo.warm_up(120.0);
   w.engine.run_until(300.0);  // a few refresh rounds
   for (NodeId n = 0; n < TestWorld::kNodes; ++n) {
-    for (const auto& [src, entry] : algo.cache(n).entries()) {
-      EXPECT_LE(entry.ad->version, algo.advertiser(src).version())
+    const auto& cache = algo.cache(n);
+    for (std::size_t i = 0; i < cache.entries().size(); ++i) {
+      const NodeId src = cache.sources()[i];
+      EXPECT_LE(cache.entries()[i].ad->version, algo.advertiser(src).version())
           << "cache at " << n << " holds a version from the future of "
           << src;
     }

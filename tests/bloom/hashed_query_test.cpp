@@ -1,0 +1,153 @@
+// HashedQuery / HashedKey: the one-shot query hashing fast path must be
+// observationally identical to the legacy hash-per-probe membership tests.
+#include "bloom/hashed_query.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace asap::bloom {
+namespace {
+
+TEST(HashedKey, PositionsMatchFilterPositions) {
+  const BloomParams params;
+  BloomFilter f(params);
+  Rng rng(1);
+  std::vector<std::uint32_t> expected;
+  for (int i = 0; i < 5'000; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    const HashedKey hk(key, params);
+    f.positions(key, expected);
+    ASSERT_EQ(std::vector<std::uint32_t>(hk.positions().begin(),
+                                         hk.positions().end()),
+              expected)
+        << "key " << key;
+  }
+}
+
+TEST(HashedKey, FoldMaskCoversItsPositions) {
+  const BloomParams params;
+  Rng rng(2);
+  for (int i = 0; i < 2'000; ++i) {
+    const HashedKey hk(rng.next_u64(), params);
+    std::uint64_t mask = 0;
+    for (const auto pos : hk.positions()) mask |= 1ULL << (pos & 63);
+    EXPECT_EQ(hk.fold_mask(), mask);
+  }
+}
+
+TEST(HashedKey, PresentInMatchesContains) {
+  const BloomParams params;
+  BloomFilter f(params);
+  Rng rng(3);
+  std::vector<std::uint64_t> inserted;
+  for (int i = 0; i < 400; ++i) {
+    inserted.push_back(rng.next_u64());
+    f.insert(inserted.back());
+  }
+  for (const auto key : inserted) {
+    EXPECT_TRUE(HashedKey(key, params).present_in(f.words()));
+  }
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    EXPECT_EQ(HashedKey(key, params).present_in(f.words()), f.contains(key))
+        << "key " << key;
+  }
+}
+
+TEST(HashedKey, PrefilterIsSound) {
+  // "key in filter" must imply "fold mask covered by filter fold" — the
+  // prefilter may pass non-members, never reject members.
+  const BloomParams params;
+  BloomFilter f(params);
+  Rng rng(4);
+  for (int i = 0; i < 300; ++i) f.insert(rng.next_u64());
+  const std::uint64_t fold = f.fold();
+  for (int i = 0; i < 20'000; ++i) {
+    const HashedKey hk(rng.next_u64(), params);
+    if (hk.present_in(f.words())) {
+      EXPECT_EQ(fold & hk.fold_mask(), hk.fold_mask());
+    }
+  }
+}
+
+TEST(HashedQuery, MatchesEqualsContainsAll) {
+  const BloomParams params;
+  Rng rng(5);
+  for (int round = 0; round < 50; ++round) {
+    BloomFilter f(params);
+    std::vector<KeywordId> pool;
+    for (int i = 0; i < 40; ++i) {
+      pool.push_back(static_cast<KeywordId>(rng.below(5'000)));
+    }
+    for (std::size_t i = 0; i < pool.size() / 2; ++i) f.insert(pool[i]);
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<KeywordId> terms;
+      const std::size_t n = rng.below(4);  // 0..3 terms, like real queries
+      for (std::size_t t = 0; t < n; ++t) {
+        terms.push_back(pool[rng.below(pool.size())]);
+      }
+      const HashedQuery q(terms, params);
+      EXPECT_EQ(q.matches(f), f.contains_all(terms));
+    }
+  }
+}
+
+TEST(HashedQuery, EmptyQueryMatchesVacuously) {
+  const HashedQuery q({}, BloomParams{});
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.fold_mask_all(), 0u);
+  BloomFilter f;
+  EXPECT_TRUE(q.matches(f));
+}
+
+TEST(HashedQuery, FoldMaskAllIsTheUnionOfTermMasks) {
+  const BloomParams params;
+  const std::vector<KeywordId> terms{11, 22, 33};
+  const HashedQuery q(terms, params);
+  std::uint64_t expected = 0;
+  for (const auto& key : q.keys()) expected |= key.fold_mask();
+  EXPECT_EQ(q.fold_mask_all(), expected);
+}
+
+TEST(HashedQuery, GeometryMismatchFallsBackToLegacyScan) {
+  // A query hashed for the default geometry must still answer correctly
+  // against a filter with different params (positions are meaningless
+  // there; matches() re-hashes via contains_all).
+  const BloomParams other = BloomParams::for_capacity(100, 4);
+  ASSERT_NE(other, BloomParams{});
+  BloomFilter f(other);
+  f.insert(7);
+  f.insert(8);
+  const HashedQuery q(std::vector<KeywordId>{7, 8}, BloomParams{});
+  EXPECT_TRUE(q.matches(f));
+  const HashedQuery miss(std::vector<KeywordId>{7, 999'999}, BloomParams{});
+  EXPECT_EQ(miss.matches(f), f.contains_all(miss.terms()));
+}
+
+TEST(HashedQuery, AssignReusesTheInstance) {
+  const BloomParams params;
+  BloomFilter f(params);
+  f.insert(1);
+  f.insert(2);
+  HashedQuery q;
+  q.assign(std::vector<KeywordId>{1, 2}, params);
+  EXPECT_TRUE(q.matches(f));
+  EXPECT_EQ(q.size(), 2u);
+  q.assign(std::vector<KeywordId>{3}, params);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.matches(f), f.contains_all(q.terms()));
+  q.assign({}, params);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.matches(f));
+  // Re-assigning the first term set restores identical behavior.
+  q.assign(std::vector<KeywordId>{1, 2}, params);
+  EXPECT_TRUE(q.matches(f));
+  EXPECT_EQ(HashedQuery(q.terms(), params).fold_mask_all(),
+            q.fold_mask_all());
+}
+
+}  // namespace
+}  // namespace asap::bloom

@@ -1,0 +1,125 @@
+// Identity tests for the divisionless Kirsch–Mitzenmacher probe walk.
+//
+// Every committed run digest depends on the exact probe positions, so the
+// divisionless walk must match the canonical ((h1 + i*h2) mod 2^64) mod m
+// sequence bit-for-bit — including across the rare 64-bit accumulator
+// wraps the add-and-conditional-subtract scheme corrects for.
+#include "bloom/probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace asap::bloom::probe {
+namespace {
+
+std::vector<std::uint32_t> fast_positions(std::uint64_t key, std::uint32_t m,
+                                          std::uint32_t k) {
+  std::vector<std::uint32_t> out;
+  for_each_position(key, m, k,
+                    [&out](std::uint32_t pos) { out.push_back(pos); });
+  return out;
+}
+
+std::vector<std::uint32_t> reference_positions(std::uint64_t key,
+                                               std::uint32_t m,
+                                               std::uint32_t k) {
+  std::vector<std::uint32_t> out;
+  for_each_position_reference(
+      key, m, k, [&out](std::uint32_t pos) { out.push_back(pos); });
+  return out;
+}
+
+TEST(Probe, HashPairStrideIsAlwaysOdd) {
+  Rng rng(1);
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_EQ(km_hash(rng.next_u64()).h2 & 1ULL, 1ULL);
+  }
+  EXPECT_EQ(km_hash(0).h2 & 1ULL, 1ULL);
+  EXPECT_EQ(km_hash(~0ULL).h2 & 1ULL, 1ULL);
+}
+
+TEST(Probe, MatchesReferenceAtPaperGeometry) {
+  constexpr std::uint32_t kBits = 11'542;
+  constexpr std::uint32_t kHashes = 8;
+  Rng rng(2);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    EXPECT_EQ(fast_positions(key, kBits, kHashes),
+              reference_positions(key, kBits, kHashes))
+        << "key " << key;
+  }
+  // Sequential keyword ids, the dominant real workload.
+  for (std::uint64_t key = 0; key < 20'000; ++key) {
+    ASSERT_EQ(fast_positions(key, kBits, kHashes),
+              reference_positions(key, kBits, kHashes))
+        << "key " << key;
+  }
+}
+
+// The wrap correction matters exactly when h1 + i*h2 overflows 2^64, which
+// for random h2 ~ U[0, 2^64) happens within k=8 probes for most keys. Sweep
+// widely varied geometries — tiny m, odd m, powers of two, huge m — so both
+// wrap and no-wrap steps are exercised everywhere.
+TEST(Probe, MatchesReferenceAcrossGeometries) {
+  const std::uint32_t ms[] = {1,     2,          3,        64,        65,
+                              127,   128,        1'000,    4'096,     11'541,
+                              11'542, 11'543,    65'536,   1'000'003,
+                              1u << 31,          4'000'000'019u};
+  const std::uint32_t ks[] = {1, 2, 3, 8, 13, 32};
+  Rng rng(3);
+  for (const auto m : ms) {
+    for (const auto k : ks) {
+      for (int i = 0; i < 500; ++i) {
+        const std::uint64_t key = rng.next_u64();
+        ASSERT_EQ(fast_positions(key, m, k), reference_positions(key, m, k))
+            << "m=" << m << " k=" << k << " key=" << key;
+      }
+      for (const std::uint64_t key : {0ULL, 1ULL, ~0ULL, 0x8000000000000000ULL}) {
+        ASSERT_EQ(fast_positions(key, m, k), reference_positions(key, m, k))
+            << "m=" << m << " k=" << k << " key=" << key;
+      }
+    }
+  }
+}
+
+TEST(Probe, AllPositionsInRange) {
+  Rng rng(4);
+  for (const std::uint32_t m : {1u, 63u, 11'542u, 4'000'000'019u}) {
+    for (int i = 0; i < 200; ++i) {
+      for (const auto pos : fast_positions(rng.next_u64(), m, 16)) {
+        ASSERT_LT(pos, m);
+      }
+    }
+  }
+}
+
+TEST(Probe, BoolCallbackStopsEarly) {
+  const auto all = fast_positions(42, 11'542, 8);
+  ASSERT_EQ(all.size(), 8u);
+  // Stop after the third probe: exactly three callbacks, result false.
+  std::vector<std::uint32_t> seen;
+  const bool completed =
+      for_each_position(42, 11'542, 8, [&seen](std::uint32_t pos) {
+        seen.push_back(pos);
+        return seen.size() < 3;
+      });
+  EXPECT_FALSE(completed);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], all[0]);
+  EXPECT_EQ(seen[1], all[1]);
+  EXPECT_EQ(seen[2], all[2]);
+  // Never stopping visits all k and reports completion.
+  seen.clear();
+  EXPECT_TRUE(for_each_position(42, 11'542, 8, [&seen](std::uint32_t pos) {
+    seen.push_back(pos);
+    return true;
+  }));
+  EXPECT_EQ(seen, all);
+}
+
+}  // namespace
+}  // namespace asap::bloom::probe

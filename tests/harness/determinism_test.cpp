@@ -84,11 +84,16 @@ TEST_F(DeterminismTest, AuditHoldsUnderMessageLoss) {
 }
 
 TEST_F(DeterminismTest, AuditingDoesNotPerturbTheDigest) {
+  // All six algorithms: the audit hooks (and, in ASAP_AUDIT builds, the
+  // hashed-scan and popcount oracles) must be pure observers — bit-for-bit
+  // identical digests with auditing on and off.
   RunOptions audited;
   audited.audit = true;
-  const auto plain = run_experiment(*world_, AlgoKind::kAsapGsa);
-  const auto checked = run_experiment(*world_, AlgoKind::kAsapGsa, audited);
-  EXPECT_EQ(plain.digest, checked.digest);
+  for (const auto kind : kAllAlgos) {
+    const auto plain = run_experiment(*world_, kind);
+    const auto checked = run_experiment(*world_, kind, audited);
+    EXPECT_EQ(plain.digest, checked.digest) << algo_name(kind);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Schema-check a BENCH_lookup.json produced by bench_micro_adcache --json.
+
+Usage: check_bench_lookup.py FILE
+
+Validates structure, not thresholds: CI runners have noisy clocks, so the
+gate is "the bench ran and produced a well-formed report", while the
+committed BENCH_lookup.json records the reference speedups. Exits nonzero
+on any malformed field, on a non-positive timing, or on missing cells
+(every entries-count/mix pair must be present exactly once).
+"""
+import json
+import sys
+
+NUM = (int, float)
+EXPECTED_CELLS = {(e, m) for e in (256, 1024, 4096) for m in ("hit", "miss")}
+
+
+def fail(msg):
+    sys.exit(f"BENCH_lookup schema error: {msg}")
+
+
+def check(path):
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"not valid JSON: {e}")
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    if doc.get("schema") != "asap.bench_lookup.v1":
+        fail(f"unknown schema {doc.get('schema')!r}")
+    for field in ("release_build", "audit_build"):
+        if not isinstance(doc.get(field), bool):
+            fail(f"field {field!r} missing or not a bool")
+    if doc.get("unit") != "ns_per_lookup":
+        fail(f"unexpected unit {doc.get('unit')!r}")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        fail("'results' missing or empty")
+    seen = set()
+    for i, row in enumerate(results):
+        if not isinstance(row, dict):
+            fail(f"results[{i}] is not an object")
+        if row.get("bench") != "adcache_collect_matches":
+            fail(f"results[{i}]: unknown bench {row.get('bench')!r}")
+        entries = row.get("entries")
+        mix = row.get("mix")
+        if entries not in (256, 1024, 4096):
+            fail(f"results[{i}]: unexpected entries {entries!r}")
+        if mix not in ("hit", "miss"):
+            fail(f"results[{i}]: unexpected mix {mix!r}")
+        if (entries, mix) in seen:
+            fail(f"results[{i}]: duplicate cell ({entries}, {mix})")
+        seen.add((entries, mix))
+        for field in ("legacy_ns_per_lookup", "hashed_ns_per_lookup",
+                      "speedup"):
+            value = row.get(field)
+            if not isinstance(value, NUM) or isinstance(value, bool):
+                fail(f"results[{i}]: field {field!r} missing or not a number")
+            if value <= 0:
+                fail(f"results[{i}]: field {field!r} must be positive, "
+                     f"got {value!r}")
+    missing = EXPECTED_CELLS - seen
+    if missing:
+        fail(f"missing cells: {sorted(missing)}")
+    worst = min(r["speedup"] for r in results)
+    at_4k = [r["speedup"] for r in results if r["entries"] == 4096]
+    print(f"{path}: OK ({len(results)} cells, min speedup {worst:.2f}x, "
+          f"4096-entry speedups {', '.join(f'{s:.2f}x' for s in at_4k)})")
+
+
+def main(argv):
+    if len(argv) != 2:
+        sys.exit(__doc__.strip())
+    check(argv[1])
+
+
+if __name__ == "__main__":
+    main(sys.argv)
