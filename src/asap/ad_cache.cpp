@@ -50,6 +50,8 @@ AdCache::PutResult AdCache::put(AdPayloadPtr ad, double now, Rng& rng) {
     // same ad twice; late full ads can race a newer patch).
     if (ad->version >= entries_[it->second].ad->version) {
       set_payload(it->second, std::move(ad));
+      // A fresh ad is evidence the source is alive and advertising.
+      entries_[it->second].timeout_strikes = 0;
       r.stored = true;
     }
     entries_[it->second].touch = now;
@@ -134,6 +136,17 @@ const AdCache::Entry* AdCache::find(NodeId source) const {
 void AdCache::touch(NodeId source, double now) {
   auto it = pos_.find(source);
   if (it != pos_.end()) entries_[it->second].touch = now;
+}
+
+std::uint32_t AdCache::record_timeout(NodeId source) {
+  auto it = pos_.find(source);
+  if (it == pos_.end()) return 0;
+  return ++entries_[it->second].timeout_strikes;
+}
+
+void AdCache::reset_timeouts(NodeId source) {
+  auto it = pos_.find(source);
+  if (it != pos_.end()) entries_[it->second].timeout_strikes = 0;
 }
 
 void AdCache::evict_one(Rng& rng) {

@@ -51,6 +51,10 @@ class AdCache {
   struct Entry {
     AdPayloadPtr ad;
     double touch = 0.0;  // virtual time of last use
+    /// Consecutive confirm timeouts against this source; a fresh ad (any
+    /// successful put) or a confirm reply resets it. Drives stale-ad
+    /// eviction under the fault-hardening knobs.
+    std::uint32_t timeout_strikes = 0;
   };
 
   /// What a put() did, so callers can count stores and evictions.
@@ -85,6 +89,12 @@ class AdCache {
   bool erase(NodeId source);
   const Entry* find(NodeId source) const;
   void touch(NodeId source, double now);
+
+  /// Records one confirm timeout against `source`; returns the updated
+  /// consecutive-strike count (0 when the source is not cached).
+  std::uint32_t record_timeout(NodeId source);
+  /// Clears the strike count (a confirm reply proved the source alive).
+  void reset_timeouts(NodeId source);
 
   /// All cached ads whose filter claims every term (paper Table I match).
   /// Legacy hash-per-term scan; the HashedQuery overload is the hot path.

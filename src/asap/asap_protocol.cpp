@@ -330,53 +330,101 @@ Seconds AsapProtocol::confirm_round(NodeId p, Seconds start,
                                     std::vector<NodeId>& dead_sources) {
   Seconds best = kInfTime;
   std::uint32_t sent = 0;
+  const std::uint32_t max_attempts =
+      std::max<std::uint32_t>(1, params_.confirm_max_attempts);
+  Bytes retry_budget_left = params_.confirm_retry_budget;
   for (const auto& ad : candidates) {
     if (sent >= params_.max_confirms) break;
     const NodeId s = ad->source;
     if (s == p) continue;
     ++sent;
-    ++counters_.confirm_requests;
-    const Seconds lat = ctx_.latency(p, s);
-    const Seconds t_req = start + lat;
-    ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_request());
-    ASAP_AUDIT_HOOK(ctx_.auditor, on_send(sim::Traffic::kConfirm,
-                                          ctx_.sizes.confirm_request));
-    ctx_.ledger.deposit(t_req, sim::Traffic::kConfirm,
-                        ctx_.sizes.confirm_request);
-    ASAP_OBS_HOOK(ctx_.obs, on_confirm_sent(p));
-    rec.cost_bytes += ctx_.sizes.confirm_request;
-    ++rec.messages;
-    if (!ctx_.online(s)) {
-      // Connection failure: the requester learns after ~1 RTT and drops
-      // the dead entry from its cache.
-      ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_timeout());
+    bool replied = false;
+    Seconds t_attempt = start;
+    Seconds t_deadline = start;
+    for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (attempt > 1) {
+        // Retries share a per-round byte budget so a fully-lossy network
+        // still terminates with bounded cost.
+        if (params_.confirm_retry_budget != 0) {
+          if (retry_budget_left < ctx_.sizes.confirm_request) break;
+          retry_budget_left -= ctx_.sizes.confirm_request;
+        }
+        ++counters_.confirm_retries;
+        counters_.retry_bytes += ctx_.sizes.confirm_request;
+        ASAP_OBS_HOOK(ctx_.obs, on_confirm_retry(p));
+        ASAP_OBS_HOOK(ctx_.obs, trace_retry(t_attempt, p, s, attempt));
+      }
+      ++counters_.confirm_requests;
+      const Seconds lat = ctx_.hop_latency(p, s);
+      const Seconds t_req = t_attempt + lat;
+      ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_request());
+      ASAP_AUDIT_HOOK(ctx_.auditor, on_send(sim::Traffic::kConfirm,
+                                            ctx_.sizes.confirm_request));
+      ctx_.ledger.deposit(t_req, sim::Traffic::kConfirm,
+                          ctx_.sizes.confirm_request);
+      ASAP_OBS_HOOK(ctx_.obs, on_confirm_sent(p));
+      rec.cost_bytes += ctx_.sizes.confirm_request;
+      ++rec.messages;
+      const bool alive = ctx_.online(s);
+      const bool request_lost = alive && ctx_.direct_lost(p, s, t_req);
+      if (alive && !request_lost) {
+        const Seconds t_reply = t_req + lat;
+        ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_reply());
+        ASAP_AUDIT_HOOK(ctx_.auditor, on_send(sim::Traffic::kConfirm,
+                                              ctx_.sizes.confirm_reply));
+        ctx_.ledger.deposit(t_reply, sim::Traffic::kConfirm,
+                            ctx_.sizes.confirm_reply);
+        rec.cost_bytes += ctx_.sizes.confirm_reply;
+        ++rec.messages;
+        if (!ctx_.direct_lost(s, p, t_reply)) {
+          replied = true;
+          resolve = std::max(resolve, t_reply);
+          caches_[p].reset_timeouts(s);
+          if (ctx_.live.node_matches(s, terms, ctx_.model)) {
+            best = std::min(best, t_reply);
+            caches_[p].touch(s, t_reply);
+            ++rec.results;
+            ASAP_OBS_HOOK(ctx_.obs, on_confirm_positive(p));
+            ASAP_OBS_HOOK(ctx_.obs, trace_confirm(t_reply, p, s, "positive"));
+          } else {
+            ASAP_OBS_HOOK(ctx_.obs, trace_confirm(t_reply, p, s, "negative"));
+          }
+          // A negative confirmation (cross-document or Bloom false
+          // positive) keeps the entry: the ad honestly summarizes the
+          // source's content.
+          break;
+        }
+        // The reply was produced and paid for but lost in transit; the
+        // requester can only observe a timeout below.
+      } else {
+        // Connection failure (dead source) or a lost request: the
+        // requester's view of this request is a timeout.
+        ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_timeout());
+      }
+      ++counters_.confirm_timeouts;
       ASAP_OBS_HOOK(ctx_.obs, on_confirm_timed_out(p));
       ASAP_OBS_HOOK(ctx_.obs, trace_confirm(t_req, p, s, "timeout"));
-      resolve = std::max(resolve, start + 2.0 * lat);
-      caches_[p].erase(s);
+      t_deadline = t_attempt + 2.0 * lat;  // the requester waits ~1 RTT
+      resolve = std::max(resolve, t_deadline);
+      // Exponential backoff before the next attempt (if any).
+      t_attempt = t_deadline + params_.confirm_retry_backoff *
+                                  static_cast<double>(1u << (attempt - 1));
+    }
+    if (!replied) {
+      // All attempts timed out: one more strike against the cached ad;
+      // after stale_timeout_strikes consecutive strikes the entry goes
+      // (legacy default 1: first timeout evicts).
+      const std::uint32_t needed =
+          std::max<std::uint32_t>(1, params_.stale_timeout_strikes);
+      const std::uint32_t strikes = caches_[p].record_timeout(s);
+      if (strikes >= needed && caches_[p].erase(s)) {
+        ++counters_.stale_evictions;
+        ASAP_OBS_HOOK(ctx_.obs, on_stale_evicted(p));
+        ASAP_OBS_HOOK(ctx_.obs, trace_stale_evict(t_deadline, p, s));
+        repair_pending_since_ = std::min(repair_pending_since_, t_deadline);
+      }
       dead_sources.push_back(s);
-      continue;
     }
-    const Seconds t_reply = t_req + lat;
-    ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_reply());
-    ASAP_AUDIT_HOOK(ctx_.auditor, on_send(sim::Traffic::kConfirm,
-                                          ctx_.sizes.confirm_reply));
-    ctx_.ledger.deposit(t_reply, sim::Traffic::kConfirm,
-                        ctx_.sizes.confirm_reply);
-    rec.cost_bytes += ctx_.sizes.confirm_reply;
-    ++rec.messages;
-    resolve = std::max(resolve, t_reply);
-    if (ctx_.live.node_matches(s, terms, ctx_.model)) {
-      best = std::min(best, t_reply);
-      caches_[p].touch(s, t_reply);
-      ++rec.results;
-      ASAP_OBS_HOOK(ctx_.obs, on_confirm_positive(p));
-      ASAP_OBS_HOOK(ctx_.obs, trace_confirm(t_reply, p, s, "positive"));
-    } else {
-      ASAP_OBS_HOOK(ctx_.obs, trace_confirm(t_reply, p, s, "negative"));
-    }
-    // A negative confirmation (cross-document or Bloom false positive)
-    // keeps the entry: the ad honestly summarizes the source's content.
   }
   return best;
 }
@@ -386,6 +434,7 @@ Seconds AsapProtocol::ads_request_phase(
     metrics::SearchRecord* rec, std::span<const NodeId> skip_sources,
     std::vector<AdPayloadPtr>& matches_out) {
   matches_out.clear();
+  last_request_stored_ = 0;
   if (params_.ads_request_hops == 0) return start;
   ++counters_.ads_requests;
   Seconds done = start;
@@ -419,7 +468,10 @@ Seconds AsapProtocol::ads_request_phase(
         continue;  // the requester just saw this source dead
       }
       const auto r = caches_[p].put(ad, t_back, ctx_.rng);
-      if (r.stored) ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(p));
+      if (r.stored) {
+        ++last_request_stored_;
+        ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(p));
+      }
       if (r.evicted) ASAP_OBS_HOOK(ctx_.obs, on_ad_evicted(p));
       ASAP_AUDIT_HOOK(ctx_.auditor,
                       on_cache_occupancy(caches_[p].size(),
@@ -457,8 +509,14 @@ Seconds AsapProtocol::ads_request_phase(
 void AsapProtocol::run_query(const trace::TraceEvent& ev) {
   const NodeId p = ev.node;
   const Seconds t0 = ev.time;
+  // A crash-stop node issues nothing: the trace's query never happens, for
+  // any algorithm (the fault plan is world-seeded, so all algorithms skip
+  // the same queries and success rates stay comparable).
+  if (ctx_.faults != nullptr && ctx_.faults->crashed(p, t0)) return;
   const auto terms = ev.term_span();
   metrics::SearchRecord rec;
+  rec.issued_at = t0;
+  repair_pending_since_ = kInfTime;
 
   // Hash the query terms exactly once; every cache scan below — at the
   // querying node and at every node its ads request visits — reuses the
@@ -480,6 +538,13 @@ void AsapProtocol::run_query(const trace::TraceEvent& ev) {
     std::vector<AdPayloadPtr> fresh;
     const Seconds phase_done =
         ads_request_phase(p, resolve, query, &rec, dead, fresh);
+    if (repair_pending_since_ < kInfTime && last_request_stored_ > 0) {
+      // The refetch restored cache entries after a stale eviction earlier
+      // in this query: a completed repair.
+      ++counters_.repair_refetches;
+      counters_.repair_seconds_sum += phase_done - repair_pending_since_;
+      repair_pending_since_ = kInfTime;
+    }
     // Skip sources already confirmed (positively or negatively) in the
     // local round — their answer is known.
     std::erase_if(fresh, [&](const AdPayloadPtr& ad) {

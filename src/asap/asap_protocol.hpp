@@ -73,6 +73,20 @@ struct AsapParams {
   /// consumers, exploiting the interest clustering of §III-A.
   double interest_bias = 1.0;
 
+  // --- fault-hardening knobs (defaults reproduce legacy behaviour) -------
+  /// Confirm attempts per candidate source; 1 = no retries (legacy). The
+  /// harness raises this under fault scenarios (faults/fault_config.hpp).
+  std::uint32_t confirm_max_attempts = 1;
+  /// Consecutive confirm timeouts before the cached ad is evicted as
+  /// stale; 1 = legacy behaviour (first timeout evicts).
+  std::uint32_t stale_timeout_strikes = 1;
+  /// Base backoff before a confirm retry: attempt k (k >= 2) starts
+  /// backoff * 2^(k-2) seconds after the previous attempt's timeout.
+  Seconds confirm_retry_backoff = 1.0;
+  /// Byte budget for confirm retries per confirm round (0 = unlimited),
+  /// so total-loss scenarios terminate with bounded cost.
+  Bytes confirm_retry_budget = 4'096;
+
   static AsapParams small(search::Scheme s);
   static AsapParams paper(search::Scheme s);
 };
@@ -96,6 +110,17 @@ class AsapProtocol final : public search::SearchAlgorithm {
     std::uint64_t ads_requests = 0;
     std::uint64_t confirm_requests = 0;
     std::uint64_t refresh_pulls = 0;
+    // Fault-hardening telemetry (zero in legacy configurations except
+    // confirm_timeouts / stale_evictions, which also count the legacy
+    // dead-source path).
+    std::uint64_t confirm_retries = 0;
+    std::uint64_t confirm_timeouts = 0;
+    std::uint64_t stale_evictions = 0;
+    /// Queries whose ads-request refetch restored at least one cache entry
+    /// after a stale eviction in the same query (time-to-repair events).
+    std::uint64_t repair_refetches = 0;
+    Bytes retry_bytes = 0;  ///< bandwidth spent on confirm retries
+    double repair_seconds_sum = 0.0;  ///< sum over repair_refetches
   };
   const Counters& counters() const { return counters_; }
   const AsapParams& params() const { return params_; }
@@ -148,6 +173,12 @@ class AsapProtocol final : public search::SearchAlgorithm {
   Counters counters_;
   std::vector<AdPayloadPtr> scratch_ads_;
   std::vector<AdPayloadPtr> reply_scratch_;
+  /// Earliest stale eviction within the current query, for time-to-repair
+  /// accounting; reset to +inf at each query start.
+  Seconds repair_pending_since_ = 0.0;
+  /// Entries the most recent ads_request_phase stored into the requester's
+  /// cache (repair evidence).
+  std::uint64_t last_request_stored_ = 0;
 };
 
 }  // namespace asap::ads

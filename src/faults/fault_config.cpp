@@ -1,0 +1,159 @@
+#include "faults/fault_config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace asap::faults {
+
+bool FaultConfig::any() const {
+  return crash_fraction > 0.0 || link_loss > 0.0 || latency_jitter > 0.0 ||
+         partitions > 0 || bursts > 0;
+}
+
+void FaultConfig::validate() const {
+  const auto in01 = [](double v) { return v >= 0.0 && v <= 1.0; };
+  if (!in01(crash_fraction)) {
+    throw ConfigError("faults: crash_fraction out of [0,1]");
+  }
+  if (!in01(link_loss)) throw ConfigError("faults: link_loss out of [0,1]");
+  if (!in01(burst_loss)) throw ConfigError("faults: burst_loss out of [0,1]");
+  if (latency_jitter < 0.0 || latency_jitter >= 1.0) {
+    throw ConfigError("faults: latency_jitter out of [0,1)");
+  }
+  if (partition_fraction <= 0.0 || partition_fraction > 1.0) {
+    throw ConfigError("faults: partition_fraction out of (0,1]");
+  }
+  if (crash_detection < 0.0 || partition_duration <= 0.0 ||
+      burst_duration <= 0.0 || confirm_backoff < 0.0) {
+    throw ConfigError("faults: durations must be positive");
+  }
+}
+
+const std::vector<std::string>& fault_preset_names() {
+  static const std::vector<std::string> names = {
+      "none", "churn", "lossy", "partition", "burst", "chaos"};
+  return names;
+}
+
+namespace {
+
+/// The hardening defaults every adverse preset shares: 3 confirm attempts
+/// with 0.5 s backoff, eviction after 2 consecutive silent rounds.
+void harden(FaultConfig& c) {
+  c.confirm_attempts = 3;
+  c.stale_strikes = 2;
+  c.confirm_backoff = 0.5;
+}
+
+std::string preset_list() {
+  std::string out;
+  for (const auto& n : fault_preset_names()) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultScenario fault_preset(const std::string& name) {
+  FaultScenario s;
+  s.name = name;
+  FaultConfig& c = s.config;
+  if (name == "none") return s;
+  if (name == "churn") {
+    c.crash_fraction = 0.05;
+    harden(c);
+    return s;
+  }
+  if (name == "lossy") {
+    c.link_loss = 0.05;
+    c.latency_jitter = 0.25;
+    harden(c);
+    return s;
+  }
+  if (name == "partition") {
+    c.partitions = 2;
+    harden(c);
+    return s;
+  }
+  if (name == "burst") {
+    c.bursts = 3;
+    harden(c);
+    return s;
+  }
+  if (name == "chaos") {
+    c.crash_fraction = 0.05;
+    c.link_loss = 0.03;
+    c.latency_jitter = 0.25;
+    c.partitions = 1;
+    c.bursts = 2;
+    harden(c);
+    return s;
+  }
+  throw ConfigError("unknown fault preset '" + name + "' (available: " +
+                    preset_list() + ", or a path to a JSON scenario file)");
+}
+
+FaultScenario scenario_from_spec(const std::string& spec) {
+  const bool looks_like_path =
+      spec.find('/') != std::string::npos ||
+      (spec.size() > 5 && spec.compare(spec.size() - 5, 5, ".json") == 0);
+  if (!looks_like_path) return fault_preset(spec);
+  std::ifstream in(spec);
+  if (!in) throw ConfigError("faults: cannot read scenario file " + spec);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return scenario_from_json(json::parse(buf.str()));
+}
+
+json::Value scenario_to_json(const FaultScenario& s) {
+  const FaultConfig& c = s.config;
+  json::Object o;
+  o.emplace_back("name", s.name);
+  o.emplace_back("crash_fraction", c.crash_fraction);
+  o.emplace_back("crash_detection_s", c.crash_detection);
+  o.emplace_back("link_loss", c.link_loss);
+  o.emplace_back("latency_jitter", c.latency_jitter);
+  o.emplace_back("partitions", static_cast<double>(c.partitions));
+  o.emplace_back("partition_duration_s", c.partition_duration);
+  o.emplace_back("partition_fraction", c.partition_fraction);
+  o.emplace_back("bursts", static_cast<double>(c.bursts));
+  o.emplace_back("burst_duration_s", c.burst_duration);
+  o.emplace_back("burst_loss", c.burst_loss);
+  o.emplace_back("confirm_attempts", static_cast<double>(c.confirm_attempts));
+  o.emplace_back("stale_strikes", static_cast<double>(c.stale_strikes));
+  o.emplace_back("confirm_backoff_s", c.confirm_backoff);
+  return json::Value(std::move(o));
+}
+
+FaultScenario scenario_from_json(const json::Value& v) {
+  FaultScenario s;
+  s.name = v.at("name").as_string();
+  FaultConfig& c = s.config;
+  const auto num = [&](const char* key, double fallback) {
+    const json::Value* f = v.find(key);
+    return f != nullptr ? f->as_double() : fallback;
+  };
+  c.crash_fraction = num("crash_fraction", c.crash_fraction);
+  c.crash_detection = num("crash_detection_s", c.crash_detection);
+  c.link_loss = num("link_loss", c.link_loss);
+  c.latency_jitter = num("latency_jitter", c.latency_jitter);
+  c.partitions = static_cast<std::uint32_t>(num("partitions", c.partitions));
+  c.partition_duration = num("partition_duration_s", c.partition_duration);
+  c.partition_fraction = num("partition_fraction", c.partition_fraction);
+  c.bursts = static_cast<std::uint32_t>(num("bursts", c.bursts));
+  c.burst_duration = num("burst_duration_s", c.burst_duration);
+  c.burst_loss = num("burst_loss", c.burst_loss);
+  c.confirm_attempts =
+      static_cast<std::uint32_t>(num("confirm_attempts", c.confirm_attempts));
+  c.stale_strikes =
+      static_cast<std::uint32_t>(num("stale_strikes", c.stale_strikes));
+  c.confirm_backoff = num("confirm_backoff_s", c.confirm_backoff);
+  c.validate();
+  return s;
+}
+
+}  // namespace asap::faults

@@ -1,0 +1,101 @@
+// Deterministic fault-injection configuration (DESIGN.md §11).
+//
+// A FaultConfig describes *what* adversity a run is subjected to; the
+// FaultPlan (fault_plan.hpp) compiles it into a concrete, seeded schedule
+// and the FaultInjector (injector.hpp) executes that schedule against one
+// run. Four fault classes, all off by default:
+//
+//   * crash-stop failures — a node vanishes without the leave protocol
+//     (keep-alives go silent, stale ads stay stranded in peer caches),
+//     distinct from a graceful trace kLeave;
+//   * per-link loss and latency jitter on top of the transit-stub
+//     latencies;
+//   * network partitions — a set of stub domains is cut off from the rest
+//     of the physical network for an interval, then heals;
+//   * burst loss windows — correlated loss at a high rate for [t0, t1).
+//
+// The config also carries the protocol-hardening knobs the harness applies
+// to AsapParams when (and only when) the fault layer is active, so a
+// faults-off run keeps today's protocol behaviour bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/types.hpp"
+
+namespace asap::faults {
+
+struct FaultConfig {
+  // --- crash-stop failures ----------------------------------------------
+  /// Fraction of the initial population that crash-stops during the
+  /// measurement window (trace-churned nodes are never picked, so crashes
+  /// and graceful churn cannot collide on one node).
+  double crash_fraction = 0.0;
+  /// Keep-alive detection delay: for this long after a crash, neighbors
+  /// still believe the node is up and pay for transmissions to it.
+  Seconds crash_detection = 30.0;
+
+  // --- link layer --------------------------------------------------------
+  /// Per-transmission loss probability, independent of (and on top of)
+  /// the scalar RunOptions::message_loss.
+  double link_loss = 0.0;
+  /// Multiplicative latency jitter: each delivered hop's latency is scaled
+  /// by uniform(1 - j, 1 + j). 0 disables (and draws nothing).
+  double latency_jitter = 0.0;
+
+  // --- partitions --------------------------------------------------------
+  /// Number of partition episodes within the measurement window.
+  std::uint32_t partitions = 0;
+  Seconds partition_duration = 60.0;
+  /// Fraction of stub domains cut off per episode (at least one).
+  double partition_fraction = 0.10;
+
+  // --- burst loss --------------------------------------------------------
+  /// Number of correlated-loss windows within the measurement window.
+  std::uint32_t bursts = 0;
+  Seconds burst_duration = 15.0;
+  /// Loss probability applied to every transmission inside a burst window.
+  double burst_loss = 0.9;
+
+  // --- protocol hardening (applied only when the fault layer is armed) ---
+  /// Confirm attempts per candidate; 0 = keep the protocol default (1).
+  std::uint32_t confirm_attempts = 0;
+  /// Consecutive confirm timeouts before a source's ad is evicted as
+  /// stale; 0 = keep the protocol default (1).
+  std::uint32_t stale_strikes = 0;
+  /// Exponential-backoff base between confirm attempts; 0 = protocol
+  /// default.
+  Seconds confirm_backoff = 0.0;
+
+  /// True when any fault class is actually injected (hardening knobs alone
+  /// do not count: they change nothing unless an injector is armed).
+  bool any() const;
+  /// Throws ConfigError on out-of-range rates or durations.
+  void validate() const;
+};
+
+/// A named FaultConfig — the matrix runner's scenario-axis element.
+struct FaultScenario {
+  std::string name = "none";
+  FaultConfig config;
+};
+
+/// Built-in preset names, in canonical order.
+const std::vector<std::string>& fault_preset_names();
+
+/// Resolves a built-in preset. Throws ConfigError with the preset list on
+/// an unknown name.
+FaultScenario fault_preset(const std::string& name);
+
+/// Resolves a --faults item: a preset name, or a path to a JSON file
+/// (recognized by containing '/' or ending in ".json") holding a scenario
+/// object. Throws ConfigError with a readable message otherwise.
+FaultScenario scenario_from_spec(const std::string& spec);
+
+json::Value scenario_to_json(const FaultScenario& s);
+FaultScenario scenario_from_json(const json::Value& v);
+
+}  // namespace asap::faults

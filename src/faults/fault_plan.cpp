@@ -1,0 +1,123 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace asap::faults {
+
+namespace {
+
+/// Salt for the plan's private RNG stream. Distinct from the algorithm
+/// (0x517C...) and churn (0x2545...) salts so arming the fault layer never
+/// perturbs either existing stream.
+constexpr std::uint64_t kFaultPlanSalt = 0xD1B54A32D192ED03ULL;
+
+constexpr Seconds kInf = std::numeric_limits<Seconds>::infinity();
+
+}  // namespace
+
+FaultPlan FaultPlan::build(const FaultConfig& cfg, std::uint64_t seed,
+                           std::uint32_t initial_nodes,
+                           std::span<const trace::TraceEvent> trace_events,
+                           Seconds measure_start, Seconds measure_end,
+                           std::uint32_t num_stub_domains) {
+  cfg.validate();
+  ASAP_REQUIRE(measure_end > measure_start,
+               "fault plan: empty measurement window");
+  FaultPlan plan;
+  plan.cfg_ = cfg;
+  plan.measure_start_ = measure_start;
+  if (!cfg.any()) return plan;  // zero rates: zero draws, zero events
+
+  Rng rng(seed ^ kFaultPlanSalt);
+  const Seconds window = measure_end - measure_start;
+
+  if (cfg.crash_fraction > 0.0 && initial_nodes > 0) {
+    // Candidates: initial nodes the trace never churns. Membership is a
+    // function of the trace alone, so the candidate list — and therefore
+    // the draw sequence below — is identical for every algorithm.
+    std::vector<std::uint8_t> churned(initial_nodes, 0);
+    for (const auto& ev : trace_events) {
+      if (ev.type == trace::TraceEventType::kJoin ||
+          ev.type == trace::TraceEventType::kLeave ||
+          ev.type == trace::TraceEventType::kRejoin) {
+        if (ev.node < initial_nodes) churned[ev.node] = 1;
+      }
+    }
+    std::vector<NodeId> candidates;
+    candidates.reserve(initial_nodes);
+    for (NodeId n = 0; n < initial_nodes; ++n) {
+      if (!churned[n]) candidates.push_back(n);
+    }
+    const auto want = static_cast<std::uint32_t>(
+        std::llround(cfg.crash_fraction * static_cast<double>(initial_nodes)));
+    const auto count = std::min<std::uint32_t>(
+        want, static_cast<std::uint32_t>(candidates.size()));
+    const auto picks = rng.sample_indices(
+        static_cast<std::uint32_t>(candidates.size()), count);
+    plan.crashes_.reserve(count);
+    for (const auto idx : picks) {
+      Crash c;
+      c.node = candidates[idx];
+      // Crashes land in the first 80% of the window so their effects (the
+      // detection delay, the repair traffic) are observable before the end.
+      c.at = measure_start + rng.uniform(0.0, 0.8 * window);
+      c.detect_at = c.at + cfg.crash_detection;
+      plan.crashes_.push_back(c);
+    }
+    std::sort(plan.crashes_.begin(), plan.crashes_.end(),
+              [](const Crash& a, const Crash& b) {
+                if (a.at != b.at) return a.at < b.at;
+                return a.node < b.node;
+              });
+  }
+
+  for (std::uint32_t i = 0; i < cfg.partitions; ++i) {
+    Partition p;
+    const Seconds latest =
+        std::max(0.0, window - cfg.partition_duration);
+    p.begin = measure_start + rng.uniform(0.0, latest);
+    p.end = p.begin + cfg.partition_duration;
+    const auto cut = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::llround(cfg.partition_fraction *
+                                                   num_stub_domains)));
+    p.domains = rng.sample_indices(
+        num_stub_domains, std::min(cut, num_stub_domains));
+    std::sort(p.domains.begin(), p.domains.end());
+    plan.partitions_.push_back(std::move(p));
+  }
+  std::sort(plan.partitions_.begin(), plan.partitions_.end(),
+            [](const Partition& a, const Partition& b) {
+              return a.begin < b.begin;
+            });
+
+  for (std::uint32_t i = 0; i < cfg.bursts; ++i) {
+    Window w;
+    const Seconds latest = std::max(0.0, window - cfg.burst_duration);
+    w.begin = measure_start + rng.uniform(0.0, latest);
+    w.end = w.begin + cfg.burst_duration;
+    plan.bursts_.push_back(w);
+  }
+  std::sort(plan.bursts_.begin(), plan.bursts_.end(),
+            [](const Window& a, const Window& b) { return a.begin < b.begin; });
+
+  return plan;
+}
+
+Seconds FaultPlan::first_fault_time() const {
+  Seconds first = kInf;
+  for (const auto& c : crashes_) first = std::min(first, c.at);
+  for (const auto& p : partitions_) first = std::min(first, p.begin);
+  for (const auto& w : bursts_) first = std::min(first, w.begin);
+  if (cfg_.link_loss > 0.0 || cfg_.latency_jitter > 0.0) {
+    // Continuous faults: the whole measurement window is under fault.
+    return std::min(first, measure_start_);
+  }
+  return first;
+}
+
+}  // namespace asap::faults

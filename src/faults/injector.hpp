@@ -1,0 +1,106 @@
+// FaultInjector — executes one FaultPlan against one simulation run.
+//
+// The injector owns the only RNG that fault verdicts draw from (seeded
+// from the run seed with a salt of its own), and it draws *only* when a
+// fault class is actually configured — so an armed injector with all rates
+// at zero makes zero draws, schedules zero events, and leaves the run
+// digest bit-identical to a faults-off run (the determinism guard in
+// tests/harness/fault_injection_test.cpp).
+//
+// Crash-stop semantics: at crash time the node silently drops out of the
+// ground truth (LiveContent/Liveness) but stays attached to the overlay
+// until detect_at — during that window, dead_unnoticed() is true and
+// senders still pay for transmissions into the void (keep-alives have not
+// timed out yet). At detect_at the node is detached like a graceful leave.
+//
+// Partition semantics: while an episode is open, any transmission whose
+// endpoints are not in the same island (a cut stub domain is one island
+// each; everything else is the mainland) is dropped deterministically — no
+// RNG draw, so partitions compose with the loss dice without perturbing
+// them.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "faults/fault_plan.hpp"
+#include "net/transit_stub.hpp"
+#include "obs/observer.hpp"
+#include "overlay/overlay.hpp"
+#include "sim/engine.hpp"
+#include "sim/liveness.hpp"
+#include "trace/live_content.hpp"
+
+namespace asap::faults {
+
+class FaultInjector {
+ public:
+  /// What the injector actually did to one run.
+  struct Report {
+    std::uint64_t crashes = 0;
+    std::uint64_t partitions = 0;
+    std::uint64_t bursts = 0;
+    std::uint64_t link_drops = 0;
+    std::uint64_t burst_drops = 0;
+    std::uint64_t partition_drops = 0;
+    /// Transmissions paid for to crashed-but-undetected nodes.
+    std::uint64_t dead_sends = 0;
+  };
+
+  FaultInjector(const FaultPlan& plan, const net::TransitStubNetwork& phys,
+                std::uint64_t rng_seed);
+
+  /// Schedules the plan's crash/detect events and partition/burst window
+  /// markers on the engine. Call exactly once, before warm-up. `obs` may
+  /// be null; marker events are scheduled regardless so an observer never
+  /// changes the event stream (passivity).
+  void arm(sim::Engine& engine, overlay::Overlay& ov,
+           trace::LiveContent& live, sim::Liveness& liveness,
+           obs::RunObserver* obs);
+
+  /// Fault-layer loss verdict for one transmission at hop time `t`, rolled
+  /// after (and independently of) the base message_loss dice. Order:
+  /// partition cut (deterministic) → burst loss → link loss.
+  bool transmission_lost(PhysNodeId a, PhysNodeId b, Seconds t);
+
+  /// Applies latency jitter to one delivered hop (no draw when jitter is
+  /// off; latency 0 stays 0 — the jitter is multiplicative).
+  Seconds hop_latency(Seconds base) {
+    const double j = plan_.config().latency_jitter;
+    if (j <= 0.0) return base;
+    return base * rng_.uniform(1.0 - j, 1.0 + j);
+  }
+
+  /// True while `n` has crash-stopped but neighbors' keep-alives have not
+  /// timed out yet: senders still pay for transmissions to it.
+  bool dead_unnoticed(NodeId n, Seconds t) const {
+    return n < crash_window_.size() && t >= crash_window_[n].first &&
+           t < crash_window_[n].second;
+  }
+
+  /// True once `n` has crash-stopped (detected or not).
+  bool crashed(NodeId n, Seconds t) const {
+    return n < crash_window_.size() && t >= crash_window_[n].first;
+  }
+
+  void count_dead_send() { ++report_.dead_sends; }
+
+  const Report& report() const { return report_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  bool in_partition_cut(PhysNodeId a, PhysNodeId b, Seconds t) const;
+
+  const FaultPlan& plan_;  // not owned; outlives the injector
+  const net::TransitStubNetwork& phys_;
+  Rng rng_;
+  Report report_;
+  /// Per overlay node: [crash_at, detect_at); (+inf, +inf) if never
+  /// crashing. Indexed lookups keep dead_unnoticed O(1) on hot paths.
+  std::vector<std::pair<Seconds, Seconds>> crash_window_;
+};
+
+}  // namespace asap::faults

@@ -14,6 +14,7 @@
 #include <string>
 #include <string_view>
 
+#include "faults/fault_config.hpp"
 #include "net/transit_stub.hpp"
 #include "sim/size_model.hpp"
 #include "trace/content_model.hpp"
@@ -53,6 +54,11 @@ struct ExperimentConfig {
   /// Ads are disseminated for this long before the trace starts; the
   /// measurement window begins at `warmup`.
   Seconds warmup = 60.0;
+
+  /// Fault-injection configuration (faults/fault_config.hpp). All-zero by
+  /// default: no injector is built and runs stay bit-identical to the
+  /// committed goldens. RunOptions::faults overrides this per run.
+  faults::FaultConfig faults;
 
   static ExperimentConfig make(Preset preset, TopologyKind topology,
                                std::uint64_t seed = 42);

@@ -19,7 +19,7 @@ std::vector<std::pair<std::string, double>> headline_metrics(
   // response_percentile is defined (0.0) for runs with zero successes.
   const double p50 = s.response_percentile(0.50);
   const double p95 = s.response_percentile(0.95);
-  return {
+  std::vector<std::pair<std::string, double>> out{
       {"success_rate", s.success_rate()},
       {"avg_response_s", s.avg_response_time()},
       {"p50_response_s", p50},
@@ -31,26 +31,63 @@ std::vector<std::pair<std::string, double>> headline_metrics(
       {"load_stddev_Bps", r.load.stddev_bytes_per_node_per_sec},
       {"load_peak_Bps", r.load.peak_bytes_per_node_per_sec},
   };
+  if (r.faults.enabled) {
+    // Fault metrics are only appended for fault-armed runs: the golden
+    // gate requires every reported metric to exist in the baseline, so
+    // faults-off results must keep exactly the legacy set.
+    const auto& c = r.asap_counters;
+    const double stale_hit_rate =
+        c.confirm_requests > 0
+            ? static_cast<double>(c.confirm_timeouts) /
+                  static_cast<double>(c.confirm_requests)
+            : 0.0;
+    const double time_to_repair =
+        c.repair_refetches > 0
+            ? c.repair_seconds_sum / static_cast<double>(c.repair_refetches)
+            : 0.0;
+    out.emplace_back("success_rate_under_churn",
+                     r.faults.success_rate_after_onset);
+    out.emplace_back("queries_under_churn",
+                     static_cast<double>(r.faults.queries_after_onset));
+    out.emplace_back("stale_hit_rate", stale_hit_rate);
+    out.emplace_back("stale_evictions",
+                     static_cast<double>(c.stale_evictions));
+    out.emplace_back("confirm_retries",
+                     static_cast<double>(c.confirm_retries));
+    out.emplace_back("retry_overhead_bytes",
+                     static_cast<double>(c.retry_bytes));
+    out.emplace_back("time_to_repair_s", time_to_repair);
+    out.emplace_back("dead_sends", static_cast<double>(r.faults.dead_sends));
+    out.emplace_back("fault_drops",
+                     static_cast<double>(r.faults.link_drops +
+                                         r.faults.burst_drops +
+                                         r.faults.partition_drops));
+  }
+  return out;
 }
 
 MatrixResult run_matrix(const MatrixSpec& spec) {
   ASAP_REQUIRE(!spec.topologies.empty(), "matrix: no topologies");
   ASAP_REQUIRE(!spec.algos.empty(), "matrix: no algorithms");
+  ASAP_REQUIRE(!spec.fault_scenarios.empty(), "matrix: no fault scenarios");
   ASAP_REQUIRE(spec.trials >= 1, "matrix: trials must be >= 1");
   ASAP_REQUIRE(spec.options.seed_salt == 0,
                "matrix: seed_salt is derived per trial; set MatrixSpec::seed");
   ASAP_REQUIRE(spec.options.observer == nullptr ||
                    (spec.topologies.size() == 1 && spec.algos.size() == 1 &&
-                    spec.trials == 1),
+                    spec.fault_scenarios.size() == 1 && spec.trials == 1),
                "matrix: a trace observer serves exactly one run; restrict "
-               "the matrix to a single (topology, algo, trial) cell");
+               "the matrix to a single (topology, scenario, algo, trial) "
+               "cell");
+  for (const auto& scen : spec.fault_scenarios) scen.config.validate();
 
   const auto wall_start = std::chrono::steady_clock::now();
   const std::size_t num_topos = spec.topologies.size();
+  const std::size_t num_scens = spec.fault_scenarios.size();
   const std::size_t num_algos = spec.algos.size();
   const std::size_t trials = spec.trials;
   const std::size_t num_worlds = num_topos * trials;
-  const std::size_t num_cells = num_worlds * num_algos;
+  const std::size_t num_cells = num_worlds * num_scens * num_algos;
 
   std::mutex io_mu;
   const auto progress = [&](const std::string& line) {
@@ -87,24 +124,30 @@ MatrixResult run_matrix(const MatrixSpec& spec) {
              " world, trial " + std::to_string(trial));
   });
 
-  // Slot layout fixes the canonical order (topology, algorithm, trial)
-  // regardless of which worker finishes when.
+  // Slot layout fixes the canonical order (topology, scenario, algorithm,
+  // trial) regardless of which worker finishes when.
   MatrixResult out;
   out.spec = spec;
   out.trials.resize(num_cells);
   pool.parallel_for(num_cells, [&](std::size_t c) {
-    const std::size_t topo_idx = c / (num_algos * trials);
+    const std::size_t topo_idx = c / (num_scens * num_algos * trials);
+    const std::size_t scen_idx = (c / (num_algos * trials)) % num_scens;
     const std::size_t algo_idx = (c / trials) % num_algos;
     const std::size_t trial = c % trials;
     const AlgoKind algo = spec.algos[algo_idx];
+    const faults::FaultScenario& scen = spec.fault_scenarios[scen_idx];
 
     TrialRun& slot = out.trials[c];
     slot.topology = spec.topologies[topo_idx];
     slot.algo = algo;
+    slot.scenario = scen.name;
     slot.trial = static_cast<std::uint32_t>(trial);
     slot.world_seed = world_seed_of(trial);
-    const RunOptions opts =
+    RunOptions opts =
         spec.options_for ? spec.options_for(algo) : spec.options;
+    // An all-zero scenario ("none") leaves opts.faults unset so the run
+    // arms no injector and stays bit-identical to a legacy matrix cell.
+    if (scen.config.any()) opts.faults = scen.config;
     slot.result =
         run_experiment(*worlds[topo_idx * trials + trial], algo, opts);
     // Each cell's profile leads with the (shared) world-build phase so a
@@ -112,30 +155,34 @@ MatrixResult run_matrix(const MatrixSpec& spec) {
     slot.result.profile.insert(slot.result.profile.begin(),
                                world_profiles[topo_idx * trials + trial]);
     progress("[matrix] " + std::string(topology_name(slot.topology)) + " / " +
-             slot.result.algo + " trial " + std::to_string(trial) +
-             " done, digest " + json::hex_u64(slot.result.digest));
+             scen.name + " / " + slot.result.algo + " trial " +
+             std::to_string(trial) + " done, digest " +
+             json::hex_u64(slot.result.digest));
   });
 
   // --- aggregate --------------------------------------------------------
   sim::Fnv64 matrix_digest;
   for (std::size_t t = 0; t < num_topos; ++t) {
-    for (std::size_t a = 0; a < num_algos; ++a) {
-      CellAggregate cell;
-      cell.topology = spec.topologies[t];
-      cell.algo = spec.algos[a];
-      cell.trials = spec.trials;
-      metrics::TrialAggregator agg;
-      for (std::size_t k = 0; k < trials; ++k) {
-        const TrialRun& run =
-            out.trials[(t * num_algos + a) * trials + k];
-        cell.digests.push_back(run.result.digest);
-        matrix_digest.absorb(run.result.digest);
-        for (const auto& [name, value] : headline_metrics(run.result)) {
-          agg.add(name, value);
+    for (std::size_t s = 0; s < num_scens; ++s) {
+      for (std::size_t a = 0; a < num_algos; ++a) {
+        CellAggregate cell;
+        cell.topology = spec.topologies[t];
+        cell.algo = spec.algos[a];
+        cell.scenario = spec.fault_scenarios[s].name;
+        cell.trials = spec.trials;
+        metrics::TrialAggregator agg;
+        for (std::size_t k = 0; k < trials; ++k) {
+          const TrialRun& run =
+              out.trials[((t * num_scens + s) * num_algos + a) * trials + k];
+          cell.digests.push_back(run.result.digest);
+          matrix_digest.absorb(run.result.digest);
+          for (const auto& [name, value] : headline_metrics(run.result)) {
+            agg.add(name, value);
+          }
         }
+        cell.metrics = agg.summaries();
+        out.cells.push_back(std::move(cell));
       }
-      cell.metrics = agg.summaries();
-      out.cells.push_back(std::move(cell));
     }
   }
   out.matrix_digest = matrix_digest.value();
@@ -172,6 +219,11 @@ json::Value results_to_json(const MatrixResult& result) {
   json::Array algos;
   for (const auto a : spec.algos) algos.emplace_back(algo_name(a));
   spec_obj.emplace_back("algos", std::move(algos));
+  json::Array scens;
+  for (const auto& s : spec.fault_scenarios) {
+    scens.emplace_back(faults::scenario_to_json(s));
+  }
+  spec_obj.emplace_back("fault_scenarios", std::move(scens));
   spec_obj.emplace_back("seed", json::hex_u64(spec.seed));
   spec_obj.emplace_back("trials", static_cast<double>(spec.trials));
   spec_obj.emplace_back("queries", static_cast<double>(spec.queries));
@@ -182,6 +234,7 @@ json::Value results_to_json(const MatrixResult& result) {
   for (const auto& cell : result.cells) {
     json::Object c;
     c.emplace_back("topology", topology_name(cell.topology));
+    c.emplace_back("faults", cell.scenario);
     c.emplace_back("algo", algo_name(cell.algo));
     c.emplace_back("trials", static_cast<double>(cell.trials));
     json::Array digests;
@@ -199,6 +252,7 @@ json::Value results_to_json(const MatrixResult& result) {
   for (const auto& run : result.trials) {
     json::Object r;
     r.emplace_back("topology", topology_name(run.topology));
+    r.emplace_back("faults", run.scenario);
     r.emplace_back("algo", algo_name(run.algo));
     r.emplace_back("trial", static_cast<double>(run.trial));
     r.emplace_back("world_seed", json::hex_u64(run.world_seed));
@@ -210,6 +264,24 @@ json::Value results_to_json(const MatrixResult& result) {
       ms.emplace_back(name, value);
     }
     r.emplace_back("metrics", std::move(ms));
+    if (run.result.faults.enabled) {
+      const auto& f = run.result.faults;
+      json::Object fs;
+      fs.emplace_back("crashes", static_cast<double>(f.crashes));
+      fs.emplace_back("partitions", static_cast<double>(f.partitions));
+      fs.emplace_back("bursts", static_cast<double>(f.bursts));
+      fs.emplace_back("link_drops", static_cast<double>(f.link_drops));
+      fs.emplace_back("burst_drops", static_cast<double>(f.burst_drops));
+      fs.emplace_back("partition_drops",
+                      static_cast<double>(f.partition_drops));
+      fs.emplace_back("dead_sends", static_cast<double>(f.dead_sends));
+      fs.emplace_back("first_fault_time", f.first_fault_time);
+      fs.emplace_back("queries_after_onset",
+                      static_cast<double>(f.queries_after_onset));
+      fs.emplace_back("successes_after_onset",
+                      static_cast<double>(f.successes_after_onset));
+      r.emplace_back("fault_summary", std::move(fs));
+    }
     // Wall-clock phase breakdown; informational only, like wall_seconds —
     // the golden gate never compares it.
     r.emplace_back("wall_seconds", run.result.wall_seconds);
@@ -255,6 +327,16 @@ MatrixSpec spec_from_json(const json::Value& doc) {
     const auto algo = algo_from_name(a.as_string());
     ASAP_REQUIRE(algo.has_value(), "results spec: unknown algorithm");
     out.algos.push_back(*algo);
+  }
+  // Older results files predate the fault axis; absent means the default
+  // single "none" scenario, so committed goldens keep round-tripping.
+  if (const json::Value* scens = spec.find("fault_scenarios")) {
+    out.fault_scenarios.clear();
+    for (const auto& s : scens->as_array()) {
+      out.fault_scenarios.push_back(faults::scenario_from_json(s));
+    }
+    ASAP_REQUIRE(!out.fault_scenarios.empty(),
+                 "results spec: empty fault_scenarios");
   }
   out.seed = spec.at("seed").u64_hex();
   out.trials = static_cast<std::uint32_t>(spec.at("trials").as_double());

@@ -41,6 +41,10 @@ struct MatrixSpec {
   Preset preset = Preset::kSmall;
   std::vector<TopologyKind> topologies{TopologyKind::kCrawled};
   std::vector<AlgoKind> algos{std::begin(kAllAlgos), std::end(kAllAlgos)};
+  /// Fault-scenario axis (faults/fault_config.hpp). The default single
+  /// "none" scenario arms no injector, so legacy matrices (and their
+  /// goldens) are exactly the one-scenario special case.
+  std::vector<faults::FaultScenario> fault_scenarios{faults::FaultScenario{}};
   /// Master seed; trial k of every cell runs with seed ^ trial_seed_salt(k).
   std::uint64_t seed = 42;
   /// Independently-seeded repetitions per (algorithm × topology) cell.
@@ -68,15 +72,17 @@ struct MatrixSpec {
 struct TrialRun {
   TopologyKind topology{};
   AlgoKind algo{};
+  std::string scenario;  ///< fault-scenario name ("none" when faults off)
   std::uint32_t trial = 0;
   std::uint64_t world_seed = 0;
   RunResult result;
 };
 
-/// One (algorithm × topology) cell aggregated over its trials.
+/// One (topology × scenario × algorithm) cell aggregated over its trials.
 struct CellAggregate {
   TopologyKind topology{};
   AlgoKind algo{};
+  std::string scenario;
   std::uint32_t trials = 0;
   /// Per-trial run digests in trial order — the regression fingerprint.
   std::vector<std::uint64_t> digests;
@@ -86,7 +92,8 @@ struct CellAggregate {
 
 struct MatrixResult {
   MatrixSpec spec;
-  /// Canonical order: topology-major, then algorithm, then trial.
+  /// Canonical order: topology-major, then scenario, then algorithm, then
+  /// trial.
   std::vector<TrialRun> trials;
   std::vector<CellAggregate> cells;
   /// FNV-1a over every trial digest in canonical order: one number that
@@ -96,12 +103,15 @@ struct MatrixResult {
 };
 
 /// The scalar metrics a run is summarized by, in canonical report order.
+/// Runs with the fault layer armed report additional fault metrics
+/// (success_rate_under_churn, stale_evictions, …); faults-off runs keep
+/// the legacy metric set exactly, so committed goldens stay comparable.
 std::vector<std::pair<std::string, double>> headline_metrics(
     const RunResult& r);
 
 /// Runs the full matrix. Total work is
-/// |topologies| × |algos| × trials cells plus |topologies| × trials world
-/// builds, all scheduled on one pool.
+/// |topologies| × |scenarios| × |algos| × trials cells plus
+/// |topologies| × trials world builds, all scheduled on one pool.
 MatrixResult run_matrix(const MatrixSpec& spec);
 
 /// results.json document (schema docs/RESULTS_SCHEMA.md).

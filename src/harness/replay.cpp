@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
 #include "search/context.hpp"
 #include "sim/engine.hpp"
 #include "sim/liveness.hpp"
@@ -131,15 +133,51 @@ RunResult run_experiment(const World& world, AlgoKind kind,
     ctx.obs = opts.observer;
   }
 
+  // Fault layer: the plan derives from the world seed alone (same schedule
+  // for every algorithm); the injector's own verdict RNG is salted per
+  // trial like the algorithm stream. Without an explicit opts.faults and
+  // with an all-zero cfg.faults, nothing is built and the run is
+  // bit-identical to the historical harness.
+  const bool faults_on = opts.faults.has_value() || cfg.faults.any();
+  const faults::FaultConfig fault_cfg = opts.faults.value_or(cfg.faults);
+  std::unique_ptr<faults::FaultPlan> plan;
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (faults_on) {
+    fault_cfg.validate();
+    plan = std::make_unique<faults::FaultPlan>(faults::FaultPlan::build(
+        fault_cfg, cfg.seed, world.model.params().initial_nodes,
+        world.trace.events, warmup, warmup + world.trace.horizon,
+        world.phys.params().total_stub_domains()));
+    injector = std::make_unique<faults::FaultInjector>(
+        *plan, world.phys, cfg.seed ^ 0x9E3779B97F4A7C15ULL ^ opts.seed_salt);
+    ctx.faults = injector.get();
+  }
+
   std::unique_ptr<search::SearchAlgorithm> algo;
   if (is_asap(kind)) {
-    const auto params =
-        opts.asap.value_or(default_asap_params(kind, cfg.preset));
+    auto params = opts.asap.value_or(default_asap_params(kind, cfg.preset));
+    if (faults_on) {
+      // Hardening knobs ride the fault config so a faults-off run keeps
+      // the legacy protocol behaviour bit for bit (0 = protocol default).
+      if (fault_cfg.confirm_attempts > 0) {
+        params.confirm_max_attempts = fault_cfg.confirm_attempts;
+      }
+      if (fault_cfg.stale_strikes > 0) {
+        params.stale_timeout_strikes = fault_cfg.stale_strikes;
+      }
+      if (fault_cfg.confirm_backoff > 0.0) {
+        params.confirm_retry_backoff = fault_cfg.confirm_backoff;
+      }
+    }
     algo = std::make_unique<ads::AsapProtocol>(ctx, params);
   } else {
     const auto params =
         opts.baseline.value_or(default_baseline_params(kind, cfg.preset));
     algo = std::make_unique<search::BaselineSearch>(ctx, params);
+  }
+  if (faults_on) {
+    algo->set_fault_onset(plan->first_fault_time());
+    injector->arm(engine, ov, live, liveness, opts.observer);
   }
 
   obs::PhaseProfiler profiler;
@@ -215,6 +253,22 @@ RunResult run_experiment(const World& world, AlgoKind kind,
   if (is_asap(kind)) {
     res.asap_counters =
         static_cast<ads::AsapProtocol*>(algo.get())->counters();
+  }
+  if (injector != nullptr) {
+    const auto& rep = injector->report();
+    res.faults.enabled = true;
+    res.faults.crashes = rep.crashes;
+    res.faults.partitions = rep.partitions;
+    res.faults.bursts = rep.bursts;
+    res.faults.link_drops = rep.link_drops;
+    res.faults.burst_drops = rep.burst_drops;
+    res.faults.partition_drops = rep.partition_drops;
+    res.faults.dead_sends = rep.dead_sends;
+    res.faults.first_fault_time = plan->first_fault_time();
+    res.faults.queries_after_onset = res.search.total_after_onset();
+    res.faults.successes_after_onset = res.search.successes_after_onset();
+    res.faults.success_rate_after_onset =
+        res.search.success_rate_after_onset();
   }
   if (opts.observer != nullptr) opts.observer->finalize(horizon);
   profiler.end(engine.executed());

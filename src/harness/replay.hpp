@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "asap/asap_protocol.hpp"
+#include "faults/fault_config.hpp"
 #include "harness/world.hpp"
 #include "metrics/load_series.hpp"
 #include "metrics/search_stats.hpp"
@@ -73,6 +74,11 @@ struct RunOptions {
   /// [0, 1]. 1.0 is a valid (total-blackout) setting: senders still pay
   /// for every attempt, so runs terminate and audit clean.
   double message_loss = 0.0;
+  /// Deterministic fault injection (faults/fault_config.hpp). When set it
+  /// overrides ExperimentConfig::faults and forces the injector on even if
+  /// every rate is zero — the determinism guard relies on an armed
+  /// zero-rate injector leaving digests bit-identical.
+  std::optional<faults::FaultConfig> faults;
   /// Run-time invariant auditing (sim/audit.hpp). Defaults to on when the
   /// build was configured with -DASAP_AUDIT=ON.
   bool audit = sim::kAuditDefaultOn;
@@ -82,6 +88,26 @@ struct RunOptions {
   /// digest is bit-identical with and without an observer attached
   /// (enforced by tests/harness/observability_test.cpp, tier 1).
   obs::RunObserver* observer = nullptr;
+};
+
+/// What the fault layer did to one run (all zero when disabled).
+struct FaultSummary {
+  bool enabled = false;
+  std::uint64_t crashes = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t bursts = 0;
+  std::uint64_t link_drops = 0;
+  std::uint64_t burst_drops = 0;
+  std::uint64_t partition_drops = 0;
+  /// Transmissions paid for to crashed-but-undetected nodes.
+  std::uint64_t dead_sends = 0;
+  /// First fault instant (+inf when the plan is empty).
+  Seconds first_fault_time = 0.0;
+  /// Searches issued at or after first_fault_time, and how many succeeded
+  /// (the success-rate-under-churn metric).
+  std::uint64_t queries_after_onset = 0;
+  std::uint64_t successes_after_onset = 0;
+  double success_rate_after_onset = 0.0;
 };
 
 struct RunResult {
@@ -108,6 +134,8 @@ struct RunResult {
   bool audited = false;
   std::uint64_t audit_violations = 0;
   std::vector<std::string> audit_messages;  // first few violations
+  /// Fault-layer outcome (enabled only when an injector was armed).
+  FaultSummary faults;
 };
 
 /// Default parameters for an algorithm under the given preset.

@@ -13,6 +13,17 @@ void SearchStats::add(const SearchRecord& r) {
     response_samples_.push_back(r.response_time);
   }
   if (r.local_hit) ++local_hits_;
+  if (r.issued_at >= fault_onset_) {
+    ++after_onset_total_;
+    if (r.success) ++after_onset_successes_;
+  }
+}
+
+double SearchStats::success_rate_after_onset() const {
+  return after_onset_total_ == 0
+             ? 0.0
+             : static_cast<double>(after_onset_successes_) /
+                   static_cast<double>(after_onset_total_);
 }
 
 double SearchStats::success_rate() const {

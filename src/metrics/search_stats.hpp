@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -25,6 +26,9 @@ struct SearchRecord {
   /// Number of distinct positive results obtained (ASAP: positive
   /// confirmations; baselines: responding holders).
   std::uint32_t results = 0;
+  /// Virtual time the query was issued; used only to attribute the search
+  /// to the pre- or post-fault-onset window.
+  Seconds issued_at = 0.0;
 };
 
 class SearchStats {
@@ -55,10 +59,24 @@ class SearchStats {
   /// other accessors, instead of tripping percentile()'s empty-set check.
   double response_percentile(double q) const;
 
+  /// Marks the first fault-injection instant; searches issued at or after
+  /// it are additionally tallied into the post-onset window below. Default
+  /// +inf means no fault layer: the window stays empty.
+  void set_fault_onset(Seconds t) { fault_onset_ = t; }
+  std::uint64_t total_after_onset() const { return after_onset_total_; }
+  std::uint64_t successes_after_onset() const {
+    return after_onset_successes_;
+  }
+  /// Success rate over searches issued after fault onset (0 when none).
+  double success_rate_after_onset() const;
+
  private:
   std::uint64_t total_ = 0;
   std::uint64_t successes_ = 0;
   std::uint64_t local_hits_ = 0;
+  Seconds fault_onset_ = std::numeric_limits<Seconds>::infinity();
+  std::uint64_t after_onset_total_ = 0;
+  std::uint64_t after_onset_successes_ = 0;
   RunningStats response_time_;
   RunningStats cost_;
   RunningStats messages_;

@@ -14,6 +14,7 @@ json::Object category_to_json(const CategoryCounters& c) {
   out.emplace_back("drops_loss", json::Value(n(c.drops_loss)));
   out.emplace_back("drops_duplicate", json::Value(n(c.drops_duplicate)));
   out.emplace_back("drops_offline", json::Value(n(c.drops_offline)));
+  out.emplace_back("drops_dead", json::Value(n(c.drops_dead)));
   return out;
 }
 
@@ -37,11 +38,18 @@ json::Object CounterRegistry::snapshot() const {
   confirms.emplace_back("positive", json::Value(n(totals_.confirms_positive)));
   confirms.emplace_back("timed_out",
                         json::Value(n(totals_.confirms_timed_out)));
+  confirms.emplace_back("retries", json::Value(n(totals_.confirm_retries)));
+
+  json::Object faults;
+  faults.emplace_back("injected", json::Value(n(faults_injected_)));
+  faults.emplace_back("stale_evictions",
+                      json::Value(n(totals_.stale_evictions)));
 
   json::Object out;
   out.emplace_back("categories", json::Value(std::move(categories)));
   out.emplace_back("ads", json::Value(std::move(ads)));
   out.emplace_back("confirms", json::Value(std::move(confirms)));
+  out.emplace_back("faults", json::Value(std::move(faults)));
   return out;
 }
 
@@ -60,6 +68,8 @@ json::Array CounterRegistry::node_rows() const {
     row.emplace_back("confirms_positive", json::Value(n(c.confirms_positive)));
     row.emplace_back("confirms_timed_out",
                      json::Value(n(c.confirms_timed_out)));
+    row.emplace_back("confirm_retries", json::Value(n(c.confirm_retries)));
+    row.emplace_back("stale_evictions", json::Value(n(c.stale_evictions)));
     out.push_back(json::Value(std::move(row)));
   }
   return out;

@@ -32,10 +32,12 @@ struct CategoryCounters {
   std::uint64_t drops_loss = 0;
   std::uint64_t drops_duplicate = 0;
   std::uint64_t drops_offline = 0;
+  /// Paid-for sends to crashed-but-undetected nodes (fault layer).
+  std::uint64_t drops_dead = 0;
 
   bool any() const {
     return (deposits | bytes | drops_ttl | drops_loss | drops_duplicate |
-            drops_offline) != 0;
+            drops_offline | drops_dead) != 0;
   }
 };
 
@@ -48,10 +50,15 @@ struct NodeCounters {
   std::uint64_t confirms_sent = 0;
   std::uint64_t confirms_positive = 0;
   std::uint64_t confirms_timed_out = 0;
+  /// Confirm retry attempts (fault-hardening; 0 unless retries are on).
+  std::uint64_t confirm_retries = 0;
+  /// Ads evicted as stale after consecutive confirm timeouts.
+  std::uint64_t stale_evictions = 0;
 
   bool any() const {
     return (ads_stored | ads_evicted | ads_invalidated | confirms_sent |
-            confirms_positive | confirms_timed_out) != 0;
+            confirms_positive | confirms_timed_out | confirm_retries |
+            stale_evictions) != 0;
   }
 };
 
@@ -73,6 +80,9 @@ class CounterRegistry {
   }
   void count_drop_offline(sim::Traffic category) {
     ++categories_[static_cast<std::size_t>(category)].drops_offline;
+  }
+  void count_drop_dead(sim::Traffic category) {
+    ++categories_[static_cast<std::size_t>(category)].drops_dead;
   }
 
   void count_ad_stored(NodeId node) {
@@ -99,6 +109,17 @@ class CounterRegistry {
     ++node_row(node).confirms_timed_out;
     ++totals_.confirms_timed_out;
   }
+  void count_confirm_retry(NodeId node) {
+    ++node_row(node).confirm_retries;
+    ++totals_.confirm_retries;
+  }
+  void count_stale_evicted(NodeId node) {
+    ++node_row(node).stale_evictions;
+    ++totals_.stale_evictions;
+  }
+  void count_fault_injected() { ++faults_injected_; }
+
+  std::uint64_t faults_injected() const { return faults_injected_; }
 
   const CategoryCounters& category(sim::Traffic t) const {
     return categories_[static_cast<std::size_t>(t)];
@@ -124,6 +145,7 @@ class CounterRegistry {
 
   std::array<CategoryCounters, sim::kTrafficCount> categories_{};
   NodeCounters totals_{};
+  std::uint64_t faults_injected_ = 0;
   std::vector<NodeCounters> per_node_;
 };
 

@@ -73,6 +73,38 @@ void RunObserver::trace_churn(Seconds t, NodeId node, const char* transition) {
   sink_->write(rec);
 }
 
+void RunObserver::trace_fault(Seconds t, const char* kind, NodeId node) {
+  if (!sink_ || !sink_->sampled(RecordKind::kFault)) return;
+  json::Object rec;
+  rec.emplace_back("type", json::Value("fault"));
+  rec.emplace_back("t", json::Value(t));
+  rec.emplace_back("kind", json::Value(kind));
+  rec.emplace_back("node", json::Value(static_cast<double>(node)));
+  sink_->write(rec);
+}
+
+void RunObserver::trace_retry(Seconds t, NodeId node, NodeId source,
+                              std::uint32_t attempt) {
+  if (!sink_ || !sink_->sampled(RecordKind::kRetry)) return;
+  json::Object rec;
+  rec.emplace_back("type", json::Value("retry"));
+  rec.emplace_back("t", json::Value(t));
+  rec.emplace_back("node", json::Value(static_cast<double>(node)));
+  rec.emplace_back("source", json::Value(static_cast<double>(source)));
+  rec.emplace_back("attempt", json::Value(static_cast<double>(attempt)));
+  sink_->write(rec);
+}
+
+void RunObserver::trace_stale_evict(Seconds t, NodeId node, NodeId source) {
+  if (!sink_ || !sink_->sampled(RecordKind::kStaleEvict)) return;
+  json::Object rec;
+  rec.emplace_back("type", json::Value("stale-evict"));
+  rec.emplace_back("t", json::Value(t));
+  rec.emplace_back("node", json::Value(static_cast<double>(node)));
+  rec.emplace_back("source", json::Value(static_cast<double>(source)));
+  sink_->write(rec);
+}
+
 void RunObserver::finalize(Seconds t_end) {
   if (cfg_.counters_out == nullptr) return;
   // Emit any cadence boundaries the engine crossed without events after

@@ -59,6 +59,9 @@ class RunObserver final : public sim::Observer {
   void on_drop_offline(sim::Traffic category) {
     counters_.count_drop_offline(category);
   }
+  void on_drop_dead(sim::Traffic category) {
+    counters_.count_drop_dead(category);
+  }
 
   // --- protocol hooks: ad-cache and confirmation outcomes ------------------
   void on_ad_stored(NodeId node) { counters_.count_ad_stored(node); }
@@ -71,6 +74,11 @@ class RunObserver final : public sim::Observer {
   void on_confirm_timed_out(NodeId node) {
     counters_.count_confirm_timed_out(node);
   }
+  void on_confirm_retry(NodeId node) { counters_.count_confirm_retry(node); }
+  void on_stale_evicted(NodeId node) { counters_.count_stale_evicted(node); }
+
+  // --- fault-layer hooks ---------------------------------------------------
+  void on_fault_injected() { counters_.count_fault_injected(); }
 
   // --- trace spans ---------------------------------------------------------
   /// One completed query (issued at `t`): outcome, latency and cost.
@@ -92,6 +100,17 @@ class RunObserver final : public sim::Observer {
   /// One churn transition of `node`; `transition` is "join", "leave" or
   /// "rejoin".
   void trace_churn(Seconds t, NodeId node, const char* transition);
+
+  /// One fault-layer injection; `kind` is "crash", "detect", "partition",
+  /// "heal", "burst" or "burst-end". Window events carry kInvalidNode.
+  void trace_fault(Seconds t, const char* kind, NodeId node);
+
+  /// One confirm retry: `node` re-asks `source` (attempt >= 2).
+  void trace_retry(Seconds t, NodeId node, NodeId source,
+                   std::uint32_t attempt);
+
+  /// `node` evicted `source`'s ad as stale after consecutive timeouts.
+  void trace_stale_evict(Seconds t, NodeId node, NodeId source);
 
   /// Flushes the final counter snapshot (stamped `t_end`) plus per-node
   /// counter rows. Call once, after the run completes.

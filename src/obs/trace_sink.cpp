@@ -14,6 +14,12 @@ const char* record_kind_name(RecordKind k) {
       return "confirm";
     case RecordKind::kChurn:
       return "churn";
+    case RecordKind::kFault:
+      return "fault";
+    case RecordKind::kRetry:
+      return "retry";
+    case RecordKind::kStaleEvict:
+      return "stale-evict";
     case RecordKind::kCount:
       break;
   }

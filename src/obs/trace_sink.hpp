@@ -25,6 +25,9 @@ enum class RecordKind : std::uint8_t {
   kAd,
   kConfirm,
   kChurn,
+  kFault,       // fault-layer injections: crash/detect/partition/heal/burst
+  kRetry,       // confirm retry attempts (protocol hardening)
+  kStaleEvict,  // stale-ad evictions after consecutive confirm timeouts
   kCount
 };
 

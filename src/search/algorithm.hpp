@@ -30,6 +30,11 @@ class SearchAlgorithm {
   metrics::SearchStats& stats() { return stats_; }
   const metrics::SearchStats& stats() const { return stats_; }
 
+  /// Tells the stats collector when the first fault fires so searches can
+  /// be attributed to the pre-/post-onset windows. Harness-only plumbing —
+  /// algorithms themselves never read it.
+  void set_fault_onset(Seconds t) { stats_.set_fault_onset(t); }
+
  protected:
   metrics::SearchStats stats_;
 };

@@ -50,6 +50,10 @@ void BaselineSearch::on_trace_event(const trace::TraceEvent& event) {
 void BaselineSearch::run_query(const trace::TraceEvent& event) {
   const NodeId origin = event.node;
   const Seconds t0 = event.time;
+  // A crash-stop node issues nothing: the trace's query never happens, for
+  // any algorithm (the fault plan is world-seeded, so all algorithms skip
+  // the same queries and success rates stay comparable).
+  if (ctx_.faults != nullptr && ctx_.faults->crashed(origin, t0)) return;
   const auto terms = event.term_span();
 
   // Ground truth: online nodes holding a document with all terms. The
@@ -70,7 +74,7 @@ void BaselineSearch::run_query(const trace::TraceEvent& event) {
     }
     ++hits;
     // The hit node responds directly to the requester.
-    const Seconds back = t + ctx_.latency(node, origin);
+    const Seconds back = t + ctx_.hop_latency(node, origin);
     ASAP_AUDIT_HOOK(ctx_.auditor,
                     on_send(sim::Traffic::kResponse, ctx_.sizes.response));
     ctx_.ledger.deposit(back, sim::Traffic::kResponse, ctx_.sizes.response);
@@ -97,6 +101,7 @@ void BaselineSearch::run_query(const trace::TraceEvent& event) {
   }
 
   metrics::SearchRecord rec;
+  rec.issued_at = t0;
   rec.success = hits > 0;
   rec.response_time = rec.success ? best_response - t0 : 0.0;
   rec.cost_bytes = prop.bytes;  // query messages only (§V-A)

@@ -13,6 +13,7 @@
 #include "bloom/hashed_query.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "faults/injector.hpp"
 #include "net/transit_stub.hpp"
 #include "obs/observer.hpp"
 #include "overlay/overlay.hpp"
@@ -82,9 +83,43 @@ struct Ctx {
   /// perturb the run — see sim/observe.hpp for the contract.
   obs::RunObserver* obs = nullptr;
 
+  /// Optional fault injector (faults/injector.hpp). Not owned; null means
+  /// the fault layer is absent and every fault-aware path below reduces to
+  /// the historical behaviour bit for bit (no extra RNG draws).
+  faults::FaultInjector* faults = nullptr;
+
   /// Rolls the loss dice for one transmission.
   bool transmission_lost() {
     return message_loss > 0.0 && rng.chance(message_loss);
+  }
+
+  /// Loss roll for one overlay hop `from -> to` at virtual time `t`: the
+  /// base uniform loss first (preserving the historical draw order), then
+  /// the fault layer's per-link loss / burst windows / partition cuts.
+  bool transmission_lost(NodeId from, NodeId to, Seconds t) {
+    const bool base = transmission_lost();
+    if (faults == nullptr) return base;
+    return faults->transmission_lost(node_phys[from], node_phys[to], t) || base;
+  }
+
+  /// Fault-layer-only loss roll for direct (non-overlay) exchanges such as
+  /// confirmation round trips, which historically ignore `message_loss`.
+  bool direct_lost(NodeId from, NodeId to, Seconds t) {
+    return faults != nullptr &&
+           faults->transmission_lost(node_phys[from], node_phys[to], t);
+  }
+
+  /// One-way hop latency with the fault layer's jitter applied (identity
+  /// when no injector or jitter is configured — no RNG draw).
+  Seconds hop_latency(NodeId a, NodeId b) {
+    const Seconds base = latency(a, b);
+    return faults != nullptr ? faults->hop_latency(base) : base;
+  }
+
+  /// True when `n` crashed at or before `t` but the overlay has not yet
+  /// detected it: senders still pay bandwidth for messages to `n`.
+  bool dead_unnoticed(NodeId n, Seconds t) const {
+    return faults != nullptr && faults->dead_unnoticed(n, t);
   }
 
   /// Hashes a query's terms exactly once (bloom/hashed_query.hpp) into a

@@ -74,6 +74,17 @@ PropagationStats flood(Ctx& ctx, NodeId origin, Seconds start,
       if (stats.messages >= max_messages) return;
       if (nb == prev) continue;
       if (!ctx.online(nb)) {
+        if (ctx.dead_unnoticed(nb, t)) {
+          // Crash-stop before detection: keep-alives have not yet told the
+          // sender, so it transmits — and pays — into the void.
+          ++stats.messages;
+          stats.bytes += msg_size;
+          ASAP_AUDIT_HOOK(ctx.auditor, on_send(cat, msg_size));
+          ctx.ledger.deposit(t, cat, msg_size);
+          ASAP_OBS_HOOK(ctx.obs, on_drop_dead(cat));
+          ctx.faults->count_dead_send();
+          continue;
+        }
         // Liveness skip: keep-alives told the sender not to bother.
         ASAP_OBS_HOOK(ctx.obs, on_drop_offline(cat));
         continue;
@@ -81,13 +92,13 @@ PropagationStats flood(Ctx& ctx, NodeId origin, Seconds start,
       ++stats.messages;
       stats.bytes += msg_size;
       ASAP_AUDIT_HOOK(ctx.auditor, on_send(cat, msg_size));
-      if (ctx.transmission_lost()) {
+      if (ctx.transmission_lost(from_node, nb, t)) {
         // The sender paid for the transmission; nothing arrives.
         ctx.ledger.deposit(t, cat, msg_size);
         ASAP_OBS_HOOK(ctx.obs, on_drop_loss(cat));
         continue;
       }
-      pq.push({t + ctx.latency(from_node, nb), nb, from_node, remaining});
+      pq.push({t + ctx.hop_latency(from_node, nb), nb, from_node, remaining});
     }
   };
   send_to_neighbors(origin, kInvalidNode, start, ttl - 1);
@@ -142,24 +153,33 @@ PropagationStats random_walk(Ctx& ctx, NodeId origin, Seconds start,
     for (std::uint64_t hop = 1; hop <= per_walker_budget; ++hop) {
       choices.clear();
       for (NodeId nb : ctx.graph().neighbors(cur)) {
-        if (ctx.online(nb) && nb != prev) choices.push_back(nb);
+        if ((ctx.online(nb) || ctx.dead_unnoticed(nb, t)) && nb != prev) {
+          choices.push_back(nb);
+        }
       }
       if (choices.empty()) {
         // Dead end: allow the backtrack if the previous node is still up.
-        if (prev != kInvalidNode && ctx.online(prev)) {
+        if (prev != kInvalidNode &&
+            (ctx.online(prev) || ctx.dead_unnoticed(prev, t))) {
           choices.push_back(prev);
         } else {
           break;
         }
       }
       const NodeId next = choices[ctx.rng.below(choices.size())];
-      t += ctx.latency(cur, next);
+      t += ctx.hop_latency(cur, next);
       ++stats.messages;
       stats.bytes += msg_size;
       ASAP_AUDIT_HOOK(ctx.auditor, on_send(cat, msg_size));
       ctx.ledger.deposit(t, cat, msg_size);
-      if (ctx.transmission_lost()) {  // hop lost: budget spent,
-                                      // walker stays and retries
+      if (!ctx.online(next)) {  // crashed but undetected: hop paid for,
+                                // nothing there; walker stays and retries
+        ASAP_OBS_HOOK(ctx.obs, on_drop_dead(cat));
+        ctx.faults->count_dead_send();
+        continue;
+      }
+      if (ctx.transmission_lost(cur, next, t)) {  // hop lost: budget spent,
+                                                  // walker stays and retries
         ASAP_OBS_HOOK(ctx.obs, on_drop_loss(cat));
         continue;
       }
@@ -200,14 +220,17 @@ PropagationStats biased_walk(Ctx& ctx, NodeId origin, Seconds start,
       weights.clear();
       double total = 0.0;
       for (NodeId nb : ctx.graph().neighbors(cur)) {
-        if (!ctx.online(nb) || nb == prev) continue;
+        if ((!ctx.online(nb) && !ctx.dead_unnoticed(nb, t)) || nb == prev) {
+          continue;
+        }
         const double wgt = std::max(1e-9, weight(nb));
         choices.push_back(nb);
         weights.push_back(wgt);
         total += wgt;
       }
       if (choices.empty()) {
-        if (prev != kInvalidNode && ctx.online(prev)) {
+        if (prev != kInvalidNode &&
+            (ctx.online(prev) || ctx.dead_unnoticed(prev, t))) {
           choices.push_back(prev);
           weights.push_back(1.0);
           total = 1.0;
@@ -225,13 +248,19 @@ PropagationStats biased_walk(Ctx& ctx, NodeId origin, Seconds start,
         }
       }
       const NodeId next = choices[pick];
-      t += ctx.latency(cur, next);
+      t += ctx.hop_latency(cur, next);
       ++stats.messages;
       stats.bytes += msg_size;
       ASAP_AUDIT_HOOK(ctx.auditor, on_send(cat, msg_size));
       ctx.ledger.deposit(t, cat, msg_size);
-      if (ctx.transmission_lost()) {  // hop lost: budget spent,
-                                      // walker stays and retries
+      if (!ctx.online(next)) {  // crashed but undetected: hop paid for,
+                                // nothing there; walker stays and retries
+        ASAP_OBS_HOOK(ctx.obs, on_drop_dead(cat));
+        ctx.faults->count_dead_send();
+        continue;
+      }
+      if (ctx.transmission_lost(cur, next, t)) {  // hop lost: budget spent,
+                                                  // walker stays and retries
         ASAP_OBS_HOOK(ctx.obs, on_drop_loss(cat));
         continue;
       }

@@ -259,5 +259,38 @@ TEST(AdCache, SmallCacheEvictsExactLru) {
   EXPECT_NE(c2.find(10), nullptr);
 }
 
+TEST(AdCache, TimeoutStrikesAccumulateAndReset) {
+  AdCache c(10);
+  Rng rng(20);
+  c.put(make_ad(7, 1), 1.0, rng);
+  EXPECT_EQ(c.record_timeout(7), 1u);
+  EXPECT_EQ(c.record_timeout(7), 2u);
+  EXPECT_EQ(c.find(7)->timeout_strikes, 2u);
+  // A confirm reply proves the source alive: strikes clear.
+  c.reset_timeouts(7);
+  EXPECT_EQ(c.find(7)->timeout_strikes, 0u);
+  EXPECT_EQ(c.record_timeout(7), 1u);
+  // Sources that are not cached cannot strike out.
+  EXPECT_EQ(c.record_timeout(99), 0u);
+  c.erase(7);
+  EXPECT_EQ(c.record_timeout(7), 0u);
+}
+
+TEST(AdCache, FreshAdClearsTimeoutStrikes) {
+  AdCache c(10);
+  Rng rng(21);
+  c.put(make_ad(7, 1), 1.0, rng);
+  c.record_timeout(7);
+  c.record_timeout(7);
+  // A newer ad from the source is proof of life; the strike count must
+  // not survive and evict the replacement.
+  c.put(make_ad(7, 2), 2.0, rng);
+  EXPECT_EQ(c.find(7)->timeout_strikes, 0u);
+  // A stale re-put is not stored and proves nothing.
+  c.record_timeout(7);
+  c.put(make_ad(7, 1), 3.0, rng);
+  EXPECT_EQ(c.find(7)->timeout_strikes, 1u);
+}
+
 }  // namespace
 }  // namespace asap::ads

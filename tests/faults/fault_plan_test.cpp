@@ -1,0 +1,134 @@
+#include "faults/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+namespace asap::faults {
+namespace {
+
+constexpr Seconds kStart = 60.0;
+constexpr Seconds kEnd = 660.0;
+constexpr std::uint32_t kNodes = 200;
+constexpr std::uint32_t kDomains = 12;
+
+FaultPlan build(const FaultConfig& cfg, std::uint64_t seed = 7,
+                std::span<const trace::TraceEvent> events = {}) {
+  return FaultPlan::build(cfg, seed, kNodes, events, kStart, kEnd, kDomains);
+}
+
+TEST(FaultPlan, ZeroConfigCompilesToEmptyPlan) {
+  const FaultPlan plan = build(FaultConfig{});
+  EXPECT_TRUE(plan.empty());
+  EXPECT_TRUE(plan.crashes().empty());
+  EXPECT_TRUE(plan.bursts().empty());
+  EXPECT_TRUE(plan.partitions().empty());
+  EXPECT_EQ(plan.first_fault_time(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(FaultPlan, SameSeedSamePlan) {
+  FaultConfig cfg;
+  cfg.crash_fraction = 0.10;
+  cfg.partitions = 2;
+  cfg.bursts = 3;
+  const FaultPlan a = build(cfg);
+  const FaultPlan b = build(cfg);
+  ASSERT_EQ(a.crashes().size(), b.crashes().size());
+  for (std::size_t i = 0; i < a.crashes().size(); ++i) {
+    EXPECT_EQ(a.crashes()[i].node, b.crashes()[i].node);
+    EXPECT_DOUBLE_EQ(a.crashes()[i].at, b.crashes()[i].at);
+  }
+  ASSERT_EQ(a.partitions().size(), b.partitions().size());
+  for (std::size_t i = 0; i < a.partitions().size(); ++i) {
+    EXPECT_EQ(a.partitions()[i].domains, b.partitions()[i].domains);
+  }
+  EXPECT_DOUBLE_EQ(a.first_fault_time(), b.first_fault_time());
+}
+
+TEST(FaultPlan, CrashesMatchFractionAndStayInWindow) {
+  FaultConfig cfg;
+  cfg.crash_fraction = 0.10;
+  cfg.crash_detection = 25.0;
+  const FaultPlan plan = build(cfg);
+  ASSERT_EQ(plan.crashes().size(), 20u);  // 10% of 200
+  std::set<NodeId> nodes;
+  for (const auto& c : plan.crashes()) {
+    EXPECT_LT(c.node, kNodes);
+    EXPECT_TRUE(nodes.insert(c.node).second) << "node crashed twice";
+    EXPECT_GE(c.at, kStart);
+    EXPECT_LT(c.at, kEnd);
+    EXPECT_DOUBLE_EQ(c.detect_at, c.at + 25.0);
+  }
+  EXPECT_DOUBLE_EQ(plan.first_fault_time(), plan.crashes().front().at);
+  for (const auto& c : plan.crashes()) {
+    EXPECT_LE(plan.first_fault_time(), c.at);
+  }
+}
+
+TEST(FaultPlan, TraceChurnedNodesAreNeverCrashCandidates) {
+  // Churn the first half of the population via every churn event type; a
+  // 100% crash fraction must then only pick from the untouched half.
+  std::vector<trace::TraceEvent> events;
+  for (NodeId n = 0; n < kNodes / 2; ++n) {
+    trace::TraceEvent ev;
+    ev.time = 1.0 * n;
+    ev.type = n % 3 == 0   ? trace::TraceEventType::kJoin
+              : n % 3 == 1 ? trace::TraceEventType::kLeave
+                           : trace::TraceEventType::kRejoin;
+    ev.node = n;
+    events.push_back(ev);
+  }
+  FaultConfig cfg;
+  cfg.crash_fraction = 1.0;
+  const FaultPlan plan = build(cfg, 7, events);
+  EXPECT_EQ(plan.crashes().size(), kNodes / 2);
+  for (const auto& c : plan.crashes()) {
+    EXPECT_GE(c.node, kNodes / 2) << "crash collides with trace churn";
+  }
+}
+
+TEST(FaultPlan, BurstAndPartitionWindowsLandInMeasurement) {
+  FaultConfig cfg;
+  cfg.bursts = 3;
+  cfg.burst_duration = 15.0;
+  cfg.partitions = 2;
+  cfg.partition_duration = 60.0;
+  cfg.partition_fraction = 0.25;
+  const FaultPlan plan = build(cfg);
+  ASSERT_EQ(plan.bursts().size(), 3u);
+  for (const auto& w : plan.bursts()) {
+    EXPECT_GE(w.begin, kStart);
+    EXPECT_LT(w.begin, kEnd);
+    EXPECT_DOUBLE_EQ(w.end, w.begin + 15.0);
+  }
+  ASSERT_EQ(plan.partitions().size(), 2u);
+  for (const auto& p : plan.partitions()) {
+    EXPECT_GE(p.begin, kStart);
+    EXPECT_LT(p.begin, kEnd);
+    EXPECT_DOUBLE_EQ(p.end, p.begin + 60.0);
+    EXPECT_FALSE(p.domains.empty());
+    EXPECT_LE(p.domains.size(), kDomains / 4 + 1);
+    for (std::size_t i = 0; i < p.domains.size(); ++i) {
+      EXPECT_LT(p.domains[i], kDomains);
+      if (i > 0) {
+        EXPECT_LT(p.domains[i - 1], p.domains[i]) << "not sorted";
+      }
+    }
+  }
+}
+
+TEST(FaultPlan, ContinuousLinkFaultsStartAtMeasureStart) {
+  FaultConfig loss;
+  loss.link_loss = 0.05;
+  EXPECT_DOUBLE_EQ(build(loss).first_fault_time(), kStart);
+
+  FaultConfig jitter;
+  jitter.latency_jitter = 0.25;
+  EXPECT_DOUBLE_EQ(build(jitter).first_fault_time(), kStart);
+  EXPECT_FALSE(build(jitter).empty());
+}
+
+}  // namespace
+}  // namespace asap::faults

@@ -130,6 +130,16 @@ TEST_F(ObservabilityTest, TraceRecordsAreSchemaValidJsonl) {
     } else if (type == "churn") {
       const std::string tr = rec.at("transition").as_string();
       EXPECT_TRUE(tr == "join" || tr == "leave" || tr == "rejoin") << tr;
+    } else if (type == "fault") {
+      const std::string kind = rec.at("kind").as_string();
+      EXPECT_TRUE(kind == "crash" || kind == "detect" || kind == "partition" ||
+                  kind == "heal" || kind == "burst" || kind == "burst-end")
+          << kind;
+    } else if (type == "retry") {
+      EXPECT_GE(rec.at("source").as_double(), 0.0);
+      EXPECT_GE(rec.at("attempt").as_double(), 2.0);
+    } else if (type == "stale-evict") {
+      EXPECT_GE(rec.at("source").as_double(), 0.0);
     } else {
       FAIL() << "unknown record type " << type;
     }

@@ -139,6 +139,31 @@ TEST(Liveness, GrowMidRunKeepsSeriesConsistent) {
   EXPECT_DOUBLE_EQ(s[4], 4.0);
 }
 
+TEST(Liveness, GrownSlotTransitionExactlyOnBucketBoundary) {
+  Liveness l(2, 2);
+  l.grow(4);
+  // A grown slot joining exactly at t=2.0 owns bucket [2,3) fully.
+  l.set_online(3, true, 2.0);
+  const auto s = l.live_count_series(4.0);
+  EXPECT_DOUBLE_EQ(s[0], 2.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_DOUBLE_EQ(s[2], 3.0);
+  EXPECT_DOUBLE_EQ(s[3], 3.0);
+  // The grown slot churns like any original one.
+  l.set_online(3, false, 3.5);
+  EXPECT_EQ(l.live_count(), 2u);
+  EXPECT_FALSE(l.online(3));
+}
+
+TEST(Liveness, GrowToCurrentCapacityIsANoOp) {
+  Liveness l(3, 2);
+  l.grow(3);
+  EXPECT_EQ(l.capacity(), 3u);
+  EXPECT_EQ(l.live_count(), 2u);
+  EXPECT_TRUE(l.online(1));
+  EXPECT_FALSE(l.online(2));
+}
+
 TEST(Liveness, IdempotentSetOnlineDoesNotSkewSeries) {
   Liveness expected(5, 5);
   expected.set_online(0, false, 1.0);

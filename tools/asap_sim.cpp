@@ -17,6 +17,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "faults/fault_config.hpp"
 #include "harness/matrix_runner.hpp"
 #include "harness/replay.hpp"
 #include "harness/world.hpp"
@@ -37,6 +38,11 @@ struct CliArgs {
   std::size_t jobs = 0;
   std::string csv_path;
   bool audit = false;
+
+  // Fault scenarios (faults/fault_config.hpp): preset names or JSON paths.
+  // Empty = faults off. Plain mode takes one scenario; matrix mode sweeps
+  // a comma-separated list as an extra axis.
+  std::vector<faults::FaultScenario> fault_scenarios;
 
   // Matrix mode (harness/matrix_runner.hpp).
   bool matrix = false;
@@ -105,6 +111,13 @@ void print_usage() {
   --csv FILE                  also write results as CSV
   --audit                     run the simulation invariant auditor; any
                               violation is reported and exits nonzero
+  --faults SPEC[,SPEC...]     deterministic fault injection (DESIGN.md
+                              section 11). Each SPEC is a preset — none,
+                              churn, lossy, partition, burst, chaos — or a
+                              path to a JSON scenario file. Plain mode
+                              takes one SPEC; matrix mode sweeps the list
+                              as an extra result axis. Unknown presets
+                              exit nonzero with the available list.
 
 Matrix mode (repeated-seed sweeps, results.json):
   --matrix                    fan (algo x topology x trial) out across the
@@ -188,6 +201,11 @@ CliArgs parse(int argc, char** argv) {
       args.csv_path = next();
     } else if (flag == "--audit") {
       args.audit = true;
+    } else if (flag == "--faults") {
+      args.fault_scenarios.clear();
+      for (const auto& s : split_csv(next())) {
+        args.fault_scenarios.push_back(faults::scenario_from_spec(s));
+      }
     } else if (flag == "--matrix") {
       args.matrix = true;
     } else if (flag == "--trials") {
@@ -315,6 +333,9 @@ int run_matrix_mode(const CliArgs& args) {
   spec.jobs = args.jobs;
   spec.queries = args.queries;
   spec.options.audit = args.audit;
+  if (!args.fault_scenarios.empty()) {
+    spec.fault_scenarios = args.fault_scenarios;
+  }
   std::optional<TraceSession> session;
   if (args.tracing()) session.emplace(args);
   obs::RunObserver* observer = session ? &*session->observer : nullptr;
@@ -329,10 +350,10 @@ int run_matrix_mode(const CliArgs& args) {
   const auto result = harness::run_matrix(spec);
   if (session) session->report(args);
 
-  TextTable table({"topology", "algorithm", "trials", "success %",
+  TextTable table({"topology", "faults", "algorithm", "trials", "success %",
                    "resp ms", "cost/search", "load B/node/s", "digest[0]"});
   for (const auto& cell : result.cells) {
-    table.add_row({harness::topology_name(cell.topology),
+    table.add_row({harness::topology_name(cell.topology), cell.scenario,
                    harness::algo_name(cell.algo),
                    std::to_string(cell.trials),
                    pm(metric(cell, "success_rate"), 100.0, 1),
@@ -381,6 +402,11 @@ int main(int argc, char** argv) {
     const CliArgs args = parse(argc, argv);
     require_single_run_for_tracing(args);
     if (args.matrix) return run_matrix_mode(args);
+    if (args.fault_scenarios.size() > 1) {
+      throw ConfigError(
+          "plain mode runs one fault scenario; use --matrix to sweep a "
+          "--faults list");
+    }
 
     std::optional<TraceSession> session;
     if (args.tracing()) session.emplace(args);
@@ -406,6 +432,10 @@ int main(int argc, char** argv) {
       for (const auto kind : args.algos) {
         futs.push_back(pool.submit([&, kind] {
           auto opts = options_for(args, kind);
+          if (!args.fault_scenarios.empty() &&
+              args.fault_scenarios.front().config.any()) {
+            opts.faults = args.fault_scenarios.front().config;
+          }
           // Safe across the pool: tracing is restricted to one algorithm
           // and one topology, so at most one run sees the observer.
           if (session) opts.observer = &*session->observer;
@@ -450,6 +480,25 @@ int main(int argc, char** argv) {
     }
     std::cout << '\n';
     table.print(std::cout);
+
+    if (!args.fault_scenarios.empty() &&
+        args.fault_scenarios.front().config.any()) {
+      std::cout << "\nfault scenario '" << args.fault_scenarios.front().name
+                << "':\n";
+      for (const auto& row : rows) {
+        const auto& f = row.res.faults;
+        const auto& c = row.res.asap_counters;
+        std::cout << "  " << harness::topology_name(row.topo) << " / "
+                  << row.res.algo << ": " << f.crashes << " crashes, "
+                  << (f.link_drops + f.burst_drops + f.partition_drops)
+                  << " fault drops, " << f.dead_sends << " dead sends, "
+                  << c.confirm_retries << " confirm retries, "
+                  << c.stale_evictions << " stale evictions, success under "
+                  << "churn "
+                  << TextTable::num(100.0 * f.success_rate_after_onset, 1)
+                  << "% over " << f.queries_after_onset << " queries\n";
+      }
+    }
 
     std::uint64_t total_violations = 0;
     for (const auto& row : rows) {

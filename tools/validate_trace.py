@@ -28,7 +28,15 @@ SCHEMAS = {
     "ad": {"node": NUM, "kind": str, "messages": NUM, "bytes": NUM},
     "confirm": {"node": NUM, "source": NUM, "outcome": str},
     "churn": {"node": NUM, "transition": str},
-    "counters": {"categories": dict, "ads": dict, "confirms": dict},
+    "fault": {"node": NUM, "kind": str},
+    "retry": {"node": NUM, "source": NUM, "attempt": NUM},
+    "stale-evict": {"node": NUM, "source": NUM},
+    "counters": {
+        "categories": dict,
+        "ads": dict,
+        "confirms": dict,
+        "faults": dict,
+    },
     "node-counters": {
         "node": NUM,
         "ads_stored": NUM,
@@ -37,12 +45,19 @@ SCHEMAS = {
         "confirms_sent": NUM,
         "confirms_positive": NUM,
         "confirms_timed_out": NUM,
+        "confirm_retries": NUM,
+        "stale_evictions": NUM,
     },
 }
+# (type, field) -> allowed values; "kind" means different things to "ad"
+# and "fault" records, so enums are keyed per record type.
 ENUMS = {
-    "kind": {"full", "patch", "refresh"},
-    "outcome": {"positive", "negative", "timeout"},
-    "transition": {"join", "leave", "rejoin"},
+    ("ad", "kind"): {"full", "patch", "refresh"},
+    ("confirm", "outcome"): {"positive", "negative", "timeout"},
+    ("churn", "transition"): {"join", "leave", "rejoin"},
+    ("fault", "kind"): {
+        "crash", "detect", "partition", "heal", "burst", "burst-end",
+    },
 }
 
 
@@ -76,7 +91,8 @@ def validate_file(path):
                     fail(f"field {field!r} is a bool, expected a number")
                 if not isinstance(value, types):
                     fail(f"field {field!r} missing or mistyped: {value!r}")
-                if field in ENUMS and value not in ENUMS[field]:
+                allowed = ENUMS.get((rtype, field))
+                if allowed is not None and value not in allowed:
                     fail(f"field {field!r} has unknown value {value!r}")
             counts[rtype] += 1
     if not counts:
