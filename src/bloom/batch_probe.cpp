@@ -1,0 +1,97 @@
+#include "bloom/batch_probe.hpp"
+
+#include <algorithm>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define ASAP_BATCH_PROBE_X86 1
+#endif
+
+namespace asap::bloom {
+
+void BatchProbe::finalize() {
+  std::sort(pairs_.begin(), pairs_.end(),
+            [](const Pair& a, const Pair& b) { return a.word < b.word; });
+  // Merge same-word masks in place.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    if (out > 0 && pairs_[out - 1].word == pairs_[i].word) {
+      pairs_[out - 1].mask |= pairs_[i].mask;
+    } else {
+      pairs_[out++] = pairs_[i];
+    }
+  }
+  pairs_.resize(out);
+}
+
+bool BatchProbe::all_set_scalar(const Pair* pairs, std::size_t n,
+                                const std::uint64_t* words) {
+  // Branchless accumulation with a periodic early-exit check: `bad` goes
+  // non-zero as soon as any required bit is missing.
+  std::uint64_t bad = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      const Pair& p = pairs[i + j];
+      bad |= (words[p.word] & p.mask) ^ p.mask;
+    }
+    if (bad != 0) return false;
+  }
+  for (; i < n; ++i) {
+    bad |= (words[pairs[i].word] & pairs[i].mask) ^ pairs[i].mask;
+  }
+  return bad == 0;
+}
+
+namespace {
+
+#ifdef ASAP_BATCH_PROBE_X86
+
+// Pair is {u32 word; u64 mask} → 16 bytes with padding, so four pairs
+// span two cache lines; gather the words by index and compare 4-wide.
+__attribute__((target("avx2"))) bool all_set_avx2(
+    const BatchProbe::Pair* pairs, std::size_t n,
+    const std::uint64_t* words) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i idx = _mm_set_epi32(
+        static_cast<int>(pairs[i + 3].word), static_cast<int>(pairs[i + 2].word),
+        static_cast<int>(pairs[i + 1].word), static_cast<int>(pairs[i].word));
+    const __m256i w = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(words), idx, 8);
+    const __m256i m = _mm256_set_epi64x(
+        static_cast<long long>(pairs[i + 3].mask),
+        static_cast<long long>(pairs[i + 2].mask),
+        static_cast<long long>(pairs[i + 1].mask),
+        static_cast<long long>(pairs[i].mask));
+    const __m256i eq = _mm256_cmpeq_epi64(_mm256_and_si256(w, m), m);
+    if (_mm256_movemask_epi8(eq) != -1) return false;
+  }
+  for (; i < n; ++i) {
+    const BatchProbe::Pair& p = pairs[i];
+    if ((words[p.word] & p.mask) != p.mask) return false;
+  }
+  return true;
+}
+
+#endif  // ASAP_BATCH_PROBE_X86
+
+BatchProbe::Kernel resolve_kernel() {
+#ifdef ASAP_BATCH_PROBE_X86
+  if (__builtin_cpu_supports("avx2")) return &all_set_avx2;
+#endif
+  return &BatchProbe::all_set_scalar;
+}
+
+}  // namespace
+
+BatchProbe::Kernel BatchProbe::kernel_ = resolve_kernel();
+
+const char* BatchProbe::kernel_name() {
+#ifdef ASAP_BATCH_PROBE_X86
+  if (kernel_ != &BatchProbe::all_set_scalar) return "avx2";
+#endif
+  return "scalar";
+}
+
+}  // namespace asap::bloom

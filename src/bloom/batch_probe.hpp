@@ -1,0 +1,81 @@
+// Batch Bloom probing: position-sorted, word-merged membership tests.
+//
+// A multi-keyword match ("does this filter contain ALL query terms?") is a
+// conjunction over k·|terms| bit probes. Testing them term-by-term walks
+// the ~1.4 KB filter in hash order — effectively random access — and pays
+// a load per probe. A BatchProbe instead precomputes the probe set once
+// per query (hashed_query.hpp):
+//
+//   * every probe position becomes a (word index, bit) pair,
+//   * pairs are sorted by word index and same-word bits are merged into a
+//     single 64-bit mask (SWAR: up to 64 probes collapse into one
+//     `(word & mask) == mask` test),
+//   * the test walks the merged pairs in ascending address order, so the
+//     filter is touched sequentially, once per distinct word.
+//
+// With AVX2 available at runtime the pair loop vectorizes 4-wide: gather
+// four filter words, AND with four masks, compare, movemask. Dispatch is
+// resolved once at startup from CPUID; the scalar SWAR path is the
+// portable fallback and the oracle for tests.
+//
+// Bit-identity: a BatchProbe answers exactly `AND over probes of
+// bit(filter, pos)` — the same boolean as the per-term loop, just
+// reassociated. Membership answers are identical bit-for-bit, so run
+// digests are unchanged (DESIGN.md §12).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace asap::bloom {
+
+class BatchProbe {
+ public:
+  /// Starts a new plan, reusing capacity.
+  void clear() { pairs_.clear(); }
+
+  /// Adds one key's probe positions (bit indices into the filter).
+  void add_positions(std::span<const std::uint32_t> positions) {
+    for (const std::uint32_t pos : positions) {
+      pairs_.push_back(Pair{pos >> 6, 1ULL << (pos & 63)});
+    }
+  }
+
+  /// Sorts by word index and merges same-word masks. Call once after the
+  /// last add_positions; the plan is then immutable until clear().
+  void finalize();
+
+  bool empty() const { return pairs_.empty(); }
+  /// Distinct filter words the finalized plan touches.
+  std::size_t word_count() const { return pairs_.size(); }
+
+  /// True iff every planned bit is set in the filter bitmap (vacuously
+  /// true for an empty plan). `words` must be the bitmap of a filter with
+  /// the geometry the positions were derived for.
+  bool all_set(std::span<const std::uint64_t> words) const {
+    return kernel_(pairs_.data(), pairs_.size(), words.data());
+  }
+
+  struct Pair {
+    std::uint32_t word;
+    std::uint64_t mask;
+  };
+
+  using Kernel = bool (*)(const Pair* pairs, std::size_t n,
+                          const std::uint64_t* words);
+
+  /// The dispatch choice for this process (diagnostics/tests).
+  static const char* kernel_name();
+  /// Portable kernel, used as the oracle in tests regardless of dispatch.
+  static bool all_set_scalar(const Pair* pairs, std::size_t n,
+                             const std::uint64_t* words);
+
+ private:
+  static Kernel kernel_;
+
+  std::vector<Pair> pairs_;
+};
+
+}  // namespace asap::bloom

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory_resource>
 #include <span>
 #include <string>
 #include <vector>
@@ -29,8 +30,24 @@ class DecodeError : public std::runtime_error {
 
 class Writer {
  public:
-  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  Writer() = default;
+  /// Draws buffer storage from `mr` — e.g. a sim::SlabResource over an
+  /// engine's SlabPool (sim/slab_pool.hpp) — so steady-state message
+  /// encoding recycles pooled blocks instead of hitting the global
+  /// allocator. `mr` must outlive the Writer.
+  explicit Writer(std::pmr::memory_resource* mr) : buf_(mr) {}
+
+  const std::pmr::vector<std::uint8_t>& buffer() const { return buf_; }
   std::size_t size() const { return buf_.size(); }
+
+  /// Discards contents but keeps capacity: one Writer can encode a stream
+  /// of messages with at most one buffer growth overall.
+  void clear() { buf_.clear(); }
+
+  /// Contents as a plain vector (copies out of the pooled buffer).
+  std::vector<std::uint8_t> to_vector() const {
+    return {buf_.begin(), buf_.end()};
+  }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   /// Fixed-width little-endian.
@@ -43,7 +60,7 @@ class Writer {
   void bytes(std::span<const std::uint8_t> data);
 
  private:
-  std::vector<std::uint8_t> buf_;
+  std::pmr::vector<std::uint8_t> buf_;
 };
 
 class Reader {

@@ -76,15 +76,23 @@ double Histogram::bin_lo(std::uint32_t i) const {
   return lo_ + width_ * static_cast<double>(i);
 }
 
-double percentile(std::vector<double> samples, double q) {
-  ASAP_REQUIRE(!samples.empty(), "percentile of empty sample set");
+double percentile_sorted(std::span<const double> sorted, double q) {
+  ASAP_REQUIRE(!sorted.empty(), "percentile of empty sample set");
   ASAP_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
-  std::sort(samples.begin(), samples.end());
-  const double pos = q * static_cast<double>(samples.size() - 1);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const double frac = pos - static_cast<double>(lo);
-  if (lo + 1 >= samples.size()) return samples.back();
-  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double percentile_in_place(std::span<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, q);
+}
+
+double percentile(std::vector<double> samples, double q) {
+  return percentile_in_place(samples, q);
 }
 
 }  // namespace asap

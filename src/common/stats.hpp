@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 namespace asap {
@@ -67,8 +68,19 @@ class Histogram {
   std::uint64_t overflow_ = 0;
 };
 
+/// Exact percentile of an ALREADY ASCENDING-SORTED sample span (q in
+/// [0,1], linear interpolation). The allocation-free core: sort once,
+/// then read as many quantiles as needed.
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Sorts `samples` in place (ascending) and returns the percentile.
+/// Callers that own a scratch buffer use this to avoid the copy; repeated
+/// quantiles of the same data should sort once and use percentile_sorted.
+double percentile_in_place(std::span<double> samples, double q);
+
 /// Exact percentile of a sample vector (q in [0,1], linear interpolation).
-/// Sorts a copy; intended for end-of-run reporting, not hot paths.
+/// Sorts a copy; convenience form for call sites where the copy is cold
+/// (one-shot reporting). Hot paths use the span variants above.
 double percentile(std::vector<double> samples, double q);
 
 }  // namespace asap

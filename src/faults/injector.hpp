@@ -68,6 +68,13 @@ class FaultInjector {
 
   /// Applies latency jitter to one delivered hop (no draw when jitter is
   /// off; latency 0 stays 0 — the jitter is multiplicative).
+  ///
+  /// Jittered latencies can never go negative, so no jitter call site can
+  /// schedule an event before now() or deposit at a negative ledger time:
+  /// FaultConfig::validate() pins latency_jitter to [0, 1), making the
+  /// scale factor uniform(1 - j, 1 + j) ⊂ (0, 2), and base latencies are
+  /// non-negative by construction (net::TransitStub). Engine::schedule_at
+  /// and BandwidthLedger::deposit still guard/clamp defensively.
   Seconds hop_latency(Seconds base) {
     const double j = plan_.config().latency_jitter;
     if (j <= 0.0) return base;

@@ -103,7 +103,7 @@ RunResult run_experiment(const World& world, AlgoKind kind,
   trace::ContentIndex index(world.model, live);
   sim::Liveness liveness(world.model.total_node_slots(),
                          world.model.params().initial_nodes);
-  sim::Engine engine;
+  sim::Engine engine(opts.engine_tuning);
   sim::BandwidthLedger ledger(horizon);
   // The algorithm's randomness and the world's churn randomness are kept
   // in separate streams so every algorithm sees identical churn.

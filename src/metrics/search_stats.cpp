@@ -1,5 +1,7 @@
 #include "metrics/search_stats.hpp"
 
+#include <algorithm>
+
 namespace asap::metrics {
 
 void SearchStats::add(const SearchRecord& r) {
@@ -11,6 +13,7 @@ void SearchStats::add(const SearchRecord& r) {
     ++successes_;
     response_time_.add(r.response_time);
     response_samples_.push_back(r.response_time);
+    sorted_samples_.clear();  // invalidate the percentile cache
   }
   if (r.local_hit) ++local_hits_;
   if (r.issued_at >= fault_onset_) {
@@ -34,7 +37,11 @@ double SearchStats::success_rate() const {
 
 double SearchStats::response_percentile(double q) const {
   if (response_samples_.empty()) return 0.0;
-  return percentile(response_samples_, q);
+  if (sorted_samples_.empty()) {
+    sorted_samples_ = response_samples_;
+    std::sort(sorted_samples_.begin(), sorted_samples_.end());
+  }
+  return percentile_sorted(sorted_samples_, q);
 }
 
 double SearchStats::local_hit_rate() const {

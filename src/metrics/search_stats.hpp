@@ -57,6 +57,9 @@ class SearchStats {
   /// Response-time percentile over successful searches (q in [0,1]).
   /// Defined for empty runs: 0.0 when no search succeeded, mirroring the
   /// other accessors, instead of tripping percentile()'s empty-set check.
+  /// The samples are sorted lazily and the order is cached, so reading
+  /// several quantiles (p50 + p95 per aggregation cell) sorts once
+  /// instead of copying the sample vector per call.
   double response_percentile(double q) const;
 
   /// Marks the first fault-injection instant; searches issued at or after
@@ -82,6 +85,10 @@ class SearchStats {
   RunningStats messages_;
   RunningStats results_;
   std::vector<double> response_samples_;
+  /// Ascending-sorted view of response_samples_, rebuilt on demand after
+  /// adds (empty = stale). Mutable: sorting is a cache fill, not a
+  /// logical state change.
+  mutable std::vector<double> sorted_samples_;
 };
 
 }  // namespace asap::metrics

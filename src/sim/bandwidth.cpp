@@ -48,7 +48,11 @@ void BandwidthLedger::deposit(Seconds t, Traffic category, Bytes bytes) {
     overflow_[c] += bytes;
     return;
   }
-  const auto bucket = t <= 0.0 ? 0u : static_cast<std::uint32_t>(t);
+  // Negated comparison so a (jitter-induced) negative or non-finite t
+  // clamps to bucket 0 instead of casting a negative/NaN double to an
+  // unsigned index (UB). The digest absorbed the raw t above, so the
+  // clamp never changes run digests — only where the bytes are binned.
+  const auto bucket = !(t > 0.0) ? 0u : static_cast<std::uint32_t>(t);
   per_category_[c][bucket] += bytes;
 }
 

@@ -1,15 +1,57 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+
 namespace asap::sim {
 
 namespace {
 constexpr std::size_t kArity = 4;
 }
 
-void Engine::schedule_at(Seconds t, Callback cb) {
-  ASAP_REQUIRE(t >= now_, "cannot schedule an event in the past");
-  heap_.push_back(Item{t, next_seq_++, std::move(cb)});
+void Engine::push_event(Seconds t, EventCallback cb) {
+  Item item{t, next_seq_++, std::move(cb)};
+  if (use_ladder_) {
+    ladder_.push(std::move(item));
+    return;
+  }
+  heap_.push_back(std::move(item));
   sift_up(heap_.size() - 1);
+  if (heap_.size() > tuning_.ladder_threshold) migrate_to_ladder();
+}
+
+void Engine::migrate_to_ladder() {
+  ladder_.assign_unordered(std::move(heap_));
+  heap_.clear();
+  use_ladder_ = true;
+}
+
+void Engine::migrate_to_heap() {
+  heap_ = ladder_.drain_unordered();
+  use_ladder_ = false;
+  const std::size_t n = heap_.size();
+  if (n < 2) return;
+  // Floyd heapify: sift down every internal node, last parent first.
+  for (std::size_t i = (n - 2) / kArity + 1; i-- > 0;) {
+    sift_down(i);
+  }
+}
+
+const Engine::Item* Engine::front() {
+  if (use_ladder_) return ladder_.peek();
+  return heap_.empty() ? nullptr : &heap_.front();
+}
+
+Engine::Item Engine::pop_front() {
+  if (use_ladder_) {
+    Item item = ladder_.pop();
+    if (ladder_.size() < tuning_.heap_threshold) migrate_to_heap();
+    return item;
+  }
+  Item item = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return item;
 }
 
 void Engine::sift_up(std::size_t i) {
@@ -42,11 +84,11 @@ void Engine::sift_down(std::size_t i) {
 }
 
 bool Engine::step() {
-  if (heap_.empty()) return false;
-  Item item = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
+  if (pending() == 0) return false;
+  Item item = pop_front();
+  // Warm the next event's out-of-line closure (if any) while this one
+  // executes; purely a cache hint, so ordering and digests are untouched.
+  if (const Item* next = front()) next->cb.prefetch();
 
   ASAP_DCHECK(item.time >= now_);
   digest_.absorb(item.time);
@@ -60,7 +102,8 @@ bool Engine::step() {
 }
 
 void Engine::run_until(Seconds t_end) {
-  while (!heap_.empty() && heap_.front().time <= t_end) {
+  for (const Item* next = front(); next != nullptr && next->time <= t_end;
+       next = front()) {
     step();
   }
   if (now_ < t_end) now_ = t_end;

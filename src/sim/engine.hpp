@@ -2,39 +2,88 @@
 //
 // The simulator uses a hybrid event model (DESIGN.md §3): protocol-level
 // "macro" events (trace events, confirmation round trips, refresh timers)
-// go through this heap, while per-hop message propagation is expanded
+// go through this queue, while per-hop message propagation is expanded
 // inline by the propagation kernels and accounted directly in the
-// BandwidthLedger. The heap is a hand-rolled 4-ary heap — shallower than a
-// binary heap, so fewer cache lines touched per push/pop — with a
+// BandwidthLedger. Ordering is the total order (time, seq) with a
 // monotonically increasing sequence number as tie-breaker, which makes
 // event ordering (and therefore every simulation) fully deterministic.
+//
+// Two pending-event structures sit behind the same API (DESIGN.md §12):
+// a hand-rolled 4-ary heap — shallower than a binary heap, so fewer cache
+// lines touched per push/pop — for shallow queues, and a ladder queue
+// (ladder_queue.hpp) once the pending count crosses
+// EngineTuning::ladder_threshold, where the heap's O(log n) per op starts
+// to dominate. Both pop in exactly the same (time, seq) order, so the run
+// digest is bit-identical whichever structure executes an event; the
+// switchover is purely a speed decision. Callbacks are small-buffer
+// EventCallbacks (event_callback.hpp) drawing oversized closures from the
+// engine's SlabPool instead of std::function's per-event heap allocation.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/types.hpp"
 #include "sim/audit.hpp"
+#include "sim/event_callback.hpp"
+#include "sim/ladder_queue.hpp"
 #include "sim/observe.hpp"
+#include "sim/slab_pool.hpp"
 
 namespace asap::sim {
+
+/// Knobs for the engine's pending-event structures. Defaults are the
+/// production configuration; tests pin specific paths (forced heap,
+/// forced ladder, forced pool-backed callbacks) to prove digest identity
+/// across all of them.
+struct EngineTuning {
+  /// Heap → ladder once pending events exceed this. ~0 keeps the heap
+  /// forever; 0 moves to the ladder on the first event.
+  std::size_t ladder_threshold = 4096;
+  /// Ladder → heap once pending events fall below this (hysteresis gap
+  /// below ladder_threshold prevents migration thrash at the boundary).
+  std::size_t heap_threshold = 512;
+  /// Test hook: pad every closure past EventCallback::kInlineSize so the
+  /// SlabPool fallback path runs for all events.
+  bool force_heap_callbacks = false;
+};
 
 class Engine {
  public:
   using Callback = std::function<void()>;
 
+  Engine() = default;
+  explicit Engine(const EngineTuning& tuning) : tuning_(tuning) {}
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
   /// Current virtual time in seconds.
   Seconds now() const { return now_; }
 
-  /// Schedule `cb` at absolute time `t` (must not be in the past).
-  void schedule_at(Seconds t, Callback cb);
+  /// Schedule `f` at absolute time `t` (must be finite and not in the
+  /// past). Accepts any void() callable; captures up to
+  /// EventCallback::kInlineSize bytes are stored allocation-free.
+  template <typename F>
+  void schedule_at(Seconds t, F&& f) {
+    ASAP_REQUIRE(std::isfinite(t), "event time must be finite");
+    ASAP_REQUIRE(t >= now_, "cannot schedule an event in the past");
+    if (tuning_.force_heap_callbacks) {
+      push_event(t, EventCallback(
+                        pool_, Padded<std::decay_t<F>>(std::forward<F>(f))));
+    } else {
+      push_event(t, EventCallback(pool_, std::forward<F>(f)));
+    }
+  }
 
-  /// Schedule `cb` `dt` seconds from now (dt >= 0).
-  void schedule_in(Seconds dt, Callback cb) {
-    schedule_at(now_ + dt, std::move(cb));
+  /// Schedule `f` `dt` seconds from now (dt >= 0).
+  template <typename F>
+  void schedule_in(Seconds dt, F&& f) {
+    schedule_at(now_ + dt, std::forward<F>(f));
   }
 
   /// Pop and execute the earliest event. Returns false if none remain.
@@ -47,7 +96,9 @@ class Engine {
   /// Run until the queue drains completely.
   void run();
 
-  std::size_t pending() const { return heap_.size(); }
+  std::size_t pending() const {
+    return use_ladder_ ? ladder_.size() : heap_.size();
+  }
   std::uint64_t executed() const { return executed_; }
 
   /// FNV-1a over every executed event's (time, seq); always maintained, so
@@ -62,22 +113,51 @@ class Engine {
   /// (sim/observe.hpp); the digest is identical either way.
   void set_observer(Observer* observer) { observer_ = observer; }
 
+  /// True while the ladder queue is the active structure (diagnostics).
+  bool using_ladder() const { return use_ladder_; }
+  /// The engine's closure pool (diagnostics/tests).
+  const SlabPool& pool() const { return pool_; }
+
  private:
   struct Item {
     Seconds time;
     std::uint64_t seq;
-    Callback cb;
+    EventCallback cb;
 
     bool before(const Item& other) const {
       if (time != other.time) return time < other.time;
       return seq < other.seq;
     }
+
+    /// Cache hint picked up by the ladder's bottom batching.
+    void prefetch() const { cb.prefetch_far(); }
+  };
+  static_assert(sizeof(Item) == 64,
+                "queue Item should be exactly one cache line");
+
+  /// force_heap_callbacks wrapper: same behavior, guaranteed pool storage.
+  template <typename Fn>
+  struct Padded {
+    explicit Padded(Fn f) : fn(std::move(f)) {}
+    void operator()() { fn(); }
+    Fn fn;
+    unsigned char pad[EventCallback::kInlineSize + 1] = {};
   };
 
+  void push_event(Seconds t, EventCallback cb);
+  /// Earliest pending item, readied for execution; nullptr when empty.
+  const Item* front();
+  Item pop_front();
+  void migrate_to_ladder();
+  void migrate_to_heap();
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
 
+  SlabPool pool_;  // first member: must outlive every queued EventCallback
+  EngineTuning tuning_;
   std::vector<Item> heap_;
+  LadderQueue<Item> ladder_;
+  bool use_ladder_ = false;
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

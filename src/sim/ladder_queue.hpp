@@ -1,0 +1,328 @@
+// Ladder queue: an amortized-O(1) priority queue for high event rates.
+//
+// A binary/4-ary heap pays O(log n) scattered cache lines per operation;
+// at the queue depths a million-node world sustains (10^5..10^6 pending
+// timers) that log factor dominates the event loop. The ladder queue
+// (Tang, Goh & Thng 2005) instead spreads events into time buckets and
+// only sorts a small "bottom" slice at a time:
+//
+//   top     — unsorted spill for events beyond the active rung's span,
+//   rungs   — a stack of bucket arrays; each rung refines one bucket of
+//             the rung above it (the base rung refines the whole top),
+//   bottom  — the next bucket's events, sorted, consumed back-to-front.
+//
+// Push appends to a bucket or the top (amortized O(1)); pop takes from
+// bottom, lazily sorting/spreading the next non-empty bucket on demand.
+//
+// EXACT ORDER GUARANTEE. The simulation's run digests hash every executed
+// (time, seq) pair, so this queue must pop in *exactly* the total order
+// `time, then seq` — bit-identical to the 4-ary heap it replaces
+// (DESIGN.md §12). Two disciplines make that an invariant rather than a
+// hope:
+//
+//   1. Bucket routing is a single monotone function of time per rung
+//      (clamped float bucket index), used identically when a rung is
+//      built and for every later push into it. Monotonicity means
+//      bucket i's events all sort strictly before bucket j's for i < j,
+//      so consuming buckets left-to-right and sorting each one yields the
+//      global order — even when FP rounding puts an event one bucket off
+//      its "true" mathematical slot, it puts every later event there too.
+//   2. The top/rung boundary is the recorded *actual* max event time of
+//      the rung at build (`max_time`), not a computed bucket edge, so a
+//      later push can never land in the top while an equal-or-later event
+//      sits in a bucket.
+//
+// All ordering comes from sorting (time, seq); bucket geometry only
+// decides how much work each sort does.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace asap::sim {
+
+/// Item must expose `Seconds time`, `std::uint64_t seq`, and be movable.
+/// (time, seq) pairs are unique per queue — seq is a schedule counter.
+template <typename Item>
+class LadderQueue {
+ public:
+  /// Buckets at or below this size are sorted straight into the bottom;
+  /// larger ones are re-spread into a finer rung.
+  static constexpr std::size_t kSortThreshold = 64;
+  /// Rung-stack depth cap: beyond it buckets are sorted regardless (guards
+  /// degenerate spreads; depth 8 already refines by ~64^8).
+  static constexpr std::size_t kMaxRungs = 8;
+  /// Bucket count targets ~kSortThreshold/2 items per bucket: most buckets
+  /// then sort straight into the bottom (one rung level for uniform
+  /// arrivals) while bucket-array overhead stays ~1/32 of a
+  /// one-item-per-bucket geometry.
+  static constexpr std::size_t kTargetOccupancy = kSortThreshold / 2;
+  static constexpr std::size_t kMinBuckets = 8;
+  static constexpr std::size_t kMaxBuckets = 1u << 16;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push(Item&& item) {
+    ++size_;
+    if (rungs_.empty()) {
+      // No active rung: the recorded boundary splits bottom from top.
+      if (item.time <= bottom_limit_time_) {
+        insert_bottom(std::move(item));
+      } else {
+        push_top(std::move(item));
+      }
+      return;
+    }
+    if (item.time > rungs_.front().max_time) {
+      push_top(std::move(item));
+      return;
+    }
+    route_into_rungs(std::move(item));
+  }
+
+  /// Readies and exposes the earliest item; nullptr when empty. The
+  /// pointer is valid until the next mutation.
+  const Item* peek() {
+    if (size_ == 0) return nullptr;
+    ensure_bottom();
+    return &bottom_.back();
+  }
+
+  /// Removes and returns the earliest item. Requires !empty().
+  Item pop() {
+    ASAP_DCHECK(size_ > 0);
+    ensure_bottom();
+    Item out = std::move(bottom_.back());
+    bottom_.pop_back();
+    --size_;
+    return out;
+  }
+
+  /// Bulk-loads from an unordered vector (the heap→ladder migration).
+  /// Existing contents are kept; items simply join the spill.
+  void assign_unordered(std::vector<Item>&& items) {
+    for (Item& it : items) {
+      ++size_;
+      if (!rungs_.empty() && it.time <= rungs_.front().max_time) {
+        route_into_rungs(std::move(it));
+      } else if (rungs_.empty() && it.time <= bottom_limit_time_) {
+        insert_bottom(std::move(it));
+      } else {
+        push_top(std::move(it));
+      }
+    }
+    items.clear();
+  }
+
+  /// Moves every pending item out, in no particular order (the
+  /// ladder→heap migration; the caller re-heapifies).
+  std::vector<Item> drain_unordered() {
+    std::vector<Item> out;
+    out.reserve(size_);
+    for (Item& it : bottom_) out.push_back(std::move(it));
+    bottom_.clear();
+    for (Rung& rung : rungs_) {
+      for (auto& bucket : rung.buckets) {
+        for (Item& it : bucket) out.push_back(std::move(it));
+        bucket.clear();
+      }
+    }
+    rungs_.clear();
+    for (Item& it : top_) out.push_back(std::move(it));
+    top_.clear();
+    reset_boundaries();
+    size_ = 0;
+    return out;
+  }
+
+ private:
+  struct Rung {
+    double start = 0.0;
+    /// Reciprocal bucket width: routing multiplies instead of dividing
+    /// (an fdiv costs ~15-20 cycles and runs twice per event). Still one
+    /// monotone function of t, fixed at build time, so the order
+    /// guarantee is unaffected.
+    double inv_width = 1.0;
+    /// Actual max event time routed here at build — the exact spill
+    /// boundary for later pushes (discipline 2 above).
+    double max_time = 0.0;
+    /// Buckets [0, cur) are consumed; buckets[cur] is next.
+    std::size_t cur = 0;
+    std::vector<std::vector<Item>> buckets;
+  };
+
+  static bool before(const Item& a, const Item& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  /// Descending comparator: bottom_ is sorted largest-first so the
+  /// earliest item is bottom_.back().
+  static bool desc(const Item& a, const Item& b) { return before(b, a); }
+
+  /// The one monotone routing function (discipline 1 above). Requires
+  /// rung.inv_width > 0; clamps to [0, buckets). NaN cannot occur (event
+  /// times are validated finite at schedule time).
+  static std::size_t bucket_index(const Rung& rung, Seconds t) {
+    const double q = (t - rung.start) * rung.inv_width;
+    if (!(q > 0.0)) return 0;
+    const auto n = rung.buckets.size();
+    if (q >= static_cast<double>(n)) return n - 1;
+    return static_cast<std::size_t>(q);
+  }
+
+  void insert_bottom(Item&& item) {
+    const auto at =
+        std::upper_bound(bottom_.begin(), bottom_.end(), item, desc);
+    bottom_.insert(at, std::move(item));
+  }
+
+  void push_top(Item&& item) {
+    top_min_ = top_.empty() ? item.time : std::min(top_min_, item.time);
+    top_max_ = top_.empty() ? item.time : std::max(top_max_, item.time);
+    top_.push_back(std::move(item));
+  }
+
+  void route_into_rungs(Item&& item) {
+    for (std::size_t r = 0; r < rungs_.size(); ++r) {
+      Rung& rung = rungs_[r];
+      const std::size_t idx = bucket_index(rung, item.time);
+      if (idx >= rung.cur) {
+        rung.buckets[idx].push_back(std::move(item));
+        return;
+      }
+      // idx lands in the consumed zone. The innermost open bucket
+      // (cur - 1) may be refined by the next rung down; anything else was
+      // already sorted into the bottom, so this item joins it there.
+      if (idx == rung.cur - 1 && r + 1 < rungs_.size()) continue;
+      insert_bottom(std::move(item));
+      return;
+    }
+    insert_bottom(std::move(item));
+  }
+
+  /// Builds a rung over `items` (min/max precomputed by the caller) and
+  /// pushes it onto the stack. Leaves `items` empty but with its capacity
+  /// intact so callers can recycle the storage.
+  void spread(std::vector<Item>&& items, double min_time, double max_time) {
+    // Reuse a retired rung's bucket-array shell when one is available:
+    // steady-state operation cycles through rungs constantly, and
+    // re-allocating thousands of bucket vectors per cycle is pure churn.
+    if (spare_rungs_.empty()) {
+      rungs_.emplace_back();
+    } else {
+      rungs_.push_back(std::move(spare_rungs_.back()));
+      spare_rungs_.pop_back();
+    }
+    Rung& r = rungs_.back();
+    r.start = min_time;
+    r.max_time = max_time;
+    r.cur = 0;
+    const std::size_t n = std::clamp(items.size() / kTargetOccupancy + 1,
+                                     kMinBuckets, kMaxBuckets);
+    r.inv_width = static_cast<double>(n) / (max_time - min_time);
+    ASAP_DCHECK(r.inv_width > 0.0);
+    r.buckets.resize(n);
+    // Single placement pass. Bucket capacities persist through the shell
+    // recycling above, so after the first cycle push_back growth is rare
+    // and a counting pre-pass would just re-read every item.
+    for (Item& it : items) {
+      r.buckets[bucket_index(r, it.time)].push_back(std::move(it));
+    }
+    items.clear();
+  }
+
+  void reset_boundaries() {
+    bottom_limit_time_ = -std::numeric_limits<double>::infinity();
+    top_min_ = 0.0;
+    top_max_ = 0.0;
+  }
+
+  /// If Item exposes a prefetch() hint (the engine's Items warm their
+  /// out-of-line closure block), issue it for the whole freshly-sorted
+  /// bottom: these are the next |bottom| pops, and batching the hints here
+  /// overlaps their misses with the callbacks about to run.
+  void prefetch_bottom() const {
+    if constexpr (requires(const Item& it) { it.prefetch(); }) {
+      for (const Item& it : bottom_) it.prefetch();
+    }
+  }
+
+  /// Makes bottom_ non-empty. Requires size_ > 0.
+  void ensure_bottom() {
+    while (bottom_.empty()) {
+      if (rungs_.empty()) {
+        // Rebuild the ladder from the spill.
+        ASAP_DCHECK(!top_.empty());
+        std::vector<Item> items = std::move(top_);
+        top_.clear();
+        const double lo = top_min_;
+        const double hi = top_max_;
+        reset_boundaries();
+        bottom_limit_time_ = hi;  // future pushes <= hi sort below the top
+        if (items.size() <= kSortThreshold || !(hi > lo)) {
+          std::sort(items.begin(), items.end(), desc);
+          bottom_ = std::move(items);
+          prefetch_bottom();
+          return;
+        }
+        spread(std::move(items), lo, hi);
+        // spread() emptied `items`; hand its capacity back to the spill so
+        // the next cycle's pushes don't regrow it from scratch.
+        top_ = std::move(items);
+        continue;
+      }
+      Rung& rung = rungs_.back();
+      while (rung.cur < rung.buckets.size() &&
+             rung.buckets[rung.cur].empty()) {
+        ++rung.cur;
+      }
+      if (rung.cur == rung.buckets.size()) {
+        // Exhausted; resume the rung above. Keep the bucket-array shell
+        // for the next spread instead of freeing every bucket vector.
+        spare_rungs_.push_back(std::move(rungs_.back()));
+        rungs_.pop_back();
+        continue;
+      }
+      // Take the bucket's contents, parking bottom_'s dead storage in the
+      // consumed slot (nothing routes there again; the shell recycles it).
+      rung.buckets[rung.cur].swap(bottom_);
+      ++rung.cur;
+      double lo = bottom_.front().time;
+      double hi = lo;
+      for (const Item& it : bottom_) {
+        lo = std::min(lo, it.time);
+        hi = std::max(hi, it.time);
+      }
+      if (bottom_.size() <= kSortThreshold || rungs_.size() >= kMaxRungs ||
+          !(hi > lo)) {
+        std::sort(bottom_.begin(), bottom_.end(), desc);
+        prefetch_bottom();
+        return;
+      }
+      spread(std::move(bottom_), lo, hi);  // leaves bottom_ empty
+    }
+  }
+
+  std::vector<Item> bottom_;  // sorted descending; earliest at the back
+  std::vector<Rung> rungs_;   // rungs_[0] is the base; back() is innermost
+  std::vector<Item> top_;     // unsorted spill past the base rung's span
+  /// Retired rungs kept for their bucket-array storage (bounded by the
+  /// deepest rung stack ever active, i.e. <= kMaxRungs shells).
+  std::vector<Rung> spare_rungs_;
+  double top_min_ = 0.0;
+  double top_max_ = 0.0;
+  /// With no rungs active: pushes at or below this time join the bottom,
+  /// later ones the top. -inf until the first rebuild.
+  double bottom_limit_time_ = -std::numeric_limits<double>::infinity();
+  std::size_t size_ = 0;
+};
+
+}  // namespace asap::sim

@@ -1,0 +1,35 @@
+#include "sim/slab_pool.hpp"
+
+#include <algorithm>
+
+namespace asap::sim {
+
+void SlabPool::refill(std::size_t cls) {
+  ASAP_DCHECK(cls < kNumClasses);
+  const std::size_t block = class_size(cls);
+  // First refill hands out 16 blocks; each subsequent slab doubles, capped
+  // so a single reservation stays at or below 256 KiB.
+  std::uint32_t blocks = next_slab_blocks_[cls];
+  if (blocks == 0) blocks = 16;
+  const std::size_t cap = std::max<std::size_t>(1, (256u << 10) / block);
+  blocks = static_cast<std::uint32_t>(
+      std::min<std::size_t>(blocks, cap));
+  next_slab_blocks_[cls] =
+      static_cast<std::uint32_t>(std::min<std::size_t>(2ull * blocks, cap));
+
+  const std::size_t bytes = static_cast<std::size_t>(blocks) * block;
+  slabs_.push_back(std::make_unique<std::byte[]>(bytes));
+  std::byte* base = slabs_.back().get();
+  reserved_ += bytes;
+  // Thread the fresh slab onto the free list front-to-back so the first
+  // allocations walk the slab in address order.
+  FreeNode* head = free_[cls];
+  for (std::size_t i = blocks; i-- > 0;) {
+    auto* node = reinterpret_cast<FreeNode*>(base + i * block);
+    node->next = head;
+    head = node;
+  }
+  free_[cls] = head;
+}
+
+}  // namespace asap::sim

@@ -65,7 +65,7 @@ std::vector<std::uint8_t> serialize_content(const ContentModel& model) {
     for (const TopicId t : ints) w.u8(t);
   }
   w.varint(model.next_keyword_);
-  return w.buffer();
+  return w.to_vector();
 }
 
 ContentModel deserialize_content(std::span<const std::uint8_t> data) {
@@ -168,7 +168,7 @@ std::vector<std::uint8_t> serialize_trace(const Trace& trace) {
     w.u8(ev.num_terms);
     for (std::uint8_t i = 0; i < ev.num_terms; ++i) w.varint(ev.terms[i]);
   }
-  return w.buffer();
+  return w.to_vector();
 }
 
 Trace deserialize_trace(std::span<const std::uint8_t> data) {

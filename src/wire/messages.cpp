@@ -39,8 +39,8 @@ AdHeader decode_header(Reader& r) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_full_ad(const ads::AdPayload& ad) {
-  Writer w;
+void encode_full_ad(const ads::AdPayload& ad, Writer& w) {
+  w.clear();
   encode_header(w, ads::AdKind::kFull, ad);
 
   const auto positions = ad.filter.set_positions();
@@ -61,26 +61,42 @@ std::vector<std::uint8_t> encode_full_ad(const ads::AdPayload& ad) {
     for (const auto p : positions) bitmap[p >> 3] |= 1u << (p & 7);
     w.bytes(bitmap);
   }
-  return w.buffer();
 }
 
-std::vector<std::uint8_t> encode_patch_ad(
-    const ads::AdPayload& ad, std::uint32_t base_version,
-    std::span<const std::uint32_t> toggles) {
+std::vector<std::uint8_t> encode_full_ad(const ads::AdPayload& ad) {
   Writer w;
+  encode_full_ad(ad, w);
+  return w.to_vector();
+}
+
+void encode_patch_ad(const ads::AdPayload& ad, std::uint32_t base_version,
+                     std::span<const std::uint32_t> toggles, Writer& w) {
+  w.clear();
   encode_header(w, ads::AdKind::kPatch, ad);
   w.varint(base_version);
   std::vector<std::uint32_t> sorted(toggles.begin(), toggles.end());
   std::sort(sorted.begin(), sorted.end());
   w.varint(sorted.size());
   encode_positions(w, sorted);
-  return w.buffer();
+}
+
+std::vector<std::uint8_t> encode_patch_ad(
+    const ads::AdPayload& ad, std::uint32_t base_version,
+    std::span<const std::uint32_t> toggles) {
+  Writer w;
+  encode_patch_ad(ad, base_version, toggles, w);
+  return w.to_vector();
+}
+
+void encode_refresh_ad(const ads::AdPayload& ad, Writer& w) {
+  w.clear();
+  encode_header(w, ads::AdKind::kRefresh, ad);
 }
 
 std::vector<std::uint8_t> encode_refresh_ad(const ads::AdPayload& ad) {
   Writer w;
-  encode_header(w, ads::AdKind::kRefresh, ad);
-  return w.buffer();
+  encode_refresh_ad(ad, w);
+  return w.to_vector();
 }
 
 DecodedAd decode_ad(std::span<const std::uint8_t> data,
@@ -134,13 +150,18 @@ DecodedAd decode_ad(std::span<const std::uint8_t> data,
   return out;
 }
 
-std::vector<std::uint8_t> encode_query(const QueryMessage& q) {
-  Writer w;
+void encode_query(const QueryMessage& q, Writer& w) {
+  w.clear();
   w.u8(kMagic);
   w.u32(q.requester);
   w.varint(q.terms.size());
   for (const KeywordId t : q.terms) w.varint(t);
-  return w.buffer();
+}
+
+std::vector<std::uint8_t> encode_query(const QueryMessage& q) {
+  Writer w;
+  encode_query(q, w);
+  return w.to_vector();
 }
 
 QueryMessage decode_query(std::span<const std::uint8_t> data) {

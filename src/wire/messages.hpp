@@ -49,6 +49,16 @@ std::vector<std::uint8_t> encode_patch_ad(
 /// Serializes a refresh ad (header only).
 std::vector<std::uint8_t> encode_refresh_ad(const ads::AdPayload& ad);
 
+/// Encode-into variants: clear() `w` and write the message into it. A
+/// caller encoding a stream of ads keeps one Writer — optionally backed by
+/// a pooled memory resource (sim::SlabResource) — and pays no per-message
+/// allocation once its capacity has grown; the by-value functions above
+/// are wrappers over these.
+void encode_full_ad(const ads::AdPayload& ad, Writer& w);
+void encode_patch_ad(const ads::AdPayload& ad, std::uint32_t base_version,
+                     std::span<const std::uint32_t> toggles, Writer& w);
+void encode_refresh_ad(const ads::AdPayload& ad, Writer& w);
+
 /// Parses any ad message. Throws DecodeError on malformed input.
 DecodedAd decode_ad(std::span<const std::uint8_t> data,
                     const bloom::BloomParams& params = bloom::BloomParams{});
@@ -59,6 +69,7 @@ struct QueryMessage {
   std::vector<KeywordId> terms;
 };
 std::vector<std::uint8_t> encode_query(const QueryMessage& q);
+void encode_query(const QueryMessage& q, Writer& w);
 QueryMessage decode_query(std::span<const std::uint8_t> data);
 
 }  // namespace asap::wire

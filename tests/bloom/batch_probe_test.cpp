@@ -1,0 +1,125 @@
+// BatchProbe: the word-merged batch membership test must answer exactly
+// the same boolean as the per-term HashedKey scan (and the legacy
+// contains_all), on the dispatched kernel AND the scalar oracle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bloom/batch_probe.hpp"
+#include "bloom/bloom.hpp"
+#include "bloom/hashed_query.hpp"
+#include "common/rng.hpp"
+
+namespace asap::bloom {
+namespace {
+
+TEST(BatchProbe, EmptyPlanIsVacuouslyTrue) {
+  BatchProbe p;
+  p.finalize();
+  EXPECT_TRUE(p.empty());
+  const std::vector<std::uint64_t> words(4, 0);
+  EXPECT_TRUE(p.all_set(words));
+  EXPECT_TRUE(BatchProbe::all_set_scalar(nullptr, 0, words.data()));
+}
+
+TEST(BatchProbe, MergesSameWordPositions) {
+  BatchProbe p;
+  const std::uint32_t positions[] = {3, 7, 64, 65, 130, 5};
+  p.add_positions(positions);
+  p.finalize();
+  // Words 0 (bits 3,5,7), 1 (bits 0,1), 2 (bit 2): three merged pairs.
+  EXPECT_EQ(p.word_count(), 3u);
+
+  std::vector<std::uint64_t> words(3, 0);
+  words[0] = (1ULL << 3) | (1ULL << 5) | (1ULL << 7);
+  words[1] = (1ULL << 0) | (1ULL << 1);
+  words[2] = (1ULL << 2);
+  EXPECT_TRUE(p.all_set(words));
+  words[1] &= ~(1ULL << 1);  // clear one required bit
+  EXPECT_FALSE(p.all_set(words));
+}
+
+TEST(BatchProbe, MatchesPerTermScanOnRandomFiltersExhaustively) {
+  // Sweep random (filter, query) pairs; the batch answer, the per-key
+  // answer, the legacy contains_all answer, and the scalar oracle must
+  // all agree — including near-miss filters built by clearing one bit.
+  Rng rng(20'240'808);
+  const BloomParams params;  // paper geometry: 11542 bits, k=8
+  int positives = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    BloomFilter filter(params);
+    const int population = 1 + static_cast<int>(rng.below(60));
+    std::vector<KeywordId> inserted;
+    for (int i = 0; i < population; ++i) {
+      const auto kw = static_cast<KeywordId>(rng.below(100'000));
+      inserted.push_back(kw);
+      filter.insert(kw);
+    }
+
+    std::vector<KeywordId> terms;
+    const int nterms = 1 + static_cast<int>(rng.below(5));
+    for (int i = 0; i < nterms; ++i) {
+      terms.push_back(rng.chance(0.5)
+                          ? inserted[rng.below(inserted.size())]
+                          : static_cast<KeywordId>(rng.below(100'000)));
+    }
+
+    const HashedQuery q(terms, params);
+    bool per_key = true;
+    for (const HashedKey& k : q.keys()) {
+      per_key = per_key && k.present_in(filter.words());
+    }
+    const bool batch = q.matches(filter);
+    EXPECT_EQ(batch, per_key);
+    EXPECT_EQ(batch, filter.contains_all(terms));
+    positives += batch ? 1 : 0;
+
+    // Near miss: clearing any single required bit must flip a positive.
+    if (batch) {
+      BloomFilter damaged = filter;
+      const auto pos = q.keys()[rng.below(q.keys().size())].positions();
+      damaged.toggle(pos[rng.below(pos.size())]);
+      EXPECT_FALSE(q.matches(damaged));
+    }
+  }
+  EXPECT_GT(positives, 0) << "sweep never exercised the all-set path";
+}
+
+TEST(BatchProbe, DispatchedKernelAgreesWithScalarOracle) {
+  // Whatever kernel CPUID picked must agree with the portable oracle on
+  // dense plans (long pair runs exercise the 4-wide vector loop + tail).
+  Rng rng(99);
+  const BloomParams params;
+  BloomFilter filter(params);
+  for (int i = 0; i < 200; ++i) {
+    filter.insert(static_cast<KeywordId>(rng.below(1'000'000)));
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    BatchProbe p;
+    std::vector<std::uint32_t> positions;
+    const int n = 1 + static_cast<int>(rng.below(64));
+    for (int i = 0; i < n; ++i) {
+      positions.push_back(static_cast<std::uint32_t>(rng.below(params.bits)));
+    }
+    p.add_positions(positions);
+    p.finalize();
+    // Rebuild the merged pairs to feed the oracle directly.
+    BatchProbe oracle_plan;
+    oracle_plan.add_positions(positions);
+    oracle_plan.finalize();
+    const bool dispatched = p.all_set(filter.words());
+    bool expected = true;
+    for (const std::uint32_t pos : positions) {
+      expected = expected && filter.bit(pos);
+    }
+    EXPECT_EQ(dispatched, expected) << "kernel=" << BatchProbe::kernel_name();
+  }
+}
+
+TEST(BatchProbe, KernelNameIsKnown) {
+  const std::string name = BatchProbe::kernel_name();
+  EXPECT_TRUE(name == "avx2" || name == "scalar") << name;
+}
+
+}  // namespace
+}  // namespace asap::bloom

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -134,6 +136,31 @@ TEST(Percentile, RejectsEmptyAndBadQuantile) {
   EXPECT_THROW(percentile({}, 0.5), ConfigError);
   EXPECT_THROW(percentile({1.0}, -0.1), ConfigError);
   EXPECT_THROW(percentile({1.0}, 1.1), ConfigError);
+}
+
+TEST(Percentile, SpanVariantsAgreeWithByValueForm) {
+  // The allocation-free variants (ISSUE 6) must compute the same
+  // quantiles as the sort-a-copy convenience form.
+  std::vector<double> unsorted{5, 1, 4, 2, 3};
+  for (const double q : {0.0, 0.125, 0.25, 0.5, 0.75, 1.0}) {
+    std::vector<double> scratch = unsorted;
+    EXPECT_DOUBLE_EQ(percentile_in_place(scratch, q), percentile(unsorted, q));
+  }
+  // percentile_in_place leaves the span ascending-sorted, ready for
+  // repeated percentile_sorted reads without re-sorting.
+  std::vector<double> scratch = unsorted;
+  percentile_in_place(scratch, 0.5);
+  EXPECT_TRUE(std::is_sorted(scratch.begin(), scratch.end()));
+  EXPECT_DOUBLE_EQ(percentile_sorted(scratch, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(scratch, 0.125), 1.5);
+}
+
+TEST(Percentile, SpanVariantsRejectEmptyAndBadQuantile) {
+  std::vector<double> one{1.0};
+  EXPECT_THROW(percentile_sorted({}, 0.5), ConfigError);
+  EXPECT_THROW(percentile_in_place(std::span<double>{}, 0.5), ConfigError);
+  EXPECT_THROW(percentile_sorted(one, -0.1), ConfigError);
+  EXPECT_THROW(percentile_in_place(one, 1.1), ConfigError);
 }
 
 }  // namespace

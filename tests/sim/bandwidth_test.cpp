@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.hpp"
 
 namespace asap::sim {
@@ -42,6 +44,26 @@ TEST(BandwidthLedger, LateAndEarlyDepositsClamp) {
   EXPECT_EQ(s.back(), 0u);
   EXPECT_EQ(l.overflow(Traffic::kConfirm), 7u);
   EXPECT_EQ(l.total(Traffic::kConfirm), 12u);
+}
+
+TEST(BandwidthLedger, NegativeAndNonFiniteTimesPinToBucketZero) {
+  // Pins the ISSUE 6 contract: a (jitter-induced) slightly negative t —
+  // and even a NaN/-inf t, which slips past both the `>= horizon` and the
+  // old `<= 0.0` comparisons — must clamp to bucket 0 rather than cast a
+  // negative/NaN double to an unsigned index (UB). Totals stay conserved.
+  BandwidthLedger l(4.0);
+  l.deposit(-0.25, Traffic::kQuery, 11);
+  l.deposit(-1e9, Traffic::kQuery, 13);
+  l.deposit(std::numeric_limits<double>::quiet_NaN(), Traffic::kQuery, 17);
+  l.deposit(-std::numeric_limits<double>::infinity(), Traffic::kQuery, 19);
+  const auto s = l.series(Traffic::kQuery);
+  EXPECT_EQ(s.front(), 11u + 13u + 17u + 19u);
+  EXPECT_EQ(l.overflow(Traffic::kQuery), 0u);
+  EXPECT_EQ(l.total(Traffic::kQuery), 60u);
+  // +inf is "past the horizon": overflow cell, like any late deposit.
+  l.deposit(std::numeric_limits<double>::infinity(), Traffic::kQuery, 23);
+  EXPECT_EQ(l.overflow(Traffic::kQuery), 23u);
+  EXPECT_EQ(l.total(Traffic::kQuery), 83u);
 }
 
 TEST(BandwidthLedger, OverflowExcludedFromSeriesIncludedInTotals) {

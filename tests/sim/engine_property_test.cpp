@@ -37,6 +37,9 @@ using RefQueue =
 /// Engine + reference model driven in lockstep.
 class Mirror {
  public:
+  Mirror() = default;
+  explicit Mirror(const EngineTuning& tuning) : engine(tuning) {}
+
   /// Schedules an event at `t`; with `depth` < 2 its callback may spawn
   /// children at execution time (mirrored into the model the same way).
   void schedule_at(Seconds t, int depth) {
@@ -135,6 +138,72 @@ TEST(EngineProperty, RunUntilLeavesPostHorizonEventsQueued) {
     if (::testing::Test::HasFatalFailure()) return;
   }
   EXPECT_EQ(m.engine.pending(), 0u);
+}
+
+/// Random interleavings under a given tuning — the ISSUE 6 sweep: the
+/// ladder queue and the pooled-callback path must match the
+/// priority_queue reference exactly, including at depths that force
+/// rung rebuilds and heap↔ladder migrations.
+void run_interleaving_sweep(const EngineTuning& tuning, std::uint64_t seed,
+                            int ops) {
+  Mirror m(tuning);
+  Rng rng(seed);
+  for (int op = 0; op < ops; ++op) {
+    if (m.model.empty() || rng.chance(0.6)) {
+      Seconds t = m.engine.now();
+      if (!rng.chance(0.2)) t += rng.uniform(0.0, 100.0);
+      const int burst = 1 + static_cast<int>(rng.below(4));
+      for (int b = 0; b < burst; ++b) m.schedule_at(t, 0);
+    } else {
+      m.step_and_check();
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+    ASSERT_EQ(m.engine.pending(), m.model.size());
+  }
+  while (!m.model.empty()) {
+    m.step_and_check();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_FALSE(m.engine.step());
+}
+
+TEST(EngineProperty, LadderOnlyMatchesReferenceModel) {
+  EngineTuning t;
+  t.ladder_threshold = 0;  // ladder from the first event
+  t.heap_threshold = 0;    // and never migrate back
+  run_interleaving_sweep(t, 31, 30'000);
+}
+
+TEST(EngineProperty, LadderAtDepthMatchesReferenceModel) {
+  // Deep backlog first (forces rung spreads), then interleaved pops.
+  EngineTuning t;
+  t.ladder_threshold = 0;
+  t.heap_threshold = 0;
+  Mirror m(t);
+  Rng rng(137);
+  for (int i = 0; i < 80'000; ++i) {
+    m.schedule_at(rng.uniform(0.0, 10'000.0), 0);
+  }
+  EXPECT_TRUE(m.engine.using_ladder());
+  while (!m.model.empty()) {
+    m.step_and_check();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(EngineProperty, MigrationThrashMatchesReferenceModel) {
+  // Tight thresholds so the queue migrates heap→ladder→heap many times
+  // mid-run; order must be unaffected.
+  EngineTuning t;
+  t.ladder_threshold = 48;
+  t.heap_threshold = 32;
+  run_interleaving_sweep(t, 59, 30'000);
+}
+
+TEST(EngineProperty, PooledCallbacksMatchReferenceModel) {
+  EngineTuning t;
+  t.force_heap_callbacks = true;  // every closure through the SlabPool
+  run_interleaving_sweep(t, 83, 20'000);
 }
 
 TEST(EngineProperty, EventExactlyAtHorizonExecutes) {

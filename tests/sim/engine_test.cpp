@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -37,6 +38,25 @@ TEST(Engine, RejectsPastEvents) {
   e.schedule_at(2.0, [] {});
   e.run();
   EXPECT_THROW(e.schedule_at(1.0, [] {}), ConfigError);
+}
+
+TEST(Engine, RejectsNonFiniteEventTimes) {
+  // Regression (ISSUE 6): a NaN time used to slip past the past-event
+  // check (NaN >= now_ is false... but the throw message blamed "the
+  // past") and ±inf passed outright, silently corrupting queue ordering
+  // and the run digest. All three must throw ConfigError up front.
+  Engine e;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(e.schedule_at(nan, [] {}), ConfigError);
+  EXPECT_THROW(e.schedule_at(inf, [] {}), ConfigError);
+  EXPECT_THROW(e.schedule_at(-inf, [] {}), ConfigError);
+  EXPECT_THROW(e.schedule_in(nan, [] {}), ConfigError);
+  EXPECT_THROW(e.schedule_in(inf, [] {}), ConfigError);
+  EXPECT_EQ(e.pending(), 0u) << "rejected events must not be queued";
+  e.schedule_at(1.0, [] {});  // engine still usable
+  e.run();
+  EXPECT_EQ(e.executed(), 1u);
 }
 
 TEST(Engine, ScheduleInIsRelative) {
@@ -100,6 +120,68 @@ TEST(Engine, HeapStressRandomOrder) {
   }
   e.run();
   EXPECT_EQ(executed, 5'000);
+}
+
+TEST(Engine, MigratesBetweenHeapAndLadderWithHysteresis) {
+  EngineTuning tuning;
+  tuning.ladder_threshold = 100;
+  tuning.heap_threshold = 20;
+  Engine e(tuning);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) e.schedule_at(rng.uniform(0.0, 50.0), [] {});
+  EXPECT_FALSE(e.using_ladder()) << "at the threshold, still on the heap";
+  e.schedule_at(rng.uniform(0.0, 50.0), [] {});
+  EXPECT_TRUE(e.using_ladder()) << "crossing the threshold migrates";
+  while (e.pending() > tuning.heap_threshold) e.step();
+  EXPECT_TRUE(e.using_ladder()) << "hysteresis: no flap at the boundary";
+  while (e.step()) {
+  }
+  EXPECT_FALSE(e.using_ladder()) << "draining below heap_threshold migrates back";
+  EXPECT_EQ(e.executed(), 101u);
+}
+
+TEST(Engine, DigestIdenticalAcrossQueueAndCallbackConfigurations) {
+  // The acceptance bar of ISSUE 6: the digest hashes executed (time, seq)
+  // pairs, so heap-only, ladder-only, hybrid, and forced-pool-callback
+  // configurations must be bit-identical.
+  const auto run_with = [](const EngineTuning& tuning) {
+    Engine e(tuning);
+    Rng rng(0xD1CE5);
+    for (int i = 0; i < 20'000; ++i) {
+      // A slice of events re-schedules follow-ups, exercising pushes into
+      // partially consumed queues.
+      if (i % 7 == 0) {
+        e.schedule_at(rng.uniform(0.0, 1000.0), [&e, i] {
+          e.schedule_in(0.25 + static_cast<double>(i % 13), [] {});
+        });
+      } else {
+        e.schedule_at(rng.uniform(0.0, 1000.0), [] {});
+      }
+    }
+    e.run();
+    return e.digest();
+  };
+
+  const std::uint64_t base = run_with(EngineTuning{});
+  ASSERT_NE(base, 0u);
+
+  EngineTuning heap_only;
+  heap_only.ladder_threshold = static_cast<std::size_t>(-1);
+  EXPECT_EQ(run_with(heap_only), base) << "heap-only digest diverged";
+
+  EngineTuning ladder_only;
+  ladder_only.ladder_threshold = 0;
+  ladder_only.heap_threshold = 0;
+  EXPECT_EQ(run_with(ladder_only), base) << "ladder-only digest diverged";
+
+  EngineTuning thrash;
+  thrash.ladder_threshold = 64;
+  thrash.heap_threshold = 48;
+  EXPECT_EQ(run_with(thrash), base) << "migration-heavy digest diverged";
+
+  EngineTuning pooled;
+  pooled.force_heap_callbacks = true;
+  EXPECT_EQ(run_with(pooled), base) << "pooled-callback digest diverged";
 }
 
 }  // namespace

@@ -1,0 +1,123 @@
+// EventCallback: inline vs pool storage selection, move semantics, and
+// closure lifetime (destructors must run exactly once, pooled blocks must
+// be returned).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "sim/event_callback.hpp"
+#include "sim/slab_pool.hpp"
+
+namespace asap::sim {
+namespace {
+
+TEST(EventCallback, SmallClosuresAreStoredInline) {
+  SlabPool pool;
+  int hits = 0;
+  EventCallback cb(pool, [&hits] { ++hits; });
+  EXPECT_TRUE(cb.inlined());
+  EXPECT_EQ(pool.live_blocks(), 0u) << "small closure must not allocate";
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventCallback, LargeClosuresDrawFromThePool) {
+  SlabPool pool;
+  struct Big {
+    std::byte payload[EventCallback::kInlineSize + 1] = {};
+  };
+  Big big;
+  big.payload[0] = std::byte{42};
+  int hits = 0;
+  {
+    EventCallback cb(pool, [big, &hits] {
+      hits += static_cast<int>(big.payload[0]);
+    });
+    EXPECT_FALSE(cb.inlined());
+    EXPECT_EQ(pool.live_blocks(), 1u);
+    cb();
+  }
+  EXPECT_EQ(hits, 42);
+  EXPECT_EQ(pool.live_blocks(), 0u) << "destruction must return the block";
+}
+
+TEST(EventCallback, DestroysCaptureExactlyOnce) {
+  SlabPool pool;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  {
+    EventCallback cb(pool, [token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(watch.expired()) << "callback keeps the capture alive";
+    cb();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired()) << "capture must die with the callback";
+}
+
+TEST(EventCallback, MoveTransfersInlineClosure) {
+  SlabPool pool;
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  int hits = 0;
+  EventCallback a(pool, [token, &hits] { ++hits; });
+  token.reset();
+  ASSERT_TRUE(a.inlined());
+
+  EventCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  EXPECT_FALSE(watch.expired());
+  b();
+  EXPECT_EQ(hits, 1);
+
+  EventCallback c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(hits, 2);
+
+  c = EventCallback();  // drop the closure
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EventCallback, MoveTransfersPooledClosureWithoutCopying) {
+  SlabPool pool;
+  struct Big {
+    int value = 0;
+    std::byte pad[EventCallback::kInlineSize] = {};
+  };
+  Big big;
+  big.value = 99;
+  int seen = 0;
+  EventCallback a(pool, [big, &seen] { seen = big.value; });
+  ASSERT_FALSE(a.inlined());
+  EXPECT_EQ(pool.live_blocks(), 1u);
+
+  EventCallback b(std::move(a));
+  EXPECT_EQ(pool.live_blocks(), 1u) << "move must hand over the block";
+  b();
+  EXPECT_EQ(seen, 99);
+  b = EventCallback();
+  EXPECT_EQ(pool.live_blocks(), 0u);
+}
+
+TEST(EventCallback, PooledBlocksAreRecycledAcrossCallbacks) {
+  SlabPool pool;
+  struct Big {
+    std::byte pad[EventCallback::kInlineSize + 8] = {};
+  };
+  for (int i = 0; i < 1000; ++i) {
+    EventCallback cb(pool, [big = Big{}] { (void)big; });
+    cb();
+  }
+  EXPECT_EQ(pool.live_blocks(), 0u);
+  // Steady-state schedule/execute must reuse one block, not grow slabs.
+  EXPECT_LE(pool.reserved_bytes(), 256u << 10);
+}
+
+}  // namespace
+}  // namespace asap::sim
