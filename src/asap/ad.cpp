@@ -10,6 +10,8 @@ const char* ad_kind_name(AdKind k) {
       return "patch";
     case AdKind::kRefresh:
       return "refresh";
+    case AdKind::kDelta:
+      return "delta";
   }
   return "?";
 }
@@ -25,6 +27,11 @@ Bytes patch_ad_bytes(std::size_t toggled_positions, std::size_t topics,
 
 Bytes refresh_ad_bytes(const sim::SizeModel& sizes) {
   return sizes.ad_header;
+}
+
+Bytes delta_ad_bytes(std::size_t toggled_positions, std::size_t topics,
+                     const sim::SizeModel& sizes) {
+  return patch_ad_bytes(toggled_positions, topics, sizes) + 2;
 }
 
 bool topics_overlap(const std::vector<TopicId>& a,

@@ -1,10 +1,13 @@
 // Advertisement representation (paper §III-B).
 //
 // An ad is a tuple (I, C, T, v): source identity, content information,
-// topic set, and a version number. Three kinds exist:
+// topic set, and a version number. Four kinds exist:
 //   * full ad    — complete content Bloom filter,
 //   * patch ad   — changed bit positions since the previous version,
-//   * refresh ad — header only (liveness + version beacon).
+//   * refresh ad — header only (liveness + version beacon),
+//   * delta ad   — changed bit positions since the last *full* ad (a
+//     stable base, so consecutive deltas are independently applicable;
+//     losing one does not break the chain the way a missed patch does).
 //
 // Payloads are immutable and shared: the system keeps exactly one
 // AdPayload object per (source, version); every cache that holds that
@@ -24,7 +27,7 @@
 
 namespace asap::ads {
 
-enum class AdKind : std::uint8_t { kFull, kPatch, kRefresh };
+enum class AdKind : std::uint8_t { kFull, kPatch, kRefresh, kDelta };
 
 const char* ad_kind_name(AdKind k);
 
@@ -50,6 +53,10 @@ Bytes patch_ad_bytes(std::size_t toggled_positions, std::size_t topics,
 
 /// Wire size of a refresh ad (header only).
 Bytes refresh_ad_bytes(const sim::SizeModel& sizes);
+
+/// Wire size of a delta ad: a patch ad plus the base-full-version varint.
+Bytes delta_ad_bytes(std::size_t toggled_positions, std::size_t topics,
+                     const sim::SizeModel& sizes);
 
 /// True iff the two sorted topic vectors intersect.
 bool topics_overlap(const std::vector<TopicId>& a,

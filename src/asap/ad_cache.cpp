@@ -44,11 +44,19 @@ AdCache::PutResult AdCache::put(AdPayloadPtr ad, double now, Rng& rng) {
   // and no randomness is consumed.
   if (capacity_ == 0) return {};
   const NodeId src = ad->source;
+  if (!struck_.empty()) {
+    if (const auto it = struck_.find(src); it != struck_.end()) {
+      if (now < it->second) return {};  // re-admission backoff: drop
+      struck_.erase(it);
+    }
+  }
   if (auto it = pos_.find(src); it != pos_.end()) {
     PutResult r;
     // Never downgrade to an older version (walk revisits can deliver the
     // same ad twice; late full ads can race a newer patch).
     if (ad->version >= entries_[it->second].ad->version) {
+      // A full ad is also the new delta base.
+      entries_[it->second].base = ad;
       set_payload(it->second, std::move(ad));
       // A fresh ad is evidence the source is alive and advertising.
       entries_[it->second].timeout_strikes = 0;
@@ -66,7 +74,11 @@ AdCache::PutResult AdCache::put(AdPayloadPtr ad, double now, Rng& rng) {
   const std::uint64_t pre = prefilter_for(*ad);
   fold_count_add(pre);
   sources_.push_back(src);
-  entries_.push_back(Entry{std::move(ad), now});
+  Entry entry;
+  entry.base = ad;
+  entry.ad = std::move(ad);
+  entry.touch = now;
+  entries_.push_back(std::move(entry));
   prefilter_.push_back(pre);
   r.stored = true;
   return r;
@@ -103,11 +115,47 @@ UpdateOutcome AdCache::on_refresh(NodeId source, std::uint32_t version,
   return UpdateOutcome::kIgnoredStale;
 }
 
+UpdateOutcome AdCache::apply_delta(NodeId source,
+                                   std::uint32_t base_full_version,
+                                   std::span<const std::uint32_t> toggles,
+                                   const AdPayloadPtr& next, double now) {
+  auto it = pos_.find(source);
+  if (it == pos_.end()) return UpdateOutcome::kMissing;
+  auto& entry = entries_[it->second];
+  if (entry.ad->version >= next->version) return UpdateOutcome::kIgnoredStale;
+  if (entry.base && entry.base->version == base_full_version) {
+#ifdef ASAP_AUDIT_FORCE_ON
+    // Oracle: the toggles really do rebuild `next` from the remembered
+    // base — the wire body and the canonical payload must agree.
+    bloom::BloomFilter rebuilt = entry.base->filter;
+    for (const auto p : toggles) rebuilt.toggle(p);
+    ASAP_CHECK(rebuilt == next->filter);
+#else
+    (void)toggles;
+#endif
+    set_payload(it->second, next);
+    entry.touch = now;
+    return UpdateOutcome::kApplied;
+  }
+  erase_at(it->second);  // base lost or mismatched: re-learn from a full ad
+  return UpdateOutcome::kInvalidated;
+}
+
 bool AdCache::erase(NodeId source) {
   auto it = pos_.find(source);
   if (it == pos_.end()) return false;
   erase_at(it->second);
   return true;
+}
+
+bool AdCache::erase_stale(NodeId source, double now) {
+  if (readmit_backoff_ > 0.0) struck_[source] = now + readmit_backoff_;
+  return erase(source);
+}
+
+bool AdCache::readmit_blocked(NodeId source, double now) const {
+  const auto it = struck_.find(source);
+  return it != struck_.end() && now < it->second;
 }
 
 void AdCache::erase_at(std::size_t idx) {

@@ -22,7 +22,19 @@
 //     mismatch invalidates the entry — it will be re-learned from a later
 //     full ad or an ads request,
 //   * a refresh touches a version-matching entry and invalidates a
-//     mismatching one.
+//     mismatching one,
+//   * a delta applies only if the entry still remembers the full ad it is
+//     based on (`Entry::base`, recorded at every full-ad put) and that
+//     base matches the delta's base-full version; consecutive deltas
+//     against the same base are then independently applicable, so a lost
+//     delta does not break the chain the way a missed patch does.
+//
+// Re-admission backoff (stale-strike hygiene): when the confirm path
+// strikes out a stale entry it calls erase_stale(), which opens a backoff
+// window during which put() silently drops ads for that source — otherwise
+// a walker already in flight re-admits the just-evicted stale ad in the
+// same tick. A zero backoff (the default) makes erase_stale() behave
+// exactly like erase().
 #pragma once
 
 #include <array>
@@ -50,6 +62,10 @@ class AdCache {
  public:
   struct Entry {
     AdPayloadPtr ad;
+    /// The last *full* ad received for this source — the base delta ads
+    /// apply against. Shares the canonical payload, so this costs one
+    /// pointer, not a filter copy.
+    AdPayloadPtr base;
     double touch = 0.0;  // virtual time of last use
     /// Consecutive confirm timeouts against this source; a fresh ad (any
     /// successful put) or a confirm reply resets it. Drives stale-ad
@@ -86,7 +102,27 @@ class AdCache {
   /// a delayed beacon for a newer entry (kIgnoredStale).
   UpdateOutcome on_refresh(NodeId source, std::uint32_t version, double now);
 
+  /// Applies a delta ad: swaps to `next` iff the entry's remembered full
+  /// ad matches `base_full_version` (kApplied). A newer cached version
+  /// ignores the delta (kIgnoredStale); a base mismatch erases the entry
+  /// (kInvalidated) — it re-learns from the next full ad.
+  UpdateOutcome apply_delta(NodeId source, std::uint32_t base_full_version,
+                            std::span<const std::uint32_t> toggles,
+                            const AdPayloadPtr& next, double now);
+
   bool erase(NodeId source);
+
+  /// Erases like erase(), and — when a re-admission backoff is configured —
+  /// blocks put() for this source until `now + backoff` so the evicted
+  /// stale ad cannot be re-admitted by in-flight ads in the same tick.
+  bool erase_stale(NodeId source, double now);
+
+  /// Re-admission backoff after erase_stale(); 0 (default) disables the
+  /// blocking entirely (erase_stale degenerates to erase).
+  void set_readmit_backoff(double backoff) { readmit_backoff_ = backoff; }
+  double readmit_backoff() const { return readmit_backoff_; }
+  /// True while put() would drop ads for `source` (regression tests).
+  bool readmit_blocked(NodeId source, double now) const;
   const Entry* find(NodeId source) const;
   void touch(NodeId source, double now);
 
@@ -165,6 +201,11 @@ class AdCache {
   // drives the rarest-first term ordering.
   std::array<std::uint32_t, 64> fold_count_{};
   std::unordered_map<NodeId, std::uint32_t> pos_;  // source -> index
+  /// source -> virtual time until which puts are dropped (erase_stale).
+  /// Empty unless a backoff is configured, so vanilla runs never pay a
+  /// lookup in put().
+  std::unordered_map<NodeId, double> struck_;
+  double readmit_backoff_ = 0.0;
 };
 
 }  // namespace asap::ads

@@ -41,6 +41,15 @@ AdPayloadPtr Advertiser::publish_full() {
   ++version_;
   payload_ = std::make_shared<const AdPayload>(
       source_, version_, counting_->projection(), topics());
+  base_payload_ = payload_;
+  return payload_;
+}
+
+AdPayloadPtr Advertiser::publish_update() {
+  ensure_filter();
+  ++version_;
+  payload_ = std::make_shared<const AdPayload>(
+      source_, version_, counting_->projection(), topics());
   return payload_;
 }
 
@@ -48,6 +57,13 @@ std::vector<std::uint32_t> Advertiser::pending_patch() const {
   if (!payload_) return {};
   ASAP_DCHECK(counting_ != nullptr);
   return bloom::BloomFilter::diff(payload_->filter, counting_->projection());
+}
+
+std::vector<std::uint32_t> Advertiser::pending_delta() const {
+  if (!base_payload_) return {};
+  ASAP_DCHECK(counting_ != nullptr);
+  return bloom::BloomFilter::diff(base_payload_->filter,
+                                  counting_->projection());
 }
 
 bool Advertiser::dirty() const {

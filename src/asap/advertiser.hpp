@@ -43,12 +43,28 @@ class Advertiser {
 
   /// Snapshot the current content into a new version and return its
   /// canonical payload (used for full ads). No-op content still produces a
-  /// new version so cachers can resynchronize.
+  /// new version so cachers can resynchronize. Also re-bases delta ads:
+  /// the new payload becomes the delta base.
   AdPayloadPtr publish_full();
+
+  /// Snapshot the current content into a new version *without* re-basing:
+  /// the delta base stays at the last full ad, so the new version can ship
+  /// as a delta ad against a base the cachers already hold.
+  AdPayloadPtr publish_update();
 
   /// Positions that changed since the last published version — the patch
   /// body. Empty if nothing changed.
   std::vector<std::uint32_t> pending_patch() const;
+
+  /// Positions that changed since the last *full* ad — the delta body.
+  /// Empty if no full ad was published or nothing changed since it.
+  std::vector<std::uint32_t> pending_delta() const;
+
+  /// Version of the last full ad (the delta base); 0 before any full ad.
+  std::uint32_t base_version() const {
+    return base_payload_ ? base_payload_->version : 0;
+  }
+  const AdPayloadPtr& base_payload() const { return base_payload_; }
 
   /// True if any filter bit differs from the advertised snapshot.
   bool dirty() const;
@@ -64,7 +80,8 @@ class Advertiser {
   std::array<std::uint16_t, trace::kNumClasses> class_counts_{};
   std::uint32_t doc_count_ = 0;
   std::uint32_t version_ = 0;
-  AdPayloadPtr payload_;  // canonical payload at `version_`
+  AdPayloadPtr payload_;       // canonical payload at `version_`
+  AdPayloadPtr base_payload_;  // last *full* ad's payload (delta base)
 
   void ensure_filter();
 };

@@ -49,18 +49,41 @@ AsapProtocol::AsapProtocol(search::Ctx& ctx, AsapParams params)
     caches_.emplace_back(params.cache_capacity);
   }
   refresh_scheduled_.assign(slots, 0);
+  if (params_.stale_readmit_backoff > 0.0) {
+    for (auto& c : caches_) {
+      c.set_readmit_backoff(params_.stale_readmit_backoff);
+    }
+  }
+  if (adaptive()) {
+    AdSchedulerParams sp;
+    sp.round_budget = params_.ad_round_budget;
+    sp.stable_after = params_.ad_stable_after;
+    sp.very_stable_after = params_.ad_very_stable_after;
+    scheds_.assign(slots, AdScheduler(sp));
+  }
 }
 
 std::string AsapProtocol::name() const {
+  const char* mode = "asap";
+  switch (params_.ad_mode) {
+    case AdMode::kVanilla:
+      break;
+    case AdMode::kAdaptive:
+      mode = "asap-adaptive";
+      break;
+    case AdMode::kDelta:
+      mode = "asap-delta";
+      break;
+  }
   switch (params_.scheme) {
     case search::Scheme::kFlooding:
-      return "asap(fld)";
+      return std::string(mode) + "(fld)";
     case search::Scheme::kRandomWalk:
-      return "asap(rw)";
+      return std::string(mode) + "(rw)";
     case search::Scheme::kGsa:
-      return "asap(gsa)";
+      return std::string(mode) + "(gsa)";
   }
-  return "asap(?)";
+  return std::string(mode) + "(?)";
 }
 
 std::uint64_t AsapProtocol::delivery_budget(std::size_t num_topics,
@@ -96,6 +119,12 @@ void AsapProtocol::deliver_ad(NodeId src, AdKind kind, Seconds when,
       cat = sim::Traffic::kRefreshAd;
       ++counters_.refresh_ads;
       break;
+    case AdKind::kDelta:
+      msg_size = delta_ad_bytes(patch_positions.size(),
+                                payload->topics.size(), ctx_.sizes);
+      cat = sim::Traffic::kPatchAd;
+      ++counters_.delta_ads;
+      break;
   }
 
   auto visit = [&](NodeId v, Seconds t, std::uint32_t) {
@@ -114,6 +143,16 @@ void AsapProtocol::deliver_ad(NodeId src, AdKind kind, Seconds when,
       }
       case AdKind::kPatch: {
         const auto outcome = cache.apply_patch(src, base_version, payload, t);
+        if (outcome == UpdateOutcome::kApplied) {
+          ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(v));
+        } else if (outcome == UpdateOutcome::kInvalidated) {
+          ASAP_OBS_HOOK(ctx_.obs, on_ad_invalidated(v));
+        }
+        break;
+      }
+      case AdKind::kDelta: {
+        const auto outcome =
+            cache.apply_delta(src, base_version, patch_positions, payload, t);
         if (outcome == UpdateOutcome::kApplied) {
           ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(v));
         } else if (outcome == UpdateOutcome::kInvalidated) {
@@ -225,12 +264,233 @@ void AsapProtocol::schedule_refresh(NodeId n) {
 void AsapProtocol::on_refresh_timer(NodeId n) {
   refresh_scheduled_[n] = 0;
   if (!ctx_.online(n)) return;  // departed: beaconing stops
+  if (adaptive()) {
+    // The refresh timer doubles as the ad-round timer: one scheduler
+    // round, one packed frame.
+    run_ad_round(n);
+    schedule_refresh(n);
+    return;
+  }
   auto& adv = advertisers_[n];
   if (adv.has_advertised() && adv.has_content()) {
     deliver_ad(n, AdKind::kRefresh, ctx_.engine.now(),
                params_.refresh_budget_scale, adv.payload(), {}, 0);
   }
   schedule_refresh(n);
+}
+
+void AsapProtocol::run_ad_round(NodeId n) {
+  auto& adv = advertisers_[n];
+  auto& sched = scheds_[n];
+  // Keep the beacon item in sync with the advertising state; the change
+  // item was enqueued (urgent) at content-change time.
+  if (adv.has_advertised() && adv.has_content()) {
+    sched.upsert(kBeaconItem, refresh_ad_bytes(ctx_.sizes), false);
+  } else {
+    sched.erase(kBeaconItem);
+  }
+  const auto plan = sched.next_round(emissions_scratch_);
+  ++counters_.ad_rounds;
+  counters_.spilled_entries += plan.spilled;
+
+  frame_scratch_.clear();
+  bool shipped_full = false;
+  bool shipped_change = false;
+  for (const auto& e : emissions_scratch_) {
+    if (e.id == kChangeItem) {
+      // All content changes since the last shipped round, coalesced into
+      // one patch (or delta) computed now — never at change time, so a
+      // burst of changes costs one wire body.
+      sched.erase(kChangeItem);  // consumed (re-enqueued by the next change)
+      if (params_.ad_mode == AdMode::kDelta) {
+        auto delta = adv.pending_delta();
+        if (delta.empty()) continue;  // changes cancelled out
+        if (delta.size() > params_.patch_to_full_threshold) {
+          // Too far from the base: re-base with a full ad.
+          FrameEntry fe;
+          fe.kind = AdKind::kFull;
+          fe.payload = adv.publish_full();
+          frame_scratch_.push_back(std::move(fe));
+          shipped_full = true;
+        } else {
+          FrameEntry fe;
+          fe.kind = AdKind::kDelta;
+          fe.base_version = adv.base_version();
+          fe.payload = adv.publish_update();  // base stays put
+          fe.toggles = std::move(delta);
+          frame_scratch_.push_back(std::move(fe));
+          shipped_change = true;
+        }
+      } else {
+        auto patch = adv.pending_patch();
+        if (patch.empty()) continue;
+        const std::uint32_t base = adv.version();
+        auto payload = adv.publish_full();
+        FrameEntry fe;
+        if (patch.size() > params_.patch_to_full_threshold) {
+          fe.kind = AdKind::kFull;
+          fe.payload = std::move(payload);
+          shipped_full = true;
+        } else {
+          fe.kind = AdKind::kPatch;
+          fe.payload = std::move(payload);
+          fe.base_version = base;
+          fe.toggles = std::move(patch);
+          shipped_change = true;
+        }
+        frame_scratch_.push_back(std::move(fe));
+      }
+    } else {  // kBeaconItem
+      if (!adv.has_advertised()) continue;
+      FrameEntry fe;
+      fe.kind = AdKind::kRefresh;
+      // Built after any change entry (urgent emissions come first), so
+      // the beacon carries the freshly bumped version.
+      fe.payload = adv.payload();
+      frame_scratch_.push_back(std::move(fe));
+    }
+  }
+  if (frame_scratch_.empty()) return;
+  if (shipped_full || shipped_change) {
+    // Changed content restarts the beacon's every-round cadence.
+    sched.touch_changed(kBeaconItem);
+  }
+  const double scale = shipped_full     ? params_.join_budget_scale
+                       : shipped_change ? params_.patch_budget_scale
+                                        : params_.refresh_budget_scale;
+  deliver_packed(n, ctx_.engine.now(), scale, frame_scratch_, plan.spilled);
+}
+
+void AsapProtocol::deliver_packed(NodeId src, Seconds when, double scale,
+                                  std::span<const FrameEntry> entries,
+                                  std::uint32_t spilled) {
+  ASAP_DCHECK(!entries.empty());
+  Bytes msg_size = ctx_.sizes.packed_frame_header;
+  bool beacon_only = true;
+  for (const FrameEntry& e : entries) {
+    msg_size += ctx_.sizes.packed_entry_overhead;
+    switch (e.kind) {
+      case AdKind::kFull:
+        msg_size += full_ad_bytes(*e.payload, ctx_.sizes);
+        ++counters_.full_ads;
+        beacon_only = false;
+        break;
+      case AdKind::kPatch:
+        msg_size += patch_ad_bytes(e.toggles.size(), e.payload->topics.size(),
+                                   ctx_.sizes);
+        ++counters_.patch_ads;
+        beacon_only = false;
+        break;
+      case AdKind::kRefresh:
+        msg_size += refresh_ad_bytes(ctx_.sizes);
+        ++counters_.refresh_ads;
+        break;
+      case AdKind::kDelta:
+        msg_size += delta_ad_bytes(e.toggles.size(), e.payload->topics.size(),
+                                   ctx_.sizes);
+        ++counters_.delta_ads;
+        beacon_only = false;
+        break;
+    }
+  }
+  ++counters_.packed_frames;
+  counters_.packed_entries += entries.size();
+
+  const sim::Traffic cat = sim::Traffic::kPackedAd;
+  auto visit = [&](NodeId v, Seconds t, std::uint32_t) {
+    if (v == src) return search::VisitAction::kContinue;
+    AdCache& cache = caches_[v];
+    for (const FrameEntry& e : entries) {
+      // Selective caching per entry, same gate as deliver_ad (§III-B).
+      if (!topics_overlap(e.payload->topics, ctx_.model.interests(v))) {
+        continue;
+      }
+      switch (e.kind) {
+        case AdKind::kFull: {
+          const auto r = cache.put(e.payload, t, ctx_.rng);
+          if (r.stored) ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(v));
+          if (r.evicted) ASAP_OBS_HOOK(ctx_.obs, on_ad_evicted(v));
+          break;
+        }
+        case AdKind::kPatch: {
+          const auto outcome =
+              cache.apply_patch(src, e.base_version, e.payload, t);
+          if (outcome == UpdateOutcome::kApplied) {
+            ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(v));
+          } else if (outcome == UpdateOutcome::kInvalidated) {
+            ASAP_OBS_HOOK(ctx_.obs, on_ad_invalidated(v));
+          }
+          break;
+        }
+        case AdKind::kDelta: {
+          const auto outcome =
+              cache.apply_delta(src, e.base_version, e.toggles, e.payload, t);
+          if (outcome == UpdateOutcome::kApplied) {
+            ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(v));
+          } else if (outcome == UpdateOutcome::kInvalidated) {
+            ASAP_OBS_HOOK(ctx_.obs, on_ad_invalidated(v));
+          }
+          break;
+        }
+        case AdKind::kRefresh: {
+          // refresh_pull is a vanilla-mode ablation; packed frames only
+          // touch / invalidate, like the default configuration.
+          const auto outcome = cache.on_refresh(src, e.payload->version, t);
+          if (outcome == UpdateOutcome::kInvalidated) {
+            ASAP_OBS_HOOK(ctx_.obs, on_ad_invalidated(v));
+          }
+          break;
+        }
+      }
+    }
+    ASAP_AUDIT_HOOK(ctx_.auditor,
+                    on_cache_occupancy(cache.size(), params_.cache_capacity));
+    return search::VisitAction::kContinue;
+  };
+
+  search::PropagationStats prop;
+  const auto& topics = entries.front().payload->topics;
+  switch (params_.scheme) {
+    case search::Scheme::kFlooding: {
+      const auto ttl =
+          beacon_only ? params_.refresh_flood_ttl : params_.flood_ttl;
+      prop = search::flood(ctx_, src, when, ttl, msg_size, cat, visit);
+      break;
+    }
+    case search::Scheme::kRandomWalk: {
+      const auto budget = delivery_budget(topics.size(), scale);
+      const auto walkers = std::max<std::uint64_t>(
+          params_.walkers,
+          (budget + params_.max_walk_hops - 1) / params_.max_walk_hops);
+      const auto per_walker = std::max<std::uint64_t>(1, budget / walkers);
+      if (params_.interest_bias > 1.0) {
+        auto weight = [&](NodeId v) {
+          return topics_overlap(topics, ctx_.model.interests(v))
+                     ? params_.interest_bias
+                     : 1.0;
+        };
+        prop = search::biased_walk(ctx_, src, when,
+                                   static_cast<std::uint32_t>(walkers),
+                                   per_walker, msg_size, cat, weight, visit);
+      } else {
+        prop = search::random_walk(ctx_, src, when,
+                                   static_cast<std::uint32_t>(walkers),
+                                   per_walker, msg_size, cat, visit);
+      }
+      break;
+    }
+    case search::Scheme::kGsa: {
+      const auto budget = delivery_budget(topics.size(), scale);
+      prop = search::gsa(ctx_, src, when, budget, msg_size, cat, visit);
+      break;
+    }
+  }
+  ASAP_OBS_HOOK(ctx_.obs,
+                trace_ad(when, src, "packed", prop.messages, prop.bytes));
+  ASAP_OBS_HOOK(ctx_.obs,
+                trace_ad_round(when, src,
+                               static_cast<std::uint32_t>(entries.size()),
+                               spilled, prop.bytes));
 }
 
 void AsapProtocol::on_trace_event(const trace::TraceEvent& ev) {
@@ -261,10 +521,22 @@ void AsapProtocol::on_rejoin(const trace::TraceEvent& ev) {
   // ad. Its own cache "could be mostly out of date" (§III-C), so it runs
   // the same ads-request flow a brand-new node uses.
   if (adv.has_content()) {
-    auto payload = adv.publish_full();
-    deliver_ad(n, AdKind::kFull, ev.time, params_.join_budget_scale, payload,
-               {}, 0);
-    schedule_refresh(n);
+    if (adaptive() && adv.has_advertised() && !adv.dirty()) {
+      // Adaptive rejoin shortcut: nothing changed while away, so every
+      // remote cacher still holds the *current* version — an urgent
+      // refresh beacon in the next packed round re-validates them for a
+      // few dozen bytes. Vanilla's full re-announcement at join breadth
+      // is the dominant advertisement cost under churn, and for an
+      // unchanged filter it carries zero new information.
+      scheds_[n].upsert(kBeaconItem, refresh_ad_bytes(ctx_.sizes),
+                        /*urgent=*/true);
+      schedule_refresh(n);
+    } else {
+      auto payload = adv.publish_full();
+      deliver_ad(n, AdKind::kFull, ev.time, params_.join_budget_scale,
+                 payload, {}, 0);
+      schedule_refresh(n);
+    }
   }
   std::vector<AdPayloadPtr> unused;
   ads_request_phase(n, ev.time, ctx_.hash_query({}), nullptr, {}, unused);
@@ -306,6 +578,30 @@ void AsapProtocol::on_content_change(const trace::TraceEvent& ev) {
                  payload, {}, 0);
       schedule_refresh(n);
     }
+    return;
+  }
+
+  if (adaptive()) {
+    // Changes wait for the next ad round: the scheduler's urgent change
+    // item coalesces everything that happens before the round fires, and
+    // the round ships one budget-packed frame instead of one walk per
+    // change event.
+    auto& sched = scheds_[n];
+    const auto pending = params_.ad_mode == AdMode::kDelta
+                             ? adv.pending_delta()
+                             : adv.pending_patch();
+    if (pending.empty()) {
+      sched.erase(kChangeItem);  // the changes cancelled out
+      return;
+    }
+    const Bytes est =
+        params_.ad_mode == AdMode::kDelta
+            ? delta_ad_bytes(pending.size(), adv.payload()->topics.size(),
+                             ctx_.sizes)
+            : patch_ad_bytes(pending.size(), adv.payload()->topics.size(),
+                             ctx_.sizes);
+    sched.upsert(kChangeItem, est, /*urgent=*/true);
+    schedule_refresh(n);  // no-op if the round timer is already pending
     return;
   }
 
@@ -417,7 +713,10 @@ Seconds AsapProtocol::confirm_round(NodeId p, Seconds start,
       const std::uint32_t needed =
           std::max<std::uint32_t>(1, params_.stale_timeout_strikes);
       const std::uint32_t strikes = caches_[p].record_timeout(s);
-      if (strikes >= needed && caches_[p].erase(s)) {
+      // erase_stale (not erase): with a configured re-admission backoff the
+      // evicted source's ads are dropped for a while, so an in-flight
+      // delivery cannot re-admit the just-evicted stale ad immediately.
+      if (strikes >= needed && caches_[p].erase_stale(s, t_deadline)) {
         ++counters_.stale_evictions;
         ASAP_OBS_HOOK(ctx_.obs, on_stale_evicted(p));
         ASAP_OBS_HOOK(ctx_.obs, trace_stale_evict(t_deadline, p, s));

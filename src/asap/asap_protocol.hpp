@@ -18,12 +18,27 @@
 
 #include "asap/ad.hpp"
 #include "asap/ad_cache.hpp"
+#include "asap/ad_scheduler.hpp"
 #include "asap/advertiser.hpp"
 #include "search/algorithm.hpp"
 #include "search/baseline.hpp"
 #include "search/context.hpp"
 
 namespace asap::ads {
+
+/// Advertisement scheduling mode.
+///   kVanilla  — the paper's behaviour: every change ships immediately,
+///               refresh beacons fire every period (bit-identical legacy).
+///   kAdaptive — timer ticks become ad *rounds*: an AdScheduler rotates a
+///               change item (urgent, coalesces all changes since the last
+///               round into one patch) and a refresh beacon (decays to
+///               every 2nd/4th round once stable) into one byte-budgeted
+///               packed frame per round.
+///   kDelta    — kAdaptive, but changes ship as delta ads against the last
+///               *full* ad: consecutive deltas are independently
+///               applicable, so a lost frame does not invalidate cachers
+///               the way a missed version-chained patch does.
+enum class AdMode : std::uint8_t { kVanilla, kAdaptive, kDelta };
 
 struct AsapParams {
   /// Ad forwarding scheme: ASAP(FLD) / ASAP(RW) / ASAP(GSA).
@@ -87,6 +102,20 @@ struct AsapParams {
   /// so total-loss scenarios terminate with bounded cost.
   Bytes confirm_retry_budget = 4'096;
 
+  // --- adaptive advertisement scheduling (kVanilla = legacy) ------------
+  AdMode ad_mode = AdMode::kVanilla;
+  /// Byte budget one packed ad-round frame may fill (adaptive/delta). The
+  /// refresh period doubles as the round period.
+  Bytes ad_round_budget = 1'200;
+  /// Unchanged emissions before an ad decays to every 2nd / every 4th
+  /// round (AdSchedulerParams).
+  std::uint32_t ad_stable_after = 2;
+  std::uint32_t ad_very_stable_after = 4;
+  /// Re-admission backoff after a stale-strike eviction: the evicted
+  /// source's ads are dropped for this long so an in-flight walker cannot
+  /// re-admit the just-evicted stale ad in the same tick. 0 = legacy.
+  Seconds stale_readmit_backoff = 0.0;
+
   static AsapParams small(search::Scheme s);
   static AsapParams paper(search::Scheme s);
 };
@@ -121,6 +150,12 @@ class AsapProtocol final : public search::SearchAlgorithm {
     std::uint64_t repair_refetches = 0;
     Bytes retry_bytes = 0;  ///< bandwidth spent on confirm retries
     double repair_seconds_sum = 0.0;  ///< sum over repair_refetches
+    // Adaptive-scheduling telemetry (all zero in vanilla mode).
+    std::uint64_t ad_rounds = 0;       ///< scheduler rounds executed
+    std::uint64_t packed_frames = 0;   ///< non-empty frames disseminated
+    std::uint64_t packed_entries = 0;  ///< ads shipped inside frames
+    std::uint64_t spilled_entries = 0; ///< budget spills carried to next round
+    std::uint64_t delta_ads = 0;       ///< delta ads shipped (kDelta mode)
   };
   const Counters& counters() const { return counters_; }
   const AsapParams& params() const { return params_; }
@@ -165,11 +200,36 @@ class AsapProtocol final : public search::SearchAlgorithm {
   void schedule_refresh(NodeId n);
   void on_refresh_timer(NodeId n);
 
+  // --- adaptive mode (ad_mode != kVanilla) ------------------------------
+  /// One planned entry of a packed ad-round frame.
+  struct FrameEntry {
+    AdKind kind = AdKind::kRefresh;
+    AdPayloadPtr payload;
+    std::uint32_t base_version = 0;          // patch / delta entries
+    std::vector<std::uint32_t> toggles;      // patch / delta entries
+  };
+
+  bool adaptive() const { return params_.ad_mode != AdMode::kVanilla; }
+  /// Runs one scheduler round for `n` and ships the resulting frame.
+  void run_ad_round(NodeId n);
+  /// Disseminates one packed frame (Traffic::kPackedAd) with one walk.
+  void deliver_packed(NodeId src, Seconds when, double scale,
+                      std::span<const FrameEntry> entries,
+                      std::uint32_t spilled);
+
+  /// Scheduler item ids in flat mode: the refresh beacon and the coalesced
+  /// pending-change item.
+  static constexpr AdScheduler::ItemId kBeaconItem = 0;
+  static constexpr AdScheduler::ItemId kChangeItem = 1;
+
   search::Ctx& ctx_;
   AsapParams params_;
   std::vector<Advertiser> advertisers_;
   std::vector<AdCache> caches_;
   std::vector<std::uint8_t> refresh_scheduled_;
+  std::vector<AdScheduler> scheds_;  // per node; empty in vanilla mode
+  std::vector<AdScheduler::Emission> emissions_scratch_;
+  std::vector<FrameEntry> frame_scratch_;
   Counters counters_;
   std::vector<AdPayloadPtr> scratch_ads_;
   std::vector<AdPayloadPtr> reply_scratch_;

@@ -38,6 +38,15 @@ SuperpeerAsap::SuperpeerAsap(search::Ctx& ctx, SuperpeerParams params)
     caches_.emplace_back(params.cache_capacity);
   }
   refresh_scheduled_.assign(slots, 0);
+  if (adaptive()) {
+    AdSchedulerParams sp;
+    sp.round_budget = params.ad_round_budget;
+    sp.stable_after = params.ad_stable_after;
+    sp.very_stable_after = params.ad_very_stable_after;
+    pending_.resize(slots);
+    sp_scheds_.assign(slots, AdScheduler(sp));
+    round_scheduled_.assign(slots, 0);
+  }
   build_hierarchy();
 }
 
@@ -152,6 +161,12 @@ void SuperpeerAsap::publish(NodeId source, AdKind kind, Seconds when,
       cat = sim::Traffic::kRefreshAd;
       ++counters_.refresh_ads;
       break;
+    case AdKind::kDelta:
+      msg_size = delta_ad_bytes(patch.size(), payload->topics.size(),
+                                ctx_.sizes);
+      cat = sim::Traffic::kPatchAd;
+      ++counters_.delta_ads;
+      break;
   }
 
   // Leaves upload the ad to their proxy first (one hop).
@@ -196,12 +211,27 @@ void SuperpeerAsap::publish(NodeId source, AdKind kind, Seconds when,
         }
         break;
       }
+      case AdKind::kDelta: {
+        const auto outcome = cache.apply_delta(source, base, patch, payload, t);
+        if (outcome == UpdateOutcome::kApplied) {
+          ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(sp));
+        } else if (outcome == UpdateOutcome::kInvalidated) {
+          ASAP_OBS_HOOK(ctx_.obs, on_ad_invalidated(sp));
+        }
+        break;
+      }
     }
     ASAP_AUDIT_HOOK(ctx_.auditor,
                     on_cache_occupancy(cache.size(), params_.cache_capacity));
   };
   // The entry superpeer caches unconditionally (it proxies the source).
   apply_at(entry, start);
+
+  // Adaptive mode: the mesh spread waits for the proxy's next ad round.
+  if (adaptive()) {
+    enqueue_pending(entry, source, kind, payload, patch, base);
+    return;
+  }
 
   // Dissemination runs over the superpeer mesh only. Superpeers cache all
   // ads (they serve queries from leaves with arbitrary interests).
@@ -235,6 +265,208 @@ void SuperpeerAsap::publish(NodeId source, AdKind kind, Seconds when,
   }
   ASAP_OBS_HOOK(ctx_.obs, trace_ad(when, source, ad_kind_name(kind),
                                    prop.messages, prop.bytes));
+}
+
+Bytes SuperpeerAsap::pending_bytes(const PendingAd& p) const {
+  switch (p.kind) {
+    case AdKind::kFull:
+      return full_ad_bytes(*p.payload, ctx_.sizes);
+    case AdKind::kPatch:
+      return patch_ad_bytes(p.toggles.size(), p.payload->topics.size(),
+                            ctx_.sizes);
+    case AdKind::kDelta:
+      return delta_ad_bytes(p.toggles.size(), p.payload->topics.size(),
+                            ctx_.sizes);
+    case AdKind::kRefresh:
+      return refresh_ad_bytes(ctx_.sizes);
+  }
+  return 0;
+}
+
+void SuperpeerAsap::enqueue_pending(NodeId sp, NodeId source, AdKind kind,
+                                    const AdPayloadPtr& payload,
+                                    std::span<const std::uint32_t> patch,
+                                    std::uint32_t base) {
+  PendingAd& slot = pending_[sp][source];
+  switch (kind) {
+    case AdKind::kFull:
+      slot.kind = AdKind::kFull;
+      slot.payload = payload;
+      slot.base = 0;
+      slot.toggles.clear();
+      break;
+    case AdKind::kPatch:
+    case AdKind::kDelta:
+      if (slot.payload == nullptr || slot.kind == AdKind::kRefresh) {
+        // First change for this source since the last round: keep the
+        // compact delta form as uploaded.
+        slot.kind = kind;
+        slot.payload = payload;
+        slot.base = base;
+        slot.toggles.assign(patch.begin(), patch.end());
+      } else if (slot.kind == AdKind::kFull) {
+        slot.payload = payload;  // pending full absorbs the newer payload
+      } else {
+        // Two queued changes cannot be chained (the second's base is the
+        // state after the first applied, which cachers never saw);
+        // promote to a full ad of the latest canonical payload.
+        slot.kind = AdKind::kFull;
+        slot.payload = payload;
+        slot.base = 0;
+        slot.toggles.clear();
+      }
+      break;
+    case AdKind::kRefresh:
+      if (slot.payload == nullptr) {
+        slot.kind = AdKind::kRefresh;
+        slot.payload = payload;
+      } else if (slot.kind == AdKind::kRefresh) {
+        slot.payload = payload;  // newer beacon version
+      }
+      // A queued change already carries the freshest state; keep it.
+      break;
+  }
+  sp_scheds_[sp].upsert(source, pending_bytes(slot),
+                        /*urgent=*/slot.kind != AdKind::kRefresh);
+  schedule_round(sp);
+}
+
+void SuperpeerAsap::schedule_round(NodeId sp) {
+  if (round_scheduled_[sp]) return;
+  round_scheduled_[sp] = 1;
+  const Seconds delay = params_.ad_round_period * ctx_.rng.uniform(0.5, 1.5);
+  ctx_.engine.schedule_in(delay, [this, sp] { run_ad_round(sp); });
+}
+
+void SuperpeerAsap::run_ad_round(NodeId sp) {
+  round_scheduled_[sp] = 0;
+  AdScheduler& sched = sp_scheds_[sp];
+  if (sched.empty()) return;  // nothing to rotate; the timer lapses
+  if (!ctx_.online(sp)) {
+    schedule_round(sp);  // proxy offline; retry next period
+    return;
+  }
+  const Seconds when = ctx_.engine.now();
+  std::vector<AdScheduler::Emission> emissions;
+  const auto plan = sched.next_round(emissions);
+  ++counters_.ad_rounds;
+  counters_.spilled_entries += plan.spilled;
+
+  // Materialize the frame and its wire size.
+  Bytes msg_size = ctx_.sizes.packed_frame_header;
+  bool any_full = false;
+  bool any_change = false;
+  std::size_t max_topics = 1;
+  std::vector<std::pair<NodeId, const PendingAd*>> entries;
+  entries.reserve(emissions.size());
+  for (const auto& e : emissions) {
+    const auto it = pending_[sp].find(e.id);
+    ASAP_DCHECK(it != pending_[sp].end());
+    if (it == pending_[sp].end()) continue;
+    const PendingAd& p = it->second;
+    msg_size += ctx_.sizes.packed_entry_overhead + pending_bytes(p);
+    any_full = any_full || p.kind == AdKind::kFull;
+    any_change = any_change ||
+                 p.kind == AdKind::kPatch || p.kind == AdKind::kDelta;
+    max_topics = std::max(max_topics, p.payload->topics.size());
+    entries.emplace_back(e.id, &p);
+  }
+  if (!entries.empty()) {
+    ++counters_.packed_frames;
+    counters_.packed_entries += entries.size();
+
+    auto apply_frame = [&](NodeId v, Seconds t) {
+      AdCache& cache = caches_[v];
+      for (const auto& [src, p] : entries) {
+        switch (p->kind) {
+          case AdKind::kFull: {
+            const auto r = cache.put(p->payload, t, ctx_.rng);
+            if (r.stored) ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(v));
+            if (r.evicted) ASAP_OBS_HOOK(ctx_.obs, on_ad_evicted(v));
+            break;
+          }
+          case AdKind::kPatch: {
+            const auto outcome =
+                cache.apply_patch(src, p->base, p->payload, t);
+            if (outcome == UpdateOutcome::kApplied) {
+              ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(v));
+            } else if (outcome == UpdateOutcome::kInvalidated) {
+              ASAP_OBS_HOOK(ctx_.obs, on_ad_invalidated(v));
+            }
+            break;
+          }
+          case AdKind::kDelta: {
+            const auto outcome =
+                cache.apply_delta(src, p->base, p->toggles, p->payload, t);
+            if (outcome == UpdateOutcome::kApplied) {
+              ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(v));
+            } else if (outcome == UpdateOutcome::kInvalidated) {
+              ASAP_OBS_HOOK(ctx_.obs, on_ad_invalidated(v));
+            }
+            break;
+          }
+          case AdKind::kRefresh: {
+            const auto outcome =
+                cache.on_refresh(src, p->payload->version, t);
+            if (outcome == UpdateOutcome::kInvalidated) {
+              ASAP_OBS_HOOK(ctx_.obs, on_ad_invalidated(v));
+            }
+            break;
+          }
+        }
+      }
+      ASAP_AUDIT_HOOK(ctx_.auditor, on_cache_occupancy(
+                                        cache.size(), params_.cache_capacity));
+    };
+
+    const double scale = any_full     ? params_.join_budget_scale
+                         : any_change ? params_.patch_budget_scale
+                                      : params_.refresh_budget_scale;
+    search::GraphScope scope(ctx_, sp_mesh_);
+    auto visit = [&](NodeId v, Seconds t, std::uint32_t) {
+      apply_frame(v, t);
+      return search::VisitAction::kContinue;
+    };
+    search::PropagationStats prop;
+    switch (params_.scheme) {
+      case search::Scheme::kFlooding:
+        prop = search::flood(ctx_, sp, when, params_.flood_ttl, msg_size,
+                             sim::Traffic::kPackedAd, visit);
+        break;
+      case search::Scheme::kRandomWalk: {
+        const auto budget = delivery_budget(max_topics, scale);
+        const auto walkers = std::max<std::uint64_t>(
+            params_.walkers,
+            (budget + params_.max_walk_hops - 1) / params_.max_walk_hops);
+        prop = search::random_walk(
+            ctx_, sp, when, static_cast<std::uint32_t>(walkers),
+            std::max<std::uint64_t>(1, budget / walkers), msg_size,
+            sim::Traffic::kPackedAd, visit);
+        break;
+      }
+      case search::Scheme::kGsa:
+        prop = search::gsa(ctx_, sp, when, delivery_budget(max_topics, scale),
+                           msg_size, sim::Traffic::kPackedAd, visit);
+        break;
+    }
+    ASAP_OBS_HOOK(ctx_.obs,
+                  trace_ad(when, sp, "packed", prop.messages, prop.bytes));
+    ASAP_OBS_HOOK(ctx_.obs,
+                  trace_ad_round(when, sp,
+                                 static_cast<std::uint32_t>(entries.size()),
+                                 plan.spilled, prop.bytes));
+
+    // Emitted entries decay to refresh beacons: the scheduler's stride
+    // decay then re-advertises stable sources every 2nd / 4th round.
+    for (const auto& [src, p] : entries) {
+      PendingAd& slot = pending_[sp][src];
+      slot.kind = AdKind::kRefresh;
+      slot.base = 0;
+      slot.toggles.clear();
+      sched.upsert(src, refresh_ad_bytes(ctx_.sizes), /*urgent=*/false);
+    }
+  }
+  schedule_round(sp);
 }
 
 void SuperpeerAsap::warm_up(Seconds duration) {

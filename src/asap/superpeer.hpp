@@ -18,12 +18,16 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "asap/ad.hpp"
 #include "asap/ad_cache.hpp"
+#include "asap/ad_scheduler.hpp"
 #include "asap/advertiser.hpp"
+#include "asap/asap_protocol.hpp"
 #include "overlay/overlay.hpp"
 #include "search/algorithm.hpp"
 #include "search/baseline.hpp"
@@ -52,6 +56,20 @@ struct SuperpeerParams {
   std::uint32_t max_confirms = 8;
   std::uint64_t max_walk_hops = 600;
 
+  // --- adaptive advertisement scheduling (kVanilla = legacy) ------------
+  /// kAdaptive / kDelta batch mesh disseminations into per-superpeer
+  /// byte-budgeted packed ad rounds: uploads still reach the proxy (and
+  /// its cache) immediately, but the mesh spread waits for the proxy's
+  /// next round, where an AdScheduler rotates one pending ad per source
+  /// into a single packed frame. Exercises true multi-ad rotation,
+  /// packing and budget spill (the flat protocol only rotates two items).
+  AdMode ad_mode = AdMode::kVanilla;
+  Bytes ad_round_budget = 1'200;
+  std::uint32_t ad_stable_after = 2;
+  std::uint32_t ad_very_stable_after = 4;
+  /// Packed-round period per superpeer (with +-50% jitter).
+  Seconds ad_round_period = 120.0;
+
   static SuperpeerParams small(search::Scheme s);
 };
 
@@ -74,10 +92,16 @@ class SuperpeerAsap final : public search::SearchAlgorithm {
     std::uint64_t full_ads = 0;
     std::uint64_t patch_ads = 0;
     std::uint64_t refresh_ads = 0;
+    std::uint64_t delta_ads = 0;
     std::uint64_t proxy_uploads = 0;   // leaf -> proxy ad transfers
     std::uint64_t proxy_queries = 0;   // leaf -> proxy search requests
     std::uint64_t ads_requests = 0;
     std::uint64_t confirm_requests = 0;
+    // Adaptive-scheduling telemetry (all zero in vanilla mode).
+    std::uint64_t ad_rounds = 0;
+    std::uint64_t packed_frames = 0;
+    std::uint64_t packed_entries = 0;
+    std::uint64_t spilled_entries = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -111,6 +135,27 @@ class SuperpeerAsap final : public search::SearchAlgorithm {
   void schedule_refresh(NodeId n);
   void on_refresh_timer(NodeId n);
 
+  // --- adaptive mode (ad_mode != kVanilla) ------------------------------
+  /// The newest not-yet-disseminated ad a proxy holds for one source.
+  struct PendingAd {
+    AdKind kind = AdKind::kRefresh;
+    AdPayloadPtr payload;
+    std::uint32_t base = 0;                  // patch / delta base version
+    std::vector<std::uint32_t> toggles;      // patch / delta entries
+  };
+
+  bool adaptive() const { return params_.ad_mode != AdMode::kVanilla; }
+  Bytes pending_bytes(const PendingAd& p) const;
+  /// Coalesces an uploaded ad into the proxy's pending set and (re)arms
+  /// the scheduler item for its source.
+  void enqueue_pending(NodeId sp, NodeId source, AdKind kind,
+                       const AdPayloadPtr& payload,
+                       std::span<const std::uint32_t> patch,
+                       std::uint32_t base);
+  void schedule_round(NodeId sp);
+  /// Drains one scheduler round at `sp` into a packed mesh dissemination.
+  void run_ad_round(NodeId sp);
+
   search::Ctx& ctx_;
   SuperpeerParams params_;
   overlay::Overlay sp_mesh_;  // same id space; only superpeers have edges
@@ -123,6 +168,10 @@ class SuperpeerAsap final : public search::SearchAlgorithm {
   Counters counters_;
   std::vector<AdPayloadPtr> scratch_ads_;
   std::vector<AdPayloadPtr> reply_scratch_;
+  // Adaptive-mode state; empty vectors in vanilla mode.
+  std::vector<std::unordered_map<NodeId, PendingAd>> pending_;
+  std::vector<AdScheduler> sp_scheds_;
+  std::vector<std::uint8_t> round_scheduled_;
 };
 
 }  // namespace asap::ads

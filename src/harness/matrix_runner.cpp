@@ -62,6 +62,22 @@ std::vector<std::pair<std::string, double>> headline_metrics(
                      static_cast<double>(r.faults.link_drops +
                                          r.faults.burst_drops +
                                          r.faults.partition_drops));
+    if (r.asap) {
+      // Total advertisement traffic over the measurement window — the
+      // ad-traffic-vs-success trade-off axis for the adaptive-scheduling
+      // sweeps. Appended for every fault-armed ASAP run so vanilla and
+      // adaptive variants are directly comparable in one artifact.
+      out.emplace_back("ad_bytes_total",
+                       static_cast<double>(r.ad_bytes_total));
+    }
+  }
+  if (r.asap_counters.ad_rounds > 0) {
+    // Adaptive-scheduler telemetry; only adaptive/delta runs execute ad
+    // rounds, so legacy artifacts keep exactly the legacy metric set.
+    out.emplace_back("ad_bytes_packed",
+                     static_cast<double>(r.ad_bytes_packed));
+    out.emplace_back("ad_rounds",
+                     static_cast<double>(r.asap_counters.ad_rounds));
   }
   return out;
 }

@@ -28,12 +28,16 @@ const char* algo_name(AlgoKind k) {
       return "asap(rw)";
     case AlgoKind::kAsapGsa:
       return "asap(gsa)";
+    case AlgoKind::kAsapAdaptive:
+      return "asap-adaptive";
+    case AlgoKind::kAsapDelta:
+      return "asap-delta";
   }
   return "?";
 }
 
 std::optional<AlgoKind> algo_from_name(std::string_view name) {
-  for (const auto k : kAllAlgos) {
+  for (const auto k : kExtendedAlgos) {
     if (name == algo_name(k)) return k;
   }
   return std::nullopt;
@@ -41,7 +45,8 @@ std::optional<AlgoKind> algo_from_name(std::string_view name) {
 
 bool is_asap(AlgoKind k) {
   return k == AlgoKind::kAsapFld || k == AlgoKind::kAsapRw ||
-         k == AlgoKind::kAsapGsa;
+         k == AlgoKind::kAsapGsa || k == AlgoKind::kAsapAdaptive ||
+         k == AlgoKind::kAsapDelta;
 }
 
 std::uint64_t trial_seed_salt(std::uint32_t trial) {
@@ -51,9 +56,12 @@ std::uint64_t trial_seed_salt(std::uint32_t trial) {
 
 std::vector<sim::Traffic> load_categories(AlgoKind k) {
   if (is_asap(k)) {
+    // kPackedAd is always zero for the vanilla variants, so listing it
+    // changes no legacy metric (zero-byte categories contribute nothing
+    // to load or breakdown shares).
     return {sim::Traffic::kConfirm, sim::Traffic::kAdsRequest,
             sim::Traffic::kFullAd, sim::Traffic::kPatchAd,
-            sim::Traffic::kRefreshAd};
+            sim::Traffic::kRefreshAd, sim::Traffic::kPackedAd};
   }
   return {sim::Traffic::kQuery};
 }
@@ -67,6 +75,8 @@ search::Scheme scheme_of(AlgoKind k) {
       return search::Scheme::kFlooding;
     case AlgoKind::kRandomWalk:
     case AlgoKind::kAsapRw:
+    case AlgoKind::kAsapAdaptive:
+    case AlgoKind::kAsapDelta:
       return search::Scheme::kRandomWalk;
     case AlgoKind::kGsa:
     case AlgoKind::kAsapGsa:
@@ -86,8 +96,19 @@ search::BaselineParams default_baseline_params(AlgoKind k, Preset preset) {
 
 ads::AsapParams default_asap_params(AlgoKind k, Preset preset) {
   ASAP_REQUIRE(is_asap(k), "not an ASAP variant");
-  return preset == Preset::kPaper ? ads::AsapParams::paper(scheme_of(k))
-                                  : ads::AsapParams::small(scheme_of(k));
+  auto params = preset == Preset::kPaper ? ads::AsapParams::paper(scheme_of(k))
+                                         : ads::AsapParams::small(scheme_of(k));
+  if (k == AlgoKind::kAsapAdaptive) {
+    params.ad_mode = ads::AdMode::kAdaptive;
+  } else if (k == AlgoKind::kAsapDelta) {
+    params.ad_mode = ads::AdMode::kDelta;
+  }
+  if (params.ad_mode != ads::AdMode::kVanilla) {
+    // Adaptive variants ship the stale-readmit hygiene fix by default; the
+    // vanilla variants keep the legacy (0 = off) behaviour bit for bit.
+    params.stale_readmit_backoff = 30.0;
+  }
+  return params;
 }
 
 RunResult run_experiment(const World& world, AlgoKind kind,
@@ -253,6 +274,22 @@ RunResult run_experiment(const World& world, AlgoKind kind,
   if (is_asap(kind)) {
     res.asap_counters =
         static_cast<ads::AsapProtocol*>(algo.get())->counters();
+    res.asap = true;
+    for (const auto& share : res.breakdown) {
+      switch (share.category) {
+        case sim::Traffic::kFullAd:
+        case sim::Traffic::kPatchAd:
+        case sim::Traffic::kRefreshAd:
+          res.ad_bytes_total += share.bytes;
+          break;
+        case sim::Traffic::kPackedAd:
+          res.ad_bytes_total += share.bytes;
+          res.ad_bytes_packed += share.bytes;
+          break;
+        default:
+          break;
+      }
+    }
   }
   if (injector != nullptr) {
     const auto& rep = injector->report();

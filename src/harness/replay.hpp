@@ -23,7 +23,8 @@
 
 namespace asap::harness {
 
-/// The six systems evaluated in the paper (§IV-A).
+/// The six systems evaluated in the paper (§IV-A), plus the adaptive
+/// advertisement-scheduling extensions (RW scheme, ads::AdMode).
 enum class AlgoKind : std::uint8_t {
   kFlooding,
   kRandomWalk,
@@ -31,11 +32,24 @@ enum class AlgoKind : std::uint8_t {
   kAsapFld,
   kAsapRw,
   kAsapGsa,
+  kAsapAdaptive,  ///< ASAP(RW) + byte-budgeted packed ad rounds
+  kAsapDelta,     ///< kAsapAdaptive with delta ads against the last full ad
 };
 
+/// The paper's six systems — the canonical matrix axis. The adaptive
+/// extensions are deliberately *not* here: `--algo all`, the golden
+/// matrices and the fault matrix stay pinned to the paper's set.
 inline constexpr AlgoKind kAllAlgos[] = {
     AlgoKind::kFlooding, AlgoKind::kRandomWalk, AlgoKind::kGsa,
     AlgoKind::kAsapFld,  AlgoKind::kAsapRw,     AlgoKind::kAsapGsa,
+};
+
+/// Every runnable algorithm, including the adaptive extensions (name
+/// lookup, explicit CLI selection).
+inline constexpr AlgoKind kExtendedAlgos[] = {
+    AlgoKind::kFlooding, AlgoKind::kRandomWalk,   AlgoKind::kGsa,
+    AlgoKind::kAsapFld,  AlgoKind::kAsapRw,       AlgoKind::kAsapGsa,
+    AlgoKind::kAsapAdaptive, AlgoKind::kAsapDelta,
 };
 
 const char* algo_name(AlgoKind k);
@@ -125,6 +139,12 @@ struct RunResult {
   std::vector<metrics::CategoryShare> breakdown;
   /// ASAP event counters (empty-initialized for baselines).
   ads::AsapProtocol::Counters asap_counters;
+  /// True for ASAP variants (gates the ad-byte metrics below).
+  bool asap = false;
+  /// Advertisement bytes over the measurement window: all ad categories
+  /// (full + patch + refresh + packed), and the packed-frame share alone.
+  Bytes ad_bytes_total = 0;
+  Bytes ad_bytes_packed = 0;
   Seconds measure_start = 0.0;
   Seconds measure_end = 0.0;
   std::uint64_t engine_events = 0;

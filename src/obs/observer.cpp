@@ -105,6 +105,19 @@ void RunObserver::trace_stale_evict(Seconds t, NodeId node, NodeId source) {
   sink_->write(rec);
 }
 
+void RunObserver::trace_ad_round(Seconds t, NodeId node, std::uint32_t emitted,
+                                 std::uint32_t spilled, Bytes bytes) {
+  if (!sink_ || !sink_->sampled(RecordKind::kAdRound)) return;
+  json::Object rec;
+  rec.emplace_back("type", json::Value("ad-round"));
+  rec.emplace_back("t", json::Value(t));
+  rec.emplace_back("node", json::Value(static_cast<double>(node)));
+  rec.emplace_back("emitted", json::Value(static_cast<double>(emitted)));
+  rec.emplace_back("spilled", json::Value(static_cast<double>(spilled)));
+  rec.emplace_back("bytes", json::Value(static_cast<double>(bytes)));
+  sink_->write(rec);
+}
+
 void RunObserver::finalize(Seconds t_end) {
   if (cfg_.counters_out == nullptr) return;
   // Emit any cadence boundaries the engine crossed without events after

@@ -112,6 +112,12 @@ class RunObserver final : public sim::Observer {
   /// `node` evicted `source`'s ad as stale after consecutive timeouts.
   void trace_stale_evict(Seconds t, NodeId node, NodeId source);
 
+  /// One adaptive-scheduler ad round at `node`: how many scheduler items
+  /// were emitted into the packed frame, how many spilled past the byte
+  /// budget to a later round, and the frame's total dissemination bytes.
+  void trace_ad_round(Seconds t, NodeId node, std::uint32_t emitted,
+                      std::uint32_t spilled, Bytes bytes);
+
   /// Flushes the final counter snapshot (stamped `t_end`) plus per-node
   /// counter rows. Call once, after the run completes.
   void finalize(Seconds t_end);

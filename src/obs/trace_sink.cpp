@@ -20,6 +20,8 @@ const char* record_kind_name(RecordKind k) {
       return "retry";
     case RecordKind::kStaleEvict:
       return "stale-evict";
+    case RecordKind::kAdRound:
+      return "ad-round";
     case RecordKind::kCount:
       break;
   }

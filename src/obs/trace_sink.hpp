@@ -28,6 +28,7 @@ enum class RecordKind : std::uint8_t {
   kFault,       // fault-layer injections: crash/detect/partition/heal/burst
   kRetry,       // confirm retry attempts (protocol hardening)
   kStaleEvict,  // stale-ad evictions after consecutive confirm timeouts
+  kAdRound,     // adaptive-scheduler ad rounds (emitted/spilled/bytes)
   kCount
 };
 

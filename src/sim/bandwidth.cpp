@@ -21,6 +21,8 @@ const char* traffic_name(Traffic t) {
       return "patch-ad";
     case Traffic::kRefreshAd:
       return "refresh-ad";
+    case Traffic::kPackedAd:
+      return "packed-ad";
     case Traffic::kCount:
       break;
   }

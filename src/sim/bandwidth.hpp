@@ -27,6 +27,7 @@ enum class Traffic : std::uint8_t {
   kFullAd,       // full advertisements
   kPatchAd,      // patch advertisements
   kRefreshAd,    // refresh advertisements
+  kPackedAd,     // byte-budget-packed ad-round frames (adaptive variants)
   kCount
 };
 

@@ -22,6 +22,8 @@ struct SizeModel {
   Bytes ads_request = 60;    // ads request to a neighbor
   Bytes ads_reply_header = 40;
   Bytes ads_reply_entry_overhead = 8;  // per forwarded ad in a reply
+  Bytes packed_frame_header = 8;       // packed ad-round frame header
+  Bytes packed_entry_overhead = 2;     // per ad inside a packed frame
 };
 
 }  // namespace asap::sim

@@ -7,6 +7,11 @@ namespace asap::wire {
 namespace {
 
 constexpr std::uint8_t kMagic = 0xA5;
+constexpr std::uint8_t kFrameMagic = 0xA6;
+
+/// Sanity cap on ads per packed frame; real frames are byte-budgeted far
+/// below this, so anything larger is a corrupt or hostile buffer.
+constexpr std::uint64_t kMaxFrameItems = 4096;
 
 // Filter body encodings inside a full ad.
 constexpr std::uint8_t kBodyBitmap = 0;
@@ -25,7 +30,7 @@ AdHeader decode_header(Reader& r) {
   if (r.u8() != kMagic) throw DecodeError("wire: bad magic");
   AdHeader h;
   const auto kind = r.u8();
-  if (kind > static_cast<std::uint8_t>(ads::AdKind::kRefresh)) {
+  if (kind > static_cast<std::uint8_t>(ads::AdKind::kDelta)) {
     throw DecodeError("wire: unknown ad kind");
   }
   h.kind = static_cast<ads::AdKind>(kind);
@@ -69,15 +74,25 @@ std::vector<std::uint8_t> encode_full_ad(const ads::AdPayload& ad) {
   return w.to_vector();
 }
 
-void encode_patch_ad(const ads::AdPayload& ad, std::uint32_t base_version,
-                     std::span<const std::uint32_t> toggles, Writer& w) {
-  w.clear();
-  encode_header(w, ads::AdKind::kPatch, ad);
+namespace {
+
+void encode_toggle_body(Writer& w, ads::AdKind kind, const ads::AdPayload& ad,
+                        std::uint32_t base_version,
+                        std::span<const std::uint32_t> toggles) {
+  encode_header(w, kind, ad);
   w.varint(base_version);
   std::vector<std::uint32_t> sorted(toggles.begin(), toggles.end());
   std::sort(sorted.begin(), sorted.end());
   w.varint(sorted.size());
   encode_positions(w, sorted);
+}
+
+}  // namespace
+
+void encode_patch_ad(const ads::AdPayload& ad, std::uint32_t base_version,
+                     std::span<const std::uint32_t> toggles, Writer& w) {
+  w.clear();
+  encode_toggle_body(w, ads::AdKind::kPatch, ad, base_version, toggles);
 }
 
 std::vector<std::uint8_t> encode_patch_ad(
@@ -96,6 +111,20 @@ void encode_refresh_ad(const ads::AdPayload& ad, Writer& w) {
 std::vector<std::uint8_t> encode_refresh_ad(const ads::AdPayload& ad) {
   Writer w;
   encode_refresh_ad(ad, w);
+  return w.to_vector();
+}
+
+void encode_delta_ad(const ads::AdPayload& ad, std::uint32_t base_full_version,
+                     std::span<const std::uint32_t> toggles, Writer& w) {
+  w.clear();
+  encode_toggle_body(w, ads::AdKind::kDelta, ad, base_full_version, toggles);
+}
+
+std::vector<std::uint8_t> encode_delta_ad(
+    const ads::AdPayload& ad, std::uint32_t base_full_version,
+    std::span<const std::uint32_t> toggles) {
+  Writer w;
+  encode_delta_ad(ad, base_full_version, toggles, w);
   return w.to_vector();
 }
 
@@ -131,7 +160,8 @@ DecodedAd decode_ad(std::span<const std::uint8_t> data,
       out.filter = std::move(filter);
       break;
     }
-    case ads::AdKind::kPatch: {
+    case ads::AdKind::kPatch:
+    case ads::AdKind::kDelta: {
       out.base_version = static_cast<std::uint32_t>(r.varint());
       const auto count = r.varint();
       if (count > params.bits) {
@@ -145,6 +175,60 @@ DecodedAd decode_ad(std::span<const std::uint8_t> data,
     }
     case ads::AdKind::kRefresh:
       break;
+  }
+  if (!r.done()) throw DecodeError("wire: trailing bytes");
+  return out;
+}
+
+void encode_packed_frame(std::span<const PackedItem> items, Writer& w) {
+  w.clear();
+  w.u8(kFrameMagic);
+  w.varint(items.size());
+  Writer item_w;
+  for (const PackedItem& item : items) {
+    switch (item.kind) {
+      case ads::AdKind::kFull:
+        encode_full_ad(*item.ad, item_w);
+        break;
+      case ads::AdKind::kPatch:
+        encode_patch_ad(*item.ad, item.base_version, item.toggles, item_w);
+        break;
+      case ads::AdKind::kRefresh:
+        encode_refresh_ad(*item.ad, item_w);
+        break;
+      case ads::AdKind::kDelta:
+        encode_delta_ad(*item.ad, item.base_version, item.toggles, item_w);
+        break;
+    }
+    w.varint(item_w.size());
+    w.bytes(item_w.buffer());
+  }
+}
+
+std::vector<std::uint8_t> encode_packed_frame(
+    std::span<const PackedItem> items) {
+  Writer w;
+  encode_packed_frame(items, w);
+  return w.to_vector();
+}
+
+std::vector<DecodedAd> decode_packed_frame(std::span<const std::uint8_t> data,
+                                           const bloom::BloomParams& params) {
+  Reader r(data);
+  if (r.u8() != kFrameMagic) throw DecodeError("wire: bad frame magic");
+  const auto count = r.varint();
+  if (count > kMaxFrameItems) {
+    throw DecodeError("wire: unreasonable frame item count");
+  }
+  std::vector<DecodedAd> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto len = r.varint();
+    if (len > r.remaining()) throw DecodeError("wire: frame item truncated");
+    const auto slice = r.bytes(static_cast<std::size_t>(len));
+    // decode_ad rejects per-item trailing bytes, so a corrupted length
+    // that still lands inside the buffer cannot silently misparse.
+    out.push_back(decode_ad(slice, params));
   }
   if (!r.done()) throw DecodeError("wire: trailing bytes");
   return out;

@@ -292,5 +292,63 @@ TEST(AdCache, FreshAdClearsTimeoutStrikes) {
   EXPECT_EQ(c.find(7)->timeout_strikes, 1u);
 }
 
+// Regression: the confirm path used to erase a struck-out stale entry with
+// plain erase(), and a walker already in flight would re-admit the very
+// same stale ad in the same tick — the entry then had to strike out all
+// over again. erase_stale() must block re-admission until the backoff
+// expires.
+TEST(AdCache, EraseStaleBlocksReadmissionUntilBackoffExpires) {
+  AdCache c(10);
+  c.set_readmit_backoff(30.0);
+  Rng rng(22);
+  c.put(make_ad(7, 3), 1.0, rng);
+  EXPECT_TRUE(c.erase_stale(7, 100.0));
+  EXPECT_EQ(c.find(7), nullptr);
+  EXPECT_TRUE(c.readmit_blocked(7, 100.0));
+
+  // The in-flight stale ad arrives a beat later: silently dropped.
+  auto res = c.put(make_ad(7, 3), 100.5, rng);
+  EXPECT_FALSE(res.stored);
+  EXPECT_EQ(c.find(7), nullptr);
+
+  // Even a *newer* version is refused during the window — the source is
+  // suspected dead, and re-learning waits out the backoff.
+  res = c.put(make_ad(7, 4), 115.0, rng);
+  EXPECT_FALSE(res.stored);
+  EXPECT_TRUE(c.readmit_blocked(7, 129.9));
+
+  // Once the window closes the source is welcome again.
+  EXPECT_FALSE(c.readmit_blocked(7, 130.1));
+  res = c.put(make_ad(7, 4), 130.1, rng);
+  EXPECT_TRUE(res.stored);
+  ASSERT_NE(c.find(7), nullptr);
+  EXPECT_EQ(c.find(7)->ad->version, 4u);
+}
+
+TEST(AdCache, EraseStaleBackoffIsPerSource) {
+  AdCache c(10);
+  c.set_readmit_backoff(10.0);
+  Rng rng(23);
+  c.put(make_ad(7, 1), 1.0, rng);
+  c.put(make_ad(8, 1), 1.0, rng);
+  c.erase_stale(7, 50.0);
+  // Only the struck source is blocked; its neighbor stores normally.
+  EXPECT_TRUE(c.readmit_blocked(7, 55.0));
+  EXPECT_FALSE(c.readmit_blocked(8, 55.0));
+  EXPECT_TRUE(c.put(make_ad(8, 2), 55.0, rng).stored);
+  EXPECT_FALSE(c.put(make_ad(7, 2), 55.0, rng).stored);
+}
+
+TEST(AdCache, ZeroBackoffDegeneratesToPlainErase) {
+  AdCache c(10);  // default: readmit_backoff == 0 (vanilla behavior)
+  Rng rng(24);
+  c.put(make_ad(7, 1), 1.0, rng);
+  EXPECT_TRUE(c.erase_stale(7, 50.0));
+  EXPECT_FALSE(c.readmit_blocked(7, 50.0));
+  // Re-admission is immediate, exactly like the legacy erase() path —
+  // this is what keeps vanilla digests bit-identical.
+  EXPECT_TRUE(c.put(make_ad(7, 1), 50.0, rng).stored);
+}
+
 }  // namespace
 }  // namespace asap::ads

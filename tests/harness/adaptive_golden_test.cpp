@@ -1,0 +1,141 @@
+// Golden gate for the adaptive advertisement variants.
+//
+// tests/support/adaptive_small.json is a committed matrix run of
+// asap(rw) + asap-adaptive + asap-delta on the kSmall preset under the
+// churn fault preset (crawled topology, seed 42, 1,000 queries). This test
+//   1. replays the exact recorded spec and diffs every digest and metric
+//      (the adaptive twins of the golden-metrics gate), and
+//   2. pins the headline acceptance claim on the artifact itself: the
+//      adaptive scheduler spends >= 25% fewer advertisement bytes than
+//      vanilla ASAP(RW) at equal (+/- 1 pp) success under churn.
+//
+// When a change is intentional, refresh the baseline and commit it:
+//
+//   build/tools/asap_sim --matrix --preset small --topology crawled
+//     --algo asap-rw,asap-adaptive,asap-delta --seed 42 --trials 1
+//     --queries 1000 --faults churn --json tests/support/adaptive_small.json
+//   (one command line; wrapped here for width)
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "harness/matrix_runner.hpp"
+
+namespace asap::harness {
+namespace {
+
+constexpr const char* kGoldenPath =
+    ASAP_TEST_SUPPORT_DIR "/adaptive_small.json";
+constexpr const char* kRefreshHint =
+    "\nIf this change is intentional, refresh the baseline:\n"
+    "  build/tools/asap_sim --matrix --preset small --topology crawled "
+    "--algo asap-rw,asap-adaptive,asap-delta --seed 42 --trials 1 "
+    "--queries 1000 --faults churn --json "
+    "tests/support/adaptive_small.json\n";
+
+json::Value load_golden() {
+  std::ifstream in(kGoldenPath);
+  EXPECT_TRUE(in.good()) << "cannot open " << kGoldenPath;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return json::parse(buf.str());
+}
+
+bool near(double a, double b) {
+  return std::abs(a - b) <= 1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+TEST(AdaptiveGolden, ChurnMatrixMatchesCommittedBaseline) {
+  const json::Value golden = load_golden();
+  ASSERT_EQ(golden.at("schema").as_string(), "asap-matrix-results/1");
+
+  MatrixSpec spec = spec_from_json(golden);
+  const MatrixResult actual = run_matrix(spec);
+
+  const auto& golden_cells = golden.at("cells").as_array();
+  ASSERT_EQ(actual.cells.size(), golden_cells.size())
+      << "cell count drifted from the baseline" << kRefreshHint;
+
+  for (std::size_t i = 0; i < golden_cells.size(); ++i) {
+    const json::Value& want = golden_cells[i];
+    const CellAggregate& got = actual.cells[i];
+    const std::string label = want.at("topology").as_string() + "/" +
+                              want.at("algo").as_string();
+    EXPECT_EQ(algo_name(got.algo), want.at("algo").as_string());
+
+    const auto& want_digests = want.at("digests").as_array();
+    ASSERT_EQ(got.digests.size(), want_digests.size()) << label;
+    for (std::size_t k = 0; k < want_digests.size(); ++k) {
+      EXPECT_EQ(got.digests[k], want_digests[k].u64_hex())
+          << label << " trial " << k << ": run digest drifted (golden "
+          << want_digests[k].as_string() << ", actual "
+          << json::hex_u64(got.digests[k]) << ")" << kRefreshHint;
+    }
+
+    const json::Value& want_metrics = want.at("metrics");
+    for (const auto& [name, summary] : got.metrics) {
+      const json::Value* want_metric = want_metrics.find(name);
+      ASSERT_NE(want_metric, nullptr)
+          << label << ": metric " << name << " missing from baseline"
+          << kRefreshHint;
+      EXPECT_TRUE(near(summary.mean, want_metric->at("mean").as_double()))
+          << label << " " << name << ": golden mean "
+          << want_metric->at("mean").as_double() << ", actual "
+          << summary.mean << kRefreshHint;
+    }
+  }
+
+  EXPECT_EQ(actual.matrix_digest, golden.at("matrix_digest").u64_hex())
+      << "matrix digest drifted" << kRefreshHint;
+}
+
+// The acceptance claim, checked against the committed artifact so a
+// refreshed baseline cannot silently regress the savings.
+TEST(AdaptiveGolden, AdaptiveSavesAdBytesAtEqualSuccessUnderChurn) {
+  const json::Value golden = load_golden();
+  std::map<std::string, const json::Value*> by_algo;
+  for (const auto& run : golden.at("trial_runs").as_array()) {
+    by_algo[run.at("algo").as_string()] = &run.at("metrics");
+  }
+  ASSERT_TRUE(by_algo.count("asap(rw)")) << kRefreshHint;
+  ASSERT_TRUE(by_algo.count("asap-adaptive")) << kRefreshHint;
+  ASSERT_TRUE(by_algo.count("asap-delta")) << kRefreshHint;
+
+  const auto metric = [&](const char* algo, const char* name) {
+    const json::Value* v = by_algo.at(algo)->find(name);
+    EXPECT_NE(v, nullptr) << algo << " lacks metric " << name << kRefreshHint;
+    return v ? v->as_double() : 0.0;
+  };
+
+  const double vanilla_bytes = metric("asap(rw)", "ad_bytes_total");
+  const double vanilla_success = metric("asap(rw)", "success_rate");
+  ASSERT_GT(vanilla_bytes, 0.0);
+
+  for (const char* algo : {"asap-adaptive", "asap-delta"}) {
+    SCOPED_TRACE(algo);
+    const double bytes = metric(algo, "ad_bytes_total");
+    const double success = metric(algo, "success_rate");
+    // >= 25% fewer advertisement bytes than vanilla...
+    EXPECT_LE(bytes, 0.75 * vanilla_bytes)
+        << "ad-byte savings fell below the 25% acceptance floor"
+        << kRefreshHint;
+    // ...at equal success (within one percentage point).
+    EXPECT_NEAR(success, vanilla_success, 0.01) << kRefreshHint;
+    // The savings must come from the packed-round machinery actually
+    // running, not from ads silently not being sent.
+    EXPECT_GT(metric(algo, "ad_bytes_packed"), 0.0);
+    EXPECT_GT(metric(algo, "ad_rounds"), 0.0);
+  }
+
+  // Vanilla rows must NOT carry the adaptive-only metrics: the gated
+  // metric set is what keeps pre-existing goldens byte-compatible.
+  EXPECT_EQ(by_algo.at("asap(rw)")->find("ad_bytes_packed"), nullptr);
+  EXPECT_EQ(by_algo.at("asap(rw)")->find("ad_rounds"), nullptr);
+}
+
+}  // namespace
+}  // namespace asap::harness

@@ -130,14 +130,36 @@ TEST_F(ReplayTest, OverridesAreHonored) {
 
 TEST(ReplayHelpers, AlgoNamesAndCategories) {
   EXPECT_STREQ(algo_name(AlgoKind::kAsapGsa), "asap(gsa)");
+  EXPECT_STREQ(algo_name(AlgoKind::kAsapAdaptive), "asap-adaptive");
+  EXPECT_STREQ(algo_name(AlgoKind::kAsapDelta), "asap-delta");
   EXPECT_FALSE(is_asap(AlgoKind::kGsa));
   EXPECT_TRUE(is_asap(AlgoKind::kAsapFld));
+  EXPECT_TRUE(is_asap(AlgoKind::kAsapAdaptive));
+  EXPECT_TRUE(is_asap(AlgoKind::kAsapDelta));
   EXPECT_EQ(load_categories(AlgoKind::kFlooding).size(), 1u);
-  EXPECT_EQ(load_categories(AlgoKind::kAsapRw).size(), 5u);
+  // ASAP counts confirm + ads-request + full/patch/refresh/packed ads.
+  EXPECT_EQ(load_categories(AlgoKind::kAsapRw).size(), 6u);
   EXPECT_THROW(default_baseline_params(AlgoKind::kAsapRw, Preset::kSmall),
                ConfigError);
   EXPECT_THROW(default_asap_params(AlgoKind::kFlooding, Preset::kSmall),
                ConfigError);
+  // The adaptive variants stay out of the canonical six-algorithm matrix
+  // axis but resolve by name.
+  EXPECT_EQ(std::size(kAllAlgos), 6u);
+  EXPECT_EQ(std::size(kExtendedAlgos), 8u);
+  EXPECT_EQ(algo_from_name("asap-adaptive"), AlgoKind::kAsapAdaptive);
+  EXPECT_EQ(algo_from_name("asap-delta"), AlgoKind::kAsapDelta);
+  // The adaptive defaults enable the scheduler and the re-admit backoff;
+  // the vanilla variants keep both off (digest safety).
+  const auto adaptive =
+      default_asap_params(AlgoKind::kAsapAdaptive, Preset::kSmall);
+  EXPECT_EQ(adaptive.ad_mode, ads::AdMode::kAdaptive);
+  EXPECT_GT(adaptive.stale_readmit_backoff, 0.0);
+  const auto delta = default_asap_params(AlgoKind::kAsapDelta, Preset::kSmall);
+  EXPECT_EQ(delta.ad_mode, ads::AdMode::kDelta);
+  const auto vanilla = default_asap_params(AlgoKind::kAsapRw, Preset::kSmall);
+  EXPECT_EQ(vanilla.ad_mode, ads::AdMode::kVanilla);
+  EXPECT_EQ(vanilla.stale_readmit_backoff, 0.0);
 }
 
 TEST(ReplayHelpers, ConfigPresets) {

@@ -79,9 +79,11 @@ harness::AlgoKind parse_algo(const std::string& name) {
   if (name == "asap-fld") return harness::AlgoKind::kAsapFld;
   if (name == "asap-rw") return harness::AlgoKind::kAsapRw;
   if (name == "asap-gsa") return harness::AlgoKind::kAsapGsa;
+  if (name == "asap-adaptive") return harness::AlgoKind::kAsapAdaptive;
+  if (name == "asap-delta") return harness::AlgoKind::kAsapDelta;
   throw ConfigError("unknown algorithm: " + name +
                     " (try flooding, random-walk, gsa, asap-fld, asap-rw, "
-                    "asap-gsa, all)");
+                    "asap-gsa, asap-adaptive, asap-delta, all)");
 }
 
 std::vector<std::string> split_csv(const std::string& list) {
@@ -104,7 +106,10 @@ void print_usage() {
   --preset small|paper        world scale (default small)
   --topology t1,t2            random, powerlaw, crawled (default crawled)
   --algo a1,a2 | all          flooding, random-walk, gsa, asap-fld,
-                              asap-rw, asap-gsa (default flooding,asap-rw)
+                              asap-rw, asap-gsa (default flooding,asap-rw;
+                              "all" = those six). asap-adaptive and
+                              asap-delta (byte-budgeted packed ad rounds)
+                              must be named explicitly.
   --seed N                    master seed (default 42)
   --queries N                 override query count
   --jobs N                    parallel cells (default: hardware)

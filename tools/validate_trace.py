@@ -31,6 +31,7 @@ SCHEMAS = {
     "fault": {"node": NUM, "kind": str},
     "retry": {"node": NUM, "source": NUM, "attempt": NUM},
     "stale-evict": {"node": NUM, "source": NUM},
+    "ad-round": {"node": NUM, "emitted": NUM, "spilled": NUM, "bytes": NUM},
     "counters": {
         "categories": dict,
         "ads": dict,
@@ -52,7 +53,7 @@ SCHEMAS = {
 # (type, field) -> allowed values; "kind" means different things to "ad"
 # and "fault" records, so enums are keyed per record type.
 ENUMS = {
-    ("ad", "kind"): {"full", "patch", "refresh"},
+    ("ad", "kind"): {"full", "patch", "refresh", "delta", "packed"},
     ("confirm", "outcome"): {"positive", "negative", "timeout"},
     ("churn", "transition"): {"join", "leave", "rejoin"},
     ("fault", "kind"): {
