@@ -43,14 +43,25 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;  // no indices: never touch the pool or its state
   std::vector<std::future<void>> futs;
   futs.reserve(count);
+  // A concurrent shutdown() can make submit() throw partway through this
+  // loop. The already-submitted tasks still reference `fn` (and may still
+  // be draining on workers), so the submit error must not propagate until
+  // every one of them has finished.
+  std::exception_ptr submit_error;
   for (std::size_t i = 0; i < count; ++i) {
-    futs.push_back(submit([&fn, i] { fn(i); }));
+    try {
+      futs.push_back(submit([&fn, i] { fn(i); }));
+    } catch (...) {
+      submit_error = std::current_exception();
+      break;
+    }
   }
-  // Wait for *every* task before rethrowing: tasks capture `fn` by
-  // reference, so returning early while some still run would leave them
-  // with a dangling reference.
+  // Wait for *every* submitted task before rethrowing anything: tasks
+  // capture `fn` by reference, so returning early while some still run
+  // would leave them with a dangling reference.
   std::exception_ptr first;
   for (auto& f : futs) {
     try {
@@ -59,7 +70,11 @@ void ThreadPool::parallel_for(std::size_t count,
       if (!first) first = std::current_exception();
     }
   }
+  // A task failure outranks the submit failure: it carries the caller's
+  // own error, and dropping it would hide a real fn() exception behind a
+  // generic "submit after shutdown".
   if (first) std::rethrow_exception(first);
+  if (submit_error) std::rethrow_exception(submit_error);
 }
 
 }  // namespace asap

@@ -54,9 +54,12 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, count) across the pool and wait for all.
-  /// The first task exception (in index order) is rethrown — but only
-  /// after every task has finished, so no task still references `fn`
-  /// when this returns or throws.
+  /// count == 0 is a pure no-op (the pool is never touched, so it works
+  /// even after shutdown). The first task exception (in index order) is
+  /// rethrown — but only after every submitted task has finished, so no
+  /// task still references `fn` when this returns or throws. A
+  /// shutdown() racing the submit loop surfaces as InvariantError, again
+  /// only after all already-submitted tasks drained.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 

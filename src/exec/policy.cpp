@@ -1,0 +1,26 @@
+#include "exec/policy.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+
+namespace asap::exec {
+
+std::size_t hardware_lanes() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void SeqPolicy::run(std::size_t count,
+                    const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < count; ++i) fn(i);
+}
+
+std::size_t PoolPolicy::lanes() const { return std::max<std::size_t>(1, pool_->size()); }
+
+void PoolPolicy::run(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) {
+  pool_->parallel_for(count, fn);
+}
+
+}  // namespace asap::exec

@@ -1,0 +1,69 @@
+// Execution policies: pluggable backends for intra-trial parallelism.
+//
+// MatrixRunner (PR 2) parallelizes *across* trials; the sharded event
+// loop (DESIGN.md §14) parallelizes *inside* one trial. Both fan a fixed
+// index space out over workers and barrier on completion — this header
+// carries the one abstraction they share, in the zpc seq/omp policy
+// style: a `Policy` runs `fn(i)` for i in [0, count) and returns when
+// every index has finished. `SeqPolicy` runs them in order on the caller
+// (the reference semantics, and the backend differential tests pin
+// against); `PoolPolicy` fans out over a `common::ThreadPool`.
+//
+// Contract: callers own all cross-index synchronization. A policy
+// guarantees only that (a) every index runs exactly once, (b) run()
+// does not return until all indices finished, and (c) the first task
+// exception (lowest index) is rethrown after that barrier — identical
+// semantics to ThreadPool::parallel_for, which PoolPolicy delegates to.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace asap {
+class ThreadPool;  // common/thread_pool.hpp
+}  // namespace asap
+
+namespace asap::exec {
+
+/// Usable hardware lanes: std::thread::hardware_concurrency() clamped to
+/// >= 1 — the standard allows it to return 0 when the platform cannot
+/// tell, and every auto-detect (ThreadPool size, MatrixRunner jobs,
+/// EngineTuning::shards = 0) must degrade to serial, never to zero.
+std::size_t hardware_lanes();
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Parallel width this policy can actually deliver (1 for SeqPolicy).
+  virtual std::size_t lanes() const = 0;
+
+  /// Runs fn(i) for every i in [0, count); returns after all complete.
+  virtual void run(std::size_t count,
+                   const std::function<void(std::size_t)>& fn) = 0;
+};
+
+/// Serial reference backend: fn(0), fn(1), ... on the calling thread.
+class SeqPolicy final : public Policy {
+ public:
+  std::size_t lanes() const override { return 1; }
+  void run(std::size_t count,
+           const std::function<void(std::size_t)>& fn) override;
+};
+
+/// ThreadPool backend. The pool is borrowed, not owned, so one pool can
+/// serve many policy users (the matrix runner reuses its trial pool for
+/// the world-build fan-out, and a sharded engine can share it too).
+class PoolPolicy final : public Policy {
+ public:
+  explicit PoolPolicy(ThreadPool& pool) : pool_(&pool) {}
+
+  std::size_t lanes() const override;
+  void run(std::size_t count,
+           const std::function<void(std::size_t)>& fn) override;
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace asap::exec

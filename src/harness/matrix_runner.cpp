@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "exec/policy.hpp"
 #include "sim/audit.hpp"
 
 namespace asap::harness {
@@ -124,10 +125,16 @@ MatrixResult run_matrix(const MatrixSpec& spec) {
     return cfg;
   };
 
-  ThreadPool pool(spec.jobs);
+  // jobs = 0 auto-detects through the shared clamp: hardware_concurrency()
+  // may legitimately report 0, and the fan-out must degrade to one lane,
+  // never to a zero-worker pool.
+  const std::size_t jobs =
+      spec.jobs == 0 ? exec::hardware_lanes() : spec.jobs;
+  ThreadPool pool(jobs);
+  exec::PoolPolicy policy(pool);
   std::vector<std::unique_ptr<const World>> worlds(num_worlds);
   std::vector<obs::PhaseProfile> world_profiles(num_worlds);
-  pool.parallel_for(num_worlds, [&](std::size_t w) {
+  policy.run(num_worlds, [&](std::size_t w) {
     const TopologyKind topo = spec.topologies[w / trials];
     const std::size_t trial = w % trials;
     obs::PhaseProfiler prof;
@@ -145,7 +152,7 @@ MatrixResult run_matrix(const MatrixSpec& spec) {
   MatrixResult out;
   out.spec = spec;
   out.trials.resize(num_cells);
-  pool.parallel_for(num_cells, [&](std::size_t c) {
+  policy.run(num_cells, [&](std::size_t c) {
     const std::size_t topo_idx = c / (num_scens * num_algos * trials);
     const std::size_t scen_idx = (c / (num_algos * trials)) % num_scens;
     const std::size_t algo_idx = (c / trials) % num_algos;
@@ -245,6 +252,8 @@ json::Value results_to_json(const MatrixResult& result) {
   spec_obj.emplace_back("queries", static_cast<double>(spec.queries));
   spec_obj.emplace_back("message_loss", spec.options.message_loss);
   spec_obj.emplace_back("audit", spec.options.audit);
+  spec_obj.emplace_back(
+      "shards", static_cast<double>(spec.options.engine_tuning.shards));
 
   json::Array cells;
   for (const auto& cell : result.cells) {
@@ -359,6 +368,13 @@ MatrixSpec spec_from_json(const json::Value& doc) {
   out.queries = static_cast<std::uint32_t>(spec.at("queries").as_double());
   out.options.message_loss = spec.at("message_loss").as_double();
   out.options.audit = spec.at("audit").as_bool();
+  // Older results files predate the shard axis; absent means the classic
+  // single-queue engine, which is also what shards = 1 runs — so committed
+  // goldens keep round-tripping bit-identically.
+  if (const json::Value* shards = spec.find("shards")) {
+    out.options.engine_tuning.shards =
+        static_cast<std::size_t>(shards->as_double());
+  }
   return out;
 }
 

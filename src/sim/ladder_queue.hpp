@@ -129,19 +129,33 @@ class LadderQueue {
     out.reserve(size_);
     for (Item& it : bottom_) out.push_back(std::move(it));
     bottom_.clear();
-    for (Rung& rung : rungs_) {
+    while (!rungs_.empty()) {
+      Rung& rung = rungs_.back();
       for (auto& bucket : rung.buckets) {
         for (Item& it : bucket) out.push_back(std::move(it));
         bucket.clear();
       }
+      // Retire the emptied shell to the free list instead of destroying
+      // it: sustained spill near the heap/ladder hysteresis boundary
+      // migrates back and forth constantly, and dropping the shells here
+      // made every re-migration rebuild thousands of bucket vectors from
+      // scratch. Same bound as ensure_bottom(): <= kMaxRungs shells kept.
+      if (spare_rungs_.size() < kMaxRungs) {
+        spare_rungs_.push_back(std::move(rungs_.back()));
+      }
+      rungs_.pop_back();
     }
-    rungs_.clear();
     for (Item& it : top_) out.push_back(std::move(it));
     top_.clear();
     reset_boundaries();
     size_ = 0;
     return out;
   }
+
+  /// Depth of the active rung stack (diagnostics/tests; kMaxRungs caps it).
+  std::size_t active_rungs() const { return rungs_.size(); }
+  /// Retired bucket-array shells available for reuse (diagnostics/tests).
+  std::size_t spare_shells() const { return spare_rungs_.size(); }
 
  private:
   struct Rung {

@@ -1,0 +1,75 @@
+// Per-(src, dst) ordered mailboxes for cross-shard event staging
+// (DESIGN.md §14).
+//
+// When an event on shard `src` schedules onto shard `dst != src`, the
+// item cannot be pushed into dst's queue directly: inside a parallel
+// window dst's queue is owned by another thread, and even in canonical
+// (serial) execution routing through the same staging path keeps the two
+// modes structurally identical. Instead the item is appended to the
+// (src, dst) box — a plain vector, so the sender's schedule order is
+// preserved — and the owner of the barrier (or the serial step loop)
+// later flushes boxes into the destination queues.
+//
+// Thread-safety contract: box (src, dst) is written only by the thread
+// executing shard src; flush_* runs only at a synchronization point
+// (after the policy barrier, or between events in canonical mode), when
+// no shard thread is running. No locks anywhere — the discipline is
+// ownership, and the TSan CI job holds it to that.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace asap::sim {
+
+template <typename Item>
+class MailboxGrid {
+ public:
+  /// Drops all boxes and resizes the grid to `shards` x `shards`.
+  void reset(std::size_t shards) {
+    shards_ = shards;
+    boxes_.clear();
+    boxes_.resize(shards * shards);
+  }
+
+  std::size_t shards() const { return shards_; }
+
+  /// The (src, dst) box. Append-only from shard src's thread.
+  std::vector<Item>& box(std::size_t src, std::size_t dst) {
+    return boxes_[src * shards_ + dst];
+  }
+
+  /// Total staged items (diagnostics; synchronization points only).
+  std::size_t staged() const {
+    std::size_t n = 0;
+    for (const auto& b : boxes_) n += b.size();
+    return n;
+  }
+
+  /// Moves every item staged by `src` out through `sink(dst, item)`,
+  /// preserving per-box send order. Canonical mode calls this after each
+  /// event; the capacity of drained boxes is kept for the next event.
+  template <typename Sink>
+  void flush_src(std::size_t src, Sink&& sink) {
+    for (std::size_t dst = 0; dst < shards_; ++dst) {
+      auto& b = box(src, dst);
+      for (Item& it : b) sink(dst, std::move(it));
+      b.clear();
+    }
+  }
+
+  /// Flushes the whole grid (the window barrier), src-major.
+  template <typename Sink>
+  void flush_all(Sink&& sink) {
+    for (std::size_t src = 0; src < shards_; ++src) {
+      flush_src(src, sink);
+    }
+  }
+
+ private:
+  std::size_t shards_ = 0;
+  std::vector<std::vector<Item>> boxes_;
+};
+
+}  // namespace asap::sim

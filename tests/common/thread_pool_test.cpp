@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace asap {
@@ -99,6 +101,79 @@ TEST(ThreadPool, SubmitAfterShutdownThrows) {
   pool.shutdown();  // idempotent
   EXPECT_THROW(pool.submit([] { return 2; }), InvariantError);
   EXPECT_THROW(pool.parallel_for(3, [](std::size_t) {}), InvariantError);
+}
+
+TEST(ThreadPool, ParallelForZeroCountAfterShutdownIsANoOp) {
+  // count == 0 has no indices to run, so it must not round-trip the pool
+  // at all — in particular it cannot throw "submit after shutdown".
+  ThreadPool pool(1);
+  pool.shutdown();
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ShutdownDuringParallelForDrainsBeforeRethrow) {
+  // A shutdown() racing the submit loop makes submit() throw partway
+  // through parallel_for. The already-queued tasks keep draining during
+  // shutdown and reference `fn` by reference, so parallel_for must hold
+  // the error until every submitted task finished — the old code
+  // propagated immediately, leaving live tasks with a dangling callable
+  // (the sanitizer jobs run this test under ASan/TSan).
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(2);
+    std::atomic<bool> entered{false};
+    std::atomic<int> live{0};
+    std::atomic<int> ran{0};
+    bool threw = false;
+    std::thread caller([&] {
+      try {
+        pool.parallel_for(10'000, [&](std::size_t) {
+          ++live;
+          entered = true;
+          ++ran;
+          --live;
+        });
+      } catch (const InvariantError&) {
+        threw = true;
+      }
+      // Whether it completed or threw, no submitted task may still be
+      // running once parallel_for returns.
+      EXPECT_EQ(live.load(), 0);
+    });
+    while (!entered.load()) std::this_thread::yield();
+    pool.shutdown();
+    caller.join();
+    // shutdown() drains the queue, so either the race was lost and all
+    // indices ran, or parallel_for threw the submit error after its
+    // drain; both end with a quiescent pool and no further task runs.
+    const int after_join = ran.load();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(ran.load(), after_join);
+    if (threw) EXPECT_LT(after_join, 10'000);
+  }
+}
+
+TEST(ThreadPool, TaskExceptionOutranksConcurrentShutdownError) {
+  // When a task itself threw and shutdown also clipped the submit loop,
+  // the caller's own exception must surface, not the generic
+  // "submit after shutdown" invariant error.
+  ThreadPool pool(1);
+  std::atomic<bool> entered{false};
+  std::exception_ptr seen;
+  std::thread caller([&] {
+    try {
+      pool.parallel_for(10'000, [&](std::size_t i) {
+        entered = true;
+        if (i == 0) throw std::runtime_error("task error");
+      });
+    } catch (...) {
+      seen = std::current_exception();
+    }
+  });
+  while (!entered.load()) std::this_thread::yield();
+  pool.shutdown();
+  caller.join();
+  ASSERT_TRUE(seen != nullptr);
+  EXPECT_THROW(std::rethrow_exception(seen), std::runtime_error);
 }
 
 TEST(ThreadPool, DrainsQueueOnDestruction) {

@@ -1,0 +1,79 @@
+// Execution policies (exec/policy.hpp): both backends must cover every
+// index exactly once, barrier before returning, and propagate the first
+// task exception — SeqPolicy is the semantic reference PoolPolicy is
+// held to.
+#include "exec/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace asap::exec {
+namespace {
+
+TEST(ExecPolicy, HardwareLanesIsAtLeastOne) {
+  // hardware_concurrency() may legitimately return 0; every auto-detect
+  // (pool size, matrix jobs, engine shards) goes through this clamp.
+  EXPECT_GE(hardware_lanes(), 1u);
+}
+
+TEST(ExecPolicy, SeqPolicyRunsAllIndicesInOrderOnCaller) {
+  SeqPolicy seq;
+  EXPECT_EQ(seq.lanes(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  seq.run(8, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 8u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ExecPolicy, PoolPolicyCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  PoolPolicy policy(pool);
+  EXPECT_EQ(policy.lanes(), 4u);
+  std::vector<std::atomic<int>> hits(128);
+  policy.run(128, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ExecPolicy, ZeroCountIsANoOpOnBothBackends) {
+  SeqPolicy seq;
+  seq.run(0, [](std::size_t) { FAIL() << "must not be called"; });
+  ThreadPool pool(2);
+  PoolPolicy policy(pool);
+  policy.run(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ExecPolicy, BothBackendsRethrowFirstTaskExceptionAfterBarrier) {
+  SeqPolicy seq;
+  EXPECT_THROW(seq.run(4,
+                       [](std::size_t i) {
+                         if (i == 2) throw std::runtime_error("seq");
+                       }),
+               std::runtime_error);
+
+  ThreadPool pool(4);
+  PoolPolicy policy(pool);
+  std::atomic<int> ran{0};
+  try {
+    policy.run(32, [&](std::size_t i) {
+      ++ran;
+      if (i >= 3) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "3");  // lowest index, not completion order
+  }
+  EXPECT_EQ(ran.load(), 32);  // the barrier held: every task finished
+}
+
+}  // namespace
+}  // namespace asap::exec

@@ -1,0 +1,107 @@
+// ISSUE 8 acceptance gate: the event-loop shard count is a pure speed
+// knob. Canonical execution pops the global (time, seq) minimum across
+// shard fronts and routes cross-partition schedules through ordered
+// mailboxes, so a full protocol replay must produce a bit-identical run
+// digest for shards = 1 vs N — for all six algorithms, and under fault
+// presets whose crash timers and jittered latencies reshape the event
+// population.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "faults/fault_config.hpp"
+#include "harness/replay.hpp"
+#include "harness/world.hpp"
+
+namespace asap::harness {
+namespace {
+
+ExperimentConfig sweep_config() {
+  auto cfg = ExperimentConfig::make(Preset::kSmall, TopologyKind::kCrawled, 23);
+  cfg.content.initial_nodes = 300;
+  cfg.content.joiner_nodes = 20;
+  cfg.trace.num_queries = 150;
+  cfg.trace.joins = 10;
+  cfg.trace.leaves = 10;
+  cfg.warmup = 120.0;
+  return cfg;
+}
+
+class ShardDigestTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new World(build_world(sweep_config()));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static World* world_;
+};
+
+World* ShardDigestTest::world_ = nullptr;
+
+constexpr std::size_t kShardCounts[] = {1, 2, 8};
+
+TEST_F(ShardDigestTest, AllAlgorithmsMatchDefaultDigestAtEveryShardCount) {
+  for (const auto kind : kAllAlgos) {
+    const auto base = run_experiment(*world_, kind);
+    ASSERT_NE(base.digest, 0u) << algo_name(kind);
+    for (const std::size_t shards : kShardCounts) {
+      RunOptions opts;
+      opts.engine_tuning.shards = shards;
+      const auto res = run_experiment(*world_, kind, opts);
+      EXPECT_EQ(res.digest, base.digest)
+          << algo_name(kind) << " / shards=" << shards;
+      EXPECT_EQ(res.engine_events, base.engine_events)
+          << algo_name(kind) << " / shards=" << shards;
+    }
+  }
+}
+
+TEST_F(ShardDigestTest, ShardIdentityHoldsUnderFaultPresets) {
+  // Crash/detect timers carry owner nodes (they route to real shards) and
+  // partition/burst markers are world-global (shard 0) — the mix that
+  // exercises every mailbox routing path. One baseline and one ASAP
+  // variant keep the runtime bounded, matching engine_digest_test.
+  for (const auto kind : {AlgoKind::kFlooding, AlgoKind::kAsapRw}) {
+    for (const char* preset : {"churn", "chaos"}) {
+      RunOptions base_opts;
+      base_opts.faults = faults::fault_preset(preset).config;
+      const auto base = run_experiment(*world_, kind, base_opts);
+      ASSERT_NE(base.digest, 0u) << algo_name(kind) << " / " << preset;
+      for (const std::size_t shards : kShardCounts) {
+        RunOptions opts = base_opts;
+        opts.engine_tuning.shards = shards;
+        const auto res = run_experiment(*world_, kind, opts);
+        EXPECT_EQ(res.digest, base.digest)
+            << algo_name(kind) << " / " << preset << " / shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST_F(ShardDigestTest, ShardsComposeWithQueueAndCallbackTunings) {
+  // The shard axis must be orthogonal to the PR 6/7 queue knobs: a
+  // sharded ladder-only engine and a sharded forced-pool engine still
+  // land on the same digest.
+  const auto kind = AlgoKind::kAsapRw;
+  const auto base = run_experiment(*world_, kind);
+  for (const std::size_t shards : {2u, 8u}) {
+    RunOptions opts;
+    opts.engine_tuning.shards = shards;
+    opts.engine_tuning.ladder_threshold = 0;
+    opts.engine_tuning.heap_threshold = 0;
+    EXPECT_EQ(run_experiment(*world_, kind, opts).digest, base.digest)
+        << "ladder-only / shards=" << shards;
+    RunOptions pooled;
+    pooled.engine_tuning.shards = shards;
+    pooled.engine_tuning.force_heap_callbacks = true;
+    EXPECT_EQ(run_experiment(*world_, kind, pooled).digest, base.digest)
+        << "forced-pool / shards=" << shards;
+  }
+}
+
+}  // namespace
+}  // namespace asap::harness

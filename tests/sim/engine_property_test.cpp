@@ -8,6 +8,7 @@
 // inside running callbacks — must execute in exactly the model's order.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <functional>
 #include <queue>
 #include <vector>
@@ -204,6 +205,46 @@ TEST(EngineProperty, PooledCallbacksMatchReferenceModel) {
   EngineTuning t;
   t.force_heap_callbacks = true;  // every closure through the SlabPool
   run_interleaving_sweep(t, 83, 20'000);
+}
+
+TEST(EngineProperty, DegenerateLadderRegimeMatchesReferenceModel) {
+  // Gaps shrink geometrically toward the end of each wave's span
+  // (t = base + span * (1 - 2^(-i/8)), ladder_queue_test's degenerate
+  // tail), so every rung's final bucket re-concentrates and the rung
+  // stack recurses to kMaxRungs, where the sort-regardless degenerate
+  // path takes over (the regime whose drain used to leak rung shells).
+  // Interleaved pops, timestamp ties, and in-window reschedules must
+  // still match the reference exactly.
+  EngineTuning t;
+  t.ladder_threshold = 0;
+  t.heap_threshold = 0;
+  Mirror m(t);
+  Rng rng(211);
+  const double span = 1024.0;
+  for (int wave = 0; wave < 3; ++wave) {
+    const double base = m.engine.now();
+    for (int i = 0; i < 300; ++i) {
+      const double at =
+          base + span * (1.0 - std::exp2(-static_cast<double>(i) / 8.0));
+      m.schedule_at(at, 2);
+      m.schedule_at(at, 2);  // duplicate time: seq tie-break in the tail
+    }
+    EXPECT_TRUE(m.engine.using_ladder());
+    // Drain most of the wave with occasional tail-region insertions.
+    while (m.model.size() > 64) {
+      m.step_and_check();
+      if (::testing::Test::HasFatalFailure()) return;
+      if (rng.chance(0.05)) {
+        m.schedule_at(m.engine.now() + rng.uniform(0.0, 1.0 / 1024.0), 2);
+      }
+      ASSERT_EQ(m.engine.pending(), m.model.size());
+    }
+  }
+  while (!m.model.empty()) {
+    m.step_and_check();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_FALSE(m.engine.step());
 }
 
 TEST(EngineProperty, EventExactlyAtHorizonExecutes) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -171,6 +172,59 @@ TEST(LadderQueue, PushIntoConsumedRegionSortsIntoBottom) {
   EXPECT_EQ(a.seq, 1u);
   EXPECT_EQ(b.time, 1.0);
   EXPECT_EQ(b.seq, 1000u);
+}
+
+/// Timestamps engineered so every spread re-concentrates: gaps shrink
+/// geometrically toward the span's end (t_i = hi * (1 - 2^(-i/8))), so
+/// whatever a rung's bucket width, its final bucket keeps well over
+/// kSortThreshold items spanning distinct times — each spread sheds only
+/// ~8*log2(buckets) items off the tail — and the rung stack recurses
+/// until it hits kMaxRungs, where the degenerate sort-regardless path
+/// takes over. The 2^(-1/8) ratio keeps all 300 gaps far above
+/// ulp(1024), so every timestamp stays distinct.
+std::vector<Ev> degenerate_tail(std::size_t count, std::uint64_t& seq) {
+  std::vector<Ev> out;
+  const double hi = 1024.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = hi * (1.0 - std::exp2(-static_cast<double>(i) / 8.0));
+    out.push_back(Ev{t, seq++});
+  }
+  return out;
+}
+
+TEST(LadderQueue, DegenerateTailReachesMaxRungsAndPopsExactly) {
+  LadderQueue<Ev> q;
+  std::uint64_t seq = 0;
+  std::vector<Ev> model = degenerate_tail(300, seq);
+  for (const Ev& e : model) q.push(Ev{e});
+  std::size_t deepest = 0;
+  std::sort(model.begin(), model.end(), ref_before);
+  for (const Ev& expected : model) {
+    const Ev got = q.pop();
+    ASSERT_EQ(got.seq, expected.seq);
+    deepest = std::max(deepest, q.active_rungs());
+  }
+  // The workload must actually have held the queue in the degenerate
+  // regime, or this test proves nothing.
+  EXPECT_EQ(deepest, LadderQueue<Ev>::kMaxRungs);
+}
+
+TEST(LadderQueue, DrainRecyclesRungShellsWithinBound) {
+  // Regression: drain_unordered() used to destroy the active rungs'
+  // bucket-array shells instead of retiring them to the free list, so
+  // sustained heap/ladder migration thrash rebuilt every bucket vector
+  // from scratch on each cycle.
+  LadderQueue<Ev> q;
+  std::uint64_t seq = 0;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    for (const Ev& e : degenerate_tail(300, seq)) q.push(Ev{e});
+    (void)q.pop();  // builds the rung stack
+    EXPECT_GT(q.active_rungs(), 0u);
+    (void)q.drain_unordered();
+    EXPECT_EQ(q.active_rungs(), 0u);
+    EXPECT_GT(q.spare_shells(), 0u) << "drain destroyed the shells";
+    EXPECT_LE(q.spare_shells(), LadderQueue<Ev>::kMaxRungs);
+  }
 }
 
 }  // namespace

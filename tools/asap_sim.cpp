@@ -36,6 +36,7 @@ struct CliArgs {
   std::uint64_t seed = 42;
   std::uint32_t queries = 0;  // 0 = preset default
   std::size_t jobs = 0;
+  std::size_t shards = 1;  // event-loop shards per run (0 = auto)
   std::string csv_path;
   bool audit = false;
 
@@ -113,6 +114,9 @@ void print_usage() {
   --seed N                    master seed (default 42)
   --queries N                 override query count
   --jobs N                    parallel cells (default: hardware)
+  --shards N                  event-loop shards per run (default 1;
+                              0 = hardware). Run digests are bit-identical
+                              across shard counts (DESIGN.md section 14)
   --csv FILE                  also write results as CSV
   --audit                     run the simulation invariant auditor; any
                               violation is reported and exits nonzero
@@ -202,6 +206,8 @@ CliArgs parse(int argc, char** argv) {
       args.queries = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (flag == "--jobs") {
       args.jobs = std::stoul(next());
+    } else if (flag == "--shards") {
+      args.shards = std::stoul(next());
     } else if (flag == "--csv") {
       args.csv_path = next();
     } else if (flag == "--audit") {
@@ -253,6 +259,7 @@ CliArgs parse(int argc, char** argv) {
 harness::RunOptions options_for(const CliArgs& args, harness::AlgoKind kind) {
   harness::RunOptions opts;
   opts.audit = opts.audit || args.audit;
+  opts.engine_tuning.shards = args.shards;
   if (!harness::is_asap(kind)) return opts;
   auto p = harness::default_asap_params(kind, args.preset);
   if (args.m0) p.budget_unit_m0 = *args.m0;
@@ -338,6 +345,7 @@ int run_matrix_mode(const CliArgs& args) {
   spec.jobs = args.jobs;
   spec.queries = args.queries;
   spec.options.audit = args.audit;
+  spec.options.engine_tuning.shards = args.shards;
   if (!args.fault_scenarios.empty()) {
     spec.fault_scenarios = args.fault_scenarios;
   }
