@@ -15,15 +15,23 @@ std::uint64_t AdCache::prefilter_for(const AdPayload& ad) const {
 }
 
 void AdCache::fold_count_add(std::uint64_t word) {
+  if (word == 0) return;
+  if (!fold_count_) {
+    fold_count_ = std::make_unique<std::array<std::uint32_t, 64>>();
+    fold_count_->fill(0);
+  }
   while (word != 0) {
-    ++fold_count_[static_cast<std::size_t>(std::countr_zero(word))];
+    ++(*fold_count_)[static_cast<std::size_t>(std::countr_zero(word))];
     word &= word - 1;
   }
 }
 
 void AdCache::fold_count_remove(std::uint64_t word) {
+  if (word == 0) return;
+  ASAP_DCHECK(fold_count_ != nullptr);
   while (word != 0) {
-    auto& c = fold_count_[static_cast<std::size_t>(std::countr_zero(word))];
+    auto& c =
+        (*fold_count_)[static_cast<std::size_t>(std::countr_zero(word))];
     ASAP_DCHECK(c > 0);
     --c;
     word &= word - 1;
@@ -45,24 +53,25 @@ AdCache::PutResult AdCache::put(AdPayloadPtr ad, double now, Rng& rng) {
   if (capacity_ == 0) return {};
   const NodeId src = ad->source;
   if (!struck_.empty()) {
-    if (const auto it = struck_.find(src); it != struck_.end()) {
-      if (now < it->second) return {};  // re-admission backoff: drop
-      struck_.erase(it);
+    if (const double* until = struck_.find(src)) {
+      if (now < *until) return {};  // re-admission backoff: drop
+      struck_.erase(src);
     }
   }
-  if (auto it = pos_.find(src); it != pos_.end()) {
+  if (const std::uint32_t* idxp = pos_.find(src)) {
+    const std::uint32_t idx = *idxp;
     PutResult r;
     // Never downgrade to an older version (walk revisits can deliver the
     // same ad twice; late full ads can race a newer patch).
-    if (ad->version >= entries_[it->second].ad->version) {
+    if (ad->version >= entries_[idx].ad->version) {
       // A full ad is also the new delta base.
-      entries_[it->second].base = ad;
-      set_payload(it->second, std::move(ad));
+      entries_[idx].base = ad;
+      set_payload(idx, std::move(ad));
       // A fresh ad is evidence the source is alive and advertising.
-      entries_[it->second].timeout_strikes = 0;
+      entries_[idx].timeout_strikes = 0;
       r.stored = true;
     }
-    entries_[it->second].touch = now;
+    entries_[idx].touch = now;
     return r;
   }
   PutResult r;
@@ -86,30 +95,32 @@ AdCache::PutResult AdCache::put(AdPayloadPtr ad, double now, Rng& rng) {
 
 UpdateOutcome AdCache::apply_patch(NodeId source, std::uint32_t base_version,
                                    const AdPayloadPtr& next, double now) {
-  auto it = pos_.find(source);
-  if (it == pos_.end()) return UpdateOutcome::kMissing;
-  auto& entry = entries_[it->second];
+  const std::uint32_t* idxp = pos_.find(source);
+  if (idxp == nullptr) return UpdateOutcome::kMissing;
+  const std::uint32_t idx = *idxp;
+  auto& entry = entries_[idx];
   if (entry.ad->version == base_version) {
-    set_payload(it->second, next);
+    set_payload(idx, next);
     entry.touch = now;
     return UpdateOutcome::kApplied;
   }
   if (entry.ad->version >= next->version) return UpdateOutcome::kIgnoredStale;
-  erase_at(it->second);  // stale beyond repair
+  erase_at(idx);  // stale beyond repair
   return UpdateOutcome::kInvalidated;
 }
 
 UpdateOutcome AdCache::on_refresh(NodeId source, std::uint32_t version,
                                   double now) {
-  auto it = pos_.find(source);
-  if (it == pos_.end()) return UpdateOutcome::kMissing;
-  auto& entry = entries_[it->second];
+  const std::uint32_t* idxp = pos_.find(source);
+  if (idxp == nullptr) return UpdateOutcome::kMissing;
+  const std::uint32_t idx = *idxp;
+  auto& entry = entries_[idx];
   if (entry.ad->version == version) {
     entry.touch = now;
     return UpdateOutcome::kApplied;
   }
   if (entry.ad->version < version) {
-    erase_at(it->second);
+    erase_at(idx);
     return UpdateOutcome::kInvalidated;
   }
   return UpdateOutcome::kIgnoredStale;
@@ -119,9 +130,10 @@ UpdateOutcome AdCache::apply_delta(NodeId source,
                                    std::uint32_t base_full_version,
                                    std::span<const std::uint32_t> toggles,
                                    const AdPayloadPtr& next, double now) {
-  auto it = pos_.find(source);
-  if (it == pos_.end()) return UpdateOutcome::kMissing;
-  auto& entry = entries_[it->second];
+  const std::uint32_t* idxp = pos_.find(source);
+  if (idxp == nullptr) return UpdateOutcome::kMissing;
+  const std::uint32_t idx = *idxp;
+  auto& entry = entries_[idx];
   if (entry.ad->version >= next->version) return UpdateOutcome::kIgnoredStale;
   if (entry.base && entry.base->version == base_full_version) {
 #ifdef ASAP_AUDIT_FORCE_ON
@@ -133,18 +145,18 @@ UpdateOutcome AdCache::apply_delta(NodeId source,
 #else
     (void)toggles;
 #endif
-    set_payload(it->second, next);
+    set_payload(idx, next);
     entry.touch = now;
     return UpdateOutcome::kApplied;
   }
-  erase_at(it->second);  // base lost or mismatched: re-learn from a full ad
+  erase_at(idx);  // base lost or mismatched: re-learn from a full ad
   return UpdateOutcome::kInvalidated;
 }
 
 bool AdCache::erase(NodeId source) {
-  auto it = pos_.find(source);
-  if (it == pos_.end()) return false;
-  erase_at(it->second);
+  const std::uint32_t* idxp = pos_.find(source);
+  if (idxp == nullptr) return false;
+  erase_at(*idxp);
   return true;
 }
 
@@ -154,8 +166,8 @@ bool AdCache::erase_stale(NodeId source, double now) {
 }
 
 bool AdCache::readmit_blocked(NodeId source, double now) const {
-  const auto it = struck_.find(source);
-  return it != struck_.end() && now < it->second;
+  const double* until = struck_.find(source);
+  return until != nullptr && now < *until;
 }
 
 void AdCache::erase_at(std::size_t idx) {
@@ -177,24 +189,32 @@ void AdCache::erase_at(std::size_t idx) {
 }
 
 const AdCache::Entry* AdCache::find(NodeId source) const {
-  auto it = pos_.find(source);
-  return it == pos_.end() ? nullptr : &entries_[it->second];
+  const std::uint32_t* idxp = pos_.find(source);
+  return idxp == nullptr ? nullptr : &entries_[*idxp];
 }
 
 void AdCache::touch(NodeId source, double now) {
-  auto it = pos_.find(source);
-  if (it != pos_.end()) entries_[it->second].touch = now;
+  const std::uint32_t* idxp = pos_.find(source);
+  if (idxp != nullptr) entries_[*idxp].touch = now;
 }
 
 std::uint32_t AdCache::record_timeout(NodeId source) {
-  auto it = pos_.find(source);
-  if (it == pos_.end()) return 0;
-  return ++entries_[it->second].timeout_strikes;
+  const std::uint32_t* idxp = pos_.find(source);
+  if (idxp == nullptr) return 0;
+  return ++entries_[*idxp].timeout_strikes;
 }
 
 void AdCache::reset_timeouts(NodeId source) {
-  auto it = pos_.find(source);
-  if (it != pos_.end()) entries_[it->second].timeout_strikes = 0;
+  const std::uint32_t* idxp = pos_.find(source);
+  if (idxp != nullptr) entries_[*idxp].timeout_strikes = 0;
+}
+
+std::uint64_t AdCache::memory_bytes() const {
+  return sources_.capacity() * sizeof(NodeId) +
+         entries_.capacity() * sizeof(Entry) +
+         prefilter_.capacity() * sizeof(std::uint64_t) +
+         (fold_count_ ? sizeof(*fold_count_) : 0) + pos_.memory_bytes() +
+         struck_.memory_bytes();
 }
 
 void AdCache::evict_one(Rng& rng) {
@@ -269,13 +289,18 @@ std::size_t AdCache::order_terms(
   std::array<std::uint32_t, kMaxOrderedTerms> selectivity{};
   for (std::size_t t = 0; t < n; ++t) {
     // At most fold_count_[j] entries have fold bit j, so the rarest bit of
-    // the term's mask bounds how many entries the term can match.
+    // the term's mask bounds how many entries the term can match. A null
+    // array reads as all-zero counts.
     std::uint64_t mask = keys[t].fold_mask();
     std::uint32_t s = ~0U;
-    while (mask != 0) {
-      const auto b = static_cast<std::size_t>(std::countr_zero(mask));
-      s = std::min(s, fold_count_[b]);
-      mask &= mask - 1;
+    if (fold_count_) {
+      while (mask != 0) {
+        const auto b = static_cast<std::size_t>(std::countr_zero(mask));
+        s = std::min(s, (*fold_count_)[b]);
+        mask &= mask - 1;
+      }
+    } else if (mask != 0) {
+      s = 0;
     }
     selectivity[t] = s;
     order[t] = static_cast<std::uint8_t>(t);

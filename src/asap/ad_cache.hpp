@@ -6,7 +6,9 @@
 // lists — important because ad deliveries generate millions of inserts.
 //
 // Storage is structure-of-arrays: `sources_`, `entries_` and `prefilter_`
-// are index-aligned, with `pos_` mapping source → index. The scan path
+// are index-aligned, with `pos_` — an open-addressing FlatMap, 16 bytes
+// when empty — mapping source → index. An empty cache costs well under
+// 200 bytes, which is what lets a million-node world keep one per peer. The scan path
 // (collect_matches / collect_for_reply over a HashedQuery) walks the dense
 // 8-byte prefilter array first — each word is the fold of that entry's
 // Bloom filter (bloom/hashed_query.hpp) — and only entries whose fold
@@ -39,12 +41,13 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "asap/ad.hpp"
 #include "bloom/hashed_query.hpp"
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
@@ -164,6 +167,11 @@ class AdCache {
   std::span<const Entry> entries() const { return entries_; }
   std::span<const std::uint64_t> prefilters() const { return prefilter_; }
 
+  /// Heap bytes owned by this cache's containers (payloads are shared
+  /// wire objects, counted by their producers, so they are excluded).
+  /// Drives the per-node state accounting in scale benchmarks.
+  std::uint64_t memory_bytes() const;
+
  private:
   void evict_one(Rng& rng);
   void erase_at(std::size_t idx);
@@ -198,13 +206,17 @@ class AdCache {
   std::vector<Entry> entries_;
   std::vector<std::uint64_t> prefilter_;
   // fold_count_[j] = number of entries whose prefilter has bit j set;
-  // drives the rarest-first term ordering.
-  std::array<std::uint32_t, 64> fold_count_{};
-  std::unordered_map<NodeId, std::uint32_t> pos_;  // source -> index
+  // drives the rarest-first term ordering. Allocated lazily on the first
+  // nonzero prefilter word — a million idle caches cost 8 bytes each here,
+  // not 256 — and a null array reads as all-zero counts (order_terms then
+  // degrades to natural term order, exactly like the eager all-zero
+  // array did).
+  std::unique_ptr<std::array<std::uint32_t, 64>> fold_count_;
+  FlatMap<NodeId, std::uint32_t> pos_;  // source -> index
   /// source -> virtual time until which puts are dropped (erase_stale).
   /// Empty unless a backoff is configured, so vanilla runs never pay a
   /// lookup in put().
-  std::unordered_map<NodeId, double> struck_;
+  FlatMap<NodeId, double> struck_;
   double readmit_backoff_ = 0.0;
 };
 

@@ -73,6 +73,20 @@ class Advertiser {
     return *counting_;
   }
 
+  /// Heap bytes owned by this advertiser: the counting filter plus the
+  /// published payload snapshots (each holds its own bitmap copy; the
+  /// shared_ptr copies cached elsewhere alias these same blocks, so the
+  /// producer is the one place they are counted).
+  std::uint64_t memory_bytes() const {
+    std::uint64_t total =
+        counting_ ? sizeof(*counting_) + counting_->memory_bytes() : 0;
+    if (payload_) total += sizeof(AdPayload) + payload_->filter.memory_bytes();
+    if (base_payload_ && base_payload_ != payload_) {
+      total += sizeof(AdPayload) + base_payload_->filter.memory_bytes();
+    }
+    return total;
+  }
+
  private:
   NodeId source_;
   bloom::BloomParams params_;

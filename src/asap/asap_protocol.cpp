@@ -63,6 +63,16 @@ AsapProtocol::AsapProtocol(search::Ctx& ctx, AsapParams params)
   }
 }
 
+std::uint64_t AsapProtocol::state_bytes() const {
+  std::uint64_t total = advertisers_.capacity() * sizeof(Advertiser) +
+                        caches_.capacity() * sizeof(AdCache) +
+                        refresh_scheduled_.capacity() +
+                        scheds_.capacity() * sizeof(AdScheduler);
+  for (const auto& a : advertisers_) total += a.memory_bytes();
+  for (const auto& c : caches_) total += c.memory_bytes();
+  return total;
+}
+
 std::string AsapProtocol::name() const {
   const char* mode = "asap";
   switch (params_.ad_mode) {

@@ -127,6 +127,7 @@ class AsapProtocol final : public search::SearchAlgorithm {
   std::string name() const override;
   void warm_up(Seconds duration) override;
   void on_trace_event(const trace::TraceEvent& event) override;
+  std::uint64_t state_bytes() const override;
 
   // --- introspection (tests, examples) ---------------------------------
   const AdCache& cache(NodeId n) const { return caches_[n]; }

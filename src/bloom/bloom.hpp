@@ -85,6 +85,11 @@ class BloomFilter {
 
   bool operator==(const BloomFilter&) const = default;
 
+  /// Heap bytes owned by the bitmap (scale-bench state accounting).
+  std::uint64_t memory_bytes() const {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
   /// The k bit positions a key maps to (exposed for tests).
   void positions(std::uint64_t key, std::vector<std::uint32_t>& out) const;
 
@@ -118,6 +123,12 @@ class CountingBloomFilter {
   const BloomFilter& projection() const { return projection_; }
 
   std::uint16_t counter(std::uint32_t pos) const { return counters_[pos]; }
+
+  /// Heap bytes owned by the counters and the projection bitmap.
+  std::uint64_t memory_bytes() const {
+    return counters_.capacity() * sizeof(std::uint16_t) +
+           projection_.memory_bytes();
+  }
 
  private:
   BloomParams params_;

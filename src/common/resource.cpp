@@ -1,0 +1,23 @@
+#include "common/resource.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace asap {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#elif defined(__unix__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#else
+  return 0;
+#endif
+}
+
+}  // namespace asap

@@ -1,0 +1,12 @@
+// Process resource probes for the scale benchmarks.
+#pragma once
+
+#include <cstdint>
+
+namespace asap {
+
+/// Peak resident set size of this process so far, in bytes (getrusage's
+/// high-water mark — monotone, never decreases). 0 when unavailable.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace asap

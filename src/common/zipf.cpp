@@ -35,6 +35,53 @@ double ZipfSampler::pmf(std::uint32_t rank) const {
   return cdf_[rank - 1] - lo;
 }
 
+ZipfRejectionSampler::ZipfRejectionSampler(std::uint32_t n, double alpha)
+    : n_(n),
+      s_(alpha),
+      oms_(1.0 - alpha),
+      spole_(std::abs(oms_) < 1e-8),
+      rvs_(spole_ ? 0.0 : 1.0 / oms_),
+      H_x1_(H(1.5) - h(1.0)),
+      H_n_(H(static_cast<double>(n) + 0.5)),
+      cut_(1.0 - H_inv(H(1.5) - h(1.0))) {
+  ASAP_REQUIRE(n >= 1, "ZipfRejectionSampler needs at least one rank");
+  ASAP_REQUIRE(alpha >= 0.0, "Zipf exponent must be non-negative");
+}
+
+std::uint32_t ZipfRejectionSampler::sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    const double u = rng.uniform(H_x1_, H_n_);
+    const double x = H_inv(u);
+    const double rounded = std::round(x);
+    auto k = static_cast<std::uint32_t>(
+        std::min(std::max(rounded, 1.0), static_cast<double>(n_)));
+    if (static_cast<double>(k) - x <= cut_) return k;
+    if (u >= H(static_cast<double>(k) + 0.5) - h(static_cast<double>(k)))
+      return k;
+  }
+}
+
+double ZipfRejectionSampler::H(double x) const {
+  return spole_ ? std::log(x) : std::expm1(oms_ * std::log(x)) * rvs_;
+}
+
+double ZipfRejectionSampler::H_inv(double x) const {
+  return spole_ ? std::exp(x) : std::exp(rvs_ * std::log1p(x * oms_));
+}
+
+double ZipfRejectionSampler::h(double x) const {
+  return std::exp(-s_ * std::log(x));
+}
+
+ZipfDraw::ZipfDraw(std::uint32_t n, double alpha) : n_(n), alpha_(alpha) {
+  if (n <= kCdfMaxRanks) {
+    cdf_ = std::make_unique<ZipfSampler>(n, alpha);
+  } else {
+    rejection_ = std::make_unique<ZipfRejectionSampler>(n, alpha);
+  }
+}
+
 std::vector<std::uint32_t> powerlaw_degree_sequence(std::uint32_t count,
                                                     double alpha,
                                                     std::uint32_t dmin,

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -32,6 +33,71 @@ class ZipfSampler {
   std::uint32_t n_;
   double alpha_;
   std::vector<double> cdf_;  // cdf_[i] = P(rank <= i+1); back() == 1.0
+};
+
+/// Samples ranks r in [1, n] with P(r) proportional to r^-alpha in O(1)
+/// per draw and O(1) memory (no CDF table), via rejection-inversion
+/// (Hörmann & Derflinger, ACM TOMACS 6.3, 1996).
+///
+/// This is what makes million-rank popularity draws feasible: the CDF
+/// sampler above costs O(n) doubles to build, which at 1M ranks per class
+/// is exactly the dense table the streaming trace path must avoid. The
+/// acceptance loop takes < 1.1 iterations on average for every alpha.
+class ZipfRejectionSampler {
+ public:
+  /// @param n      number of ranks (must be >= 1)
+  /// @param alpha  skew exponent (>= 0; 0 degenerates to uniform)
+  ZipfRejectionSampler(std::uint32_t n, double alpha);
+
+  /// Draws a rank in [1, n]. Consumes a variable number of uniforms
+  /// (usually one) — callers needing a fixed draw count must use the CDF
+  /// sampler.
+  std::uint32_t sample(Rng& rng) const;
+
+  std::uint32_t size() const { return n_; }
+  double alpha() const { return s_; }
+
+ private:
+  double H(double x) const;      // integral of the hat: (x^(1-s)-1)/(1-s)
+  double H_inv(double x) const;  // inverse of H
+  double h(double x) const;      // hat function x^-s
+
+  std::uint32_t n_;
+  double s_;
+  double oms_;    // 1 - s
+  bool spole_;    // |1 - s| below epsilon: use the log/exp pole forms
+  double rvs_;    // 1 / (1 - s) away from the pole
+  double H_x1_;   // H(1.5) - h(1.0), lower end of the inversion range
+  double H_n_;    // H(n + 0.5), upper end
+  double cut_;    // immediate-accept threshold on k - x
+};
+
+/// Popularity-draw facade: CDF sampler below kCdfMaxRanks, rejection-
+/// inversion above.
+///
+/// The split keeps every draw at historical rank counts bit-identical to
+/// the CDF path (one uniform01 per draw, same lower_bound walk) while
+/// large worlds get the O(1)-memory sampler — run digests at existing
+/// scales cannot move.
+class ZipfDraw {
+ public:
+  static constexpr std::uint32_t kCdfMaxRanks = 4096;
+
+  ZipfDraw(std::uint32_t n, double alpha);
+
+  std::uint32_t sample(Rng& rng) const {
+    return rejection_ ? rejection_->sample(rng) : cdf_->sample(rng);
+  }
+
+  std::uint32_t size() const { return n_; }
+  double alpha() const { return alpha_; }
+  bool uses_rejection() const { return rejection_ != nullptr; }
+
+ private:
+  std::uint32_t n_;
+  double alpha_;
+  std::unique_ptr<ZipfSampler> cdf_;
+  std::unique_ptr<ZipfRejectionSampler> rejection_;
 };
 
 /// Draws an integer-valued degree sequence of given length whose values

@@ -25,9 +25,31 @@ FaultPlan FaultPlan::build(const FaultConfig& cfg, std::uint64_t seed,
                            std::span<const trace::TraceEvent> trace_events,
                            Seconds measure_start, Seconds measure_end,
                            std::uint32_t num_stub_domains) {
+  // Reduce the events to the churned-initial-node bitmap and delegate;
+  // membership is a function of the trace alone, so the candidate list —
+  // and therefore the draw sequence — is identical for every algorithm.
+  std::vector<std::uint8_t> churned(initial_nodes, 0);
+  for (const auto& ev : trace_events) {
+    if (ev.type == trace::TraceEventType::kJoin ||
+        ev.type == trace::TraceEventType::kLeave ||
+        ev.type == trace::TraceEventType::kRejoin) {
+      if (ev.node < initial_nodes) churned[ev.node] = 1;
+    }
+  }
+  return build(cfg, seed, initial_nodes, std::span<const std::uint8_t>(churned),
+               measure_start, measure_end, num_stub_domains);
+}
+
+FaultPlan FaultPlan::build(const FaultConfig& cfg, std::uint64_t seed,
+                           std::uint32_t initial_nodes,
+                           std::span<const std::uint8_t> churned_initial,
+                           Seconds measure_start, Seconds measure_end,
+                           std::uint32_t num_stub_domains) {
   cfg.validate();
   ASAP_REQUIRE(measure_end > measure_start,
                "fault plan: empty measurement window");
+  ASAP_REQUIRE(churned_initial.size() >= initial_nodes,
+               "fault plan: churned bitmap smaller than initial population");
   FaultPlan plan;
   plan.cfg_ = cfg;
   plan.measure_start_ = measure_start;
@@ -37,17 +59,8 @@ FaultPlan FaultPlan::build(const FaultConfig& cfg, std::uint64_t seed,
   const Seconds window = measure_end - measure_start;
 
   if (cfg.crash_fraction > 0.0 && initial_nodes > 0) {
-    // Candidates: initial nodes the trace never churns. Membership is a
-    // function of the trace alone, so the candidate list — and therefore
-    // the draw sequence below — is identical for every algorithm.
-    std::vector<std::uint8_t> churned(initial_nodes, 0);
-    for (const auto& ev : trace_events) {
-      if (ev.type == trace::TraceEventType::kJoin ||
-          ev.type == trace::TraceEventType::kLeave ||
-          ev.type == trace::TraceEventType::kRejoin) {
-        if (ev.node < initial_nodes) churned[ev.node] = 1;
-      }
-    }
+    // Candidates: initial nodes the trace never churns.
+    std::span<const std::uint8_t> churned = churned_initial;
     std::vector<NodeId> candidates;
     candidates.reserve(initial_nodes);
     for (NodeId n = 0; n < initial_nodes; ++n) {

@@ -50,6 +50,16 @@ class FaultPlan {
                          Seconds measure_start, Seconds measure_end,
                          std::uint32_t num_stub_domains);
 
+  /// Same plan, but the trace's churn contribution arrives pre-reduced as
+  /// a bitmap over the initial nodes (churned_initial[n] != 0 when the
+  /// trace joins/leaves/rejoins node n). Streaming worlds never hold the
+  /// events vector, so they record this bitmap during the build pre-pass.
+  static FaultPlan build(const FaultConfig& cfg, std::uint64_t seed,
+                         std::uint32_t initial_nodes,
+                         std::span<const std::uint8_t> churned_initial,
+                         Seconds measure_start, Seconds measure_end,
+                         std::uint32_t num_stub_domains);
+
   const FaultConfig& config() const { return cfg_; }
   const std::vector<Crash>& crashes() const { return crashes_; }
   const std::vector<Window>& bursts() const { return bursts_; }

@@ -1,5 +1,7 @@
 #include "harness/config.hpp"
 
+#include <algorithm>
+
 namespace asap::harness {
 
 const char* topology_name(TopologyKind t) {
@@ -30,6 +32,40 @@ std::optional<Preset> preset_from_name(std::string_view name) {
   if (name == "small") return Preset::kSmall;
   if (name == "paper") return Preset::kPaper;
   return std::nullopt;
+}
+
+void ExperimentConfig::apply_scale(std::uint32_t n) {
+  if (n == 0) return;  // keep the preset dimensions
+  scale = n;
+
+  content.initial_nodes = n;
+  content.joiner_nodes = std::max<std::uint32_t>(100, n / 10);
+
+  // Churn stays a bounded absolute count: attach/reattach keep the legacy
+  // O(n) candidate scan per event (digest compatibility), so churn volume
+  // — not population — must bound that cost at scale.
+  trace.joins = std::min<std::uint32_t>(trace.joins, 2'000);
+  trace.joins = std::min(trace.joins, content.joiner_nodes);
+  trace.leaves = std::min<std::uint32_t>(trace.leaves, 2'000);
+
+  // Keep popular-term selectivity roughly scale-invariant: a fixed 800-term
+  // pool shared by a million peers would make every popular term a huge
+  // result set. Past the ZipfDraw CDF threshold this also engages the O(1)
+  // rejection-inversion sampler.
+  content.popular_terms_per_class =
+      std::max(content.popular_terms_per_class, n / 50);
+
+  // Physical network: enough stub capacity for every slot (initial nodes
+  // plus joiners) while transit dimensions stay fixed.
+  const std::uint32_t slots = content.initial_nodes + content.joiner_nodes;
+  phys.stub_nodes_per_domain = 20;
+  const std::uint32_t transits = phys.total_transit_nodes();
+  const std::uint32_t per_domain = phys.stub_nodes_per_domain;
+  phys.stub_domains_per_transit =
+      (slots + transits * per_domain - 1) / (transits * per_domain);
+
+  // Large worlds never materialize the trace.
+  if (n >= 100'000) stream_trace = true;
 }
 
 ExperimentConfig ExperimentConfig::make(Preset preset, TopologyKind topology,

@@ -60,6 +60,23 @@ struct ExperimentConfig {
   /// committed goldens. RunOptions::faults overrides this per run.
   faults::FaultConfig faults;
 
+  /// Synthesize trace events on demand during the run instead of
+  /// materializing the O(events) vector in the World. The event stream is
+  /// bit-identical either way (tests/trace/streaming_trace_test.cpp);
+  /// apply_scale turns this on automatically at >= 100k nodes.
+  bool stream_trace = false;
+
+  /// Node-count override applied by apply_scale (0 = preset default).
+  /// Recorded so result JSON and matrix specs can round-trip the axis.
+  std::uint32_t scale = 0;
+
+  /// Re-dimensions this config for an `n`-node population (the --scale
+  /// axis): initial nodes, joiner slots, physical network capacity, capped
+  /// churn counts, and a keyword-pool size that keeps term selectivity
+  /// comparable across scales. Leaves every other knob (budgets, rates,
+  /// warm-up) at its preset value so small-scale behaviour is unchanged.
+  void apply_scale(std::uint32_t n);
+
   static ExperimentConfig make(Preset preset, TopologyKind topology,
                                std::uint64_t seed = 42);
 };

@@ -121,6 +121,8 @@ MatrixResult run_matrix(const MatrixSpec& spec) {
   const auto config_of = [&](TopologyKind topo, std::size_t trial) {
     auto cfg = ExperimentConfig::make(spec.preset, topo, world_seed_of(trial));
     if (spec.queries != 0) cfg.trace.num_queries = spec.queries;
+    if (spec.scale != 0) cfg.apply_scale(spec.scale);
+    if (spec.stream_trace) cfg.stream_trace = true;
     if (spec.tweak) spec.tweak(cfg);
     return cfg;
   };
@@ -254,6 +256,8 @@ json::Value results_to_json(const MatrixResult& result) {
   spec_obj.emplace_back("audit", spec.options.audit);
   spec_obj.emplace_back(
       "shards", static_cast<double>(spec.options.engine_tuning.shards));
+  spec_obj.emplace_back("scale", static_cast<double>(spec.scale));
+  spec_obj.emplace_back("stream_trace", spec.stream_trace);
 
   json::Array cells;
   for (const auto& cell : result.cells) {
@@ -310,6 +314,14 @@ json::Value results_to_json(const MatrixResult& result) {
     // Wall-clock phase breakdown; informational only, like wall_seconds —
     // the golden gate never compares it.
     r.emplace_back("wall_seconds", run.result.wall_seconds);
+    // Scale instrumentation (docs/RESULTS_SCHEMA.md): informational like
+    // wall_seconds — never compared by the golden gate, and deliberately
+    // not headline metrics (the gate pins that set).
+    r.emplace_back("events_per_sec", run.result.events_per_sec);
+    r.emplace_back("state_bytes",
+                   static_cast<double>(run.result.state_bytes));
+    r.emplace_back("peak_rss_bytes",
+                   static_cast<double>(run.result.peak_rss_bytes));
     json::Array profile;
     for (const auto& p : run.result.profile) {
       profile.emplace_back(obs::phase_profile_to_json(p));
@@ -374,6 +386,15 @@ MatrixSpec spec_from_json(const json::Value& doc) {
   if (const json::Value* shards = spec.find("shards")) {
     out.options.engine_tuning.shards =
         static_cast<std::size_t>(shards->as_double());
+  }
+  // Older results files predate the scale axis; absent means the preset's
+  // own dimensions (scale = 0) with a materialized trace, exactly what
+  // every pre-scale artifact ran with.
+  if (const json::Value* scale = spec.find("scale")) {
+    out.scale = static_cast<std::uint32_t>(scale->as_double());
+  }
+  if (const json::Value* stream = spec.find("stream_trace")) {
+    out.stream_trace = stream->as_bool();
   }
   return out;
 }

@@ -56,6 +56,12 @@ struct MatrixSpec {
   std::size_t jobs = 0;
   /// Override the preset's query count (0 = preset default).
   std::uint32_t queries = 0;
+  /// Node-count override (0 = preset default). Non-zero re-dimensions
+  /// every world via ExperimentConfig::apply_scale — the --scale axis.
+  std::uint32_t scale = 0;
+  /// Force on-demand trace synthesis even below the apply_scale threshold
+  /// (streaming-vs-materialized digest-identity checks).
+  bool stream_trace = false;
   /// Options applied to every cell (audit, message_loss, seed_salt is
   /// reserved for the runner and must stay 0).
   RunOptions options;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/resource.hpp"
 #include "common/rng.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/injector.hpp"
@@ -11,6 +12,7 @@
 #include "sim/engine.hpp"
 #include "sim/liveness.hpp"
 #include "trace/live_content.hpp"
+#include "trace/streaming_trace_gen.hpp"
 
 namespace asap::harness {
 
@@ -165,10 +167,19 @@ RunResult run_experiment(const World& world, AlgoKind kind,
   std::unique_ptr<faults::FaultInjector> injector;
   if (faults_on) {
     fault_cfg.validate();
-    plan = std::make_unique<faults::FaultPlan>(faults::FaultPlan::build(
-        fault_cfg, cfg.seed, world.model.params().initial_nodes,
-        world.trace.events, warmup, warmup + world.trace.horizon,
-        world.phys.params().total_stub_domains()));
+    // Streaming worlds never hold the events vector; the build pre-pass
+    // recorded the churn bitmap the planner needs instead.
+    plan = std::make_unique<faults::FaultPlan>(
+        world.streaming.enabled
+            ? faults::FaultPlan::build(
+                  fault_cfg, cfg.seed, world.model.params().initial_nodes,
+                  std::span<const std::uint8_t>(world.streaming.churned),
+                  warmup, warmup + world.trace.horizon,
+                  world.phys.params().total_stub_domains())
+            : faults::FaultPlan::build(
+                  fault_cfg, cfg.seed, world.model.params().initial_nodes,
+                  world.trace.events, warmup, warmup + world.trace.horizon,
+                  world.phys.params().total_stub_domains()));
     injector = std::make_unique<faults::FaultInjector>(
         *plan, world.phys, cfg.seed ^ 0x9E3779B97F4A7C15ULL ^ opts.seed_salt);
     ctx.faults = injector.get();
@@ -211,7 +222,23 @@ RunResult run_experiment(const World& world, AlgoKind kind,
   engine.run_until(warmup);
 
   profiler.begin("query-replay", engine.executed());
-  for (const auto& ev : world.trace.events) {
+  // Event source: the materialized vector, or (streaming worlds) a
+  // replay-mode generator re-synthesizing the identical stream on demand
+  // against the immutable model.
+  std::optional<trace::StreamingTraceGenerator> stream;
+  if (world.streaming.enabled) {
+    stream.emplace(world.model, cfg.trace, world.streaming.rng,
+                   world.streaming.mint_base);
+  }
+  std::size_t event_cursor = 0;
+  auto next_event = [&](trace::TraceEvent& out) -> bool {
+    if (stream) return stream->next(out);
+    if (event_cursor >= world.trace.events.size()) return false;
+    out = world.trace.events[event_cursor++];
+    return true;
+  };
+  trace::TraceEvent ev;
+  while (next_event(ev)) {
     const Seconds t = ev.time + warmup;
     engine.run_until(t);
 
@@ -314,6 +341,12 @@ RunResult run_experiment(const World& world, AlgoKind kind,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  res.events_per_sec = res.wall_seconds > 0.0
+                           ? static_cast<double>(res.engine_events) /
+                                 res.wall_seconds
+                           : 0.0;
+  res.state_bytes = algo->state_bytes();
+  res.peak_rss_bytes = peak_rss_bytes();
   return res;
 }
 

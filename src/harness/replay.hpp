@@ -149,6 +149,16 @@ struct RunResult {
   Seconds measure_end = 0.0;
   std::uint64_t engine_events = 0;
   double wall_seconds = 0.0;
+  /// Simulator throughput over the whole run (engine events per wall
+  /// second; 0 when the wall clock reads 0).
+  double events_per_sec = 0.0;
+  /// Heap bytes of per-node protocol state at the end of the run
+  /// (SearchAlgorithm::state_bytes; 0 for stateless baselines).
+  std::uint64_t state_bytes = 0;
+  /// Process peak RSS (high-water mark) sampled at the end of the run, in
+  /// bytes. Monotone across a process's runs — meaningful for a dedicated
+  /// bench process, indicative only inside a long matrix sweep.
+  std::uint64_t peak_rss_bytes = 0;
   /// Wall-clock phase breakdown (warm-up dissemination, query replay,
   /// reduce). The matrix runner prepends its world-build phase. Wall time
   /// is measured, never fed back into the simulation, so determinism is

@@ -7,8 +7,10 @@
 // ledgers) is created by the replayer from the World.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "harness/config.hpp"
 #include "net/transit_stub.hpp"
 #include "overlay/overlay.hpp"
@@ -17,6 +19,19 @@
 
 namespace asap::harness {
 
+/// Everything a run needs to re-synthesize the trace event stream on
+/// demand (cfg.stream_trace): the trace-stream RNG's initial state, the
+/// corpus position where mid-trace mints begin, and the churn bitmap the
+/// fault planner would otherwise reduce from the events vector. With this,
+/// World::trace keeps only the counters and horizon — events stays empty.
+struct StreamingTraceInfo {
+  bool enabled = false;
+  Rng rng{0};
+  DocId mint_base = 0;
+  /// churned[n] != 0 iff the trace joins/leaves/rejoins initial node n.
+  std::vector<std::uint8_t> churned;
+};
+
 struct World {
   ExperimentConfig cfg;
   net::TransitStubNetwork phys;
@@ -24,6 +39,7 @@ struct World {
   std::vector<PhysNodeId> node_phys;      // one entry per node slot
   trace::ContentModel model;              // includes mid-trace documents
   trace::Trace trace;
+  StreamingTraceInfo streaming;
 };
 
 /// Builds the full world deterministically from cfg.seed.

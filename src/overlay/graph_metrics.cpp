@@ -27,7 +27,7 @@ std::vector<std::uint32_t> bfs_depths(const Overlay& g, NodeId source) {
 
 double clustering_coefficient(const Overlay& g, std::uint32_t samples,
                               Rng& rng) {
-  const auto nodes = g.attached_nodes();
+  const auto nodes = g.attached_view();
   ASAP_REQUIRE(!nodes.empty(), "empty overlay");
   double total = 0.0;
   std::uint32_t counted = 0;
@@ -54,7 +54,7 @@ double clustering_coefficient(const Overlay& g, std::uint32_t samples,
 }
 
 PathStats path_stats(const Overlay& g, std::uint32_t sources, Rng& rng) {
-  const auto nodes = g.attached_nodes();
+  const auto nodes = g.attached_view();
   ASAP_REQUIRE(!nodes.empty(), "empty overlay");
   PathStats out;
   std::uint64_t pairs = 0, reached = 0, hops_total = 0;

@@ -3,51 +3,174 @@
 #include <algorithm>
 #include <deque>
 #include <numeric>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/flat_map.hpp"
 #include "common/zipf.hpp"
 
 namespace asap::overlay {
 
-Overlay::Overlay(std::uint32_t n) : adj_(n), attached_(n, true) {
+namespace {
+
+/// Fresh slots a block is built with beyond its current degree, so the
+/// first few churn edges append in place instead of relocating.
+constexpr std::uint32_t kBlockHeadroom = 2;
+/// Compact once dead slots pass this floor AND exceed half the slab.
+constexpr std::uint64_t kCompactMinDeadSlots = 4096;
+
+/// Accumulates a deduplicated undirected edge list during generator draws.
+///
+/// The generators' retry loops terminate on the count of *accepted* edges,
+/// so duplicate/self-loop rejection must happen while drawing — exactly
+/// like the historical add_edge — not in a post-pass. Membership is an
+/// open-addressing set over packed (min,max) pairs: O(edges) memory, no
+/// per-node structures.
+class EdgeCollector {
+ public:
+  explicit EdgeCollector(std::uint64_t expected) { edges_.reserve(expected); }
+
+  /// Returns true if (a, b) is a new, non-self-loop edge.
+  bool add(NodeId a, NodeId b) {
+    if (a == b) return false;
+    const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+    const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+    if (!seen_.insert((hi << 32) | lo)) return false;
+    edges_.emplace_back(a, b);
+    return true;
+  }
+
+  std::uint64_t count() const { return edges_.size(); }
+  std::span<const std::pair<NodeId, NodeId>> edges() const { return edges_; }
+
+ private:
+  FlatSet<std::uint64_t> seen_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace
+
+Overlay::Overlay(std::uint32_t n)
+    : blocks_(n), attached_(n, true), attached_count_(n) {
   ASAP_REQUIRE(n >= 2, "overlay needs at least two nodes");
 }
 
+Overlay::Overlay(const Overlay& other)
+    : blocks_(other.blocks_),
+      edges_(other.edges_),
+      attached_(other.attached_),
+      num_edges_(other.num_edges_),
+      dead_slots_(other.dead_slots_),
+      attached_count_(other.attached_count_),
+      churn_gen_(other.churn_gen_) {}
+
+Overlay& Overlay::operator=(const Overlay& other) {
+  if (this == &other) return *this;
+  blocks_ = other.blocks_;
+  edges_ = other.edges_;
+  attached_ = other.attached_;
+  num_edges_ = other.num_edges_;
+  dead_slots_ = other.dead_slots_;
+  attached_count_ = other.attached_count_;
+  churn_gen_ = other.churn_gen_;
+  live_cache_.clear();
+  live_cache_gen_ = ~std::uint64_t{0};
+  return *this;
+}
+
+Overlay Overlay::from_edge_list(
+    std::uint32_t n, std::span<const std::pair<NodeId, NodeId>> edges) {
+  Overlay g(n);
+  std::vector<std::uint32_t> deg(n, 0);
+  for (const auto& [a, b] : edges) {
+    ++deg[a];
+    ++deg[b];
+  }
+  std::uint64_t off = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    const std::uint32_t cap = deg[i] + kBlockHeadroom;
+    g.blocks_[i] = Block{off, 0, cap};
+    off += cap;
+  }
+  g.edges_.resize(off);
+  for (const auto& [a, b] : edges) {
+    Block& ba = g.blocks_[a];
+    Block& bb = g.blocks_[b];
+    g.edges_[ba.off + ba.deg++] = b;
+    g.edges_[bb.off + bb.deg++] = a;
+  }
+  g.num_edges_ = edges.size();
+  return g;
+}
+
+void Overlay::grow_block(NodeId n, std::uint32_t new_cap) {
+  Block& b = blocks_[n];
+  ASAP_DCHECK(new_cap > b.cap);
+  const std::uint64_t fresh_off = edges_.size();
+  edges_.resize(fresh_off + new_cap);
+  std::copy_n(edges_.begin() + static_cast<std::ptrdiff_t>(b.off), b.deg,
+              edges_.begin() + static_cast<std::ptrdiff_t>(fresh_off));
+  dead_slots_ += b.cap;
+  b.off = fresh_off;
+  b.cap = new_cap;
+}
+
+void Overlay::push_neighbor(NodeId n, NodeId v) {
+  if (blocks_[n].deg == blocks_[n].cap) {
+    const std::uint32_t cap = blocks_[n].cap;
+    grow_block(n, std::max<std::uint32_t>(4, cap + cap / 2 + 1));
+    maybe_compact();
+  }
+  Block& b = blocks_[n];
+  edges_[b.off + b.deg++] = v;
+}
+
+void Overlay::remove_neighbor(NodeId n, NodeId v) {
+  Block& b = blocks_[n];
+  auto* first = edges_.data() + b.off;
+  auto* last = first + b.deg;
+  auto* tail = std::remove(first, last, v);
+  b.deg = static_cast<std::uint32_t>(tail - first);
+}
+
 bool Overlay::add_edge(NodeId a, NodeId b) {
-  ASAP_DCHECK(a < adj_.size() && b < adj_.size());
+  ASAP_DCHECK(a < blocks_.size() && b < blocks_.size());
   if (a == b) return false;
-  auto& na = adj_[a];
+  const auto na = neighbors(a);
   if (std::find(na.begin(), na.end(), b) != na.end()) return false;
-  na.push_back(b);
-  adj_[b].push_back(a);
+  push_neighbor(a, b);
+  push_neighbor(b, a);
   ++num_edges_;
   return true;
 }
 
 double Overlay::avg_degree() const {
-  std::uint64_t attached_count = 0;
-  for (bool a : attached_) attached_count += a ? 1 : 0;
-  if (attached_count == 0) return 0.0;
+  if (attached_count_ == 0) return 0.0;
   return 2.0 * static_cast<double>(num_edges_) /
-         static_cast<double>(attached_count);
+         static_cast<double>(attached_count_);
 }
 
 void Overlay::detach(NodeId n) {
-  ASAP_REQUIRE(n < adj_.size(), "detach: unknown node");
+  ASAP_REQUIRE(n < blocks_.size(), "detach: unknown node");
   if (!attached_[n]) return;
-  for (NodeId nb : adj_[n]) {
-    auto& lst = adj_[nb];
-    lst.erase(std::remove(lst.begin(), lst.end(), n), lst.end());
+  const Block& bn = blocks_[n];
+  for (std::uint32_t i = 0; i < bn.deg; ++i) {
+    remove_neighbor(edges_[bn.off + i], n);
     --num_edges_;
   }
-  adj_[n].clear();
+  blocks_[n].deg = 0;  // capacity stays for a potential rejoin
   attached_[n] = false;
+  --attached_count_;
+  ++churn_gen_;
+  maybe_compact();
 }
 
 NodeId Overlay::attach_new(std::uint32_t target_degree, Rng& rng) {
-  const auto id = static_cast<NodeId>(adj_.size());
-  adj_.emplace_back();
+  const auto id = static_cast<NodeId>(blocks_.size());
+  blocks_.push_back(Block{edges_.size(), 0, 0});
   attached_.push_back(true);
+  ++attached_count_;
+  ++churn_gen_;
 
   std::vector<NodeId> candidates = attached_nodes();
   // The new node itself is already attached; exclude it.
@@ -60,9 +183,11 @@ NodeId Overlay::attach_new(std::uint32_t target_degree, Rng& rng) {
 }
 
 void Overlay::reattach(NodeId n, std::uint32_t target_degree, Rng& rng) {
-  ASAP_REQUIRE(n < adj_.size(), "reattach: unknown node");
+  ASAP_REQUIRE(n < blocks_.size(), "reattach: unknown node");
   if (attached_[n]) return;
   attached_[n] = true;
+  ++attached_count_;
+  ++churn_gen_;
   std::vector<NodeId> candidates = attached_nodes();
   candidates.erase(std::remove(candidates.begin(), candidates.end(), n),
                    candidates.end());
@@ -74,17 +199,29 @@ void Overlay::reattach(NodeId n, std::uint32_t target_degree, Rng& rng) {
 
 std::vector<NodeId> Overlay::attached_nodes() const {
   std::vector<NodeId> out;
-  out.reserve(adj_.size());
-  for (NodeId n = 0; n < adj_.size(); ++n) {
+  out.reserve(attached_count_);
+  for (NodeId n = 0; n < blocks_.size(); ++n) {
     if (attached_[n]) out.push_back(n);
   }
   return out;
 }
 
+std::span<const NodeId> Overlay::attached_view() const {
+  if (live_cache_gen_ != churn_gen_) {
+    live_cache_.clear();
+    live_cache_.reserve(attached_count_);
+    for (NodeId n = 0; n < blocks_.size(); ++n) {
+      if (attached_[n]) live_cache_.push_back(n);
+    }
+    live_cache_gen_ = churn_gen_;
+  }
+  return live_cache_;
+}
+
 bool Overlay::connected() const {
-  const auto live = attached_nodes();
-  if (live.empty()) return true;
-  std::vector<bool> seen(adj_.size(), false);
+  if (attached_count_ == 0) return true;
+  const auto live = attached_view();
+  std::vector<bool> seen(blocks_.size(), false);
   std::deque<NodeId> frontier{live.front()};
   seen[live.front()] = true;
   std::size_t visited = 0;
@@ -92,7 +229,7 @@ bool Overlay::connected() const {
     const NodeId cur = frontier.front();
     frontier.pop_front();
     ++visited;
-    for (NodeId nb : adj_[cur]) {
+    for (NodeId nb : neighbors(cur)) {
       if (!seen[nb]) {
         seen[nb] = true;
         frontier.push_back(nb);
@@ -104,18 +241,51 @@ bool Overlay::connected() const {
 
 std::vector<std::uint32_t> Overlay::degree_histogram() const {
   std::vector<std::uint32_t> hist;
-  for (NodeId n = 0; n < adj_.size(); ++n) {
+  for (NodeId n = 0; n < blocks_.size(); ++n) {
     if (!attached_[n]) continue;
-    const auto d = degree(n);
+    const auto d = blocks_[n].deg;
     if (d >= hist.size()) hist.resize(d + 1, 0);
     ++hist[d];
   }
   return hist;
 }
 
+void Overlay::compact() {
+  std::vector<NodeId> fresh;
+  fresh.reserve(2 * num_edges_ +
+                std::uint64_t{kBlockHeadroom} * attached_count_);
+  std::uint64_t off = 0;
+  for (NodeId n = 0; n < blocks_.size(); ++n) {
+    Block& b = blocks_[n];
+    const std::uint32_t cap = b.deg > 0 || attached_[n]
+                                  ? b.deg + kBlockHeadroom
+                                  : 0;
+    fresh.resize(off + cap);
+    std::copy_n(edges_.begin() + static_cast<std::ptrdiff_t>(b.off), b.deg,
+                fresh.begin() + static_cast<std::ptrdiff_t>(off));
+    b.off = off;
+    b.cap = cap;
+    off += cap;
+  }
+  edges_ = std::move(fresh);
+  dead_slots_ = 0;
+}
+
+void Overlay::maybe_compact() {
+  if (dead_slots_ > kCompactMinDeadSlots && dead_slots_ * 2 > edges_.size()) {
+    compact();
+  }
+}
+
+std::uint64_t Overlay::memory_bytes() const {
+  return blocks_.capacity() * sizeof(Block) +
+         edges_.capacity() * sizeof(NodeId) + attached_.capacity() / 8 +
+         live_cache_.capacity() * sizeof(NodeId);
+}
+
 void Overlay::ensure_connected(Rng& rng) {
   // Union-find over attached nodes.
-  std::vector<NodeId> parent(adj_.size());
+  std::vector<NodeId> parent(blocks_.size());
   std::iota(parent.begin(), parent.end(), 0);
   auto find = [&](NodeId x) {
     while (parent[x] != x) {
@@ -124,8 +294,8 @@ void Overlay::ensure_connected(Rng& rng) {
     }
     return x;
   };
-  for (NodeId n = 0; n < adj_.size(); ++n) {
-    for (NodeId nb : adj_[n]) {
+  for (NodeId n = 0; n < blocks_.size(); ++n) {
+    for (NodeId nb : neighbors(n)) {
       const NodeId ra = find(n), rb = find(nb);
       if (ra != rb) parent[ra] = rb;
     }
@@ -134,7 +304,7 @@ void Overlay::ensure_connected(Rng& rng) {
   // between random members (we use the representative; a single bridge per
   // component pair is enough and barely perturbs the degree distribution).
   std::vector<NodeId> reps;
-  for (NodeId n = 0; n < adj_.size(); ++n) {
+  for (NodeId n = 0; n < blocks_.size(); ++n) {
     if (attached_[n] && find(n) == n) reps.push_back(n);
   }
   rng.shuffle(reps);
@@ -147,29 +317,29 @@ void Overlay::ensure_connected(Rng& rng) {
 Overlay Overlay::random(std::uint32_t n, double avg_degree, Rng& rng) {
   ASAP_REQUIRE(avg_degree >= 2.0, "random overlay needs mean degree >= 2");
   ASAP_REQUIRE(avg_degree < n, "mean degree must be below node count");
-  Overlay g(n);
   // Spanning tree first (connectivity), then random extra edges up to the
   // target edge count m = n * avg_degree / 2.
-  for (NodeId i = 1; i < n; ++i) {
-    g.add_edge(i, static_cast<NodeId>(rng.below(i)));
-  }
   const auto target_edges =
       static_cast<std::uint64_t>(avg_degree * n / 2.0);
+  EdgeCollector col(target_edges);
+  for (NodeId i = 1; i < n; ++i) {
+    col.add(i, static_cast<NodeId>(rng.below(i)));
+  }
   std::uint64_t attempts = 0;
   const std::uint64_t max_attempts = target_edges * 50;
-  while (g.num_edges_ < target_edges && attempts++ < max_attempts) {
+  while (col.count() < target_edges && attempts++ < max_attempts) {
     const auto a = static_cast<NodeId>(rng.below(n));
     const auto b = static_cast<NodeId>(rng.below(n));
-    g.add_edge(a, b);
+    col.add(a, b);
   }
-  return g;
+  return from_edge_list(n, col.edges());
 }
 
 namespace {
 
 /// Configuration-model pairing of a degree sequence, discarding self-loops
 /// and duplicate edges (an "erased configuration model").
-void pair_degree_sequence(Overlay& g, std::vector<std::uint32_t>& deg,
+void pair_degree_sequence(EdgeCollector& col, std::vector<std::uint32_t>& deg,
                           Rng& rng) {
   std::vector<NodeId> stubs;
   stubs.reserve(std::accumulate(deg.begin(), deg.end(), 0ULL));
@@ -178,7 +348,7 @@ void pair_degree_sequence(Overlay& g, std::vector<std::uint32_t>& deg,
   }
   rng.shuffle(stubs);
   for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
-    g.add_edge(stubs[i], stubs[i + 1]);
+    col.add(stubs[i], stubs[i + 1]);
   }
 }
 
@@ -187,11 +357,12 @@ void pair_degree_sequence(Overlay& g, std::vector<std::uint32_t>& deg,
 Overlay Overlay::powerlaw(std::uint32_t n, double avg_degree, double alpha,
                           Rng& rng) {
   ASAP_REQUIRE(avg_degree >= 1.5, "power-law overlay mean degree too small");
-  Overlay g(n);
   const auto dmax =
       std::max<std::uint32_t>(16, static_cast<std::uint32_t>(avg_degree * 8));
   auto deg = powerlaw_degree_sequence(n, alpha, 1, dmax, avg_degree, rng);
-  pair_degree_sequence(g, deg, rng);
+  EdgeCollector col(static_cast<std::uint64_t>(avg_degree * n / 2.0));
+  pair_degree_sequence(col, deg, rng);
+  Overlay g = from_edge_list(n, col.edges());
   g.ensure_connected(rng);
   return g;
 }
@@ -204,7 +375,6 @@ Overlay Overlay::interest_clustered(std::uint32_t n, double avg_degree,
                "cluster fraction out of [0,1]");
   ASAP_REQUIRE(avg_degree >= 2.0 && avg_degree < n,
                "interest-clustered overlay mean degree out of range");
-  Overlay g(n);
   // Bucket nodes by group for intra-group edge sampling.
   std::uint8_t max_group = 0;
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -213,14 +383,15 @@ Overlay Overlay::interest_clustered(std::uint32_t n, double avg_degree,
   std::vector<std::vector<NodeId>> buckets(max_group + 1);
   for (NodeId i = 0; i < n; ++i) buckets[group_of[i]].push_back(i);
 
+  const auto target_edges = static_cast<std::uint64_t>(avg_degree * n / 2.0);
+  EdgeCollector col(target_edges);
   // Connectivity first: a random spanning tree over all nodes.
   for (NodeId i = 1; i < n; ++i) {
-    g.add_edge(i, static_cast<NodeId>(rng.below(i)));
+    col.add(i, static_cast<NodeId>(rng.below(i)));
   }
-  const auto target_edges = static_cast<std::uint64_t>(avg_degree * n / 2.0);
   std::uint64_t attempts = 0;
   const std::uint64_t max_attempts = target_edges * 60;
-  while (g.num_edges_ < target_edges && attempts++ < max_attempts) {
+  while (col.count() < target_edges && attempts++ < max_attempts) {
     const auto a = static_cast<NodeId>(rng.below(n));
     NodeId b;
     if (rng.chance(cluster_fraction)) {
@@ -230,15 +401,14 @@ Overlay Overlay::interest_clustered(std::uint32_t n, double avg_degree,
     } else {
       b = static_cast<NodeId>(rng.below(n));
     }
-    g.add_edge(a, b);
+    col.add(a, b);
   }
-  return g;
+  return from_edge_list(n, col.edges());
 }
 
 Overlay Overlay::crawled_like(std::uint32_t n, double avg_degree, Rng& rng) {
   ASAP_REQUIRE(avg_degree >= 1.5, "crawled overlay mean degree too small");
   ASAP_REQUIRE(n >= 20, "crawled overlay needs at least 20 nodes");
-  Overlay g(n);
   // Limewire's crawled topology is two-tier: a well-connected ultrapeer
   // mesh (~15% of peers) with leaves hanging off it — which yields a low
   // diameter despite the sparse mean degree (3.35 in the paper's crawl).
@@ -250,25 +420,27 @@ Overlay Overlay::crawled_like(std::uint32_t n, double avg_degree, Rng& rng) {
   const double mesh_degree =
       std::max(3.0, (avg_degree - 2.0 * (1.0 - f) * leaf_attach) / f);
 
+  EdgeCollector col(static_cast<std::uint64_t>(avg_degree * n / 2.0));
   // Ultrapeer mesh: connected random graph among [0, ultras).
   for (NodeId i = 1; i < ultras; ++i) {
-    g.add_edge(i, static_cast<NodeId>(rng.below(i)));
+    col.add(i, static_cast<NodeId>(rng.below(i)));
   }
   const auto mesh_edges =
       static_cast<std::uint64_t>(mesh_degree * ultras / 2.0);
   std::uint64_t guard = 0;
-  while (g.num_edges_ < mesh_edges && guard++ < mesh_edges * 50) {
-    g.add_edge(static_cast<NodeId>(rng.below(ultras)),
-               static_cast<NodeId>(rng.below(ultras)));
+  while (col.count() < mesh_edges && guard++ < mesh_edges * 50) {
+    col.add(static_cast<NodeId>(rng.below(ultras)),
+            static_cast<NodeId>(rng.below(ultras)));
   }
 
   // Leaves: each attaches to 1-2 random ultrapeers.
   for (NodeId leaf = ultras; leaf < n; ++leaf) {
     const std::uint32_t links = rng.chance(leaf_attach - 1.0) ? 2 : 1;
     for (std::uint32_t k = 0; k < links; ++k) {
-      g.add_edge(leaf, static_cast<NodeId>(rng.below(ultras)));
+      col.add(leaf, static_cast<NodeId>(rng.below(ultras)));
     }
   }
+  Overlay g = from_edge_list(n, col.edges());
   g.ensure_connected(rng);
   return g;
 }

@@ -9,6 +9,16 @@
 //
 // The overlay is mutable to support churn: departures detach a node's
 // edges, joins attach a new node to random live peers.
+//
+// Storage is a pooled CSR-style slab (DESIGN.md §15): one `edges_` array
+// shared by every node plus a 16-byte Block{offset, degree, capacity}
+// header per node. `neighbors()` is a span into the slab — no per-node
+// heap allocation, no pointer chasing — and churn stays O(degree): blocks
+// carry capacity headroom, a block that outgrows its slot relocates to the
+// slab tail, and abandoned slots are reclaimed by compaction once they
+// dominate the slab. Generators collect a deduplicated edge list while
+// drawing (the draw loops' termination conditions depend on the deduped
+// count) and fill the CSR in one pass from exact degree counts.
 #pragma once
 
 #include <cstdint>
@@ -49,24 +59,33 @@ class Overlay {
                                     std::span<const std::uint8_t> group_of,
                                     double cluster_fraction, Rng& rng);
 
+  Overlay(const Overlay& other);
+  Overlay& operator=(const Overlay& other);
+  Overlay(Overlay&&) noexcept = default;
+  Overlay& operator=(Overlay&&) noexcept = default;
+
   /// Number of node slots ever allocated (attached or not).
   std::uint32_t num_nodes() const {
-    return static_cast<std::uint32_t>(adj_.size());
+    return static_cast<std::uint32_t>(blocks_.size());
   }
   std::uint64_t num_edges() const { return num_edges_; }
   double avg_degree() const;
 
   std::span<const NodeId> neighbors(NodeId n) const {
-    ASAP_DCHECK(n < adj_.size());
-    return {adj_[n].data(), adj_[n].size()};
+    ASAP_DCHECK(n < blocks_.size());
+    const Block& b = blocks_[n];
+    return {edges_.data() + b.off, b.deg};
   }
   std::uint32_t degree(NodeId n) const {
-    ASAP_DCHECK(n < adj_.size());
-    return static_cast<std::uint32_t>(adj_[n].size());
+    ASAP_DCHECK(n < blocks_.size());
+    return blocks_[n].deg;
   }
 
   /// True while the node has a slot in the overlay and has not departed.
-  bool attached(NodeId n) const { return n < adj_.size() && attached_[n]; }
+  bool attached(NodeId n) const { return n < blocks_.size() && attached_[n]; }
+
+  /// Number of currently attached nodes (maintained, O(1)).
+  std::uint32_t attached_count() const { return attached_count_; }
 
   /// Detach a departing node: removes all incident edges.
   void detach(NodeId n);
@@ -84,25 +103,83 @@ class Overlay {
   /// Returns true if an edge was added.
   bool add_edge(NodeId a, NodeId b);
 
-  /// All currently attached node ids (fresh copy).
+  /// All currently attached node ids (fresh copy; prefer attached_view()
+  /// on read-only paths).
   std::vector<NodeId> attached_nodes() const;
+
+  /// Cached view of the attached node ids in ascending order. Rebuilt
+  /// lazily after churn (tracked by a generation counter), so repeated
+  /// calls between churn events are O(1) instead of an O(n) copy.
+  /// Invalidated by detach/attach_new/reattach. Not safe to call
+  /// concurrently on a shared overlay; the harness runs on per-run copies.
+  std::span<const NodeId> attached_view() const;
+
+  /// Bumps on every attach/detach/reattach; lets callers cache derived
+  /// structures keyed on overlay membership.
+  std::uint64_t churn_generation() const { return churn_gen_; }
 
   /// True if the attached subgraph is connected (BFS; for tests).
   bool connected() const;
 
-  /// Degree histogram over attached nodes (index = degree).
+  /// Degree histogram over attached nodes (index = degree). Reads only
+  /// the CSR block headers, never the edge slab.
   std::vector<std::uint32_t> degree_histogram() const;
 
+  /// Rebuilds the edge slab tightly (fresh per-block headroom, zero dead
+  /// slots). Runs automatically when relocation garbage dominates the
+  /// slab; public for tests and for callers done with churn.
+  void compact();
+
+  /// Heap bytes owned by the overlay (slab + headers + bookkeeping).
+  std::uint64_t memory_bytes() const;
+
+  /// Slab slots abandoned by block relocation (reclaimed by compact()).
+  std::uint64_t dead_slots() const { return dead_slots_; }
+  /// Total slab slots currently allocated (live + headroom + dead).
+  std::uint64_t slab_slots() const { return edges_.size(); }
+
  private:
+  /// Per-node CSR header: half-open slab range [off, off+cap) holding
+  /// `deg` live neighbor ids.
+  struct Block {
+    std::uint64_t off = 0;
+    std::uint32_t deg = 0;
+    std::uint32_t cap = 0;
+  };
+
   explicit Overlay(std::uint32_t n);
+
+  /// Builds the CSR in one pass from a deduplicated edge list: exact
+  /// degree counts first, then a single fill preserving list order (which
+  /// matches the historical per-vector append order exactly).
+  static Overlay from_edge_list(
+      std::uint32_t n, std::span<const std::pair<NodeId, NodeId>> edges);
 
   /// Link all connected components into one by adding bridge edges
   /// between random members of distinct components.
   void ensure_connected(Rng& rng);
 
-  std::vector<std::vector<NodeId>> adj_;
+  /// Appends `v` to n's block, relocating the block to the slab tail when
+  /// its capacity is exhausted.
+  void push_neighbor(NodeId n, NodeId v);
+  /// Order-preserving removal of `v` from n's block (std::remove).
+  void remove_neighbor(NodeId n, NodeId v);
+  void grow_block(NodeId n, std::uint32_t new_cap);
+  void maybe_compact();
+
+  std::vector<Block> blocks_;
+  std::vector<NodeId> edges_;
   std::vector<bool> attached_;
   std::uint64_t num_edges_ = 0;
+  std::uint64_t dead_slots_ = 0;
+  std::uint32_t attached_count_ = 0;
+  std::uint64_t churn_gen_ = 0;
+
+  // Lazy live-node cache backing attached_view(); deliberately not copied
+  // (worlds are shared read-only across runner threads — the copy each run
+  // makes must not race on the mutable cache).
+  mutable std::vector<NodeId> live_cache_;
+  mutable std::uint64_t live_cache_gen_ = ~std::uint64_t{0};
 };
 
 }  // namespace asap::overlay

@@ -7,6 +7,7 @@
 // (patch ads) and timers.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "metrics/search_stats.hpp"
@@ -26,6 +27,11 @@ class SearchAlgorithm {
 
   /// Called for every trace event, after world state has been updated.
   virtual void on_trace_event(const trace::TraceEvent& event) = 0;
+
+  /// Heap bytes of per-node protocol state (ad caches, advertiser filters,
+  /// timers) the algorithm owns right now. Stateless baselines report 0.
+  /// Read by the harness for the scale-bench bytes/node accounting.
+  virtual std::uint64_t state_bytes() const { return 0; }
 
   metrics::SearchStats& stats() { return stats_; }
   const metrics::SearchStats& stats() const { return stats_; }

@@ -44,14 +44,18 @@ std::vector<TopicId> pick_classes(std::uint32_t count, Rng& rng) {
 
 }  // namespace
 
-std::vector<KeywordId> ContentModel::make_keywords(TopicId cls, Rng& rng) {
-  // 1-2 popular class terms (Zipf-weighted) + 2-5 globally unique terms.
+void ContentModel::ensure_popular_sampler(TopicId cls) const {
   // All class pools share one size, so one sampler serves them all.
   if (!popular_sampler_) {
-    popular_sampler_ = std::make_unique<ZipfSampler>(
+    popular_sampler_ = std::make_unique<ZipfDraw>(
         static_cast<std::uint32_t>(class_pools_[cls].size()),
         params_.popular_term_alpha);
   }
+}
+
+std::vector<KeywordId> ContentModel::make_keywords(TopicId cls, Rng& rng) {
+  // 1-2 popular class terms (Zipf-weighted) + 2-5 globally unique terms.
+  ensure_popular_sampler(cls);
   std::vector<KeywordId> kws;
   const auto popular = 1 + static_cast<std::uint32_t>(rng.below(2));
   for (std::uint32_t i = 0; i < popular; ++i) {
@@ -69,6 +73,18 @@ DocId ContentModel::mint_document(TopicId cls, Rng& rng) {
   const auto id = static_cast<DocId>(corpus_.size());
   corpus_.push_back(Document{cls, make_keywords(cls, rng)});
   return id;
+}
+
+void ContentModel::replay_mint_draws(TopicId cls, Rng& rng) const {
+  ASAP_REQUIRE(cls < kNumClasses, "class id out of range");
+  ensure_popular_sampler(cls);
+  // Mirror make_keywords draw for draw: the popular-count uniform, one
+  // sampler draw per popular term (dedup inspects only already-drawn
+  // values), and the unique-count uniform (unique terms take fresh ids,
+  // no draws).
+  const auto popular = 1 + static_cast<std::uint32_t>(rng.below(2));
+  for (std::uint32_t i = 0; i < popular; ++i) popular_sampler_->sample(rng);
+  (void)rng.below(4);
 }
 
 ContentModel ContentModel::build(const ContentModelParams& params, Rng& rng) {

@@ -63,6 +63,7 @@ class ContentModel {
 
   const std::vector<Document>& corpus() const { return corpus_; }
   const Document& doc(DocId d) const { return corpus_[d]; }
+  std::size_t num_docs() const { return corpus_.size(); }
 
   /// Documents initially shared by node n (empty for free-riders and for
   /// joiner slots, whose content arrives with their join event).
@@ -84,6 +85,13 @@ class ContentModel {
   /// Creates a brand-new single-copy document in the given class and
   /// returns its id (used for mid-trace document additions).
   DocId mint_document(TopicId cls, Rng& rng);
+
+  /// Consumes exactly the RNG draws mint_document would, without touching
+  /// the corpus. The streaming trace path replays a build-mode stream
+  /// against a const model whose corpus already holds every mid-trace
+  /// mint (appended in stream order), so replayed mints resolve to
+  /// sequential pre-minted ids while the draw stream stays bit-identical.
+  void replay_mint_draws(TopicId cls, Rng& rng) const;
 
   // --- statistics used by Fig 2/3 and by tests -------------------------
   /// #nodes whose initial contents include each class (Fig 2).
@@ -110,8 +118,15 @@ class ContentModel {
   std::vector<std::vector<TopicId>> interests_;
   // Keyword machinery (shared with mint_document).
   std::vector<std::vector<KeywordId>> class_pools_;
-  std::unique_ptr<ZipfSampler> popular_sampler_;
+  // Lazily created on the first mint (or mint replay — hence mutable):
+  // creation consumes no RNG draws, so build and replay paths may each
+  // create it on demand without perturbing the stream. ZipfDraw keeps the
+  // historical CDF sampler at small pool sizes and switches to O(1)
+  // rejection-inversion for scale worlds' larger keyword pools.
+  mutable std::unique_ptr<ZipfDraw> popular_sampler_;
   KeywordId next_keyword_ = 0;
+
+  void ensure_popular_sampler(TopicId cls) const;
 };
 
 }  // namespace asap::trace

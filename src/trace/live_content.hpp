@@ -46,6 +46,14 @@ class LiveContent {
   /// Applies one trace event (kQuery is a no-op here).
   void apply(const TraceEvent& ev, const ContentModel& model);
 
+  /// Heap bytes owned by the mirror (scale instrumentation).
+  std::uint64_t memory_bytes() const {
+    std::uint64_t total = docs_.capacity() * sizeof(std::vector<DocId>) +
+                          online_.capacity() / 8;
+    for (const auto& d : docs_) total += d.capacity() * sizeof(DocId);
+    return total;
+  }
+
  private:
   std::vector<std::vector<DocId>> docs_;
   std::vector<bool> online_;

@@ -15,13 +15,15 @@
 // The generator mutates the ContentModel (it mints documents for add
 // events) and tracks live state internally, so the trace is consistent by
 // construction.
+//
+// This is the materializing facade: it drains a StreamingTraceGenerator
+// (trace/streaming_trace_gen.hpp) into one events vector. Scale worlds
+// skip the vector entirely and pull events from the streaming generator
+// during the run; both paths produce the same stream bit for bit.
 #pragma once
-
-#include <queue>
 
 #include "common/rng.hpp"
 #include "trace/content_model.hpp"
-#include "trace/live_content.hpp"
 #include "trace/trace.hpp"
 
 namespace asap::trace {
@@ -34,49 +36,9 @@ class TraceGenerator {
   Trace generate();
 
  private:
-  struct Instance {
-    NodeId node;
-    DocId doc;
-  };
-
-  /// Appends and applies an event, keeping live_ and class instance lists
-  /// in sync.
-  void emit(Trace& t, TraceEvent ev);
-
-  /// Picks a live (holder, doc) instance in one of `requester`'s interest
-  /// classes; returns false if none can be found after bounded retries.
-  bool pick_target(NodeId requester, Instance& out);
-
-  /// Chooses query terms from the target document.
-  void pick_terms(const Document& doc, TraceEvent& ev);
-
-  NodeId pick_online_node();
-
-  void make_content_change(Trace& t, Seconds time);
-
-  /// Emits any pending rejoin whose time has come (called while walking
-  /// the main timeline).
-  void flush_rejoins(Trace& t, Seconds upto);
-
   ContentModel& model_;
   TraceParams params_;
   Rng& rng_;
-
-  /// Departed nodes waiting to come back, ordered by rejoin time.
-  struct PendingRejoin {
-    Seconds time;
-    NodeId node;
-    bool operator>(const PendingRejoin& o) const { return time > o.time; }
-  };
-  std::priority_queue<PendingRejoin, std::vector<PendingRejoin>,
-                      std::greater<>>
-      pending_rejoins_;
-
-  LiveContent live_;
-  /// Per-class (node, doc) instance lists with lazy invalidation.
-  std::array<std::vector<Instance>, kNumClasses> class_instances_;
-  std::vector<NodeId> online_pool_;  // lazily compacted
-  std::uint32_t next_joiner_ = 0;
   bool generated_ = false;
 };
 

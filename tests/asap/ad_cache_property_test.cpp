@@ -118,6 +118,82 @@ TEST(AdCacheProperty, HashedScansMatchLegacyUnderRandomOps) {
   }
 }
 
+TEST(AdCacheProperty, IndexMapAgreesWithMapOracle) {
+  // The FlatMap-backed source→index map must track membership exactly
+  // like an ordered-map oracle under random put / erase / erase_stale /
+  // touch — capacity is sized so eviction never fires, which makes the
+  // oracle's membership prediction exact.
+  constexpr NodeId kSources = 200;
+  AdCache c(256);
+  Rng rng(99);
+  std::map<NodeId, std::uint32_t> oracle;  // source -> expected version
+  double now = 0.0;
+  for (int step = 0; step < 20'000; ++step) {
+    now += 1.0;
+    const NodeId src = static_cast<NodeId>(rng.below(kSources));
+    switch (rng.below(4)) {
+      case 0:
+      case 1: {  // put a strictly newer version: always stored
+        const std::uint32_t v = oracle.count(src) ? oracle[src] + 1 : 1;
+        const auto r = c.put(make_ad(src, v, {static_cast<KeywordId>(src)},
+                                     {static_cast<TopicId>(src % 4)}),
+                             now, rng);
+        EXPECT_TRUE(r.stored);
+        EXPECT_FALSE(r.evicted);
+        oracle[src] = v;
+        break;
+      }
+      case 2:
+        EXPECT_EQ(c.erase(src), oracle.erase(src) > 0);
+        break;
+      default:
+        c.touch(src, now);  // membership-neutral
+        break;
+    }
+    ASSERT_EQ(c.size(), oracle.size());
+    if (step % 251 != 0) continue;
+    // Periodic deep check: every oracle entry findable at its version,
+    // and the dense arrays list exactly the oracle's key set.
+    for (const auto& [s, v] : oracle) {
+      const auto* e = c.find(s);
+      ASSERT_NE(e, nullptr) << "source " << s;
+      EXPECT_EQ(e->ad->version, v);
+    }
+    for (const auto s : c.sources()) {
+      ASSERT_TRUE(oracle.count(s)) << "stray source " << s;
+    }
+  }
+}
+
+TEST(AdCacheProperty, EvictionKeepsIndexExactAtCapacity) {
+  // Over-capacity insert load: the cache may evict whichever sampled-LRU
+  // victim it likes, but size must pin at capacity and the index must
+  // keep describing exactly the surviving entries.
+  constexpr std::uint32_t kCapacity = 32;
+  AdCache c(kCapacity);
+  Rng rng(5);
+  for (int step = 0; step < 5'000; ++step) {
+    const NodeId src = static_cast<NodeId>(rng.below(500));
+    c.put(make_ad(src, 1, {static_cast<KeywordId>(src % 64)}, {0}),
+          static_cast<double>(step), rng);
+    ASSERT_LE(c.size(), kCapacity);
+    ASSERT_EQ(c.sources().size(), c.entries().size());
+    for (std::size_t i = 0; i < c.entries().size(); ++i) {
+      ASSERT_EQ(c.find(c.sources()[i]), &c.entries()[i]) << "step " << step;
+    }
+  }
+  EXPECT_EQ(c.size(), kCapacity);
+}
+
+TEST(AdCacheProperty, EmptyCacheFootprintSupportsMillionNodeWorlds) {
+  // A million-node world keeps one AdCache per peer; an idle cache must
+  // own (almost) no heap. The SoA arrays, both FlatMaps and the lazy
+  // fold-count array all start unallocated.
+  const AdCache c(1'500);
+  EXPECT_EQ(c.memory_bytes(), 0u);
+  EXPECT_LT(sizeof(AdCache), 200u);
+}
+
 TEST(AdCacheProperty, ForeignGeometryEntriesAreNeverPrefilteredOut) {
   // An entry whose filter uses a different geometry cannot be folded into
   // a meaningful prefilter; it must be marked always-scan (~0) and still

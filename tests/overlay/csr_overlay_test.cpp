@@ -1,0 +1,204 @@
+// Pooled-CSR overlay storage tests (DESIGN.md §15): degree_histogram()
+// read off the block headers must match a per-node neighbors() recount,
+// attached_view() must cache between churn events and invalidate across
+// them, and heavy detach/attach/reattach churn must keep the slab
+// consistent through block relocation and automatic compaction.
+#include "overlay/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace asap::overlay {
+namespace {
+
+/// Recomputes the degree histogram the slow way, straight from spans.
+std::vector<std::uint32_t> histogram_by_recount(const Overlay& o) {
+  std::vector<std::uint32_t> hist;
+  for (NodeId n = 0; n < o.num_nodes(); ++n) {
+    if (!o.attached(n)) continue;
+    const auto d = static_cast<std::uint32_t>(o.neighbors(n).size());
+    if (d >= hist.size()) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  return hist;
+}
+
+/// Full structural audit: every edge symmetric, within-slab, no self
+/// loops or duplicates, degree headers match span sizes, edge count and
+/// average degree consistent.
+void audit(const Overlay& o) {
+  std::uint64_t end_sum = 0;
+  for (NodeId n = 0; n < o.num_nodes(); ++n) {
+    const auto nb = o.neighbors(n);
+    ASSERT_EQ(nb.size(), o.degree(n));
+    if (!o.attached(n)) {
+      ASSERT_EQ(nb.size(), 0u) << "detached node " << n << " kept edges";
+    }
+    std::unordered_set<NodeId> seen;
+    for (const auto v : nb) {
+      ASSERT_NE(v, n) << "self loop at " << n;
+      ASSERT_LT(v, o.num_nodes());
+      ASSERT_TRUE(o.attached(v)) << n << " -> detached " << v;
+      ASSERT_TRUE(seen.insert(v).second) << "duplicate edge " << n << "-" << v;
+      const auto back = o.neighbors(v);
+      ASSERT_TRUE(std::find(back.begin(), back.end(), n) != back.end())
+          << "asymmetric edge " << n << "-" << v;
+    }
+    end_sum += nb.size();
+  }
+  ASSERT_EQ(end_sum, 2 * o.num_edges());
+}
+
+TEST(CsrOverlay, DegreeHistogramMatchesRecountAcrossGenerators) {
+  Rng rng(41);
+  const Overlay overlays[] = {
+      Overlay::random(600, 5.0, rng),
+      Overlay::powerlaw(600, 5.0, 0.74, rng),
+      Overlay::crawled_like(600, 3.35, rng),
+  };
+  for (const auto& o : overlays) {
+    const auto fast = o.degree_histogram();
+    const auto slow = histogram_by_recount(o);
+    ASSERT_EQ(fast, slow);
+    // Histogram mass equals the attached population.
+    const auto mass = std::accumulate(fast.begin(), fast.end(), 0u);
+    EXPECT_EQ(mass, o.attached_count());
+    // First moment equals the handshake sum.
+    std::uint64_t degree_sum = 0;
+    for (std::size_t d = 0; d < fast.size(); ++d) {
+      degree_sum += d * fast[d];
+    }
+    EXPECT_EQ(degree_sum, 2 * o.num_edges());
+  }
+}
+
+TEST(CsrOverlay, DegreeHistogramTracksChurn) {
+  Rng rng(17);
+  auto o = Overlay::random(300, 5.0, rng);
+  for (int round = 0; round < 50; ++round) {
+    const NodeId victim = static_cast<NodeId>(rng.below(o.num_nodes()));
+    if (o.attached(victim) && o.attached_count() > 10) o.detach(victim);
+    o.attach_new(4, rng);
+    ASSERT_EQ(o.degree_histogram(), histogram_by_recount(o));
+  }
+}
+
+TEST(CsrOverlay, AttachedViewIsCachedAndInvalidatedByChurn) {
+  Rng rng(7);
+  auto o = Overlay::random(200, 5.0, rng);
+
+  const auto v1 = o.attached_view();
+  const auto v2 = o.attached_view();
+  // Same generation: the cached span must be literally the same storage.
+  EXPECT_EQ(v1.data(), v2.data());
+  EXPECT_EQ(v1.size(), v2.size());
+  EXPECT_EQ(v1.size(), o.attached_count());
+  EXPECT_TRUE(std::is_sorted(v1.begin(), v1.end()));
+  // And agree with the copying accessor.
+  const auto copy = o.attached_nodes();
+  ASSERT_EQ(copy.size(), v1.size());
+  for (std::size_t i = 0; i < copy.size(); ++i) EXPECT_EQ(copy[i], v1[i]);
+
+  const auto gen_before = o.churn_generation();
+  o.detach(v1[0]);
+  EXPECT_GT(o.churn_generation(), gen_before);
+  const auto v3 = o.attached_view();
+  EXPECT_EQ(v3.size(), o.attached_count());
+  EXPECT_TRUE(std::find(v3.begin(), v3.end(), copy[0]) == v3.end());
+
+  const auto id = o.attach_new(3, rng);
+  const auto v4 = o.attached_view();
+  EXPECT_TRUE(std::find(v4.begin(), v4.end(), id) != v4.end());
+
+  o.reattach(copy[0], 3, rng);
+  const auto v5 = o.attached_view();
+  EXPECT_TRUE(std::find(v5.begin(), v5.end(), copy[0]) != v5.end());
+  EXPECT_EQ(v5.size(), o.attached_count());
+}
+
+TEST(CsrOverlay, CopyDoesNotAliasTheAttachedCache) {
+  Rng rng(3);
+  auto a = Overlay::random(100, 4.0, rng);
+  (void)a.attached_view();  // warm the cache
+  Overlay b(a);
+  // Mutating the copy must not disturb the original's view.
+  b.detach(b.attached_view()[0]);
+  EXPECT_EQ(a.attached_view().size(), a.attached_count());
+  EXPECT_EQ(b.attached_view().size(), b.attached_count());
+  EXPECT_EQ(a.attached_count(), b.attached_count() + 1);
+}
+
+TEST(CsrOverlay, ChurnStressKeepsSlabConsistentThroughRelocation) {
+  Rng rng(1234);
+  auto o = Overlay::random(400, 5.0, rng);
+  std::uint64_t max_dead = 0;
+  for (int round = 0; round < 2'000; ++round) {
+    switch (rng.below(3)) {
+      case 0: {
+        const NodeId n = static_cast<NodeId>(rng.below(o.num_nodes()));
+        if (o.attached(n) && o.attached_count() > 20) o.detach(n);
+        break;
+      }
+      case 1:
+        o.attach_new(3 + static_cast<std::uint32_t>(rng.below(6)), rng);
+        break;
+      default: {
+        const NodeId n = static_cast<NodeId>(rng.below(o.num_nodes()));
+        if (!o.attached(n)) {
+          o.reattach(n, 3 + static_cast<std::uint32_t>(rng.below(6)), rng);
+        }
+        break;
+      }
+    }
+    max_dead = std::max(max_dead, o.dead_slots());
+  }
+  audit(o);
+  // The churn mix above must actually exercise block relocation.
+  ASSERT_GT(max_dead, 0u);
+  // Auto-compaction keeps relocation garbage from dominating the slab.
+  EXPECT_LT(o.dead_slots(), o.slab_slots());
+
+  // Explicit compaction reclaims every dead slot and changes nothing
+  // observable: identical adjacency, histogram and edge count after.
+  const auto hist_before = o.degree_histogram();
+  std::vector<std::vector<NodeId>> adj(o.num_nodes());
+  for (NodeId n = 0; n < o.num_nodes(); ++n) {
+    const auto nb = o.neighbors(n);
+    adj[n].assign(nb.begin(), nb.end());
+  }
+  const auto edges_before = o.num_edges();
+  o.compact();
+  EXPECT_EQ(o.dead_slots(), 0u);
+  EXPECT_EQ(o.num_edges(), edges_before);
+  EXPECT_EQ(o.degree_histogram(), hist_before);
+  for (NodeId n = 0; n < o.num_nodes(); ++n) {
+    const auto nb = o.neighbors(n);
+    ASSERT_EQ(std::vector<NodeId>(nb.begin(), nb.end()), adj[n]) << n;
+  }
+  audit(o);
+}
+
+TEST(CsrOverlay, MemoryBytesIsBoundedPerNode) {
+  Rng rng(99);
+  const auto o = Overlay::random(50'000, 5.0, rng);
+  // CSR slab + 16-byte headers + bitmaps: small multiple of edges+nodes.
+  const double per_node =
+      static_cast<double>(o.memory_bytes()) / o.num_nodes();
+  // avg degree 5 → ~10 slab entries/node (with headroom) at 4 bytes plus a
+  // 16-byte header: comfortably under 150 bytes/node (the ISSUE budget for
+  // the whole overlay+state layer).
+  EXPECT_LT(per_node, 150.0);
+  EXPECT_GT(o.memory_bytes(),
+            static_cast<std::uint64_t>(2 * o.num_edges() * sizeof(NodeId)));
+}
+
+}  // namespace
+}  // namespace asap::overlay

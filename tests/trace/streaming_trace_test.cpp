@@ -1,0 +1,201 @@
+// StreamingTraceGenerator contracts:
+//   * build mode emits exactly the stream the materializing facade
+//     records — same events bit for bit, same counters, same final RNG
+//     state — at a size with real churn, rejoins and mid-trace mints;
+//   * replay mode re-derives that identical stream against the *const*
+//     post-build model (mints resolve to the pre-minted ids), never
+//     mutating it;
+//   * the golden-metrics harness gate (tier 1) separately pins this whole
+//     pipeline against artifacts produced by the historical materializing
+//     generator, so these tests plus that gate close the loop.
+#include "trace/streaming_trace_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/content_model.hpp"
+#include "trace/trace_gen.hpp"
+
+namespace asap::trace {
+namespace {
+
+ContentModelParams small_model_params() {
+  auto p = ContentModelParams::small();
+  p.initial_nodes = 1'000;
+  p.joiner_nodes = 100;
+  return p;
+}
+
+TraceParams busy_trace_params() {
+  TraceParams p;
+  p.num_queries = 2'000;
+  p.joins = 80;
+  p.leaves = 80;
+  p.rejoin_fraction = 0.5;
+  p.content_change_fraction = 0.2;  // plenty of mints and removals
+  return p;
+}
+
+void expect_same_event(const TraceEvent& a, const TraceEvent& b, int idx) {
+  ASSERT_EQ(a.time, b.time) << "event " << idx;  // exact: same computation
+  ASSERT_EQ(a.type, b.type) << "event " << idx;
+  ASSERT_EQ(a.node, b.node) << "event " << idx;
+  ASSERT_EQ(a.doc, b.doc) << "event " << idx;
+  ASSERT_EQ(a.num_terms, b.num_terms) << "event " << idx;
+  for (std::uint8_t t = 0; t < a.num_terms; ++t) {
+    ASSERT_EQ(a.terms[t], b.terms[t]) << "event " << idx << " term "
+                                      << static_cast<int>(t);
+  }
+}
+
+TEST(StreamingTraceGenerator, BuildModeMatchesMaterializingFacade) {
+  const auto mp = small_model_params();
+  const auto tp = busy_trace_params();
+
+  Rng content_a(99), content_b(99);
+  auto model_a = ContentModel::build(mp, content_a);
+  auto model_b = ContentModel::build(mp, content_b);
+
+  Rng trace_a(1234);
+  TraceGenerator facade(model_a, tp, trace_a);
+  const Trace t = facade.generate();
+  ASSERT_GT(t.num_rejoins, 0u);  // the busy params must exercise rejoins
+
+  Rng trace_b(1234);
+  StreamingTraceGenerator stream(model_b, tp, trace_b);
+  std::vector<TraceEvent> events;
+  TraceEvent ev;
+  while (stream.next(ev)) events.push_back(ev);
+
+  ASSERT_EQ(events.size(), t.events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    expect_same_event(t.events[i], events[i], static_cast<int>(i));
+  }
+  EXPECT_EQ(stream.num_queries(), t.num_queries);
+  EXPECT_EQ(stream.num_changes(), t.num_changes);
+  EXPECT_EQ(stream.num_joins(), t.num_joins);
+  EXPECT_EQ(stream.num_leaves(), t.num_leaves);
+  EXPECT_EQ(stream.num_rejoins(), t.num_rejoins);
+  EXPECT_EQ(stream.last_event_time(), t.horizon);
+  // Both paths minted the same documents into their models.
+  EXPECT_EQ(model_a.num_docs(), model_b.num_docs());
+  // The facade handed the final stream state back to the caller's RNG;
+  // the streaming generator must report the identical state.
+  Rng stream_final = stream.rng_state();
+  EXPECT_EQ(trace_a.next_u64(), stream_final.next_u64());
+}
+
+TEST(StreamingTraceGenerator, ReplayModeReproducesBuildStreamAgainstConstModel) {
+  const auto mp = small_model_params();
+  const auto tp = busy_trace_params();
+
+  Rng content(7);
+  auto model = ContentModel::build(mp, content);
+  const auto mint_base = static_cast<DocId>(model.num_docs());
+
+  // Build pass: mutates the model, records the stream.
+  const Rng trace_rng(42);
+  std::vector<TraceEvent> built;
+  std::uint64_t build_final = 0;
+  {
+    StreamingTraceGenerator gen(model, tp, trace_rng);
+    TraceEvent ev;
+    while (gen.next(ev)) built.push_back(ev);
+    Rng fin = gen.rng_state();
+    build_final = fin.next_u64();
+  }
+  ASSERT_GT(model.num_docs(), mint_base);  // mid-trace mints happened
+
+  // Replay pass: same initial RNG, const model, pre-minted ids.
+  const ContentModel& frozen = model;
+  const auto docs_before = frozen.num_docs();
+  StreamingTraceGenerator replay(frozen, tp, trace_rng, mint_base);
+  std::size_t idx = 0;
+  TraceEvent ev;
+  while (replay.next(ev)) {
+    ASSERT_LT(idx, built.size());
+    expect_same_event(built[idx], ev, static_cast<int>(idx));
+    ++idx;
+  }
+  EXPECT_EQ(idx, built.size());
+  EXPECT_EQ(frozen.num_docs(), docs_before);  // replay never mutates
+  Rng fin = replay.rng_state();
+  EXPECT_EQ(fin.next_u64(), build_final);
+}
+
+TEST(StreamingTraceGenerator, ReplayIsRepeatable) {
+  // Many replays of one immutable model must all see the same stream —
+  // the property the matrix runner's shared-World cells rely on.
+  auto mp = small_model_params();
+  mp.initial_nodes = 300;
+  auto tp = busy_trace_params();
+  tp.num_queries = 400;
+  tp.joins = 20;
+  tp.leaves = 20;
+
+  Rng content(15);
+  auto model = ContentModel::build(mp, content);
+  const auto mint_base = static_cast<DocId>(model.num_docs());
+  const Rng trace_rng(5);
+  {
+    StreamingTraceGenerator build(model, tp, trace_rng);
+    TraceEvent ev;
+    while (build.next(ev)) {
+    }
+  }
+
+  const ContentModel& frozen = model;
+  std::vector<TraceEvent> first;
+  for (int round = 0; round < 3; ++round) {
+    StreamingTraceGenerator replay(frozen, tp, trace_rng, mint_base);
+    std::size_t idx = 0;
+    TraceEvent ev;
+    while (replay.next(ev)) {
+      if (round == 0) {
+        first.push_back(ev);
+      } else {
+        ASSERT_LT(idx, first.size());
+        expect_same_event(first[idx], ev, static_cast<int>(idx));
+      }
+      ++idx;
+    }
+    if (round > 0) {
+      EXPECT_EQ(idx, first.size());
+    }
+  }
+}
+
+TEST(StreamingTraceGenerator, ResidentStateIsBoundedByLiveNotEvents) {
+  // The generator's resident footprint tracks live nodes/documents, not
+  // emitted events: a 4x longer trace over the same population must not
+  // grow memory 4x (the whole point of streaming synthesis).
+  auto mp = small_model_params();
+  auto tp = busy_trace_params();
+  tp.joins = 40;
+  tp.leaves = 40;
+
+  const auto run = [&](std::uint32_t queries) {
+    Rng content(33);
+    auto model = ContentModel::build(mp, content);
+    auto p = tp;
+    p.num_queries = queries;
+    Rng trace_rng(8);
+    StreamingTraceGenerator gen(model, p, trace_rng);
+    TraceEvent ev;
+    std::uint64_t peak = 0;
+    while (gen.next(ev)) peak = std::max(peak, gen.memory_bytes());
+    return peak;
+  };
+
+  const auto short_run = run(1'000);
+  const auto long_run = run(4'000);
+  // Mid-trace additions legitimately grow the instance pools a little;
+  // 4x the events must stay well under 2x the footprint.
+  EXPECT_LT(static_cast<double>(long_run),
+            2.0 * static_cast<double>(short_run));
+}
+
+}  // namespace
+}  // namespace asap::trace

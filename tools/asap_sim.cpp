@@ -37,6 +37,8 @@ struct CliArgs {
   std::uint32_t queries = 0;  // 0 = preset default
   std::size_t jobs = 0;
   std::size_t shards = 1;  // event-loop shards per run (0 = auto)
+  std::uint32_t scale = 0;   // node-count override (0 = preset default)
+  bool stream_trace = false;  // force on-demand trace synthesis
   std::string csv_path;
   bool audit = false;
 
@@ -117,6 +119,12 @@ void print_usage() {
   --shards N                  event-loop shards per run (default 1;
                               0 = hardware). Run digests are bit-identical
                               across shard counts (DESIGN.md section 14)
+  --scale N                   re-dimension the world to N peers (the scale
+                              axis, DESIGN.md section 15); >= 100k nodes
+                              auto-enable streaming trace synthesis
+  --stream-trace              synthesize trace events on demand instead of
+                              materializing them (bit-identical digests;
+                              forced on by --scale >= 100k)
   --csv FILE                  also write results as CSV
   --audit                     run the simulation invariant auditor; any
                               violation is reported and exits nonzero
@@ -208,6 +216,10 @@ CliArgs parse(int argc, char** argv) {
       args.jobs = std::stoul(next());
     } else if (flag == "--shards") {
       args.shards = std::stoul(next());
+    } else if (flag == "--scale") {
+      args.scale = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (flag == "--stream-trace") {
+      args.stream_trace = true;
     } else if (flag == "--csv") {
       args.csv_path = next();
     } else if (flag == "--audit") {
@@ -344,6 +356,8 @@ int run_matrix_mode(const CliArgs& args) {
   spec.trials = args.trials;
   spec.jobs = args.jobs;
   spec.queries = args.queries;
+  spec.scale = args.scale;
+  spec.stream_trace = args.stream_trace;
   spec.options.audit = args.audit;
   spec.options.engine_tuning.shards = args.shards;
   if (!args.fault_scenarios.empty()) {
@@ -435,9 +449,12 @@ int main(int argc, char** argv) {
     for (const auto topo : args.topologies) {
       auto cfg = harness::ExperimentConfig::make(args.preset, topo, args.seed);
       if (args.queries != 0) cfg.trace.num_queries = args.queries;
+      if (args.scale != 0) cfg.apply_scale(args.scale);
+      if (args.stream_trace) cfg.stream_trace = true;
       std::cerr << "building " << harness::topology_name(topo)
                 << " world (" << cfg.content.initial_nodes << " peers, "
-                << cfg.trace.num_queries << " queries)...\n";
+                << cfg.trace.num_queries << " queries"
+                << (cfg.stream_trace ? ", streaming trace" : "") << ")...\n";
       const auto world = harness::build_world(cfg);
 
       ThreadPool pool(args.jobs);
