@@ -58,9 +58,30 @@ AdCache::PutResult AdCache::put(AdPayloadPtr ad, double now, Rng& rng) {
       struck_.erase(src);
     }
   }
+  bool readmitted = false;
+  if (!quar_.empty()) {
+    if (const Quarantine* q = quar_.find(src)) {
+      if (now < q->until) return {};  // quarantined: drop silently
+      // Sentence served: re-admit, but remember the offense count so a
+      // repeat offender's next quarantine doubles.
+      readmitted = true;
+    }
+  }
+  bool implausible = false;
+  if (fill_gate_ > 0.0f) {
+    // Plausibility gate: a filter claiming more bits than the honest
+    // keyword capacity can set is a polluted ad. Admit it, but fully
+    // distrusted — confirm probes go to honest sources first, and the
+    // first wasted probe quarantines. popcount() is a maintained field,
+    // so this costs one multiply per put.
+    const auto bits = static_cast<double>(ad->filter.params().bits);
+    implausible =
+        static_cast<double>(ad->filter.popcount()) > fill_gate_ * bits;
+  }
   if (const std::uint32_t* idxp = pos_.find(src)) {
     const std::uint32_t idx = *idxp;
     PutResult r;
+    r.implausible = implausible;
     // Never downgrade to an older version (walk revisits can deliver the
     // same ad twice; late full ads can race a newer patch).
     if (ad->version >= entries_[idx].ad->version) {
@@ -71,10 +92,15 @@ AdCache::PutResult AdCache::put(AdPayloadPtr ad, double now, Rng& rng) {
       entries_[idx].timeout_strikes = 0;
       r.stored = true;
     }
+    // The gate's verdict is about the source, not this ad instance: even
+    // a stale stuffed delivery collapses the entry's trust.
+    if (implausible) entries_[idx].trust = 0.0;
     entries_[idx].touch = now;
     return r;
   }
   PutResult r;
+  r.readmitted = readmitted;
+  r.implausible = implausible;
   if (entries_.size() >= capacity_) {
     evict_one(rng);
     r.evicted = true;
@@ -87,6 +113,7 @@ AdCache::PutResult AdCache::put(AdPayloadPtr ad, double now, Rng& rng) {
   entry.base = ad;
   entry.ad = std::move(ad);
   entry.touch = now;
+  if (implausible) entry.trust = 0.0;
   entries_.push_back(std::move(entry));
   prefilter_.push_back(pre);
   r.stored = true;
@@ -209,12 +236,79 @@ void AdCache::reset_timeouts(NodeId source) {
   if (idxp != nullptr) entries_[*idxp].timeout_strikes = 0;
 }
 
+std::uint32_t AdCache::record_timeout(NodeId source, double chain_start,
+                                      double chain_end) {
+  const std::uint32_t* idxp = pos_.find(source);
+  if (idxp == nullptr) return 0;
+  Entry& entry = entries_[*idxp];
+  if (strike_per_chain_ && chain_start < entry.strike_chain_end) {
+    // This chain overlaps the one that produced the last counted strike:
+    // same evidence window, no double-count.
+    return entry.timeout_strikes;
+  }
+  entry.strike_chain_end = chain_end;
+  return ++entry.timeout_strikes;
+}
+
+void AdCache::set_trust_params(double reward, double decay, double threshold,
+                               double backoff) {
+  trust_enabled_ = true;
+  trust_reward_ = reward;
+  trust_decay_ = decay;
+  trust_threshold_ = threshold;
+  quarantine_backoff_ = backoff;
+}
+
+double AdCache::trust_of(NodeId source) const {
+  if (!trust_enabled_) return 1.0;
+  const std::uint32_t* idxp = pos_.find(source);
+  return idxp == nullptr ? 1.0 : entries_[*idxp].trust;
+}
+
+void AdCache::record_reward(NodeId source) {
+  if (!trust_enabled_) return;
+  const std::uint32_t* idxp = pos_.find(source);
+  if (idxp == nullptr) return;
+  Entry& entry = entries_[*idxp];
+  entry.trust += trust_reward_ * (1.0 - entry.trust);
+}
+
+bool AdCache::record_strike(NodeId source, double now) {
+  if (!trust_enabled_) return false;
+  const std::uint32_t* idxp = pos_.find(source);
+  if (idxp == nullptr) return false;
+  Entry& entry = entries_[*idxp];
+  entry.trust *= trust_decay_;
+  if (entry.trust >= trust_threshold_) return false;
+  quarantine_source(source, now);
+  return true;
+}
+
+void AdCache::quarantine_source(NodeId source, double now) {
+  // Block re-admission with exponential backoff per repeat offense (cap
+  // the shift so the window stays finite), and drop the cached entry.
+  Quarantine q;
+  if (const Quarantine* prev = quar_.find(source)) q = *prev;
+  const double scale =
+      static_cast<double>(1ULL << std::min<std::uint32_t>(q.offenses, 6));
+  q.until = now + quarantine_backoff_ * scale;
+  ++q.offenses;
+  quar_[source] = q;
+  if (const std::uint32_t* idxp = pos_.find(source)) erase_at(*idxp);
+}
+
+bool AdCache::quarantined(NodeId source, double now) const {
+  if (quar_.empty()) return false;
+  const Quarantine* q = quar_.find(source);
+  return q != nullptr && now < q->until;
+}
+
 std::uint64_t AdCache::memory_bytes() const {
   return sources_.capacity() * sizeof(NodeId) +
          entries_.capacity() * sizeof(Entry) +
          prefilter_.capacity() * sizeof(std::uint64_t) +
          (fold_count_ ? sizeof(*fold_count_) : 0) + pos_.memory_bytes() +
-         struck_.memory_bytes();
+         struck_.memory_bytes() + quar_.memory_bytes();
 }
 
 void AdCache::evict_one(Rng& rng) {

@@ -74,12 +74,30 @@ class AdCache {
     /// successful put) or a confirm reply resets it. Drives stale-ad
     /// eviction under the fault-hardening knobs.
     std::uint32_t timeout_strikes = 0;
+    /// Per-source trust in [0,1], driven by confirm outcomes when trust
+    /// scoring is enabled (set_trust_params). 1.0 = fully trusted; entries
+    /// start trusted and earn strikes. Untouched (and never read) when
+    /// trust is off, so vanilla digests cannot shift.
+    double trust = 1.0;
+    /// End of the last counted strike's confirm-attempt chain. With the
+    /// strike-chain guard on, a strike whose chain *started* before this
+    /// instant is part of the same evidence window and is not re-counted
+    /// (one strike per confirm attempt chain).
+    double strike_chain_end = -1.0;
   };
 
   /// What a put() did, so callers can count stores and evictions.
   struct PutResult {
     bool stored = false;   ///< payload inserted or replaced an older one
     bool evicted = false;  ///< another source's entry was evicted for room
+    /// The source served out its quarantine and was re-admitted by this
+    /// put (only ever true when trust scoring is enabled).
+    bool readmitted = false;
+    /// The ad failed the fill-plausibility gate (set_fill_gate): its Bloom
+    /// filter claims more bits than an honest keyword set can set. The ad
+    /// was admitted fully distrusted (demote-and-verify, not drop — the
+    /// source's real content stays reachable as a last resort).
+    bool implausible = false;
   };
 
   /// @param capacity  maximum entries; 0 disables caching entirely (every
@@ -132,8 +150,51 @@ class AdCache {
   /// Records one confirm timeout against `source`; returns the updated
   /// consecutive-strike count (0 when the source is not cached).
   std::uint32_t record_timeout(NodeId source);
+  /// Chain-aware twin: the timeout belongs to a confirm attempt chain
+  /// spanning [chain_start, chain_end). With the strike-chain guard on
+  /// (set_strike_per_chain), a chain that started before the last counted
+  /// chain ended is the same evidence window — the count is returned
+  /// unchanged instead of double-counting. Guard off = legacy behaviour.
+  std::uint32_t record_timeout(NodeId source, double chain_start,
+                               double chain_end);
   /// Clears the strike count (a confirm reply proved the source alive).
   void reset_timeouts(NodeId source);
+  void set_strike_per_chain(bool on) { strike_per_chain_ = on; }
+
+  // --- per-source trust (adversarial defense; off by default) -----------
+  /// Enables trust scoring: confirmed hits reward (trust += reward *
+  /// (1 - trust)), strikes decay (trust *= decay); an entry falling below
+  /// `threshold` is quarantined for `backoff * 2^repeat_offenses`.
+  void set_trust_params(double reward, double decay, double threshold,
+                        double backoff);
+  bool trust_enabled() const { return trust_enabled_; }
+  /// Trust for a cached source; 1.0 when unknown / trust off.
+  double trust_of(NodeId source) const;
+  /// Positive confirm outcome: rewards the source's entry.
+  void record_reward(NodeId source);
+  /// Negative outcome (false positive or timed-out chain): decays trust;
+  /// if the entry crosses the quarantine threshold it is erased and its
+  /// source blocked from put() until the backoff expires. Returns true
+  /// when this strike quarantined the entry.
+  bool record_strike(NodeId source, double now);
+  /// True while put() would drop ads from `source` due to quarantine.
+  bool quarantined(NodeId source, double now) const;
+
+  /// Admission-time plausibility gate against polluted ads: a put() whose
+  /// filter fill ratio (popcount / bits) exceeds `max_fill` is admitted
+  /// with trust forced to zero (PutResult::implausible). An honest node at
+  /// the design keyword capacity fills at most 1 - e^(-k*n/m) (~0.50 for
+  /// the default geometry), so a gate around 0.65 never fires on honest
+  /// traffic. Demote-and-verify, not drop: trust-weighted ranking sends
+  /// confirm probes to honest sources first, yet a polluter's *real*
+  /// content (pollution only adds phantom bits to a truthful filter)
+  /// remains reachable as a last resort; a distrusted entry that then
+  /// wastes a confirm is quarantined by the first strike. 0 (default)
+  /// disables.
+  void set_fill_gate(double max_fill) {
+    fill_gate_ = static_cast<float>(max_fill);
+  }
+  double fill_gate() const { return fill_gate_; }
 
   /// All cached ads whose filter claims every term (paper Table I match).
   /// Legacy hash-per-term scan; the HashedQuery overload is the hot path.
@@ -175,6 +236,11 @@ class AdCache {
  private:
   void evict_one(Rng& rng);
   void erase_at(std::size_t idx);
+
+  /// Puts `source` in quarantine (exponential backoff per repeat offense)
+  /// and drops its cached entry if present. Shared by record_strike and the
+  /// fill-plausibility gate.
+  void quarantine_source(NodeId source, double now);
 
   /// Prefilter word for a payload: the filter's 64-bit fold when its
   /// geometry matches the system-wide default, else all-ones ("cannot
@@ -218,6 +284,23 @@ class AdCache {
   /// lookup in put().
   FlatMap<NodeId, double> struck_;
   double readmit_backoff_ = 0.0;
+  /// Quarantine roster: source -> (re-admit time, repeat-offense count).
+  /// Empty unless trust scoring is on — put() guards on emptiness first.
+  struct Quarantine {
+    double until = 0.0;
+    std::uint32_t offenses = 0;
+  };
+  FlatMap<NodeId, Quarantine> quar_;
+  /// Max admissible filter fill ratio; 0 disables the plausibility gate.
+  /// A float so it packs into the padding next to the two flags — the
+  /// empty-cache footprint bound (million-node worlds) stays intact.
+  float fill_gate_ = 0.0f;
+  bool trust_enabled_ = false;
+  bool strike_per_chain_ = false;
+  double trust_reward_ = 0.3;
+  double trust_decay_ = 0.5;
+  double trust_threshold_ = 0.2;
+  double quarantine_backoff_ = 120.0;
 };
 
 }  // namespace asap::ads

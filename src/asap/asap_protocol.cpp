@@ -54,6 +54,20 @@ AsapProtocol::AsapProtocol(search::Ctx& ctx, AsapParams params)
       c.set_readmit_backoff(params_.stale_readmit_backoff);
     }
   }
+  if (params_.trust_enabled) {
+    for (auto& c : caches_) {
+      c.set_trust_params(params_.trust_reward, params_.trust_strike_decay,
+                         params_.trust_quarantine_threshold,
+                         params_.trust_quarantine_backoff);
+    }
+  }
+  if (params_.strike_per_chain) {
+    for (auto& c : caches_) c.set_strike_per_chain(true);
+  }
+  if (params_.trust_fill_gate > 0.0) {
+    for (auto& c : caches_) c.set_fill_gate(params_.trust_fill_gate);
+  }
+  if (overload_enabled()) pending_.resize(slots);
   if (adaptive()) {
     AdSchedulerParams sp;
     sp.round_budget = params_.ad_round_budget;
@@ -70,7 +84,48 @@ std::uint64_t AsapProtocol::state_bytes() const {
                         scheds_.capacity() * sizeof(AdScheduler);
   for (const auto& a : advertisers_) total += a.memory_bytes();
   for (const auto& c : caches_) total += c.memory_bytes();
+  total += pending_.capacity() * sizeof(std::vector<Seconds>);
+  for (const auto& q : pending_) total += q.capacity() * sizeof(Seconds);
   return total;
+}
+
+bool AsapProtocol::is_polluter(NodeId n) const {
+  return ctx_.faults != nullptr && ctx_.faults->is_polluter(n);
+}
+
+AdPayloadPtr AsapProtocol::maybe_pollute(NodeId src, AdPayloadPtr payload) {
+  if (!is_polluter(src)) return payload;
+  auto polluted = std::make_shared<AdPayload>(*payload);
+  // Phantom bits are a pure function of (source, version): every delivery
+  // of this version ships the identical stuffed filter, and no shared RNG
+  // stream is consumed, so arming polluters perturbs nothing else.
+  SplitMix64 sm(0xC6A4A7935BD1E995ULL ^
+                (static_cast<std::uint64_t>(src) << 32) ^ payload->version);
+  auto& filter = polluted->filter;
+  const std::uint32_t bits = filter.params().bits;
+  const std::uint32_t stuff =
+      ctx_.faults->plan().config().pollution_bits;
+  for (std::uint32_t i = 0; i < stuff && bits > 0; ++i) {
+    const auto pos = static_cast<std::uint32_t>(sm.next() % bits);
+    if (!filter.bit(pos)) filter.toggle(pos);
+  }
+  ++counters_.polluted_ads;
+  return polluted;
+}
+
+void AsapProtocol::note_readmit(NodeId cacher, NodeId source, Seconds t) {
+  ++counters_.readmissions;
+  ASAP_OBS_HOOK(ctx_.obs, on_quarantine_exit(cacher));
+  ASAP_OBS_HOOK(ctx_.obs, trace_quarantine(t, cacher, source, "exit"));
+}
+
+void AsapProtocol::note_implausible(NodeId cacher, NodeId source, Seconds t) {
+  // A fill-gate demotion is a trust strike earned by the ad itself — no
+  // confirm probe was needed. The entry stays cached at zero trust
+  // (demote-and-verify); quarantine follows only if it wastes a probe.
+  ++counters_.trust_strikes;
+  ASAP_OBS_HOOK(ctx_.obs, on_trust_strike(cacher));
+  ASAP_OBS_HOOK(ctx_.obs, trace_trust_strike(t, cacher, source, "implausible"));
 }
 
 std::string AsapProtocol::name() const {
@@ -149,6 +204,8 @@ void AsapProtocol::deliver_ad(NodeId src, AdKind kind, Seconds when,
         const auto r = cache.put(payload, t, ctx_.rng);
         if (r.stored) ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(v));
         if (r.evicted) ASAP_OBS_HOOK(ctx_.obs, on_ad_evicted(v));
+        if (r.readmitted) note_readmit(v, src, t);
+        if (r.implausible) note_implausible(v, src, t);
         break;
       }
       case AdKind::kPatch: {
@@ -191,6 +248,8 @@ void AsapProtocol::deliver_ad(NodeId src, AdKind kind, Seconds when,
           const auto r = cache.put(payload, done, ctx_.rng);
           if (r.stored) ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(v));
           if (r.evicted) ASAP_OBS_HOOK(ctx_.obs, on_ad_evicted(v));
+          if (r.readmitted) note_readmit(v, src, done);
+          if (r.implausible) note_implausible(v, src, done);
           ++counters_.refresh_pulls;
         }
         break;
@@ -256,7 +315,7 @@ void AsapProtocol::warm_up(Seconds duration) {
     const Seconds at = ctx_.rng.uniform(0.0, duration * 0.5);
     ctx_.engine.schedule_at(at, n, [this, n] {
       if (!ctx_.online(n)) return;
-      auto payload = advertisers_[n].publish_full();
+      auto payload = maybe_pollute(n, advertisers_[n].publish_full());
       deliver_ad(n, AdKind::kFull, ctx_.engine.now(), 1.0, payload, {}, 0);
       schedule_refresh(n);
     });
@@ -315,11 +374,13 @@ void AsapProtocol::run_ad_round(NodeId n) {
       if (params_.ad_mode == AdMode::kDelta) {
         auto delta = adv.pending_delta();
         if (delta.empty()) continue;  // changes cancelled out
-        if (delta.size() > params_.patch_to_full_threshold) {
-          // Too far from the base: re-base with a full ad.
+        if (is_polluter(n) || delta.size() > params_.patch_to_full_threshold) {
+          // Too far from the base: re-base with a full ad. Polluters always
+          // re-base — a delta would rebuild the canonical filter at cachers
+          // and silently launder the phantom bits away.
           FrameEntry fe;
           fe.kind = AdKind::kFull;
-          fe.payload = adv.publish_full();
+          fe.payload = maybe_pollute(n, adv.publish_full());
           frame_scratch_.push_back(std::move(fe));
           shipped_full = true;
         } else {
@@ -337,9 +398,9 @@ void AsapProtocol::run_ad_round(NodeId n) {
         const std::uint32_t base = adv.version();
         auto payload = adv.publish_full();
         FrameEntry fe;
-        if (patch.size() > params_.patch_to_full_threshold) {
+        if (is_polluter(n) || patch.size() > params_.patch_to_full_threshold) {
           fe.kind = AdKind::kFull;
-          fe.payload = std::move(payload);
+          fe.payload = maybe_pollute(n, std::move(payload));
           shipped_full = true;
         } else {
           fe.kind = AdKind::kPatch;
@@ -420,6 +481,7 @@ void AsapProtocol::deliver_packed(NodeId src, Seconds when, double scale,
           const auto r = cache.put(e.payload, t, ctx_.rng);
           if (r.stored) ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(v));
           if (r.evicted) ASAP_OBS_HOOK(ctx_.obs, on_ad_evicted(v));
+          if (r.readmitted) note_readmit(v, src, t);
           break;
         }
         case AdKind::kPatch: {
@@ -542,7 +604,7 @@ void AsapProtocol::on_rejoin(const trace::TraceEvent& ev) {
                         /*urgent=*/true);
       schedule_refresh(n);
     } else {
-      auto payload = adv.publish_full();
+      auto payload = maybe_pollute(n, adv.publish_full());
       deliver_ad(n, AdKind::kFull, ev.time, params_.join_budget_scale,
                  payload, {}, 0);
       schedule_refresh(n);
@@ -558,7 +620,7 @@ void AsapProtocol::on_join(const trace::TraceEvent& ev) {
   auto& adv = advertisers_[n];
   for (DocId d : ctx_.live.docs(n)) adv.add_document(ctx_.model.doc(d));
   if (adv.has_content()) {
-    auto payload = adv.publish_full();
+    auto payload = maybe_pollute(n, adv.publish_full());
     deliver_ad(n, AdKind::kFull, ev.time, params_.join_budget_scale, payload,
                {}, 0);
     schedule_refresh(n);
@@ -583,7 +645,7 @@ void AsapProtocol::on_content_change(const trace::TraceEvent& ev) {
   if (!adv.has_advertised()) {
     // First-time sharer (e.g. a free-rider that started sharing).
     if (adv.has_content()) {
-      auto payload = adv.publish_full();
+      auto payload = maybe_pollute(n, adv.publish_full());
       deliver_ad(n, AdKind::kFull, ev.time, params_.join_budget_scale,
                  payload, {}, 0);
       schedule_refresh(n);
@@ -619,9 +681,11 @@ void AsapProtocol::on_content_change(const trace::TraceEvent& ev) {
   if (patch.empty()) return;  // shared keywords absorbed the change
   const std::uint32_t base = adv.version();
   auto payload = adv.publish_full();  // canonical payload for the new version
-  if (patch.size() > params_.patch_to_full_threshold) {
-    deliver_ad(n, AdKind::kFull, ev.time, params_.join_budget_scale, payload,
-               {}, 0);
+  // Polluters only ship full (stuffed) ads: a patch stores the *canonical*
+  // payload at cachers, which would silently launder the pollution away.
+  if (is_polluter(n) || patch.size() > params_.patch_to_full_threshold) {
+    deliver_ad(n, AdKind::kFull, ev.time, params_.join_budget_scale,
+               maybe_pollute(n, std::move(payload)), {}, 0);
   } else {
     deliver_ad(n, AdKind::kPatch, ev.time, params_.patch_budget_scale,
                payload, patch, base);
@@ -644,6 +708,12 @@ Seconds AsapProtocol::confirm_round(NodeId p, Seconds start,
     const NodeId s = ad->source;
     if (s == p) continue;
     ++sent;
+    // Byzantine roles of the confirm target, resolved once per candidate
+    // (deterministic bitmaps — no draws).
+    const bool dropper =
+        ctx_.faults != nullptr && ctx_.faults->is_confirm_dropper(s);
+    const bool never_serves =
+        ctx_.faults != nullptr && ctx_.faults->is_stale_advertiser(s);
     bool replied = false;
     Seconds t_attempt = start;
     Seconds t_deadline = start;
@@ -672,7 +742,13 @@ Seconds AsapProtocol::confirm_round(NodeId p, Seconds start,
       rec.cost_bytes += ctx_.sizes.confirm_request;
       ++rec.messages;
       const bool alive = ctx_.online(s);
-      const bool request_lost = alive && ctx_.direct_lost(p, s, t_req);
+      bool request_lost = alive && ctx_.direct_lost(p, s, t_req);
+      if (alive && !request_lost && dropper) {
+        // Confirm-dropper: the request arrives and is silently discarded —
+        // the requester observes a timeout; no reply bytes are ever paid.
+        request_lost = true;
+        ++counters_.dropped_confirms;
+      }
       if (alive && !request_lost) {
         const Seconds t_reply = t_req + lat;
         ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_reply());
@@ -686,18 +762,39 @@ Seconds AsapProtocol::confirm_round(NodeId p, Seconds start,
           replied = true;
           resolve = std::max(resolve, t_reply);
           caches_[p].reset_timeouts(s);
-          if (ctx_.live.node_matches(s, terms, ctx_.model)) {
+          bool matches = ctx_.live.node_matches(s, terms, ctx_.model);
+          if (matches && never_serves) {
+            // Stale-advertiser: replies, but always refuses to serve.
+            matches = false;
+            ++counters_.forced_negatives;
+          }
+          if (matches) {
             best = std::min(best, t_reply);
             caches_[p].touch(s, t_reply);
             ++rec.results;
+            caches_[p].record_reward(s);
             ASAP_OBS_HOOK(ctx_.obs, on_confirm_positive(p));
             ASAP_OBS_HOOK(ctx_.obs, trace_confirm(t_reply, p, s, "positive"));
           } else {
             ASAP_OBS_HOOK(ctx_.obs, trace_confirm(t_reply, p, s, "negative"));
+            if (caches_[p].trust_enabled()) {
+              // With trust on, a negative confirm is a false-positive
+              // strike: the ad claimed content the source will not serve.
+              ++counters_.trust_strikes;
+              ASAP_OBS_HOOK(ctx_.obs, on_trust_strike(p));
+              ASAP_OBS_HOOK(ctx_.obs, trace_trust_strike(t_reply, p, s,
+                                                         "false-positive"));
+              if (caches_[p].record_strike(s, t_reply)) {
+                ++counters_.quarantines;
+                ASAP_OBS_HOOK(ctx_.obs, on_quarantine_enter(p));
+                ASAP_OBS_HOOK(ctx_.obs,
+                              trace_quarantine(t_reply, p, s, "enter"));
+              }
+            }
           }
-          // A negative confirmation (cross-document or Bloom false
-          // positive) keeps the entry: the ad honestly summarizes the
-          // source's content.
+          // Without trust scoring, a negative confirmation (cross-document
+          // or Bloom false positive) keeps the entry: the ad honestly
+          // summarizes the source's content.
           break;
         }
         // The reply was produced and paid for but lost in transit; the
@@ -719,14 +816,32 @@ Seconds AsapProtocol::confirm_round(NodeId p, Seconds start,
     if (!replied) {
       // All attempts timed out: one more strike against the cached ad;
       // after stale_timeout_strikes consecutive strikes the entry goes
-      // (legacy default 1: first timeout evicts).
+      // (legacy default 1: first timeout evicts). The chain-aware overload
+      // collapses overlapping chains to one strike when the guard is on.
       const std::uint32_t needed =
           std::max<std::uint32_t>(1, params_.stale_timeout_strikes);
-      const std::uint32_t strikes = caches_[p].record_timeout(s);
+      const std::uint32_t strikes =
+          caches_[p].record_timeout(s, start, t_deadline);
+      bool quarantined = false;
+      if (caches_[p].trust_enabled()) {
+        // A timed-out chain also damages trust, so persistent silence
+        // (stale advertisers, droppers) eventually quarantines the source.
+        ++counters_.trust_strikes;
+        ASAP_OBS_HOOK(ctx_.obs, on_trust_strike(p));
+        ASAP_OBS_HOOK(ctx_.obs, trace_trust_strike(t_deadline, p, s,
+                                                   "timeout"));
+        if (caches_[p].record_strike(s, t_deadline)) {
+          ++counters_.quarantines;
+          ASAP_OBS_HOOK(ctx_.obs, on_quarantine_enter(p));
+          ASAP_OBS_HOOK(ctx_.obs, trace_quarantine(t_deadline, p, s, "enter"));
+          quarantined = true;
+        }
+      }
       // erase_stale (not erase): with a configured re-admission backoff the
       // evicted source's ads are dropped for a while, so an in-flight
       // delivery cannot re-admit the just-evicted stale ad immediately.
-      if (strikes >= needed && caches_[p].erase_stale(s, t_deadline)) {
+      if (!quarantined && strikes >= needed &&
+          caches_[p].erase_stale(s, t_deadline)) {
         ++counters_.stale_evictions;
         ASAP_OBS_HOOK(ctx_.obs, on_stale_evicted(p));
         ASAP_OBS_HOOK(ctx_.obs, trace_stale_evict(t_deadline, p, s));
@@ -782,6 +897,7 @@ Seconds AsapProtocol::ads_request_phase(
         ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(p));
       }
       if (r.evicted) ASAP_OBS_HOOK(ctx_.obs, on_ad_evicted(p));
+      if (r.readmitted) note_readmit(p, ad->source, t_back);
       ASAP_AUDIT_HOOK(ctx_.auditor,
                       on_cache_occupancy(caches_[p].size(),
                                          params_.cache_capacity));
@@ -827,6 +943,34 @@ void AsapProtocol::run_query(const trace::TraceEvent& ev) {
   rec.issued_at = t0;
   repair_pending_since_ = kInfTime;
 
+  // Overload protection: bounded per-origin pending-query queue with
+  // deterministic shedding, plus graceful degradation (TTL clamp-down)
+  // under pressure. pending_ is empty unless a cap/clamp is configured.
+  bool clamp_ttl = false;
+  if (!pending_.empty()) {
+    auto& inflight = pending_[p];
+    std::erase_if(inflight, [t0](Seconds end) { return end <= t0; });
+    const auto depth = static_cast<std::uint32_t>(inflight.size());
+    if (params_.pending_query_cap > 0 &&
+        depth >= params_.pending_query_cap) {
+      // Shed: the query fails immediately at zero protocol cost. A shed
+      // legitimate query counts as a failed search; synthetic storm
+      // queries are shed silently.
+      ++counters_.queries_shed;
+      ASAP_OBS_HOOK(ctx_.obs, on_query_shed(p));
+      ASAP_OBS_HOOK(ctx_.obs, trace_shed(t0, p, depth));
+      if (!synthetic_query()) stats_.add(rec);
+      return;
+    }
+    // Peak counts admitted queries only, so with a cap it never exceeds
+    // the cap — shedding is exactly the mechanism that bounds it.
+    counters_.peak_pending_depth = std::max<std::uint64_t>(
+        counters_.peak_pending_depth, std::uint64_t{depth} + 1);
+    clamp_ttl =
+        params_.ttl_clamp_depth > 0 && depth >= params_.ttl_clamp_depth;
+    if (clamp_ttl) ++counters_.ttl_clamped;
+  }
+
   // Hash the query terms exactly once; every cache scan below — at the
   // querying node and at every node its ads request visits — reuses the
   // precomputed probe positions.
@@ -834,19 +978,33 @@ void AsapProtocol::run_query(const trace::TraceEvent& ev) {
 
   // Phase 1: local ads-cache lookup + confirmations (paper Table I).
   caches_[p].collect_matches(query, scratch_ads_);
+  if (caches_[p].trust_enabled() && scratch_ads_.size() > 1) {
+    // Trust-weighted ranking: confirm the most trustworthy sources first,
+    // so max_confirms budget is not burned on known polluters. stable_sort
+    // keeps the deterministic cache-scan order for equal trust.
+    std::stable_sort(scratch_ads_.begin(), scratch_ads_.end(),
+                     [&](const AdPayloadPtr& a, const AdPayloadPtr& b) {
+                       return caches_[p].trust_of(a->source) >
+                              caches_[p].trust_of(b->source);
+                     });
+  }
   Seconds resolve = t0;
   std::vector<NodeId> dead;
   Seconds best =
       confirm_round(p, t0, terms, scratch_ads_, rec, resolve, dead);
   const bool local_success = best < kInfTime;
+  Seconds done = resolve;
 
   // Phase 2: if no match was found *or more responses are needed* (paper
   // Table I), request ads from neighbors within h hops, merge, and retry
-  // the confirmation round once.
-  if (!local_success || rec.results < params_.results_needed) {
+  // the confirmation round once. Under storm pressure the clamp suppresses
+  // this widening entirely (graceful degradation).
+  if ((!local_success || rec.results < params_.results_needed) &&
+      !clamp_ttl) {
     std::vector<AdPayloadPtr> fresh;
     const Seconds phase_done =
         ads_request_phase(p, resolve, query, &rec, dead, fresh);
+    done = std::max(done, phase_done);
     if (repair_pending_since_ < kInfTime && last_request_stored_ > 0) {
       // The refetch restored cache entries after a stale eviction earlier
       // in this query: a completed repair.
@@ -863,11 +1021,24 @@ void AsapProtocol::run_query(const trace::TraceEvent& ev) {
       return false;
     });
     if (!fresh.empty()) {
+      if (caches_[p].trust_enabled() && fresh.size() > 1) {
+        // Same trust-weighted ranking as phase 1: the ads-request merge
+        // just put these entries into our cache, so sources the fill gate
+        // demoted (or confirms struck) sort behind trusted ones.
+        std::stable_sort(fresh.begin(), fresh.end(),
+                         [&](const AdPayloadPtr& a, const AdPayloadPtr& b) {
+                           return caches_[p].trust_of(a->source) >
+                                  caches_[p].trust_of(b->source);
+                         });
+      }
       Seconds resolve2 = phase_done;
       best = std::min(best, confirm_round(p, phase_done, terms, fresh, rec,
                                           resolve2, dead));
+      done = std::max(done, resolve2);
     }
   }
+
+  if (!pending_.empty()) pending_[p].push_back(done);
 
   rec.success = best < kInfTime;
   rec.local_hit = local_success;
@@ -876,7 +1047,7 @@ void AsapProtocol::run_query(const trace::TraceEvent& ev) {
                 trace_query(t0, p, rec.success, rec.local_hit,
                             rec.response_time, rec.cost_bytes, rec.messages,
                             rec.results));
-  stats_.add(rec);
+  if (!synthetic_query()) stats_.add(rec);
 }
 
 }  // namespace asap::ads

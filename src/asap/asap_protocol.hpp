@@ -116,6 +116,31 @@ struct AsapParams {
   /// re-admit the just-evicted stale ad in the same tick. 0 = legacy.
   Seconds stale_readmit_backoff = 0.0;
 
+  // --- adversarial defense (defaults reproduce legacy behaviour) ---------
+  /// Per-source trust scoring on cached ads (AdCache::set_trust_params):
+  /// confirmed hits reward, false positives and timed-out confirm chains
+  /// strike; entries below the threshold are quarantined with exponential
+  /// re-admit backoff. Off = legacy (no trust reads, no extra draws).
+  bool trust_enabled = false;
+  double trust_reward = 0.3;
+  double trust_strike_decay = 0.5;
+  double trust_quarantine_threshold = 0.2;
+  Seconds trust_quarantine_backoff = 120.0;
+  /// Ad-admission plausibility gate (AdCache::set_fill_gate): reject and
+  /// quarantine sources whose ads fill more of the Bloom filter than the
+  /// design keyword capacity can honestly set. 0 = off (legacy).
+  double trust_fill_gate = 0.0;
+  /// One stale strike per confirm attempt chain (fixes double-counting
+  /// when overlapping queries confirm the same source). Off = legacy.
+  bool strike_per_chain = false;
+  /// Bounded per-origin pending-query queue: a query arriving while this
+  /// many are already in flight at its origin is shed (fails immediately,
+  /// zero protocol cost). 0 = unbounded (legacy).
+  std::uint32_t pending_query_cap = 0;
+  /// Pending depth at which the search degrades gracefully: phase-2
+  /// ads-requests are suppressed (TTL clamp-down). 0 = never clamp.
+  std::uint32_t ttl_clamp_depth = 0;
+
   static AsapParams small(search::Scheme s);
   static AsapParams paper(search::Scheme s);
 };
@@ -157,12 +182,39 @@ class AsapProtocol final : public search::SearchAlgorithm {
     std::uint64_t packed_entries = 0;  ///< ads shipped inside frames
     std::uint64_t spilled_entries = 0; ///< budget spills carried to next round
     std::uint64_t delta_ads = 0;       ///< delta ads shipped (kDelta mode)
+    // Adversarial telemetry (all zero unless Byzantine roles are armed).
+    std::uint64_t polluted_ads = 0;     ///< full ads shipped with phantom bits
+    std::uint64_t forced_negatives = 0; ///< stale-advertiser confirm replies
+    std::uint64_t dropped_confirms = 0; ///< confirm requests silently dropped
+    // Defense telemetry (all zero unless trust / overload knobs are on).
+    std::uint64_t trust_strikes = 0;
+    std::uint64_t quarantines = 0;   ///< quarantine entries (trust collapse)
+    std::uint64_t readmissions = 0;  ///< quarantine exits (sentence served)
+    std::uint64_t queries_shed = 0;
+    std::uint64_t ttl_clamped = 0;   ///< queries whose phase 2 was suppressed
+    std::uint64_t peak_pending_depth = 0;
   };
   const Counters& counters() const { return counters_; }
   const AsapParams& params() const { return params_; }
 
  private:
   std::uint64_t delivery_budget(std::size_t num_topics, double scale) const;
+
+  /// Returns `payload` unless `src` is a seeded polluter, in which case a
+  /// copy with deterministic phantom set bits (keyed on source + version,
+  /// no RNG-stream draws) is published instead. Polluters only ever ship
+  /// full ads — their patches/deltas are forced to full at the call sites
+  /// so the delta audit oracle never sees phantom bits.
+  AdPayloadPtr maybe_pollute(NodeId src, AdPayloadPtr payload);
+  bool is_polluter(NodeId n) const;
+  /// Counts a put()'s quarantine re-admission (defense telemetry).
+  void note_readmit(NodeId cacher, NodeId source, Seconds t);
+  /// Bookkeeping for an ad rejected by the fill-plausibility gate: counts
+  /// the strike + quarantine and emits the obs/trace events.
+  void note_implausible(NodeId cacher, NodeId source, Seconds t);
+  bool overload_enabled() const {
+    return params_.pending_query_cap > 0 || params_.ttl_clamp_depth > 0;
+  }
 
   /// Disseminates an ad from `src` starting at `when`.
   /// For patches, `patch_positions`/`base_version` describe the delta.
@@ -240,6 +292,10 @@ class AsapProtocol final : public search::SearchAlgorithm {
   /// Entries the most recent ads_request_phase stored into the requester's
   /// cache (repair evidence).
   std::uint64_t last_request_stored_ = 0;
+  /// Per-origin in-flight query completion times (overload protection).
+  /// Empty vectors unless pending_query_cap / ttl_clamp_depth is set, so
+  /// legacy runs never touch it.
+  std::vector<std::vector<Seconds>> pending_;
 };
 
 }  // namespace asap::ads

@@ -38,6 +38,17 @@ SuperpeerAsap::SuperpeerAsap(search::Ctx& ctx, SuperpeerParams params)
     caches_.emplace_back(params.cache_capacity);
   }
   refresh_scheduled_.assign(slots, 0);
+  if (params.trust_enabled) {
+    for (auto& c : caches_) {
+      c.set_trust_params(params.trust_reward, params.trust_strike_decay,
+                         params.trust_quarantine_threshold,
+                         params.trust_quarantine_backoff);
+    }
+  }
+  if (params.trust_fill_gate > 0.0) {
+    for (auto& c : caches_) c.set_fill_gate(params.trust_fill_gate);
+  }
+  if (overload_enabled()) pending_queries_.resize(slots);
   if (adaptive()) {
     AdSchedulerParams sp;
     sp.round_budget = params.ad_round_budget;
@@ -138,6 +149,44 @@ std::uint64_t SuperpeerAsap::delivery_budget(std::size_t topics,
       params_.walkers, static_cast<std::uint64_t>(std::llround(raw)));
 }
 
+bool SuperpeerAsap::is_polluter(NodeId n) const {
+  return ctx_.faults != nullptr && ctx_.faults->is_polluter(n);
+}
+
+AdPayloadPtr SuperpeerAsap::maybe_pollute(NodeId src, AdPayloadPtr payload) {
+  if (!is_polluter(src)) return payload;
+  auto polluted = std::make_shared<AdPayload>(*payload);
+  // Phantom bits are a pure function of (source, version) — identical to
+  // the flat protocol's scheme — so deliveries are deterministic and no
+  // shared RNG stream is consumed.
+  SplitMix64 sm(0xC6A4A7935BD1E995ULL ^
+                (static_cast<std::uint64_t>(src) << 32) ^ payload->version);
+  auto& filter = polluted->filter;
+  const std::uint32_t bits = filter.params().bits;
+  const std::uint32_t stuff = ctx_.faults->plan().config().pollution_bits;
+  for (std::uint32_t i = 0; i < stuff && bits > 0; ++i) {
+    const auto pos = static_cast<std::uint32_t>(sm.next() % bits);
+    if (!filter.bit(pos)) filter.toggle(pos);
+  }
+  ++counters_.polluted_ads;
+  return polluted;
+}
+
+void SuperpeerAsap::note_readmit(NodeId cacher, NodeId source, Seconds t) {
+  ++counters_.readmissions;
+  ASAP_OBS_HOOK(ctx_.obs, on_quarantine_exit(cacher));
+  ASAP_OBS_HOOK(ctx_.obs, trace_quarantine(t, cacher, source, "exit"));
+}
+
+void SuperpeerAsap::note_implausible(NodeId cacher, NodeId source, Seconds t) {
+  // A fill-gate demotion is a trust strike earned by the ad itself — no
+  // confirm probe was needed. The entry stays cached at zero trust
+  // (demote-and-verify); quarantine follows only if it wastes a probe.
+  ++counters_.trust_strikes;
+  ASAP_OBS_HOOK(ctx_.obs, on_trust_strike(cacher));
+  ASAP_OBS_HOOK(ctx_.obs, trace_trust_strike(t, cacher, source, "implausible"));
+}
+
 void SuperpeerAsap::publish(NodeId source, AdKind kind, Seconds when,
                             double scale, const AdPayloadPtr& payload,
                             std::span<const std::uint32_t> patch,
@@ -193,6 +242,8 @@ void SuperpeerAsap::publish(NodeId source, AdKind kind, Seconds when,
         const auto r = cache.put(payload, t, ctx_.rng);
         if (r.stored) ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(sp));
         if (r.evicted) ASAP_OBS_HOOK(ctx_.obs, on_ad_evicted(sp));
+        if (r.readmitted) note_readmit(sp, source, t);
+        if (r.implausible) note_implausible(sp, source, t);
         break;
       }
       case AdKind::kPatch: {
@@ -383,6 +434,8 @@ void SuperpeerAsap::run_ad_round(NodeId sp) {
             const auto r = cache.put(p->payload, t, ctx_.rng);
             if (r.stored) ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(v));
             if (r.evicted) ASAP_OBS_HOOK(ctx_.obs, on_ad_evicted(v));
+            if (r.readmitted) note_readmit(v, src, t);
+            if (r.implausible) note_implausible(v, src, t);
             break;
           }
           case AdKind::kPatch: {
@@ -479,7 +532,7 @@ void SuperpeerAsap::warm_up(Seconds duration) {
     const Seconds at = ctx_.rng.uniform(0.0, duration * 0.5);
     ctx_.engine.schedule_at(at, n, [this, n] {
       if (!ctx_.online(n)) return;
-      auto payload = advertisers_[n].publish_full();
+      auto payload = maybe_pollute(n, advertisers_[n].publish_full());
       publish(n, AdKind::kFull, ctx_.engine.now(), 1.0, payload, {}, 0);
       schedule_refresh(n);
     });
@@ -522,7 +575,7 @@ void SuperpeerAsap::on_trace_event(const trace::TraceEvent& ev) {
       proxy_[n] = assign_proxy(n);
       auto& adv = advertisers_[n];
       if (adv.has_content()) {
-        auto payload = adv.publish_full();
+        auto payload = maybe_pollute(n, adv.publish_full());
         publish(n, AdKind::kFull, ev.time, params_.join_budget_scale,
                 payload, {}, 0);
         schedule_refresh(n);
@@ -546,7 +599,7 @@ void SuperpeerAsap::on_join(const trace::TraceEvent& ev) {
   auto& adv = advertisers_[n];
   for (DocId d : ctx_.live.docs(n)) adv.add_document(ctx_.model.doc(d));
   if (adv.has_content()) {
-    auto payload = adv.publish_full();
+    auto payload = maybe_pollute(n, adv.publish_full());
     publish(n, AdKind::kFull, ev.time, params_.join_budget_scale, payload,
             {}, 0);
     schedule_refresh(n);
@@ -565,7 +618,7 @@ void SuperpeerAsap::on_content_change(const trace::TraceEvent& ev) {
   if (!ctx_.online(n)) return;
   if (!adv.has_advertised()) {
     if (adv.has_content()) {
-      auto payload = adv.publish_full();
+      auto payload = maybe_pollute(n, adv.publish_full());
       publish(n, AdKind::kFull, ev.time, params_.join_budget_scale, payload,
               {}, 0);
       schedule_refresh(n);
@@ -576,16 +629,38 @@ void SuperpeerAsap::on_content_change(const trace::TraceEvent& ev) {
   if (patch.empty()) return;
   const std::uint32_t base = adv.version();
   auto payload = adv.publish_full();
+  // Polluters only ship full (stuffed) ads: a patch would store the
+  // canonical payload at cachers and launder the pollution away.
+  if (is_polluter(n)) {
+    publish(n, AdKind::kFull, ev.time, params_.join_budget_scale,
+            maybe_pollute(n, std::move(payload)), {}, 0);
+    return;
+  }
   publish(n, AdKind::kPatch, ev.time, params_.patch_budget_scale, payload,
           patch, base);
 }
 
 Seconds SuperpeerAsap::confirm_round(
-    NodeId requester, Seconds start, std::span<const KeywordId> terms,
+    NodeId requester, NodeId sp, Seconds start,
+    std::span<const KeywordId> terms,
     std::span<const AdPayloadPtr> candidates, metrics::SearchRecord& rec,
     Seconds& resolve) {
   Seconds best = kInfTime;
   std::uint32_t sent = 0;
+  const bool trust = caches_[sp].trust_enabled();
+  // A strike (or quarantine) charged to the *proxy's* cache: the requester
+  // reports the outcome back to its proxy, which owns the entry.
+  auto strike = [&](NodeId src, Seconds t, const char* kind) {
+    if (!trust) return;
+    ++counters_.trust_strikes;
+    ASAP_OBS_HOOK(ctx_.obs, on_trust_strike(sp));
+    ASAP_OBS_HOOK(ctx_.obs, trace_trust_strike(t, sp, src, kind));
+    if (caches_[sp].record_strike(src, t)) {
+      ++counters_.quarantines;
+      ASAP_OBS_HOOK(ctx_.obs, on_quarantine_enter(sp));
+      ASAP_OBS_HOOK(ctx_.obs, trace_quarantine(t, sp, src, "enter"));
+    }
+  };
   for (const auto& ad : candidates) {
     if (sent >= params_.max_confirms) break;
     const NodeId s = ad->source;
@@ -602,11 +677,17 @@ Seconds SuperpeerAsap::confirm_round(
     ASAP_OBS_HOOK(ctx_.obs, on_confirm_sent(requester));
     rec.cost_bytes += ctx_.sizes.confirm_request;
     ++rec.messages;
-    if (!ctx_.online(s)) {
+    // Confirm-droppers swallow the request: to the requester this is
+    // indistinguishable from an offline source.
+    const bool dropped = ctx_.online(s) && ctx_.faults != nullptr &&
+                         ctx_.faults->is_confirm_dropper(s);
+    if (dropped) ++counters_.dropped_confirms;
+    if (!ctx_.online(s) || dropped) {
       ASAP_AUDIT_HOOK(ctx_.auditor, on_confirm_timeout());
       ASAP_OBS_HOOK(ctx_.obs, on_confirm_timed_out(requester));
       ASAP_OBS_HOOK(ctx_.obs, trace_confirm(t_req, requester, s, "timeout"));
       resolve = std::max(resolve, start + 2.0 * lat);
+      strike(s, start + 2.0 * lat, "timeout");
       continue;  // the proxy's cache entry ages out via refresh gaps
     }
     const Seconds t_reply = t_req + lat;
@@ -618,15 +699,25 @@ Seconds SuperpeerAsap::confirm_round(
     rec.cost_bytes += ctx_.sizes.confirm_reply;
     ++rec.messages;
     resolve = std::max(resolve, t_reply);
-    if (ctx_.live.node_matches(s, terms, ctx_.model)) {
+    bool matches = ctx_.live.node_matches(s, terms, ctx_.model);
+    // Stale-advertisers advertise but never serve: every confirm comes
+    // back empty-handed no matter what the ground truth says.
+    if (matches && ctx_.faults != nullptr &&
+        ctx_.faults->is_stale_advertiser(s)) {
+      matches = false;
+      ++counters_.forced_negatives;
+    }
+    if (matches) {
       best = std::min(best, t_reply);
       ++rec.results;
+      if (trust) caches_[sp].record_reward(s);
       ASAP_OBS_HOOK(ctx_.obs, on_confirm_positive(requester));
       ASAP_OBS_HOOK(ctx_.obs,
                     trace_confirm(t_reply, requester, s, "positive"));
     } else {
       ASAP_OBS_HOOK(ctx_.obs,
                     trace_confirm(t_reply, requester, s, "negative"));
+      strike(s, t_reply, "false-positive");
     }
   }
   return best;
@@ -663,6 +754,7 @@ Seconds SuperpeerAsap::ads_request_phase(
       const auto r = caches_[sp].put(ad, t_back, ctx_.rng);
       if (r.stored) ASAP_OBS_HOOK(ctx_.obs, on_ad_stored(sp));
       if (r.evicted) ASAP_OBS_HOOK(ctx_.obs, on_ad_evicted(sp));
+      if (r.implausible) note_implausible(sp, ad->source, t_back);
       ASAP_AUDIT_HOOK(ctx_.auditor,
                       on_cache_occupancy(caches_[sp].size(),
                                          params_.cache_capacity));
@@ -714,7 +806,7 @@ void SuperpeerAsap::run_query(const trace::TraceEvent& ev) {
       // No live superpeer: the search fails outright.
       ASAP_OBS_HOOK(ctx_.obs, trace_query(ev.time, r, false, false, 0.0,
                                           rec.cost_bytes, rec.messages, 0));
-      stats_.add(rec);
+      if (!synthetic_query()) stats_.add(rec);
       return;
     }
     sp = proxy;
@@ -727,9 +819,50 @@ void SuperpeerAsap::run_query(const trace::TraceEvent& ev) {
     ++counters_.proxy_queries;
   }
 
+  // Overload protection at the proxy — the hierarchy's congestion point.
+  // Storm traffic converging on one superpeer is shed (or clamped) there.
+  bool clamp_widening = false;
+  if (!pending_queries_.empty()) {
+    auto& q = pending_queries_[sp];
+    std::size_t depth = 0;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (q[i] > at_proxy) q[depth++] = q[i];
+    }
+    q.resize(depth);
+    if (params_.pending_query_cap > 0 &&
+        depth >= params_.pending_query_cap) {
+      ++counters_.queries_shed;
+      ASAP_OBS_HOOK(ctx_.obs, on_query_shed(sp));
+      ASAP_OBS_HOOK(ctx_.obs,
+                    trace_shed(at_proxy, sp,
+                               static_cast<std::uint32_t>(depth)));
+      ASAP_OBS_HOOK(ctx_.obs, trace_query(ev.time, r, false, false, 0.0,
+                                          rec.cost_bytes, rec.messages, 0));
+      if (!synthetic_query()) stats_.add(rec);
+      return;
+    }
+    // Peak counts admitted queries only, so with a cap it never exceeds
+    // the cap — shedding is exactly the mechanism that bounds it.
+    counters_.peak_pending_depth =
+        std::max<std::uint64_t>(counters_.peak_pending_depth, depth + 1);
+    if (params_.ttl_clamp_depth > 0 && depth >= params_.ttl_clamp_depth) {
+      clamp_widening = true;
+      ++counters_.ttl_clamped;
+    }
+  }
+
   // Proxy-side lookup; the candidate list travels back to the requester,
   // which confirms with the sources directly.
   caches_[sp].collect_matches(query, scratch_ads_);
+  if (caches_[sp].trust_enabled() && scratch_ads_.size() > 1) {
+    // Trust-weighted ranking: confirmed-good sources first; stable so the
+    // cache's deterministic scan order still breaks ties.
+    std::stable_sort(scratch_ads_.begin(), scratch_ads_.end(),
+                     [&](const AdPayloadPtr& a, const AdPayloadPtr& b) {
+                       return caches_[sp].trust_of(a->source) >
+                              caches_[sp].trust_of(b->source);
+                     });
+  }
   Seconds confirm_start = at_proxy;
   if (sp != r) {
     confirm_start = at_proxy + ctx_.latency(sp, r);
@@ -742,10 +875,11 @@ void SuperpeerAsap::run_query(const trace::TraceEvent& ev) {
   }
   Seconds resolve = confirm_start;
   Seconds best =
-      confirm_round(r, confirm_start, terms, scratch_ads_, rec, resolve);
+      confirm_round(r, sp, confirm_start, terms, scratch_ads_, rec, resolve);
   const bool local = best < kInfTime;
+  Seconds done_at = resolve;
 
-  if (!local) {
+  if (!local && !clamp_widening) {
     // Proxy widens the lookup among its superpeer neighbors.
     std::vector<AdPayloadPtr> fresh;
     const Seconds done = ads_request_phase(sp, resolve, query, &rec, fresh);
@@ -761,10 +895,14 @@ void SuperpeerAsap::run_query(const trace::TraceEvent& ev) {
         ++rec.messages;
       }
       Seconds resolve2 = fetch_start;
-      best = std::min(best, confirm_round(r, fetch_start, terms, fresh, rec,
-                                          resolve2));
+      best = std::min(best, confirm_round(r, sp, fetch_start, terms, fresh,
+                                          rec, resolve2));
+      done_at = std::max(done_at, resolve2);
+    } else {
+      done_at = std::max(done_at, done);
     }
   }
+  if (!pending_queries_.empty()) pending_queries_[sp].push_back(done_at);
 
   rec.success = best < kInfTime;
   rec.local_hit = local;
@@ -773,7 +911,7 @@ void SuperpeerAsap::run_query(const trace::TraceEvent& ev) {
                 trace_query(ev.time, r, rec.success, rec.local_hit,
                             rec.response_time, rec.cost_bytes, rec.messages,
                             rec.results));
-  stats_.add(rec);
+  if (!synthetic_query()) stats_.add(rec);
 }
 
 std::uint64_t SuperpeerAsap::total_cached_ads() const {

@@ -70,6 +70,23 @@ struct SuperpeerParams {
   /// Packed-round period per superpeer (with +-50% jitter).
   Seconds ad_round_period = 120.0;
 
+  // --- adversarial defense (all off by default; DESIGN.md §16) -----------
+  /// Per-source trust scores on the proxy caches: confirmed hits reward,
+  /// false positives / timeouts strike, low-trust sources are quarantined
+  /// with exponential re-admit backoff. Same model as AsapParams.
+  bool trust_enabled = false;
+  double trust_reward = 0.3;
+  double trust_strike_decay = 0.5;
+  double trust_quarantine_threshold = 0.2;
+  double trust_quarantine_backoff = 120.0;
+  /// Ad-admission fill-plausibility gate on the proxy caches; 0 = off.
+  double trust_fill_gate = 0.0;
+  /// Overload protection at the proxy (the hierarchy's congestion point):
+  /// cap on concurrently pending queries per superpeer (0 = unbounded) and
+  /// the depth at which the mesh-widening phase is suppressed (0 = never).
+  std::uint32_t pending_query_cap = 0;
+  std::uint32_t ttl_clamp_depth = 0;
+
   static SuperpeerParams small(search::Scheme s);
 };
 
@@ -102,6 +119,16 @@ class SuperpeerAsap final : public search::SearchAlgorithm {
     std::uint64_t packed_frames = 0;
     std::uint64_t packed_entries = 0;
     std::uint64_t spilled_entries = 0;
+    // Adversary / defense telemetry (all zero without faults / defenses).
+    std::uint64_t polluted_ads = 0;
+    std::uint64_t forced_negatives = 0;
+    std::uint64_t dropped_confirms = 0;
+    std::uint64_t trust_strikes = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t readmissions = 0;
+    std::uint64_t queries_shed = 0;
+    std::uint64_t ttl_clamped = 0;
+    std::uint64_t peak_pending_depth = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -123,7 +150,7 @@ class SuperpeerAsap final : public search::SearchAlgorithm {
   void on_content_change(const trace::TraceEvent& ev);
   void run_query(const trace::TraceEvent& ev);
 
-  Seconds confirm_round(NodeId requester, Seconds start,
+  Seconds confirm_round(NodeId requester, NodeId sp, Seconds start,
                         std::span<const KeywordId> terms,
                         std::span<const AdPayloadPtr> candidates,
                         metrics::SearchRecord& rec, Seconds& resolve);
@@ -134,6 +161,18 @@ class SuperpeerAsap final : public search::SearchAlgorithm {
 
   void schedule_refresh(NodeId n);
   void on_refresh_timer(NodeId n);
+
+  // --- adversarial roles / defenses -------------------------------------
+  bool is_polluter(NodeId n) const;
+  /// Stuffs deterministic phantom bits into a polluter's full ad (copy;
+  /// the advertiser's canonical payload is never touched).
+  AdPayloadPtr maybe_pollute(NodeId src, AdPayloadPtr payload);
+  void note_readmit(NodeId cacher, NodeId source, Seconds t);
+  /// Bookkeeping for an ad rejected by the fill-plausibility gate.
+  void note_implausible(NodeId cacher, NodeId source, Seconds t);
+  bool overload_enabled() const {
+    return params_.pending_query_cap > 0 || params_.ttl_clamp_depth > 0;
+  }
 
   // --- adaptive mode (ad_mode != kVanilla) ------------------------------
   /// The newest not-yet-disseminated ad a proxy holds for one source.
@@ -172,6 +211,9 @@ class SuperpeerAsap final : public search::SearchAlgorithm {
   std::vector<std::unordered_map<NodeId, PendingAd>> pending_;
   std::vector<AdScheduler> sp_scheds_;
   std::vector<std::uint8_t> round_scheduled_;
+  /// Completion times of in-flight queries per superpeer; only allocated
+  /// when overload protection is armed.
+  std::vector<std::vector<Seconds>> pending_queries_;
 };
 
 }  // namespace asap::ads

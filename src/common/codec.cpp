@@ -97,11 +97,25 @@ void encode_positions(Writer& w, std::span<const std::uint32_t> sorted) {
 }
 
 std::vector<std::uint32_t> decode_positions(Reader& r, std::size_t count) {
+  // Every encoded position costs at least one byte, so a count that
+  // exceeds the bytes left is hostile or corrupt — reject it *before*
+  // reserving, or a crafted header could force a huge allocation from a
+  // tiny buffer.
+  if (count > r.remaining()) {
+    throw DecodeError("wire: position count exceeds remaining bytes");
+  }
   std::vector<std::uint32_t> out;
   out.reserve(count);
   std::uint64_t acc = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const std::uint64_t delta = r.varint();
+    // The delta form makes strictly-increasing the only canonical
+    // encoding; a zero delta after the first entry is a duplicate
+    // position, which would toggle the same filter bit back OFF when a
+    // patch is applied — a pollution-laundering vector, not a valid ad.
+    if (i > 0 && delta == 0) {
+      throw DecodeError("wire: duplicate position (zero delta)");
+    }
     acc = i == 0 ? delta : acc + delta;
     if (acc > 0xFFFFFFFFULL) {
       throw DecodeError("wire: position overflows 32 bits");

@@ -9,7 +9,12 @@ namespace asap::faults {
 
 bool FaultConfig::any() const {
   return crash_fraction > 0.0 || link_loss > 0.0 || latency_jitter > 0.0 ||
-         partitions > 0 || bursts > 0;
+         partitions > 0 || bursts > 0 || adversarial();
+}
+
+bool FaultConfig::adversarial() const {
+  return polluter_fraction > 0.0 || stale_advertiser_fraction > 0.0 ||
+         confirm_dropper_fraction > 0.0 || storms > 0;
 }
 
 void FaultConfig::validate() const {
@@ -29,11 +34,34 @@ void FaultConfig::validate() const {
       burst_duration <= 0.0 || confirm_backoff < 0.0) {
     throw ConfigError("faults: durations must be positive");
   }
+  if (!in01(polluter_fraction) || !in01(stale_advertiser_fraction) ||
+      !in01(confirm_dropper_fraction)) {
+    throw ConfigError("faults: adversary fractions out of [0,1]");
+  }
+  if (polluter_fraction + stale_advertiser_fraction +
+          confirm_dropper_fraction >
+      1.0) {
+    throw ConfigError("faults: adversary fractions sum past 1");
+  }
+  if (storm_duration <= 0.0 || trust_quarantine_backoff < 0.0) {
+    throw ConfigError("faults: durations must be positive");
+  }
+  if (storms > 0 &&
+      (storm_emitters == 0 || storm_queries_per_emitter == 0 ||
+       storm_hot_terms == 0)) {
+    throw ConfigError("faults: storm parameters must be positive");
+  }
+  if (!in01(trust_reward) || trust_strike_decay <= 0.0 ||
+      trust_strike_decay >= 1.0 || !in01(trust_quarantine_threshold) ||
+      !in01(trust_fill_gate)) {
+    throw ConfigError("faults: trust parameters out of range");
+  }
 }
 
 const std::vector<std::string>& fault_preset_names() {
   static const std::vector<std::string> names = {
-      "none", "churn", "lossy", "partition", "burst", "chaos"};
+      "none",   "churn",         "lossy", "partition",  "burst",     "chaos",
+      "polluted", "polluted-open", "storm", "storm-open", "byzantine"};
   return names;
 }
 
@@ -45,6 +73,22 @@ void harden(FaultConfig& c) {
   c.confirm_attempts = 3;
   c.stale_strikes = 2;
   c.confirm_backoff = 0.5;
+}
+
+/// The defense defaults every trust-enabled preset shares: trust scoring
+/// with quarantine, the strike-per-chain accounting fix, and the
+/// ad-admission fill-plausibility gate (honest max fill ~0.50 at design
+/// capacity, so 0.65 has zero honest casualties).
+void defend(FaultConfig& c) {
+  c.trust_enabled = true;
+  c.strike_per_chain = true;
+  c.trust_fill_gate = 0.65;
+}
+
+/// Overload protection shared by the storm presets' defended variants.
+void shield(FaultConfig& c) {
+  c.pending_query_cap = 32;
+  c.ttl_clamp_depth = 24;
 }
 
 std::string preset_list() {
@@ -93,6 +137,40 @@ FaultScenario fault_preset(const std::string& name) {
     harden(c);
     return s;
   }
+  if (name == "polluted" || name == "polluted-open") {
+    c.polluter_fraction = 0.20;
+    // Enough phantom bits to push a polluted filter's fill past ~0.75
+    // (default geometry): with k=8 hashes a query false-matches with
+    // probability fill^8, so sparse pollution is harmless — a real
+    // attacker stuffs hard.
+    c.pollution_bits = 16'384;
+    harden(c);
+    if (name == "polluted") defend(c);
+    return s;
+  }
+  if (name == "storm" || name == "storm-open") {
+    // Flash crowds, not drizzle: each episode's emitters fire fast enough
+    // that an unshedded origin's pending queue climbs well past the
+    // shield's cap — the defended variant must actually shed.
+    c.storms = 2;
+    c.storm_duration = 1.0;
+    c.storm_emitters = 8;
+    c.storm_queries_per_emitter = 150;
+    harden(c);
+    if (name == "storm") shield(c);
+    return s;
+  }
+  if (name == "byzantine") {
+    c.polluter_fraction = 0.10;
+    c.stale_advertiser_fraction = 0.05;
+    c.confirm_dropper_fraction = 0.05;
+    c.pollution_bits = 16'384;
+    c.storms = 1;
+    harden(c);
+    defend(c);
+    shield(c);
+    return s;
+  }
   throw ConfigError("unknown fault preset '" + name + "' (available: " +
                     preset_list() + ", or a path to a JSON scenario file)");
 }
@@ -126,6 +204,32 @@ json::Value scenario_to_json(const FaultScenario& s) {
   o.emplace_back("confirm_attempts", static_cast<double>(c.confirm_attempts));
   o.emplace_back("stale_strikes", static_cast<double>(c.stale_strikes));
   o.emplace_back("confirm_backoff_s", c.confirm_backoff);
+  // Adversary + defense fields: emitted only when non-default so legacy
+  // scenario files round-trip byte-identically.
+  if (c.adversarial() || c.trust_enabled || c.strike_per_chain ||
+      c.trust_fill_gate > 0 || c.pending_query_cap > 0 ||
+      c.ttl_clamp_depth > 0) {
+    o.emplace_back("polluter_fraction", c.polluter_fraction);
+    o.emplace_back("stale_advertiser_fraction", c.stale_advertiser_fraction);
+    o.emplace_back("confirm_dropper_fraction", c.confirm_dropper_fraction);
+    o.emplace_back("pollution_bits", static_cast<double>(c.pollution_bits));
+    o.emplace_back("storms", static_cast<double>(c.storms));
+    o.emplace_back("storm_duration_s", c.storm_duration);
+    o.emplace_back("storm_emitters", static_cast<double>(c.storm_emitters));
+    o.emplace_back("storm_queries_per_emitter",
+                   static_cast<double>(c.storm_queries_per_emitter));
+    o.emplace_back("storm_hot_terms", static_cast<double>(c.storm_hot_terms));
+    o.emplace_back("trust_enabled", c.trust_enabled);
+    o.emplace_back("trust_reward", c.trust_reward);
+    o.emplace_back("trust_strike_decay", c.trust_strike_decay);
+    o.emplace_back("trust_quarantine_threshold", c.trust_quarantine_threshold);
+    o.emplace_back("trust_quarantine_backoff_s", c.trust_quarantine_backoff);
+    o.emplace_back("trust_fill_gate", c.trust_fill_gate);
+    o.emplace_back("strike_per_chain", c.strike_per_chain);
+    o.emplace_back("pending_query_cap",
+                   static_cast<double>(c.pending_query_cap));
+    o.emplace_back("ttl_clamp_depth", static_cast<double>(c.ttl_clamp_depth));
+  }
   return json::Value(std::move(o));
 }
 
@@ -152,6 +256,38 @@ FaultScenario scenario_from_json(const json::Value& v) {
   c.stale_strikes =
       static_cast<std::uint32_t>(num("stale_strikes", c.stale_strikes));
   c.confirm_backoff = num("confirm_backoff_s", c.confirm_backoff);
+  const auto flag = [&](const char* key, bool fallback) {
+    const json::Value* f = v.find(key);
+    return f != nullptr ? f->as_bool() : fallback;
+  };
+  c.polluter_fraction = num("polluter_fraction", c.polluter_fraction);
+  c.stale_advertiser_fraction =
+      num("stale_advertiser_fraction", c.stale_advertiser_fraction);
+  c.confirm_dropper_fraction =
+      num("confirm_dropper_fraction", c.confirm_dropper_fraction);
+  c.pollution_bits =
+      static_cast<std::uint32_t>(num("pollution_bits", c.pollution_bits));
+  c.storms = static_cast<std::uint32_t>(num("storms", c.storms));
+  c.storm_duration = num("storm_duration_s", c.storm_duration);
+  c.storm_emitters =
+      static_cast<std::uint32_t>(num("storm_emitters", c.storm_emitters));
+  c.storm_queries_per_emitter = static_cast<std::uint32_t>(
+      num("storm_queries_per_emitter", c.storm_queries_per_emitter));
+  c.storm_hot_terms =
+      static_cast<std::uint32_t>(num("storm_hot_terms", c.storm_hot_terms));
+  c.trust_enabled = flag("trust_enabled", c.trust_enabled);
+  c.trust_reward = num("trust_reward", c.trust_reward);
+  c.trust_strike_decay = num("trust_strike_decay", c.trust_strike_decay);
+  c.trust_quarantine_threshold =
+      num("trust_quarantine_threshold", c.trust_quarantine_threshold);
+  c.trust_quarantine_backoff =
+      num("trust_quarantine_backoff_s", c.trust_quarantine_backoff);
+  c.trust_fill_gate = num("trust_fill_gate", c.trust_fill_gate);
+  c.strike_per_chain = flag("strike_per_chain", c.strike_per_chain);
+  c.pending_query_cap =
+      static_cast<std::uint32_t>(num("pending_query_cap", c.pending_query_cap));
+  c.ttl_clamp_depth =
+      static_cast<std::uint32_t>(num("ttl_clamp_depth", c.ttl_clamp_depth));
   c.validate();
   return s;
 }

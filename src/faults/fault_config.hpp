@@ -60,6 +60,67 @@ struct FaultConfig {
   /// Loss probability applied to every transmission inside a burst window.
   double burst_loss = 0.9;
 
+  // --- adversarial (Byzantine) roles -------------------------------------
+  // Seeded per-node role assignment, drawn from a dedicated adversary RNG
+  // stream so arming a role never perturbs the crash/partition/burst
+  // schedules of the existing presets. Roles are disjoint from each other
+  // and from trace-churned nodes.
+  /// Fraction of initial nodes that stuff every published ad's filter with
+  /// phantom set bits (false-positive pollution).
+  double polluter_fraction = 0.0;
+  /// Fraction that advertise honestly but always answer confirms
+  /// negatively (advertise-then-never-serve).
+  double stale_advertiser_fraction = 0.0;
+  /// Fraction that silently drop confirm requests (the requester times
+  /// out; no reply bytes are ever paid).
+  double confirm_dropper_fraction = 0.0;
+  /// Extra phantom bits a polluter sets per published full ad.
+  std::uint32_t pollution_bits = 64;
+
+  // --- query storms -------------------------------------------------------
+  /// Number of flash-crowd storm episodes within the measurement window.
+  std::uint32_t storms = 0;
+  Seconds storm_duration = 30.0;
+  /// Emitter nodes per storm episode (capped at the live population).
+  std::uint32_t storm_emitters = 24;
+  /// Synthetic queries each emitter fires per episode.
+  std::uint32_t storm_queries_per_emitter = 40;
+  /// Hot term set: storm queries draw from the `storm_hot_terms` most
+  /// popular keywords (low KeywordIds are most popular under Zipf ranks).
+  std::uint32_t storm_hot_terms = 8;
+
+  // --- defense (applied only when the fault layer is armed) ---------------
+  /// Master switch for per-source trust scoring on AdCache entries.
+  bool trust_enabled = false;
+  /// Reward on a confirmed hit: trust += reward * (1 - trust).
+  double trust_reward = 0.3;
+  /// Multiplicative decay per strike (false positive or confirm-timeout
+  /// chain): trust *= decay.
+  double trust_strike_decay = 0.5;
+  /// Entries whose source trust falls below this are quarantined.
+  double trust_quarantine_threshold = 0.2;
+  /// Re-admit backoff base after quarantine; doubles per repeat offense.
+  Seconds trust_quarantine_backoff = 120.0;
+  /// Ad-admission plausibility gate: any ad whose Bloom fill ratio exceeds
+  /// this is admitted fully distrusted (demote-and-verify), so confirm
+  /// probes rank honest sources first while the polluter's real content
+  /// stays reachable as a last resort. An honest filter at the design
+  /// keyword capacity fills ~0.50, so the defended presets use 0.65 — zero
+  /// honest casualties. 0 = gate off.
+  double trust_fill_gate = 0.0;
+  /// One strike per confirm attempt chain (satellite fix for the
+  /// erase_stale / retry double-count); off keeps legacy accounting.
+  bool strike_per_chain = false;
+  /// Bounded per-origin pending-query queue; 0 = unbounded (legacy).
+  std::uint32_t pending_query_cap = 0;
+  /// When an origin's pending depth reaches this, phase-2 ads-requests are
+  /// suppressed (TTL clamp-down); 0 = never clamp.
+  std::uint32_t ttl_clamp_depth = 0;
+
+  /// True when any adversarial role or storm is configured (defense knobs
+  /// alone do not count, mirroring the hardening knobs).
+  bool adversarial() const;
+
   // --- protocol hardening (applied only when the fault layer is armed) ---
   /// Confirm attempts per candidate; 0 = keep the protocol default (1).
   std::uint32_t confirm_attempts = 0;
@@ -70,8 +131,9 @@ struct FaultConfig {
   /// default.
   Seconds confirm_backoff = 0.0;
 
-  /// True when any fault class is actually injected (hardening knobs alone
-  /// do not count: they change nothing unless an injector is armed).
+  /// True when any fault class is actually injected (hardening and defense
+  /// knobs alone do not count: they change nothing unless an injector is
+  /// armed).
   bool any() const;
   /// Throws ConfigError on out-of-range rates or durations.
   void validate() const;

@@ -38,6 +38,18 @@ class FaultPlan {
     Seconds end = 0.0;
     std::vector<std::uint32_t> domains;  ///< cut stub domains, sorted
   };
+  struct Storm {
+    Seconds begin = 0.0;
+    Seconds end = 0.0;
+  };
+  /// One synthetic flash-crowd query: emitted by `node` at `at` against a
+  /// single hot `term`. The whole schedule is precomputed at build time so
+  /// injection draws nothing at run time.
+  struct StormQuery {
+    Seconds at = 0.0;
+    NodeId node = kInvalidNode;
+    KeywordId term = 0;
+  };
 
   FaultPlan() = default;
 
@@ -64,9 +76,25 @@ class FaultPlan {
   const std::vector<Crash>& crashes() const { return crashes_; }
   const std::vector<Window>& bursts() const { return bursts_; }
   const std::vector<Partition>& partitions() const { return partitions_; }
+  /// Byzantine role rosters, each sorted by node id. Disjoint from each
+  /// other, from trace-churned nodes, and from the crash roster.
+  const std::vector<NodeId>& polluters() const { return polluters_; }
+  const std::vector<NodeId>& stale_advertisers() const {
+    return stale_advertisers_;
+  }
+  const std::vector<NodeId>& confirm_droppers() const {
+    return confirm_droppers_;
+  }
+  const std::vector<Storm>& storms() const { return storms_; }
+  /// Flash-crowd schedule, sorted by (at, node, term).
+  const std::vector<StormQuery>& storm_queries() const {
+    return storm_queries_;
+  }
 
   bool empty() const {
     return crashes_.empty() && bursts_.empty() && partitions_.empty() &&
+           polluters_.empty() && stale_advertisers_.empty() &&
+           confirm_droppers_.empty() && storm_queries_.empty() &&
            cfg_.link_loss <= 0.0 && cfg_.latency_jitter <= 0.0;
   }
 
@@ -81,6 +109,11 @@ class FaultPlan {
   std::vector<Crash> crashes_;
   std::vector<Window> bursts_;
   std::vector<Partition> partitions_;
+  std::vector<NodeId> polluters_;
+  std::vector<NodeId> stale_advertisers_;
+  std::vector<NodeId> confirm_droppers_;
+  std::vector<Storm> storms_;
+  std::vector<StormQuery> storm_queries_;
 };
 
 }  // namespace asap::faults

@@ -21,11 +21,26 @@ FaultInjector::FaultInjector(const FaultPlan& plan,
       crash_window_[c.node] = {c.at, c.detect_at};
     }
   }
+  const auto fill = [](const std::vector<NodeId>& roster,
+                       std::vector<std::uint8_t>& bitmap) {
+    if (roster.empty()) return;
+    bitmap.assign(roster.back() + 1, 0);  // rosters are sorted
+    for (const NodeId n : roster) bitmap[n] = 1;
+  };
+  fill(plan.polluters(), polluter_);
+  fill(plan.stale_advertisers(), stale_adv_);
+  fill(plan.confirm_droppers(), dropper_);
 }
 
 void FaultInjector::arm(sim::Engine& engine, overlay::Overlay& ov,
                         trace::LiveContent& live, sim::Liveness& liveness,
                         obs::RunObserver* obs) {
+  arm(engine, ov, live, liveness, obs, StormQueryFn{});
+}
+
+void FaultInjector::arm(sim::Engine& engine, overlay::Overlay& ov,
+                        trace::LiveContent& live, sim::Liveness& liveness,
+                        obs::RunObserver* obs, StormQueryFn on_storm_query) {
   for (const auto& c : plan_.crashes()) {
     engine.schedule_at(c.at, c.node, [this, &live, &liveness, obs, c] {
       if (!live.online(c.node)) return;  // defensive; the plan avoids churn
@@ -67,6 +82,27 @@ void FaultInjector::arm(sim::Engine& engine, overlay::Overlay& ov,
     engine.schedule_at(end, [obs, end] {
       ASAP_OBS_HOOK(obs, trace_fault(end, "burst-end", kInvalidNode));
     });
+  }
+  for (const auto& s : plan_.storms()) {
+    const Seconds begin = s.begin;
+    const Seconds end = s.end;
+    engine.schedule_at(begin, [this, obs, begin] {
+      ASAP_OBS_HOOK(obs, on_fault_injected());
+      ASAP_OBS_HOOK(obs, trace_fault(begin, "storm", kInvalidNode));
+    });
+    engine.schedule_at(end, [obs, end] {
+      ASAP_OBS_HOOK(obs, trace_fault(end, "storm-end", kInvalidNode));
+    });
+  }
+  if (on_storm_query && !plan_.storm_queries().empty()) {
+    // The schedule was precomputed at plan-build time; delivery draws
+    // nothing, so the flash crowd composes with the loss dice untouched.
+    for (const auto& sq : plan_.storm_queries()) {
+      engine.schedule_at(sq.at, sq.node, [this, on_storm_query, sq] {
+        ++report_.storm_queries;
+        on_storm_query(sq);
+      });
+    }
   }
 }
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -48,7 +49,12 @@ class FaultInjector {
     std::uint64_t partition_drops = 0;
     /// Transmissions paid for to crashed-but-undetected nodes.
     std::uint64_t dead_sends = 0;
+    /// Synthetic flash-crowd queries actually injected.
+    std::uint64_t storm_queries = 0;
   };
+
+  /// Receives each synthetic flash-crowd query at its scheduled time.
+  using StormQueryFn = std::function<void(const FaultPlan::StormQuery&)>;
 
   FaultInjector(const FaultPlan& plan, const net::TransitStubNetwork& phys,
                 std::uint64_t rng_seed);
@@ -60,6 +66,14 @@ class FaultInjector {
   void arm(sim::Engine& engine, overlay::Overlay& ov,
            trace::LiveContent& live, sim::Liveness& liveness,
            obs::RunObserver* obs);
+
+  /// Same, plus a sink for the plan's flash-crowd schedule: each
+  /// StormQuery is delivered to `on_storm_query` at its scheduled time
+  /// (skipped entirely when the sink is null — algorithms that cannot
+  /// absorb synthetic queries see only the storm window markers).
+  void arm(sim::Engine& engine, overlay::Overlay& ov,
+           trace::LiveContent& live, sim::Liveness& liveness,
+           obs::RunObserver* obs, StormQueryFn on_storm_query);
 
   /// Fault-layer loss verdict for one transmission at hop time `t`, rolled
   /// after (and independently of) the base message_loss dice. Order:
@@ -95,6 +109,18 @@ class FaultInjector {
 
   void count_dead_send() { ++report_.dead_sends; }
 
+  /// Byzantine role membership, O(1). All false when the plan holds no
+  /// roles (the bitmaps stay empty — vanilla runs pay one size check).
+  bool is_polluter(NodeId n) const {
+    return n < polluter_.size() && polluter_[n] != 0;
+  }
+  bool is_stale_advertiser(NodeId n) const {
+    return n < stale_adv_.size() && stale_adv_[n] != 0;
+  }
+  bool is_confirm_dropper(NodeId n) const {
+    return n < dropper_.size() && dropper_[n] != 0;
+  }
+
   const Report& report() const { return report_; }
   const FaultPlan& plan() const { return plan_; }
 
@@ -108,6 +134,10 @@ class FaultInjector {
   /// Per overlay node: [crash_at, detect_at); (+inf, +inf) if never
   /// crashing. Indexed lookups keep dead_unnoticed O(1) on hot paths.
   std::vector<std::pair<Seconds, Seconds>> crash_window_;
+  /// Role bitmaps; empty unless the plan holds the matching roster.
+  std::vector<std::uint8_t> polluter_;
+  std::vector<std::uint8_t> stale_adv_;
+  std::vector<std::uint8_t> dropper_;
 };
 
 }  // namespace asap::faults

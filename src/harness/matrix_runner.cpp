@@ -71,6 +71,30 @@ std::vector<std::pair<std::string, double>> headline_metrics(
       out.emplace_back("ad_bytes_total",
                        static_cast<double>(r.ad_bytes_total));
     }
+    if (r.faults.adversarial) {
+      // Adversary/defense metrics: gated on the adversarial flag (not on
+      // `enabled`) so churn-only fault artifacts keep their metric set.
+      out.emplace_back("polluted_ads",
+                       static_cast<double>(r.faults.polluted_ads));
+      out.emplace_back("forced_negatives",
+                       static_cast<double>(r.faults.forced_negatives));
+      out.emplace_back("dropped_confirms",
+                       static_cast<double>(r.faults.dropped_confirms));
+      out.emplace_back("storm_queries",
+                       static_cast<double>(r.faults.storm_queries));
+      out.emplace_back("trust_strikes",
+                       static_cast<double>(r.faults.trust_strikes));
+      out.emplace_back("quarantines",
+                       static_cast<double>(r.faults.quarantines));
+      out.emplace_back("readmissions",
+                       static_cast<double>(r.faults.readmissions));
+      out.emplace_back("queries_shed",
+                       static_cast<double>(r.faults.queries_shed));
+      out.emplace_back("ttl_clamped",
+                       static_cast<double>(r.faults.ttl_clamped));
+      out.emplace_back("peak_pending_depth",
+                       static_cast<double>(r.faults.peak_pending_depth));
+    }
   }
   if (r.asap_counters.ad_rounds > 0) {
     // Adaptive-scheduler telemetry; only adaptive/delta runs execute ad
@@ -172,7 +196,23 @@ MatrixResult run_matrix(const MatrixSpec& spec) {
         spec.options_for ? spec.options_for(algo) : spec.options;
     // An all-zero scenario ("none") leaves opts.faults unset so the run
     // arms no injector and stays bit-identical to a legacy matrix cell.
-    if (scen.config.any()) opts.faults = scen.config;
+    if (scen.config.any()) {
+      faults::FaultConfig fc = scen.config;
+      if (spec.trust.has_value()) {
+        if (*spec.trust) {
+          fc.trust_enabled = true;
+          fc.strike_per_chain = true;
+          if (fc.trust_fill_gate <= 0.0) fc.trust_fill_gate = 0.65;
+        } else {
+          fc.trust_enabled = false;
+          fc.strike_per_chain = false;
+          fc.trust_fill_gate = 0.0;
+          fc.pending_query_cap = 0;
+          fc.ttl_clamp_depth = 0;
+        }
+      }
+      opts.faults = fc;
+    }
     slot.result =
         run_experiment(*worlds[topo_idx * trials + trial], algo, opts);
     // Each cell's profile leads with the (shared) world-build phase so a
@@ -258,6 +298,11 @@ json::Value results_to_json(const MatrixResult& result) {
       "shards", static_cast<double>(spec.options.engine_tuning.shards));
   spec_obj.emplace_back("scale", static_cast<double>(spec.scale));
   spec_obj.emplace_back("stream_trace", spec.stream_trace);
+  // Only recorded when the CLI override was given: absent = legacy file =
+  // scenarios run with their own defense knobs.
+  if (spec.trust.has_value()) {
+    spec_obj.emplace_back("trust", *spec.trust ? "on" : "off");
+  }
 
   json::Array cells;
   for (const auto& cell : result.cells) {
@@ -309,6 +354,33 @@ json::Value results_to_json(const MatrixResult& result) {
                       static_cast<double>(f.queries_after_onset));
       fs.emplace_back("successes_after_onset",
                       static_cast<double>(f.successes_after_onset));
+      if (f.adversarial) {
+        fs.emplace_back("adversarial", true);
+        fs.emplace_back("polluters", static_cast<double>(f.polluters));
+        fs.emplace_back("stale_advertisers",
+                        static_cast<double>(f.stale_advertisers));
+        fs.emplace_back("confirm_droppers",
+                        static_cast<double>(f.confirm_droppers));
+        fs.emplace_back("storms", static_cast<double>(f.storms));
+        fs.emplace_back("storm_queries",
+                        static_cast<double>(f.storm_queries));
+        fs.emplace_back("polluted_ads",
+                        static_cast<double>(f.polluted_ads));
+        fs.emplace_back("forced_negatives",
+                        static_cast<double>(f.forced_negatives));
+        fs.emplace_back("dropped_confirms",
+                        static_cast<double>(f.dropped_confirms));
+        fs.emplace_back("trust_strikes",
+                        static_cast<double>(f.trust_strikes));
+        fs.emplace_back("quarantines", static_cast<double>(f.quarantines));
+        fs.emplace_back("readmissions",
+                        static_cast<double>(f.readmissions));
+        fs.emplace_back("queries_shed",
+                        static_cast<double>(f.queries_shed));
+        fs.emplace_back("ttl_clamped", static_cast<double>(f.ttl_clamped));
+        fs.emplace_back("peak_pending_depth",
+                        static_cast<double>(f.peak_pending_depth));
+      }
       r.emplace_back("fault_summary", std::move(fs));
     }
     // Wall-clock phase breakdown; informational only, like wall_seconds —
@@ -395,6 +467,13 @@ MatrixSpec spec_from_json(const json::Value& doc) {
   }
   if (const json::Value* stream = spec.find("stream_trace")) {
     out.stream_trace = stream->as_bool();
+  }
+  // Absent = legacy file = no defense override (tri-state stays unset).
+  if (const json::Value* trust = spec.find("trust")) {
+    const std::string& v = trust->as_string();
+    ASAP_REQUIRE(v == "on" || v == "off",
+                 "results spec: trust must be \"on\" or \"off\"");
+    out.trust = (v == "on");
   }
   return out;
 }

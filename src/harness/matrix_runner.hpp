@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -62,6 +63,13 @@ struct MatrixSpec {
   /// Force on-demand trace synthesis even below the apply_scale threshold
   /// (streaming-vs-materialized digest-identity checks).
   bool stream_trace = false;
+  /// Tri-state defense override (the --trust on|off CLI axis). Unset leaves
+  /// every scenario's own defense knobs alone (legacy behaviour, and what
+  /// absent results.json keys round-trip to). `on` forces trust scoring
+  /// (plus the per-chain strike guard) across all fault-armed scenarios;
+  /// `off` strips trust *and* overload protection, the defense-off control
+  /// arm of the adversarial golden.
+  std::optional<bool> trust;
   /// Options applied to every cell (audit, message_loss, seed_salt is
   /// reserved for the runner and must stay 0).
   RunOptions options;

@@ -200,6 +200,26 @@ RunResult run_experiment(const World& world, AlgoKind kind,
       if (fault_cfg.confirm_backoff > 0.0) {
         params.confirm_retry_backoff = fault_cfg.confirm_backoff;
       }
+      // Defense knobs (PR: adversarial resilience). Same contract as the
+      // hardening knobs above: all-default means bit-identical runs.
+      if (fault_cfg.trust_enabled) {
+        params.trust_enabled = true;
+        params.trust_reward = fault_cfg.trust_reward;
+        params.trust_strike_decay = fault_cfg.trust_strike_decay;
+        params.trust_quarantine_threshold =
+            fault_cfg.trust_quarantine_threshold;
+        params.trust_quarantine_backoff = fault_cfg.trust_quarantine_backoff;
+      }
+      if (fault_cfg.trust_fill_gate > 0.0) {
+        params.trust_fill_gate = fault_cfg.trust_fill_gate;
+      }
+      if (fault_cfg.strike_per_chain) params.strike_per_chain = true;
+      if (fault_cfg.pending_query_cap > 0) {
+        params.pending_query_cap = fault_cfg.pending_query_cap;
+      }
+      if (fault_cfg.ttl_clamp_depth > 0) {
+        params.ttl_clamp_depth = fault_cfg.ttl_clamp_depth;
+      }
     }
     algo = std::make_unique<ads::AsapProtocol>(ctx, params);
   } else {
@@ -209,7 +229,24 @@ RunResult run_experiment(const World& world, AlgoKind kind,
   }
   if (faults_on) {
     algo->set_fault_onset(plan->first_fault_time());
-    injector->arm(engine, ov, live, liveness, opts.observer);
+    if (plan->storm_queries().empty()) {
+      injector->arm(engine, ov, live, liveness, opts.observer);
+    } else {
+      // Flash-crowd queries run the full protocol path (bandwidth, pending
+      // slots, shedding) but are excluded from SearchStats — the measured
+      // workload stays the legitimate trace.
+      search::SearchAlgorithm* raw = algo.get();
+      injector->arm(engine, ov, live, liveness, opts.observer,
+                    [raw](const faults::FaultPlan::StormQuery& sq) {
+                      trace::TraceEvent ev;
+                      ev.type = trace::TraceEventType::kQuery;
+                      ev.time = sq.at;
+                      ev.node = sq.node;
+                      ev.terms[0] = sq.term;
+                      ev.num_terms = 1;
+                      raw->inject_synthetic_query(ev);
+                    });
+    }
   }
 
   obs::PhaseProfiler profiler;
@@ -333,6 +370,27 @@ RunResult run_experiment(const World& world, AlgoKind kind,
     res.faults.successes_after_onset = res.search.successes_after_onset();
     res.faults.success_rate_after_onset =
         res.search.success_rate_after_onset();
+    res.faults.adversarial =
+        fault_cfg.adversarial() || fault_cfg.trust_enabled ||
+        fault_cfg.trust_fill_gate > 0 || fault_cfg.pending_query_cap > 0 ||
+        fault_cfg.ttl_clamp_depth > 0;
+    if (res.faults.adversarial) {
+      res.faults.polluters = plan->polluters().size();
+      res.faults.stale_advertisers = plan->stale_advertisers().size();
+      res.faults.confirm_droppers = plan->confirm_droppers().size();
+      res.faults.storms = plan->storms().size();
+      res.faults.storm_queries = rep.storm_queries;
+      const auto& ac = res.asap_counters;  // zero-initialized for baselines
+      res.faults.polluted_ads = ac.polluted_ads;
+      res.faults.forced_negatives = ac.forced_negatives;
+      res.faults.dropped_confirms = ac.dropped_confirms;
+      res.faults.trust_strikes = ac.trust_strikes;
+      res.faults.quarantines = ac.quarantines;
+      res.faults.readmissions = ac.readmissions;
+      res.faults.queries_shed = ac.queries_shed;
+      res.faults.ttl_clamped = ac.ttl_clamped;
+      res.faults.peak_pending_depth = ac.peak_pending_depth;
+    }
   }
   if (opts.observer != nullptr) opts.observer->finalize(horizon);
   profiler.end(engine.executed());

@@ -129,6 +129,28 @@ struct FaultSummary {
   std::uint64_t queries_after_onset = 0;
   std::uint64_t successes_after_onset = 0;
   double success_rate_after_onset = 0.0;
+  /// True when the fault config armed adversarial roles / storms or any
+  /// defense knob — gates the adversary/defense result fields so legacy
+  /// (churn-only) fault runs keep their exact metric set.
+  bool adversarial = false;
+  /// Seeded Byzantine roster sizes (from the plan).
+  std::uint64_t polluters = 0;
+  std::uint64_t stale_advertisers = 0;
+  std::uint64_t confirm_droppers = 0;
+  /// Flash-crowd schedule: windows planned and synthetic queries injected.
+  std::uint64_t storms = 0;
+  std::uint64_t storm_queries = 0;
+  /// Adversary impact counters (from the protocol).
+  std::uint64_t polluted_ads = 0;
+  std::uint64_t forced_negatives = 0;
+  std::uint64_t dropped_confirms = 0;
+  /// Defense counters (zero when trust / overload protection are off).
+  std::uint64_t trust_strikes = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t readmissions = 0;
+  std::uint64_t queries_shed = 0;
+  std::uint64_t ttl_clamped = 0;
+  std::uint64_t peak_pending_depth = 0;
 };
 
 struct RunResult {

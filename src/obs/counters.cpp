@@ -44,6 +44,9 @@ json::Object CounterRegistry::snapshot() const {
   faults.emplace_back("injected", json::Value(n(faults_injected_)));
   faults.emplace_back("stale_evictions",
                       json::Value(n(totals_.stale_evictions)));
+  faults.emplace_back("trust_strikes", json::Value(n(totals_.trust_strikes)));
+  faults.emplace_back("quarantines", json::Value(n(totals_.quarantines)));
+  faults.emplace_back("queries_shed", json::Value(n(totals_.queries_shed)));
 
   json::Object out;
   out.emplace_back("categories", json::Value(std::move(categories)));
@@ -70,6 +73,9 @@ json::Array CounterRegistry::node_rows() const {
                      json::Value(n(c.confirms_timed_out)));
     row.emplace_back("confirm_retries", json::Value(n(c.confirm_retries)));
     row.emplace_back("stale_evictions", json::Value(n(c.stale_evictions)));
+    row.emplace_back("trust_strikes", json::Value(n(c.trust_strikes)));
+    row.emplace_back("quarantines", json::Value(n(c.quarantines)));
+    row.emplace_back("queries_shed", json::Value(n(c.queries_shed)));
     out.push_back(json::Value(std::move(row)));
   }
   return out;

@@ -54,11 +54,19 @@ struct NodeCounters {
   std::uint64_t confirm_retries = 0;
   /// Ads evicted as stale after consecutive confirm timeouts.
   std::uint64_t stale_evictions = 0;
+  /// Trust strikes recorded at this cacher (defense layer; 0 unless
+  /// trust scoring is on).
+  std::uint64_t trust_strikes = 0;
+  /// Sources this cacher pushed into quarantine.
+  std::uint64_t quarantines = 0;
+  /// Queries shed at this node by overload protection.
+  std::uint64_t queries_shed = 0;
 
   bool any() const {
     return (ads_stored | ads_evicted | ads_invalidated | confirms_sent |
             confirms_positive | confirms_timed_out | confirm_retries |
-            stale_evictions) != 0;
+            stale_evictions | trust_strikes | quarantines | queries_shed) !=
+           0;
   }
 };
 
@@ -116,6 +124,18 @@ class CounterRegistry {
   void count_stale_evicted(NodeId node) {
     ++node_row(node).stale_evictions;
     ++totals_.stale_evictions;
+  }
+  void count_trust_strike(NodeId node) {
+    ++node_row(node).trust_strikes;
+    ++totals_.trust_strikes;
+  }
+  void count_quarantine_enter(NodeId node) {
+    ++node_row(node).quarantines;
+    ++totals_.quarantines;
+  }
+  void count_query_shed(NodeId node) {
+    ++node_row(node).queries_shed;
+    ++totals_.queries_shed;
   }
   void count_fault_injected() { ++faults_injected_; }
 

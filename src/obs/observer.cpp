@@ -105,6 +105,40 @@ void RunObserver::trace_stale_evict(Seconds t, NodeId node, NodeId source) {
   sink_->write(rec);
 }
 
+void RunObserver::trace_trust_strike(Seconds t, NodeId node, NodeId source,
+                                     const char* kind) {
+  if (!sink_ || !sink_->sampled(RecordKind::kTrustStrike)) return;
+  json::Object rec;
+  rec.emplace_back("type", json::Value("trust-strike"));
+  rec.emplace_back("t", json::Value(t));
+  rec.emplace_back("node", json::Value(static_cast<double>(node)));
+  rec.emplace_back("source", json::Value(static_cast<double>(source)));
+  rec.emplace_back("kind", json::Value(kind));
+  sink_->write(rec);
+}
+
+void RunObserver::trace_quarantine(Seconds t, NodeId node, NodeId source,
+                                   const char* phase) {
+  if (!sink_ || !sink_->sampled(RecordKind::kQuarantine)) return;
+  json::Object rec;
+  rec.emplace_back("type", json::Value("quarantine"));
+  rec.emplace_back("t", json::Value(t));
+  rec.emplace_back("node", json::Value(static_cast<double>(node)));
+  rec.emplace_back("source", json::Value(static_cast<double>(source)));
+  rec.emplace_back("phase", json::Value(phase));
+  sink_->write(rec);
+}
+
+void RunObserver::trace_shed(Seconds t, NodeId node, std::uint32_t depth) {
+  if (!sink_ || !sink_->sampled(RecordKind::kQueryShed)) return;
+  json::Object rec;
+  rec.emplace_back("type", json::Value("query-shed"));
+  rec.emplace_back("t", json::Value(t));
+  rec.emplace_back("node", json::Value(static_cast<double>(node)));
+  rec.emplace_back("depth", json::Value(static_cast<double>(depth)));
+  sink_->write(rec);
+}
+
 void RunObserver::trace_ad_round(Seconds t, NodeId node, std::uint32_t emitted,
                                  std::uint32_t spilled, Bytes bytes) {
   if (!sink_ || !sink_->sampled(RecordKind::kAdRound)) return;

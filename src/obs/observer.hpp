@@ -77,6 +77,14 @@ class RunObserver final : public sim::Observer {
   void on_confirm_retry(NodeId node) { counters_.count_confirm_retry(node); }
   void on_stale_evicted(NodeId node) { counters_.count_stale_evicted(node); }
 
+  // --- defense-layer hooks (trust scoring / overload protection) -----------
+  void on_trust_strike(NodeId node) { counters_.count_trust_strike(node); }
+  void on_quarantine_enter(NodeId node) {
+    counters_.count_quarantine_enter(node);
+  }
+  void on_quarantine_exit(NodeId /*node*/) {}  // traced, not tallied
+  void on_query_shed(NodeId node) { counters_.count_query_shed(node); }
+
   // --- fault-layer hooks ---------------------------------------------------
   void on_fault_injected() { counters_.count_fault_injected(); }
 
@@ -111,6 +119,19 @@ class RunObserver final : public sim::Observer {
 
   /// `node` evicted `source`'s ad as stale after consecutive timeouts.
   void trace_stale_evict(Seconds t, NodeId node, NodeId source);
+
+  /// One trust strike at cacher `node` against ad source `source`;
+  /// `kind` is "false-positive" or "timeout".
+  void trace_trust_strike(Seconds t, NodeId node, NodeId source,
+                          const char* kind);
+
+  /// `node` quarantined (or re-admitted) `source`'s ads; `phase` is
+  /// "enter" or "exit".
+  void trace_quarantine(Seconds t, NodeId node, NodeId source,
+                        const char* phase);
+
+  /// Overload protection at `node` shed a query at pending depth `depth`.
+  void trace_shed(Seconds t, NodeId node, std::uint32_t depth);
 
   /// One adaptive-scheduler ad round at `node`: how many scheduler items
   /// were emitted into the packed frame, how many spilled past the byte

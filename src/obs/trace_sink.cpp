@@ -22,6 +22,12 @@ const char* record_kind_name(RecordKind k) {
       return "stale-evict";
     case RecordKind::kAdRound:
       return "ad-round";
+    case RecordKind::kTrustStrike:
+      return "trust-strike";
+    case RecordKind::kQuarantine:
+      return "quarantine";
+    case RecordKind::kQueryShed:
+      return "query-shed";
     case RecordKind::kCount:
       break;
   }

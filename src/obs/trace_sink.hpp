@@ -29,6 +29,9 @@ enum class RecordKind : std::uint8_t {
   kRetry,       // confirm retry attempts (protocol hardening)
   kStaleEvict,  // stale-ad evictions after consecutive confirm timeouts
   kAdRound,     // adaptive-scheduler ad rounds (emitted/spilled/bytes)
+  kTrustStrike,  // trust strikes against an ad source (defense layer)
+  kQuarantine,   // quarantine enter/exit of an ad source at a cacher
+  kQueryShed,    // queries shed by overload protection
   kCount
 };
 

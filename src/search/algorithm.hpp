@@ -41,8 +41,26 @@ class SearchAlgorithm {
   /// algorithms themselves never read it.
   void set_fault_onset(Seconds t) { stats_.set_fault_onset(t); }
 
+  /// Runs one *synthetic* query (flash-crowd storm injection): the query
+  /// executes the full protocol path — it costs bandwidth, occupies
+  /// pending-queue slots and can be shed — but it is excluded from
+  /// SearchStats, so success/latency metrics keep measuring the legitimate
+  /// workload only. The event must be a kQuery.
+  void inject_synthetic_query(const trace::TraceEvent& event) {
+    synthetic_depth_ = true;
+    on_trace_event(event);
+    synthetic_depth_ = false;
+  }
+
  protected:
+  /// True while the event being processed is storm-injected; protocols
+  /// consult this before recording a SearchRecord.
+  bool synthetic_query() const { return synthetic_depth_; }
+
   metrics::SearchStats stats_;
+
+ private:
+  bool synthetic_depth_ = false;
 };
 
 }  // namespace asap::search

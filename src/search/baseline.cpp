@@ -113,7 +113,7 @@ void BaselineSearch::run_query(const trace::TraceEvent& event) {
                 trace_query(t0, origin, rec.success, rec.local_hit,
                             rec.response_time, rec.cost_bytes, rec.messages,
                             static_cast<std::uint32_t>(hits)));
-  stats_.add(rec);
+  if (!synthetic_query()) stats_.add(rec);
 }
 
 }  // namespace asap::search

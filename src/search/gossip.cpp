@@ -172,7 +172,7 @@ void GossipIndexSearch::run_query(const trace::TraceEvent& ev) {
                 trace_query(ev.time, p, rec.success, rec.local_hit,
                             rec.response_time, rec.cost_bytes, rec.messages,
                             rec.results));
-  stats_.add(rec);
+  if (!synthetic_query()) stats_.add(rec);
 }
 
 }  // namespace asap::search

@@ -350,5 +350,185 @@ TEST(AdCache, ZeroBackoffDegeneratesToPlainErase) {
   EXPECT_TRUE(c.put(make_ad(7, 1), 50.0, rng).stored);
 }
 
+TEST(AdCacheTrust, OffByDefaultAndInert) {
+  AdCache c(10);
+  Rng rng(30);
+  c.put(make_ad(5, 1), 1.0, rng);
+  EXPECT_FALSE(c.trust_enabled());
+  EXPECT_DOUBLE_EQ(c.trust_of(5), 1.0);
+  // With trust off, strikes and rewards are no-ops: the entry survives
+  // and no quarantine state is ever allocated (vanilla digests depend on
+  // put() never paying a quarantine lookup).
+  EXPECT_FALSE(c.record_strike(5, 2.0));
+  c.record_reward(5);
+  EXPECT_NE(c.find(5), nullptr);
+  EXPECT_FALSE(c.quarantined(5, 2.0));
+}
+
+TEST(AdCacheTrust, RewardAndStrikeMoveTrustAsymptotically) {
+  AdCache c(10);
+  c.set_trust_params(/*reward=*/0.5, /*decay=*/0.5, /*threshold=*/0.1,
+                     /*backoff=*/100.0);
+  Rng rng(31);
+  c.put(make_ad(5, 1), 1.0, rng);
+  EXPECT_DOUBLE_EQ(c.trust_of(5), 1.0);  // entries start fully trusted
+  c.record_reward(5);                    // reward at 1.0 is a fixed point
+  EXPECT_DOUBLE_EQ(c.trust_of(5), 1.0);
+  EXPECT_FALSE(c.record_strike(5, 2.0));  // 0.5, above threshold
+  EXPECT_DOUBLE_EQ(c.trust_of(5), 0.5);
+  EXPECT_FALSE(c.record_strike(5, 3.0));  // 0.25
+  EXPECT_DOUBLE_EQ(c.trust_of(5), 0.25);
+  c.record_reward(5);  // 0.25 + 0.5 * (1 - 0.25) = 0.625
+  EXPECT_DOUBLE_EQ(c.trust_of(5), 0.625);
+  // Unknown sources are neutral, not distrusted.
+  EXPECT_DOUBLE_EQ(c.trust_of(99), 1.0);
+}
+
+TEST(AdCacheTrust, CrossingThresholdQuarantinesAndBlocksPut) {
+  AdCache c(10);
+  c.set_trust_params(0.3, /*decay=*/0.4, /*threshold=*/0.2,
+                     /*backoff=*/100.0);
+  Rng rng(32);
+  c.put(make_ad(5, 1), 1.0, rng);
+  EXPECT_FALSE(c.record_strike(5, 2.0));  // 0.4
+  EXPECT_TRUE(c.record_strike(5, 3.0));   // 0.16 < 0.2: quarantined
+  EXPECT_EQ(c.find(5), nullptr) << "quarantine must erase the entry";
+  EXPECT_TRUE(c.quarantined(5, 3.0));
+  EXPECT_TRUE(c.quarantined(5, 102.9));  // until 3.0 + 100.0
+  // Puts inside the window are dropped silently.
+  EXPECT_FALSE(c.put(make_ad(5, 2), 50.0, rng).stored);
+  EXPECT_EQ(c.find(5), nullptr);
+  // Sentence served: the next put re-admits and reports it.
+  EXPECT_FALSE(c.quarantined(5, 103.1));
+  const auto r = c.put(make_ad(5, 2), 103.1, rng);
+  EXPECT_TRUE(r.stored);
+  EXPECT_TRUE(r.readmitted);
+  EXPECT_NE(c.find(5), nullptr);
+  // A re-admitted entry starts fully trusted again (fresh evidence).
+  EXPECT_DOUBLE_EQ(c.trust_of(5), 1.0);
+}
+
+TEST(AdCacheTrust, RepeatOffenderBackoffDoubles) {
+  AdCache c(10);
+  c.set_trust_params(0.3, /*decay=*/0.1, /*threshold=*/0.2,
+                     /*backoff=*/100.0);
+  Rng rng(33);
+  c.put(make_ad(5, 1), 1.0, rng);
+  EXPECT_TRUE(c.record_strike(5, 10.0));  // first offense: 100 s
+  EXPECT_TRUE(c.quarantined(5, 109.0));
+  EXPECT_FALSE(c.quarantined(5, 110.5));
+  ASSERT_TRUE(c.put(make_ad(5, 2), 111.0, rng).readmitted);
+  EXPECT_TRUE(c.record_strike(5, 120.0));  // second offense: 200 s
+  EXPECT_TRUE(c.quarantined(5, 319.0));
+  EXPECT_FALSE(c.quarantined(5, 320.5));
+}
+
+TEST(AdCacheTrust, QuarantineIsPerSource) {
+  AdCache c(10);
+  c.set_trust_params(0.3, /*decay=*/0.1, /*threshold=*/0.2, 100.0);
+  Rng rng(34);
+  c.put(make_ad(5, 1), 1.0, rng);
+  c.put(make_ad(6, 1), 1.0, rng);
+  EXPECT_TRUE(c.record_strike(5, 10.0));
+  EXPECT_TRUE(c.quarantined(5, 50.0));
+  EXPECT_FALSE(c.quarantined(6, 50.0));
+  EXPECT_NE(c.find(6), nullptr);
+  EXPECT_TRUE(c.put(make_ad(6, 2), 50.0, rng).stored);
+}
+
+// Satellite regression: the confirm-retry chain used to charge one
+// logical timeout twice — once per retry attempt and once more when
+// erase_stale re-opened the window — so a single silent source burned
+// through stale_timeout_strikes twice as fast as configured. With the
+// chain guard on, any chain that started before the last counted chain
+// ended is the same evidence window and must not increment the count.
+TEST(AdCacheTrust, StrikeChainGuardCountsOnePerConfirmChain) {
+  AdCache c(10);
+  c.set_strike_per_chain(true);
+  Rng rng(35);
+  c.put(make_ad(5, 1), 1.0, rng);
+  EXPECT_EQ(c.record_timeout(5, /*chain_start=*/2.0, /*chain_end=*/6.0), 1u);
+  // A retry whose chain started inside the counted window: same chain.
+  EXPECT_EQ(c.record_timeout(5, 4.0, 9.0), 1u);
+  EXPECT_EQ(c.record_timeout(5, 5.9, 7.0), 1u);
+  // A chain that started after the counted window ended is new evidence.
+  EXPECT_EQ(c.record_timeout(5, 6.5, 10.0), 2u);
+  // A confirm reply still resets the count.
+  c.reset_timeouts(5);
+  EXPECT_EQ(c.record_timeout(5, 20.0, 22.0), 1u);
+}
+
+TEST(AdCacheTrust, StrikeChainGuardOffKeepsLegacyDoubleCount) {
+  AdCache c(10);  // guard defaults off: every call counts (legacy)
+  Rng rng(36);
+  c.put(make_ad(5, 1), 1.0, rng);
+  EXPECT_EQ(c.record_timeout(5, 2.0, 6.0), 1u);
+  EXPECT_EQ(c.record_timeout(5, 4.0, 9.0), 2u);
+  EXPECT_EQ(c.record_timeout(5, 5.0, 9.5), 3u);
+}
+
+/// An ad whose filter is stuffed past the plausibility gate's fill ratio.
+AdPayloadPtr make_stuffed_ad(NodeId src, std::uint32_t version,
+                             double target_fill) {
+  bloom::BloomFilter f;
+  const std::uint32_t bits = f.params().bits;
+  const auto want = static_cast<std::uint32_t>(target_fill * bits);
+  for (std::uint32_t pos = 0; pos < want; ++pos) {
+    if (!f.bit(pos)) f.toggle(pos);
+  }
+  return std::make_shared<const AdPayload>(src, version, std::move(f),
+                                           std::vector<TopicId>{0});
+}
+
+TEST(AdCacheTrust, FillGateDemotesStuffedAdsToZeroTrust) {
+  AdCache c(10);
+  c.set_trust_params(0.3, 0.5, 0.2, 120.0);
+  c.set_fill_gate(0.65);
+  Rng rng(37);
+  // An honest sparse ad sails through, fully trusted.
+  EXPECT_TRUE(c.put(make_ad(5, 1, {1, 2, 3}), 1.0, rng).stored);
+  EXPECT_EQ(c.trust_of(5), 1.0);
+  // A stuffed ad (fill 0.8 > gate 0.65) is demoted, not dropped: it stays
+  // cached (the polluter's real content remains reachable) but at zero
+  // trust, so ranking sends confirm probes elsewhere first.
+  const auto r = c.put(make_stuffed_ad(5, 2, 0.8), 2.0, rng);
+  EXPECT_TRUE(r.implausible);
+  EXPECT_TRUE(r.stored);
+  ASSERT_NE(c.find(5), nullptr);
+  EXPECT_EQ(c.trust_of(5), 0.0);
+  EXPECT_FALSE(c.quarantined(5, 3.0));
+  // The first wasted confirm probe then quarantines immediately (trust is
+  // already below any threshold).
+  EXPECT_TRUE(c.record_strike(5, 3.0));
+  EXPECT_TRUE(c.quarantined(5, 4.0));
+  EXPECT_EQ(c.find(5), nullptr);
+  // Another source with honest fill is unaffected.
+  EXPECT_TRUE(c.put(make_ad(6, 1, {9}), 4.0, rng).stored);
+  EXPECT_EQ(c.trust_of(6), 1.0);
+}
+
+TEST(AdCacheTrust, FillGateVerdictIsAboutTheSourceNotTheAdInstance) {
+  AdCache c(10);
+  c.set_trust_params(0.3, 0.5, 0.2, 120.0);
+  c.set_fill_gate(0.65);
+  Rng rng(38);
+  EXPECT_TRUE(c.put(make_ad(5, 3, {1, 2}), 1.0, rng).stored);
+  // A *stale* stuffed delivery is not stored, but still collapses trust:
+  // the gate's evidence concerns the source's behaviour.
+  const auto r = c.put(make_stuffed_ad(5, 2, 0.8), 2.0, rng);
+  EXPECT_TRUE(r.implausible);
+  EXPECT_FALSE(r.stored);
+  EXPECT_EQ(c.find(5)->ad->version, 3u);
+  EXPECT_EQ(c.trust_of(5), 0.0);
+}
+
+TEST(AdCacheTrust, FillGateOffAdmitsStuffedAdsFullyTrusted) {
+  AdCache c(10);  // gate defaults off: legacy admission, full trust
+  c.set_trust_params(0.3, 0.5, 0.2, 120.0);
+  Rng rng(39);
+  EXPECT_FALSE(c.put(make_stuffed_ad(5, 1, 0.9), 1.0, rng).implausible);
+  EXPECT_EQ(c.trust_of(5), 1.0);
+}
+
 }  // namespace
 }  // namespace asap::ads

@@ -55,7 +55,7 @@ TEST(FaultConfig, ValidateRejectsOutOfRange) {
 
 TEST(FaultPresets, CanonicalNamesAllResolve) {
   const auto& names = fault_preset_names();
-  ASSERT_EQ(names.size(), 6u);
+  ASSERT_EQ(names.size(), 11u);
   EXPECT_EQ(names.front(), "none");
   for (const auto& name : names) {
     const FaultScenario s = fault_preset(name);
@@ -82,7 +82,9 @@ TEST(FaultPresets, UnknownNameThrowsReadableMessage) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("unknown fault preset 'bogus'"), std::string::npos)
         << msg;
-    EXPECT_NE(msg.find("none, churn, lossy, partition, burst, chaos"),
+    EXPECT_NE(msg.find("none, churn, lossy, partition, burst, chaos, "
+                       "polluted, polluted-open, storm, storm-open, "
+                       "byzantine"),
               std::string::npos)
         << "message must list the available presets: " << msg;
   }

@@ -130,5 +130,177 @@ TEST(FaultPlan, ContinuousLinkFaultsStartAtMeasureStart) {
   EXPECT_FALSE(build(jitter).empty());
 }
 
+FaultConfig byzantine_cfg() {
+  FaultConfig cfg;
+  cfg.polluter_fraction = 0.10;
+  cfg.stale_advertiser_fraction = 0.05;
+  cfg.confirm_dropper_fraction = 0.05;
+  cfg.crash_fraction = 0.10;
+  cfg.storms = 2;
+  return cfg;
+}
+
+TEST(FaultPlanAdversarial, RolesMatchFractionsSortedAndDisjoint) {
+  const FaultPlan plan = build(byzantine_cfg());
+  EXPECT_EQ(plan.polluters().size(), 20u);         // 10% of 200
+  EXPECT_EQ(plan.stale_advertisers().size(), 10u); // 5%
+  EXPECT_EQ(plan.confirm_droppers().size(), 10u);  // 5%
+  std::set<NodeId> seen;
+  const auto check_roster = [&](const std::vector<NodeId>& roster,
+                                const char* name) {
+    for (std::size_t i = 0; i < roster.size(); ++i) {
+      EXPECT_LT(roster[i], kNodes) << name;
+      if (i > 0) {
+        EXPECT_LT(roster[i - 1], roster[i]) << name << " not sorted";
+      }
+      EXPECT_TRUE(seen.insert(roster[i]).second)
+          << name << ": node " << roster[i] << " holds two roles";
+    }
+  };
+  check_roster(plan.polluters(), "polluters");
+  check_roster(plan.stale_advertisers(), "stale-advertisers");
+  check_roster(plan.confirm_droppers(), "confirm-droppers");
+  // Disjoint from the crash roster too: a crashed polluter would make the
+  // "under attack" population ambiguous.
+  for (const auto& c : plan.crashes()) {
+    EXPECT_TRUE(seen.insert(c.node).second)
+        << "node " << c.node << " both crashes and holds a Byzantine role";
+  }
+}
+
+TEST(FaultPlanAdversarial, SameSeedSameRosters) {
+  const FaultPlan a = build(byzantine_cfg());
+  const FaultPlan b = build(byzantine_cfg());
+  EXPECT_EQ(a.polluters(), b.polluters());
+  EXPECT_EQ(a.stale_advertisers(), b.stale_advertisers());
+  EXPECT_EQ(a.confirm_droppers(), b.confirm_droppers());
+  ASSERT_EQ(a.storm_queries().size(), b.storm_queries().size());
+  for (std::size_t i = 0; i < a.storm_queries().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.storm_queries()[i].at, b.storm_queries()[i].at);
+    EXPECT_EQ(a.storm_queries()[i].node, b.storm_queries()[i].node);
+    EXPECT_EQ(a.storm_queries()[i].term, b.storm_queries()[i].term);
+  }
+  // Different seeds must pick different rosters (sanity: the seed is
+  // actually wired into the adversary stream).
+  const FaultPlan c = build(byzantine_cfg(), 8);
+  EXPECT_NE(a.polluters(), c.polluters());
+}
+
+TEST(FaultPlanAdversarial, ArmingRolesNeverPerturbsCrashSchedule) {
+  // The adversary roster draws from its own salted RNG stream, so adding
+  // Byzantine roles to an existing preset must leave its crash/burst/
+  // partition schedule bit-identical.
+  FaultConfig base;
+  base.crash_fraction = 0.10;
+  base.bursts = 2;
+  base.partitions = 1;
+  FaultConfig armed = base;
+  armed.polluter_fraction = 0.20;
+  armed.storms = 2;
+  const FaultPlan p0 = build(base);
+  const FaultPlan p1 = build(armed);
+  ASSERT_EQ(p0.crashes().size(), p1.crashes().size());
+  for (std::size_t i = 0; i < p0.crashes().size(); ++i) {
+    EXPECT_EQ(p0.crashes()[i].node, p1.crashes()[i].node);
+    EXPECT_DOUBLE_EQ(p0.crashes()[i].at, p1.crashes()[i].at);
+  }
+  ASSERT_EQ(p0.bursts().size(), p1.bursts().size());
+  for (std::size_t i = 0; i < p0.bursts().size(); ++i) {
+    EXPECT_DOUBLE_EQ(p0.bursts()[i].begin, p1.bursts()[i].begin);
+  }
+  ASSERT_EQ(p0.partitions().size(), p1.partitions().size());
+  for (std::size_t i = 0; i < p0.partitions().size(); ++i) {
+    EXPECT_EQ(p0.partitions()[i].domains, p1.partitions()[i].domains);
+  }
+}
+
+TEST(FaultPlanAdversarial, ChurnedNodesNeverGetRoles) {
+  // Churn the first half of the population; every role must come from the
+  // untouched half (same exclusion rule as crash candidates).
+  std::vector<trace::TraceEvent> events;
+  for (NodeId n = 0; n < kNodes / 2; ++n) {
+    trace::TraceEvent ev;
+    ev.time = 1.0 * n;
+    ev.type = n % 3 == 0   ? trace::TraceEventType::kJoin
+              : n % 3 == 1 ? trace::TraceEventType::kLeave
+                           : trace::TraceEventType::kRejoin;
+    ev.node = n;
+    events.push_back(ev);
+  }
+  const FaultPlan plan = build(byzantine_cfg(), 7, events);
+  for (const auto roster : {&plan.polluters(), &plan.stale_advertisers(),
+                            &plan.confirm_droppers()}) {
+    for (NodeId n : *roster) {
+      EXPECT_GE(n, kNodes / 2) << "role assigned to a trace-churned node";
+    }
+  }
+}
+
+TEST(FaultPlanAdversarial, EventSpanAndChurnBitmapBuildsAgree) {
+  // Streaming worlds hand the plan a churn bitmap instead of the events
+  // vector; both overloads must compile to the identical roster.
+  std::vector<trace::TraceEvent> events;
+  std::vector<std::uint8_t> churned(kNodes, 0);
+  for (NodeId n = 0; n < kNodes; n += 3) {
+    trace::TraceEvent ev;
+    ev.time = 1.0 * n;
+    ev.type = trace::TraceEventType::kLeave;
+    ev.node = n;
+    events.push_back(ev);
+    churned[n] = 1;
+  }
+  const FaultPlan a = build(byzantine_cfg(), 7, events);
+  const FaultPlan b = FaultPlan::build(
+      byzantine_cfg(), 7, kNodes, std::span<const std::uint8_t>(churned),
+      kStart, kEnd, kDomains);
+  EXPECT_EQ(a.polluters(), b.polluters());
+  EXPECT_EQ(a.stale_advertisers(), b.stale_advertisers());
+  EXPECT_EQ(a.confirm_droppers(), b.confirm_droppers());
+  ASSERT_EQ(a.crashes().size(), b.crashes().size());
+  for (std::size_t i = 0; i < a.crashes().size(); ++i) {
+    EXPECT_EQ(a.crashes()[i].node, b.crashes()[i].node);
+  }
+}
+
+TEST(FaultPlanAdversarial, StormScheduleLandsInWindowAndIsSorted) {
+  FaultConfig cfg;
+  cfg.storms = 2;
+  cfg.storm_duration = 30.0;
+  cfg.storm_emitters = 8;
+  cfg.storm_queries_per_emitter = 5;
+  cfg.storm_hot_terms = 4;
+  const FaultPlan plan = build(cfg);
+  ASSERT_EQ(plan.storms().size(), 2u);
+  for (const auto& s : plan.storms()) {
+    EXPECT_GE(s.begin, kStart);
+    EXPECT_LT(s.begin, kEnd);
+    EXPECT_DOUBLE_EQ(s.end, s.begin + 30.0);
+  }
+  ASSERT_EQ(plan.storm_queries().size(), 2u * 8u * 5u);
+  for (std::size_t i = 0; i < plan.storm_queries().size(); ++i) {
+    const auto& q = plan.storm_queries()[i];
+    EXPECT_LT(q.node, kNodes);
+    EXPECT_LT(q.term, cfg.storm_hot_terms);
+    // Every query falls inside one of the storm windows.
+    bool inside = false;
+    for (const auto& s : plan.storms()) {
+      inside = inside || (q.at >= s.begin && q.at < s.end);
+    }
+    EXPECT_TRUE(inside) << "storm query outside every storm window";
+    if (i > 0) {
+      const auto& p = plan.storm_queries()[i - 1];
+      EXPECT_TRUE(p.at < q.at ||
+                  (p.at == q.at &&
+                   (p.node < q.node ||
+                    (p.node == q.node && p.term <= q.term))))
+          << "storm schedule not sorted by (at, node, term)";
+    }
+  }
+  EXPECT_DOUBLE_EQ(plan.first_fault_time(),
+                   std::min(plan.storms().front().begin,
+                            plan.storm_queries().front().at));
+  EXPECT_FALSE(plan.empty());
+}
+
 }  // namespace
 }  // namespace asap::faults

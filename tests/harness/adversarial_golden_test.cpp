@@ -1,0 +1,219 @@
+// Golden gate for the adversarial-resilience subsystem (DESIGN.md §16).
+//
+// tests/support/adversarial_small.json is a committed matrix run of
+// asap(rw) on the kSmall preset across five fault scenarios — none,
+// polluted-open/polluted (20% ad polluters, defense off/on) and
+// storm-open/storm (flash-crowd query storms, shedding off/on) — crawled
+// topology, seed 42, 1,000 queries. This test
+//   1. replays the exact recorded spec and diffs every digest and metric
+//      (the adversarial twin of the golden-metrics gate), and
+//   2. pins the headline resilience claims on the artifact itself:
+//      trust scoring recovers at least half the success-rate loss the
+//      polluters inflict, at equal-or-lower advertisement bandwidth; and
+//      query shedding bounds the pending queue at the configured cap
+//      while keeping legitimate success within 2 pp of the unshedded run.
+//
+// When a change is intentional, refresh the baseline and commit it:
+//
+//   build/tools/asap_sim --matrix --preset small --topology crawled
+//     --algo asap-rw --seed 42 --trials 1 --queries 1000
+//     --faults none,polluted-open,polluted,storm-open,storm
+//     --json tests/support/adversarial_small.json
+//   (one command line; wrapped here for width)
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "harness/matrix_runner.hpp"
+
+namespace asap::harness {
+namespace {
+
+constexpr const char* kGoldenPath =
+    ASAP_TEST_SUPPORT_DIR "/adversarial_small.json";
+constexpr const char* kRefreshHint =
+    "\nIf this change is intentional, refresh the baseline:\n"
+    "  build/tools/asap_sim --matrix --preset small --topology crawled "
+    "--algo asap-rw --seed 42 --trials 1 --queries 1000 "
+    "--faults none,polluted-open,polluted,storm-open,storm --json "
+    "tests/support/adversarial_small.json\n";
+
+json::Value load_golden() {
+  std::ifstream in(kGoldenPath);
+  EXPECT_TRUE(in.good()) << "cannot open " << kGoldenPath;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return json::parse(buf.str());
+}
+
+bool near(double a, double b) {
+  return std::abs(a - b) <= 1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+/// trial_runs rows keyed by fault-scenario name (one algo, one trial).
+std::map<std::string, const json::Value*> rows_by_scenario(
+    const json::Value& golden) {
+  std::map<std::string, const json::Value*> rows;
+  for (const auto& run : golden.at("trial_runs").as_array()) {
+    rows[run.at("faults").as_string()] = &run;
+  }
+  return rows;
+}
+
+double metric(const json::Value& row, const char* name) {
+  const json::Value* v = row.at("metrics").find(name);
+  EXPECT_NE(v, nullptr) << "row lacks metric " << name << kRefreshHint;
+  return v ? v->as_double() : 0.0;
+}
+
+TEST(AdversarialGolden, MatrixMatchesCommittedBaseline) {
+  const json::Value golden = load_golden();
+  ASSERT_EQ(golden.at("schema").as_string(), "asap-matrix-results/1");
+
+  MatrixSpec spec = spec_from_json(golden);
+  const MatrixResult actual = run_matrix(spec);
+
+  const auto& golden_cells = golden.at("cells").as_array();
+  ASSERT_EQ(actual.cells.size(), golden_cells.size())
+      << "cell count drifted from the baseline" << kRefreshHint;
+
+  for (std::size_t i = 0; i < golden_cells.size(); ++i) {
+    const json::Value& want = golden_cells[i];
+    const CellAggregate& got = actual.cells[i];
+    const std::string label = want.at("faults").as_string() + "/" +
+                              want.at("algo").as_string();
+    EXPECT_EQ(algo_name(got.algo), want.at("algo").as_string());
+
+    const auto& want_digests = want.at("digests").as_array();
+    ASSERT_EQ(got.digests.size(), want_digests.size()) << label;
+    for (std::size_t k = 0; k < want_digests.size(); ++k) {
+      EXPECT_EQ(got.digests[k], want_digests[k].u64_hex())
+          << label << " trial " << k << ": run digest drifted (golden "
+          << want_digests[k].as_string() << ", actual "
+          << json::hex_u64(got.digests[k]) << ")" << kRefreshHint;
+    }
+
+    const json::Value& want_metrics = want.at("metrics");
+    for (const auto& [name, summary] : got.metrics) {
+      const json::Value* want_metric = want_metrics.find(name);
+      ASSERT_NE(want_metric, nullptr)
+          << label << ": metric " << name << " missing from baseline"
+          << kRefreshHint;
+      EXPECT_TRUE(near(summary.mean, want_metric->at("mean").as_double()))
+          << label << " " << name << ": golden mean "
+          << want_metric->at("mean").as_double() << ", actual "
+          << summary.mean << kRefreshHint;
+    }
+  }
+
+  EXPECT_EQ(actual.matrix_digest, golden.at("matrix_digest").u64_hex())
+      << "matrix digest drifted" << kRefreshHint;
+}
+
+// Acceptance claim 1, checked against the committed artifact so a
+// refreshed baseline cannot silently regress the defense: at 20% ad
+// polluters, trust scoring recovers at least half of the success-rate
+// loss the undefended run suffers — without spending more ad bytes than
+// the undefended run (quarantined sources stop being advertised for).
+TEST(AdversarialGolden, TrustRecoversPollutedLossAtNoExtraBandwidth) {
+  const json::Value golden = load_golden();
+  const auto rows = rows_by_scenario(golden);
+  ASSERT_TRUE(rows.count("none")) << kRefreshHint;
+  ASSERT_TRUE(rows.count("polluted-open")) << kRefreshHint;
+  ASSERT_TRUE(rows.count("polluted")) << kRefreshHint;
+
+  const double clean = metric(*rows.at("none"), "success_rate");
+  const double open = metric(*rows.at("polluted-open"), "success_rate");
+  const double defended = metric(*rows.at("polluted"), "success_rate");
+  const double loss = clean - open;
+  EXPECT_GT(loss, 0.0)
+      << "polluters no longer hurt the undefended run — the attack arm of "
+         "the golden is vacuous"
+      << kRefreshHint;
+  EXPECT_GE(defended - open, 0.5 * loss)
+      << "trust scoring recovered less than half the polluted loss (clean "
+      << clean << ", open " << open << ", defended " << defended << ")"
+      << kRefreshHint;
+
+  const double open_bytes = metric(*rows.at("polluted-open"),
+                                   "ad_bytes_total");
+  const double defended_bytes = metric(*rows.at("polluted"),
+                                       "ad_bytes_total");
+  EXPECT_LE(defended_bytes, open_bytes)
+      << "defense-on spent more advertisement bytes than defense-off"
+      << kRefreshHint;
+
+  // The recovery must come from the trust machinery actually engaging.
+  const json::Value& fs = rows.at("polluted")->at("fault_summary");
+  EXPECT_GT(fs.at("polluted_ads").as_double(), 0.0) << kRefreshHint;
+  EXPECT_GT(fs.at("trust_strikes").as_double(), 0.0) << kRefreshHint;
+  EXPECT_GT(fs.at("quarantines").as_double(), 0.0) << kRefreshHint;
+}
+
+// Acceptance claim 2: under flash-crowd storms, the bounded pending-query
+// queue keeps its peak depth at or below the configured cap, and shedding
+// costs the legitimate workload at most 2 pp of success versus the
+// unshedded storm run (storm queries themselves are synthetic and never
+// counted in success_rate).
+TEST(AdversarialGolden, SheddingBoundsPendingDepthAtNearZeroSuccessCost) {
+  const json::Value golden = load_golden();
+  const auto rows = rows_by_scenario(golden);
+  ASSERT_TRUE(rows.count("storm-open")) << kRefreshHint;
+  ASSERT_TRUE(rows.count("storm")) << kRefreshHint;
+
+  // The storm preset's pending_query_cap (fault_config.cpp).
+  const double cap =
+      faults::fault_preset("storm").config.pending_query_cap;
+  ASSERT_GT(cap, 0.0);
+
+  const json::Value& shielded = rows.at("storm")->at("fault_summary");
+  EXPECT_LE(shielded.at("peak_pending_depth").as_double(), cap)
+      << "pending-query queue overran the shedding cap" << kRefreshHint;
+  EXPECT_GT(shielded.at("storm_queries").as_double(), 0.0)
+      << "no storm queries fired — the overload arm is vacuous"
+      << kRefreshHint;
+
+  const double open = metric(*rows.at("storm-open"), "success_rate");
+  const double shielded_succ = metric(*rows.at("storm"), "success_rate");
+  EXPECT_GE(shielded_succ, open - 0.02)
+      << "shedding cost the legitimate workload more than 2 pp"
+      << kRefreshHint;
+
+  // The unshedded control really ran without the shield.
+  const json::Value& open_fs = rows.at("storm-open")->at("fault_summary");
+  EXPECT_EQ(open_fs.at("queries_shed").as_double(), 0.0) << kRefreshHint;
+}
+
+// The gated-metric discipline: adversarial counters appear only on
+// adversarial rows, so pre-existing fault goldens (and faults-off runs)
+// keep their exact metric set byte-for-byte.
+TEST(AdversarialGolden, AdversarialMetricsAreGatedToAdversarialRows) {
+  const json::Value golden = load_golden();
+  const auto rows = rows_by_scenario(golden);
+  ASSERT_TRUE(rows.count("none")) << kRefreshHint;
+
+  const json::Value& clean = rows.at("none")->at("metrics");
+  for (const char* name : {"polluted_ads", "trust_strikes", "quarantines",
+                           "queries_shed", "storm_queries",
+                           "peak_pending_depth"}) {
+    EXPECT_EQ(clean.find(name), nullptr)
+        << "faults-off row leaked gated metric " << name << kRefreshHint;
+  }
+  EXPECT_EQ(rows.at("none")->find("fault_summary"), nullptr)
+      << "faults-off row carries a fault_summary" << kRefreshHint;
+
+  const json::Value& polluted = rows.at("polluted")->at("metrics");
+  for (const char* name : {"polluted_ads", "trust_strikes", "quarantines"}) {
+    EXPECT_NE(polluted.find(name), nullptr)
+        << "adversarial row lacks gated metric " << name << kRefreshHint;
+  }
+  const json::Value& fs = rows.at("polluted")->at("fault_summary");
+  EXPECT_TRUE(fs.at("adversarial").as_bool()) << kRefreshHint;
+}
+
+}  // namespace
+}  // namespace asap::harness

@@ -184,5 +184,116 @@ TEST(PackedFrame, AbsurdCountRejected) {
   EXPECT_THROW(decode_packed_frame(buf), DecodeError);
 }
 
+// --- crafted-malicious corpus (adversarial-resilience hardening) ---------
+//
+// Each case is a hand-built buffer a Byzantine peer could ship that the
+// encoder can never produce; the decoder must reject all of them with
+// DecodeError before any oversized allocation or filter corruption.
+
+namespace {
+
+/// Hand-assembles an ad header (magic, kind, source, version, topics).
+void craft_header(Writer& w, ads::AdKind kind, NodeId source,
+                  std::uint32_t version) {
+  w.u8(0xA5);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(source);
+  w.varint(version);
+  w.u8(0);  // no topics
+}
+
+}  // namespace
+
+TEST(MaliciousWire, DuplicateDeltaToggleRejected) {
+  // A zero delta after the first position encodes the same position twice;
+  // applying such a patch would toggle the bit back OFF — a crafted ad
+  // could use it to silently clear bits in a cached filter.
+  Writer w;
+  craft_header(w, ads::AdKind::kDelta, 7, 3);
+  w.varint(2);  // base version
+  w.varint(2);  // two toggles...
+  w.varint(4);  // position 4
+  w.varint(0);  // ...and position 4 again (zero delta)
+  EXPECT_THROW(decode_ad(w.buffer()), DecodeError);
+}
+
+TEST(MaliciousWire, DuplicateSparsePositionRejected) {
+  Writer w;
+  craft_header(w, ads::AdKind::kFull, 7, 3);
+  w.u8(1);      // sparse body
+  w.varint(2);  // two positions...
+  w.varint(9);
+  w.varint(0);  // ...the second a duplicate of the first
+  EXPECT_THROW(decode_ad(w.buffer()), DecodeError);
+}
+
+TEST(MaliciousWire, PositionCountBeyondBufferRejectedBeforeAllocation) {
+  // Declared count passes the bits cap but wildly exceeds the bytes that
+  // follow. Must throw before reserving count slots.
+  Writer w;
+  craft_header(w, ads::AdKind::kFull, 7, 3);
+  w.u8(1);           // sparse body
+  w.varint(10'000);  // < default bits (11'542), >> remaining bytes
+  w.varint(1);       // a single actual position
+  EXPECT_THROW(decode_ad(w.buffer()), DecodeError);
+}
+
+TEST(MaliciousWire, DeltaGrowingPastFilterWidthRejected) {
+  const bloom::BloomParams params;
+  Writer w;
+  craft_header(w, ads::AdKind::kDelta, 7, 3);
+  w.varint(2);            // base version
+  w.varint(1);            // one toggle
+  w.varint(params.bits);  // first out-of-range position
+  EXPECT_THROW(decode_ad(w.buffer(), params), DecodeError);
+}
+
+TEST(MaliciousWire, ToggleCountBeyondFilterBitsRejected) {
+  const bloom::BloomParams params;
+  Writer w;
+  craft_header(w, ads::AdKind::kDelta, 7, 3);
+  w.varint(2);                // base version
+  w.varint(params.bits + 1);  // more toggles than the filter has bits
+  EXPECT_THROW(decode_ad(w.buffer(), params), DecodeError);
+}
+
+TEST(MaliciousWire, HugeQueryTermCountRejected) {
+  Writer w;
+  w.u8(0xA5);
+  w.u32(3);          // requester
+  w.varint(1 << 20);  // term count far past the cap
+  EXPECT_THROW(decode_query(w.buffer()), DecodeError);
+}
+
+TEST(MaliciousWire, FrameWithOnePoisonedItemRejectedWhole) {
+  // A frame whose second item carries a duplicate toggle: the whole frame
+  // must be rejected, not partially applied.
+  Rng rng(99);
+  const auto fx = random_frame(rng, 1);
+  const auto good_item = encode_packed_frame(fx.items);
+  Writer poisoned_item;
+  craft_header(poisoned_item, ads::AdKind::kDelta, 5, 2);
+  poisoned_item.varint(1);  // base
+  poisoned_item.varint(2);  // two toggles
+  poisoned_item.varint(6);
+  poisoned_item.varint(0);  // duplicate
+  Writer w;
+  w.u8(0xA6);
+  w.varint(2);
+  // First item: reuse the good frame's single item body.
+  {
+    Reader r(good_item);
+    (void)r.u8();      // frame magic
+    (void)r.varint();  // count == 1
+    const auto len = r.varint();
+    const auto body = r.bytes(static_cast<std::size_t>(len));
+    w.varint(len);
+    w.bytes(body);
+  }
+  w.varint(poisoned_item.size());
+  w.bytes(poisoned_item.buffer());
+  EXPECT_THROW(decode_packed_frame(w.buffer()), DecodeError);
+}
+
 }  // namespace
 }  // namespace asap::wire

@@ -64,6 +64,10 @@ struct CliArgs {
     return !trace_out.empty() || !counters_out.empty();
   }
 
+  // Defense override (--trust on|off): tri-state like MatrixSpec::trust.
+  // Unset leaves each fault scenario's own defense knobs alone.
+  std::optional<bool> trust;
+
   // ASAP overrides (applied to every ASAP variant in the run).
   std::optional<std::uint64_t> m0;
   std::optional<double> refresh_period;
@@ -129,12 +133,20 @@ void print_usage() {
   --audit                     run the simulation invariant auditor; any
                               violation is reported and exits nonzero
   --faults SPEC[,SPEC...]     deterministic fault injection (DESIGN.md
-                              section 11). Each SPEC is a preset — none,
-                              churn, lossy, partition, burst, chaos — or a
-                              path to a JSON scenario file. Plain mode
-                              takes one SPEC; matrix mode sweeps the list
-                              as an extra result axis. Unknown presets
-                              exit nonzero with the available list.
+                              sections 11 and 16). Each SPEC is a preset —
+                              none, churn, lossy, partition, burst, chaos,
+                              polluted, polluted-open, storm, storm-open,
+                              byzantine — or a path to a JSON scenario
+                              file. Plain mode takes one SPEC; matrix mode
+                              sweeps the list as an extra result axis.
+                              Unknown presets exit nonzero with the
+                              available list.
+  --trust on|off              defense override for every fault scenario
+                              (DESIGN.md section 16): "on" arms trust
+                              scoring, strike-per-chain and the 0.65 ad
+                              fill gate; "off" strips trust AND overload
+                              protection (the defense-off control arm).
+                              Default: each scenario's own knobs.
 
 Matrix mode (repeated-seed sweeps, results.json):
   --matrix                    fan (algo x topology x trial) out across the
@@ -229,6 +241,12 @@ CliArgs parse(int argc, char** argv) {
       for (const auto& s : split_csv(next())) {
         args.fault_scenarios.push_back(faults::scenario_from_spec(s));
       }
+    } else if (flag == "--trust") {
+      const std::string v = next();
+      if (v != "on" && v != "off") {
+        throw ConfigError("--trust takes on|off");
+      }
+      args.trust = (v == "on");
     } else if (flag == "--matrix") {
       args.matrix = true;
     } else if (flag == "--trials") {
@@ -363,6 +381,7 @@ int run_matrix_mode(const CliArgs& args) {
   if (!args.fault_scenarios.empty()) {
     spec.fault_scenarios = args.fault_scenarios;
   }
+  spec.trust = args.trust;
   std::optional<TraceSession> session;
   if (args.tracing()) session.emplace(args);
   obs::RunObserver* observer = session ? &*session->observer : nullptr;
@@ -464,7 +483,21 @@ int main(int argc, char** argv) {
           auto opts = options_for(args, kind);
           if (!args.fault_scenarios.empty() &&
               args.fault_scenarios.front().config.any()) {
-            opts.faults = args.fault_scenarios.front().config;
+            faults::FaultConfig fc = args.fault_scenarios.front().config;
+            if (args.trust.has_value()) {
+              if (*args.trust) {
+                fc.trust_enabled = true;
+                fc.strike_per_chain = true;
+                if (fc.trust_fill_gate <= 0.0) fc.trust_fill_gate = 0.65;
+              } else {
+                fc.trust_enabled = false;
+                fc.strike_per_chain = false;
+                fc.trust_fill_gate = 0.0;
+                fc.pending_query_cap = 0;
+                fc.ttl_clamp_depth = 0;
+              }
+            }
+            opts.faults = fc;
           }
           // Safe across the pool: tracing is restricted to one algorithm
           // and one topology, so at most one run sees the observer.

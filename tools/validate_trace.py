@@ -31,6 +31,9 @@ SCHEMAS = {
     "fault": {"node": NUM, "kind": str},
     "retry": {"node": NUM, "source": NUM, "attempt": NUM},
     "stale-evict": {"node": NUM, "source": NUM},
+    "trust-strike": {"node": NUM, "source": NUM, "kind": str},
+    "quarantine": {"node": NUM, "source": NUM, "phase": str},
+    "query-shed": {"node": NUM, "depth": NUM},
     "ad-round": {"node": NUM, "emitted": NUM, "spilled": NUM, "bytes": NUM},
     "counters": {
         "categories": dict,
@@ -48,6 +51,9 @@ SCHEMAS = {
         "confirms_timed_out": NUM,
         "confirm_retries": NUM,
         "stale_evictions": NUM,
+        "trust_strikes": NUM,
+        "quarantines": NUM,
+        "queries_shed": NUM,
     },
 }
 # (type, field) -> allowed values; "kind" means different things to "ad"
@@ -58,7 +64,10 @@ ENUMS = {
     ("churn", "transition"): {"join", "leave", "rejoin"},
     ("fault", "kind"): {
         "crash", "detect", "partition", "heal", "burst", "burst-end",
+        "storm", "storm-end",
     },
+    ("trust-strike", "kind"): {"false-positive", "timeout", "implausible"},
+    ("quarantine", "phase"): {"enter", "exit"},
 }
 
 
